@@ -1,0 +1,89 @@
+// Ablation: constraint-reduction effectiveness (Section 4.6).
+//
+// For each benchmark and several bound regimes, counts the Steiner rows a
+// full enumeration would materialize, how many survive the sound
+// delay-implication filter, and how many rows the lazy strategy actually
+// needed to certify optimality.
+
+#include <cstdio>
+
+#include "common.h"
+#include "ebf/reducer.h"
+#include "topo/nn_merge.h"
+
+namespace {
+
+using namespace lubt;
+using namespace lubt::bench;
+
+}  // namespace
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("Ablation: Steiner-row reduction (Section 4.6)\n");
+  std::printf("sink scale = %.2f\n", scale);
+
+  TextTable table({"bench", "sinks", "bound regime", "potential rows",
+                   "after reduction", "seed rows", "lazy rows used"});
+
+  bool all_ok = true;
+  for (const BenchmarkId id : AllBenchmarks()) {
+    const SinkSet set = MakeBenchmark(id, std::min(scale, 0.5));
+    const double radius = Radius(set.sinks, set.source);
+    const Topology topo = NnMergeTopology(set.sinks, set.source);
+
+    struct Regime {
+      const char* name;
+      bool per_sink;  // heterogeneous pipelined-style bounds
+      double lo_f;
+      double hi_f;
+    };
+    const Regime regimes[] = {
+        {"loose [0, inf)", false, 0.0, -1.0},
+        {"clock [0.9, 1.1]", false, 0.9, 1.1},
+        {"per-sink windows", true, 0.0, 0.0},
+    };
+
+    for (const Regime& regime : regimes) {
+      EbfProblem prob;
+      prob.topo = &topo;
+      prob.sinks = set.sinks;
+      prob.source = set.source;
+      if (regime.per_sink) {
+        for (const Point& s : set.sinks) {
+          const double c =
+              std::max(ManhattanDist(*set.source, s), 0.2 * radius);
+          prob.bounds.push_back({0.9 * c, c});
+        }
+      } else {
+        const double hi =
+            regime.hi_f < 0.0 ? kLpInf : regime.hi_f * radius;
+        prob.bounds.assign(set.sinks.size(),
+                           DelayBounds{regime.lo_f * radius, hi});
+      }
+
+      auto report = AnalyzeReduction(prob);
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s %s FAILED: %s\n", set.name.c_str(),
+                     regime.name, report.status().ToString().c_str());
+        all_ok = false;
+        continue;
+      }
+      const EbfSolveResult lazy = SolveEbf(prob);
+      const std::string lazy_rows =
+          lazy.ok() ? std::to_string(lazy.lp_rows) : std::string("failed");
+      table.AddRow({set.name, std::to_string(set.sinks.size()), regime.name,
+                    std::to_string(report->potential_steiner_rows),
+                    std::to_string(report->reduced_rows),
+                    std::to_string(report->seed_rows), lazy_rows});
+    }
+    table.AddSeparator();
+  }
+  EmitTable(table, "Constraint reduction ablation",
+            "ablation_constraints.csv");
+  std::printf(
+      "\nExpected: the lazy strategy certifies optimality with a small\n"
+      "fraction of the C(m,2) potential rows; heterogeneous per-sink bounds\n"
+      "let the sound implication filter fire as well.\n");
+  return all_ok ? 0 : 1;
+}

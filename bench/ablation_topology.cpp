@@ -1,0 +1,108 @@
+// Ablation: topology generators and bound-aware refinement (the future
+// work named in the paper's conclusion).
+//
+// For each benchmark and skew regime, compares the LUBT cost obtained on
+// the portfolio baseline's topology, on each raw generator's topology, and
+// after the subtree-swap refinement pass — quantifying how much of the
+// final quality comes from the topology rather than the LP.
+
+#include <cstdio>
+
+#include "common.h"
+#include "topo/bipartition.h"
+#include "topo/mst.h"
+#include "topo/nn_merge.h"
+#include "topo/refine.h"
+
+namespace {
+
+using namespace lubt;
+using namespace lubt::bench;
+
+// Costs on a given topology at a skew budget: the bounded-skew recurrence
+// cost (the refiner's objective) and the LUBT LP cost for the recurrence's
+// achieved window.
+struct TopoCosts {
+  double heuristic = -1.0;
+  double lubt = -1.0;
+};
+
+TopoCosts CostsOn(const Topology& topo, const SinkSet& set, double bound) {
+  TopoCosts out;
+  auto assigned = BoundedSkewOnTopology(topo, set.sinks, set.source, bound);
+  if (!assigned.ok()) return out;
+  out.heuristic = assigned->cost;
+  EbfProblem prob;
+  prob.topo = &topo;
+  prob.sinks = set.sinks;
+  prob.source = set.source;
+  prob.bounds.assign(set.sinks.size(),
+                     DelayBounds{assigned->min_delay, assigned->max_delay});
+  const EbfSolveResult r = SolveEbf(prob);
+  if (r.ok()) out.lubt = r.cost;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("Ablation: topology generators + refinement\n");
+  std::printf("sink scale = %.2f (capped at 120 sinks for the refiner)\n",
+              scale);
+
+  TextTable table({"bench", "skew bound", "generator", "heur before",
+                   "heur after", "LUBT before", "LUBT after", "moves"});
+  bool all_ok = true;
+  for (const BenchmarkId id : {BenchmarkId::kPrim1, BenchmarkId::kR1}) {
+    const double cap = std::min(scale, 120.0 / BenchmarkSinkCount(id));
+    const SinkSet set = MakeBenchmark(id, cap);
+    const double radius = Radius(set.sinks, set.source);
+    for (const double bound_f : {0.05, 0.5, 4.0}) {
+      const double bound = bound_f * radius;
+      struct Generator {
+        const char* name;
+        Topology topo;
+      };
+      Generator generators[] = {
+          {"nn-merge", NnMergeTopology(set.sinks, set.source)},
+          {"bipartition", BipartitionTopology(set.sinks, set.source)},
+          {"mst", MstBinaryTopology(set.sinks, set.source)},
+      };
+      for (Generator& gen : generators) {
+        const TopoCosts before = CostsOn(gen.topo, set, bound);
+        RefineOptions ropt;
+        ropt.max_passes = 2;
+        ropt.partners_per_node = 6;
+        auto refined = RefineTopologyForBound(gen.topo, set.sinks,
+                                              set.source, bound, ropt);
+        if (before.heuristic < 0.0 || !refined.ok()) {
+          std::fprintf(stderr, "%s %s bound %.2f FAILED\n", set.name.c_str(),
+                       gen.name, bound_f);
+          all_ok = false;
+          continue;
+        }
+        const TopoCosts after = CostsOn(refined->topo, set, bound);
+        // The refiner's own objective must never get worse.
+        if (after.heuristic > before.heuristic * (1.0 + 1e-9)) {
+          std::fprintf(stderr, "refinement regressed its objective!\n");
+          all_ok = false;
+        }
+        table.AddRow({set.name, FormatDouble(bound_f, 2), gen.name,
+                      FormatCost(before.heuristic),
+                      FormatCost(after.heuristic), FormatCost(before.lubt),
+                      FormatCost(after.lubt),
+                      std::to_string(refined->moves_applied)});
+      }
+      table.AddSeparator();
+    }
+  }
+  EmitTable(table, "Topology ablation", "ablation_topology.csv");
+  std::printf(
+      "\nExpected: refinement never worsens its own objective (heur\n"
+      "columns); the best raw generator depends on the bound (balanced at\n"
+      "tight skew, MST-like at loose skew). The LUBT-after column can\n"
+      "occasionally regress because the refined topology changes the\n"
+      "achieved delay window the LP is asked to meet.\n");
+  return all_ok ? 0 : 1;
+}

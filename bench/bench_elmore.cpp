@@ -1,0 +1,109 @@
+// Extension bench (Section 7): EBF under the Elmore delay model via SLP.
+//
+// Sweeps the Elmore delay cap on a small clock net and reports wirelength
+// versus the cap — the Elmore analogue of the paper's trade-off curve —
+// plus a two-sided (bounded-skew style) window solve. Small instances only:
+// each SLP iteration materializes all Steiner rows.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "cts/elmore_delay.h"
+#include "ebf/elmore_slp.h"
+#include "topo/nn_merge.h"
+
+namespace {
+
+using namespace lubt;
+using namespace lubt::bench;
+
+}  // namespace
+
+int main() {
+  std::printf("Extension bench: Elmore-delay EBF (sequential LP)\n");
+
+  const SinkSet set = RandomSinkSet(16, BBox({0, 0}, {200, 200}), 99, true);
+  const Topology topo = NnMergeTopology(set.sinks, set.source);
+  ElmoreParams params;
+  params.unit_resistance = 1.0;
+  params.unit_capacitance = 1.0;
+  params.sink_load.assign(set.sinks.size(), 2.0);
+
+  // Reference: Elmore delays of the unconstrained Steiner optimum.
+  EbfProblem steiner;
+  steiner.topo = &topo;
+  steiner.sinks = set.sinks;
+  steiner.source = set.source;
+  steiner.bounds.assign(set.sinks.size(), DelayBounds{0.0, kLpInf});
+  EbfSolveOptions sopt;
+  sopt.lp.engine = LpEngine::kSimplex;
+  sopt.strategy = EbfStrategy::kFullRows;
+  const EbfSolveResult base = SolveEbf(steiner, sopt);
+  if (!base.ok()) {
+    std::fprintf(stderr, "steiner solve failed: %s\n",
+                 base.status.ToString().c_str());
+    return 1;
+  }
+  const auto base_delays = ElmoreSinkDelays(topo, base.edge_len, params);
+  const double dmax =
+      *std::max_element(base_delays.begin(), base_delays.end());
+  std::printf("unconstrained: wire %.1f, Elmore max %.1f\n", base.cost, dmax);
+
+  TextTable table({"bound type", "cap / window (x Dmax)", "wire", "Elmore min",
+                   "Elmore max", "iters", "status"});
+  bool all_ok = true;
+
+  // Series (a): upper cap sweep (convex case).
+  for (const double cap_f : {0.8, 0.6, 0.45, 0.3, 0.27, 0.24}) {
+    EbfProblem prob = steiner;
+    prob.bounds.assign(set.sinks.size(), DelayBounds{0.0, cap_f * dmax});
+    ElmoreSlpOptions opt;
+    opt.params = params;
+    opt.lp.engine = LpEngine::kSimplex;
+    const ElmoreSlpResult r = SolveElmoreSlp(prob, opt);
+    const double lo =
+        r.delays.empty() ? 0.0
+                         : *std::min_element(r.delays.begin(), r.delays.end());
+    const double hi =
+        r.delays.empty() ? 0.0
+                         : *std::max_element(r.delays.begin(), r.delays.end());
+    table.AddRow({"upper cap", FormatDouble(cap_f, 2), FormatCost(r.cost),
+                  FormatDouble(lo / dmax, 3), FormatDouble(hi / dmax, 3),
+                  std::to_string(r.iterations),
+                  r.ok() ? "ok" : StatusCodeName(r.status.code())});
+    if (!r.ok() && cap_f >= 0.45) all_ok = false;
+  }
+  table.AddSeparator();
+
+  // Series (b): two-sided windows (non-convex heuristic case).
+  for (const double lo_f : {1.1, 1.3}) {
+    EbfProblem prob = steiner;
+    prob.bounds.assign(set.sinks.size(),
+                       DelayBounds{lo_f * dmax, (lo_f + 0.4) * dmax});
+    ElmoreSlpOptions opt;
+    opt.params = params;
+    opt.lp.engine = LpEngine::kSimplex;
+    const ElmoreSlpResult r = SolveElmoreSlp(prob, opt);
+    const double lo =
+        r.delays.empty() ? 0.0
+                         : *std::min_element(r.delays.begin(), r.delays.end());
+    const double hi =
+        r.delays.empty() ? 0.0
+                         : *std::max_element(r.delays.begin(), r.delays.end());
+    table.AddRow({"window",
+                  FormatDouble(lo_f, 2) + "-" + FormatDouble(lo_f + 0.4, 2),
+                  FormatCost(r.cost), FormatDouble(lo / dmax, 3),
+                  FormatDouble(hi / dmax, 3), std::to_string(r.iterations),
+                  r.ok() ? "ok" : StatusCodeName(r.status.code())});
+    if (!r.ok()) all_ok = false;
+  }
+
+  EmitTable(table, "Elmore-delay EBF extension", "bench_elmore.csv");
+  std::printf(
+      "\nExpected: snaking freedom lets moderate caps be absorbed at\n"
+      "constant wire by redistributing lengths; caps near the geometric\n"
+      "floor force extra wire or become infeasible. Two-sided windows are\n"
+      "met heuristically (Section 7's non-convex case).\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,150 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench honours LUBT_BENCH_SCALE in (0, 1]: the fraction of each
+// benchmark's sinks to keep. The default 0.35 keeps every table under a few
+// minutes on a laptop while preserving the shapes; set LUBT_BENCH_SCALE=1
+// for the paper's full cardinalities (prim2/r3 then take tens of minutes
+// because each row is a fresh LP over up to ~1700 edges).
+
+#ifndef LUBT_BENCH_COMMON_H_
+#define LUBT_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cts/bounded_skew_dme.h"
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "embed/placer.h"
+#include "embed/verifier.h"
+#include "io/benchmarks.h"
+#include "io/csv.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace lubt::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("LUBT_BENCH_SCALE");
+  if (env == nullptr) return 0.35;
+  const double v = std::atof(env);
+  if (v <= 0.0 || v > 1.0) {
+    std::fprintf(stderr, "ignoring invalid LUBT_BENCH_SCALE=%s\n", env);
+    return 0.35;
+  }
+  return v;
+}
+
+/// Result of one baseline + LUBT run.
+struct RowResult {
+  Status status;
+  double base_cost = 0.0;
+  double lubt_cost = 0.0;
+  double shortest = 0.0;       ///< achieved, normalized to the radius
+  double longest = 0.0;        ///< achieved, normalized to the radius
+  double lubt_seconds = 0.0;
+  int lp_rows = 0;
+  std::string generator;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// The paper's Table-1 flow: build the bounded-skew baseline, extract its
+/// achieved [shortest, longest] window, re-solve with EBF on the same
+/// topology, verify the embedding.
+inline RowResult RunBaselineThenLubt(const SinkSet& set, double bound_factor) {
+  RowResult out;
+  const double radius = Radius(set.sinks, set.source);
+  auto base =
+      BuildBoundedSkewTree(set.sinks, set.source, bound_factor * radius);
+  if (!base.ok()) {
+    out.status = base.status();
+    return out;
+  }
+  out.base_cost = base->cost;
+  out.shortest = base->min_delay / radius;
+  out.longest = base->max_delay / radius;
+  out.generator = base->generator;
+
+  EbfProblem prob;
+  prob.topo = &base->topo;
+  prob.sinks = set.sinks;
+  prob.source = set.source;
+  prob.bounds.assign(set.sinks.size(),
+                     DelayBounds{base->min_delay, base->max_delay});
+  Timer timer;
+  const EbfSolveResult lubt = SolveEbf(prob);
+  out.lubt_seconds = timer.Seconds();
+  if (!lubt.ok()) {
+    out.status = lubt.status;
+    return out;
+  }
+  out.lubt_cost = lubt.cost;
+  out.lp_rows = lubt.lp_rows;
+
+  auto embedding =
+      EmbedTree(base->topo, set.sinks, set.source, lubt.edge_len);
+  if (!embedding.ok()) {
+    out.status = embedding.status();
+    return out;
+  }
+  const auto report =
+      VerifyEmbedding(base->topo, set.sinks, set.source, lubt.edge_len,
+                      embedding->location, prob.bounds);
+  out.status = report.status;
+  return out;
+}
+
+/// Solve a LUBT instance with window [lo_f, hi_f] (radius units) on the
+/// topology of a baseline built at the given skew bound factor.
+inline RowResult RunWindowOnBaselineTopo(const SinkSet& set,
+                                         double topo_bound_factor,
+                                         double lo_f, double hi_f) {
+  RowResult out;
+  const double radius = Radius(set.sinks, set.source);
+  auto base = BuildBoundedSkewTree(set.sinks, set.source,
+                                   topo_bound_factor * radius);
+  if (!base.ok()) {
+    out.status = base.status();
+    return out;
+  }
+  out.base_cost = base->cost;
+  out.generator = base->generator;
+
+  EbfProblem prob;
+  prob.topo = &base->topo;
+  prob.sinks = set.sinks;
+  prob.source = set.source;
+  prob.bounds.assign(set.sinks.size(),
+                     DelayBounds{lo_f * radius, hi_f * radius});
+  Timer timer;
+  const EbfSolveResult lubt = SolveEbf(prob);
+  out.lubt_seconds = timer.Seconds();
+  if (!lubt.ok()) {
+    out.status = lubt.status;
+    return out;
+  }
+  out.lubt_cost = lubt.cost;
+  out.lp_rows = lubt.lp_rows;
+  out.shortest = lubt.stats.min_delay / radius;
+  out.longest = lubt.stats.max_delay / radius;
+  out.status = Status::Ok();
+  return out;
+}
+
+/// Print the table and also drop a CSV next to the binary's cwd.
+inline void EmitTable(const TextTable& table, const std::string& title,
+                      const std::string& csv_name) {
+  std::printf("\n=== %s ===\n%s", title.c_str(), table.ToString().c_str());
+  const Status csv = WriteCsv(table, csv_name);
+  if (csv.ok()) {
+    std::printf("(rows also written to %s)\n", csv_name.c_str());
+  } else {
+    std::fprintf(stderr, "CSV write failed: %s\n", csv.ToString().c_str());
+  }
+}
+
+}  // namespace lubt::bench
+
+#endif  // LUBT_BENCH_COMMON_H_

@@ -1,0 +1,86 @@
+// Microbenchmarks for the geometry kernel (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "geom/segment.h"
+#include "geom/trr.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+std::vector<Trr> RandomSquares(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Trr> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Trr::Square({rng.Uniform(-100, 100), rng.Uniform(-100, 100)},
+                              rng.Uniform(0.1, 30.0)));
+  }
+  return out;
+}
+
+void BM_TrrIntersect(benchmark::State& state) {
+  const auto squares = RandomSquares(1024, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Trr r = Intersect(squares[i % 1024], squares[(i + 7) % 1024]);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_TrrIntersect);
+
+void BM_TrrInflate(benchmark::State& state) {
+  const auto squares = RandomSquares(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Trr r = squares[i % 1024].Inflate(3.5);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_TrrInflate);
+
+void BM_TrrDist(benchmark::State& state) {
+  const auto squares = RandomSquares(1024, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TrrDist(squares[i % 1024], squares[(i + 13) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TrrDist);
+
+void BM_IntersectAll(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  // Pairwise-intersecting family: all contain the origin.
+  Rng rng(4);
+  std::vector<Trr> squares;
+  for (int i = 0; i < n; ++i) {
+    const Point c{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    squares.push_back(Trr::Square(c, 10.0 + ManhattanDist(c, {0, 0})));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectAll(squares));
+  }
+}
+BENCHMARK(BM_IntersectAll)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SnakedRoute(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    const Point a{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    const Point b{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    benchmark::DoNotOptimize(SnakedRoute(a, b, 12.0, 2.0));
+  }
+}
+BENCHMARK(BM_SnakedRoute);
+
+}  // namespace
+}  // namespace lubt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Reproduces Table 2: same skew budget, shifted [lower, upper] windows.
+//
+// For prim1 and prim2 at skew bounds 0.3 and 0.5 (radius units), the LUBT
+// window slides while its width stays equal to the bound. The starred row of
+// the paper — the window the baseline itself achieved — is included by
+// running the baseline first and reusing its achieved window. The paper's
+// observation to reproduce: for the same skew, the longest delay can be
+// reduced with little change in tree cost.
+
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+using namespace lubt;
+using namespace lubt::bench;
+
+}  // namespace
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("Table 2 reproduction (window shift at fixed skew)\n");
+  std::printf("sink scale = %.2f\n", scale);
+
+  struct Config {
+    BenchmarkId id;
+    double skew;
+    double lows[3];  // windows [lo, lo + skew]; the starred row is added
+  };
+  const Config configs[] = {
+      {BenchmarkId::kPrim1, 0.3, {0.70, 0.80, 0.95}},
+      {BenchmarkId::kPrim1, 0.5, {0.50, 0.60, 0.75}},
+      {BenchmarkId::kPrim2, 0.3, {0.70, 0.80, 0.95}},
+      {BenchmarkId::kPrim2, 0.5, {0.50, 0.60, 0.75}},
+  };
+
+  TextTable table({"bench", "skew bound", "lower bound", "upper bound",
+                   "tree cost", "note"});
+  bool all_ok = true;
+  for (const Config& cfg : configs) {
+    const SinkSet set = MakeBenchmark(cfg.id, scale);
+    const double radius = Radius(set.sinks, set.source);
+    auto base =
+        BuildBoundedSkewTree(set.sinks, set.source, cfg.skew * radius);
+    if (!base.ok()) {
+      std::fprintf(stderr, "baseline failed: %s\n",
+                   base.status().ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+    const double starred_lo = base->min_delay / radius;
+
+    // Window list: three fixed windows plus the baseline's own (starred).
+    struct Window {
+      double lo;
+      bool starred;
+    };
+    std::vector<Window> windows;
+    for (const double lo : cfg.lows) windows.push_back({lo, false});
+    windows.push_back({starred_lo, true});
+    std::sort(windows.begin(), windows.end(),
+              [](const Window& a, const Window& b) { return a.lo < b.lo; });
+
+    for (const Window& w : windows) {
+      // Keep the same topology for the whole block, like the paper.
+      EbfProblem prob;
+      prob.topo = &base->topo;
+      prob.sinks = set.sinks;
+      prob.source = set.source;
+      prob.bounds.assign(
+          set.sinks.size(),
+          DelayBounds{w.lo * radius, (w.lo + cfg.skew) * radius});
+      const EbfSolveResult lubt = SolveEbf(prob);
+      if (!lubt.ok()) {
+        std::fprintf(stderr, "%s window [%0.2f, %0.2f] FAILED: %s\n",
+                     set.name.c_str(), w.lo, w.lo + cfg.skew,
+                     lubt.status.ToString().c_str());
+        all_ok = false;
+        continue;
+      }
+      table.AddRow({set.name, FormatDouble(cfg.skew, 1),
+                    (w.starred ? "*" : "") + FormatDouble(w.lo, 2),
+                    (w.starred ? "*" : "") + FormatDouble(w.lo + cfg.skew, 2),
+                    FormatCost(lubt.cost),
+                    w.starred ? "baseline window" : ""});
+    }
+    table.AddSeparator();
+  }
+  EmitTable(table, "Table 2: LUBT cost for the same skew, shifted windows",
+            "table2_window_shift.csv");
+  std::printf(
+      "\nShape check (paper): within each block the cost varies only\n"
+      "mildly, so the longest delay can be cut almost for free.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Weighted-edge objective (Section 7, "Different weights on edges"):
+// budgeting wire on premium routing resources.
+//
+// Clock trunks are often routed on thick low-resistance top metal that is
+// scarce; leaf wiring uses cheap lower layers. Modelling this as per-edge
+// objective weights (premium edges cost w > 1 per unit length), the LP
+// shifts assigned length — in particular the elongation slack that a
+// [l, u] window requires — from premium edges to cheap ones. The example
+// measures exactly that: total assigned length on premium edges with and
+// without weighting, at identical delay windows.
+//
+// Usage: ./examples/premium_metal
+
+#include <cstdio>
+#include <vector>
+
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "io/benchmarks.h"
+#include "topo/nn_merge.h"
+#include "topo/path_query.h"
+
+using namespace lubt;
+
+int main() {
+  const SinkSet set = RandomSinkSet(60, BBox({0, 0}, {1000, 1000}), 4242,
+                                    /*with_source=*/true);
+  const double radius = Radius(set.sinks, set.source);
+  const Topology topo = NnMergeTopology(set.sinks, set.source);
+
+  // Premium edges: the trunk — everything within 3 levels of the root.
+  PathQuery paths(topo);
+  std::vector<bool> premium(static_cast<std::size_t>(topo.NumNodes()), false);
+  int premium_count = 0;
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    if (v != topo.Root() && paths.Depth(v) <= 3) {
+      premium[static_cast<std::size_t>(v)] = true;
+      ++premium_count;
+    }
+  }
+  std::printf("60-sink clock net; %d trunk edges on premium metal\n",
+              premium_count);
+
+  auto run = [&](double premium_weight, const char* name, double* premium_len,
+                 double* total_len) -> bool {
+    EbfProblem problem;
+    problem.topo = &topo;
+    problem.sinks = set.sinks;
+    problem.source = set.source;
+    problem.bounds.assign(set.sinks.size(),
+                          DelayBounds{1.05 * radius, 1.30 * radius});
+    if (premium_weight != 1.0) {
+      problem.edge_weight.assign(static_cast<std::size_t>(topo.NumNodes()),
+                                 1.0);
+      for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+        if (premium[static_cast<std::size_t>(v)]) {
+          problem.edge_weight[static_cast<std::size_t>(v)] = premium_weight;
+        }
+      }
+    }
+    const EbfSolveResult solved = SolveEbf(problem);
+    if (!solved.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   solved.status.ToString().c_str());
+      return false;
+    }
+    double on_premium = 0.0;
+    for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+      if (premium[static_cast<std::size_t>(v)]) {
+        on_premium += solved.edge_len[static_cast<std::size_t>(v)];
+      }
+    }
+    std::printf("%-22s total %9.1f, premium-metal %8.1f (%.1f%%), "
+                "skew window met: [%.3f, %.3f] x R\n",
+                name, solved.cost, on_premium,
+                100.0 * on_premium / solved.cost,
+                solved.stats.min_delay / radius,
+                solved.stats.max_delay / radius);
+    *premium_len = on_premium;
+    *total_len = solved.cost;
+    return true;
+  };
+
+  double plain_premium = 0.0;
+  double plain_total = 0.0;
+  double weighted_premium = 0.0;
+  double weighted_total = 0.0;
+  if (!run(1.0, "uniform weights", &plain_premium, &plain_total)) return 1;
+  if (!run(5.0, "premium weight 5x", &weighted_premium, &weighted_total)) {
+    return 1;
+  }
+
+  std::printf("\npremium metal saved: %.1f (%.1f%%), total wire grew %.1f "
+              "(%.1f%%)\n",
+              plain_premium - weighted_premium,
+              100.0 * (plain_premium - weighted_premium) / plain_premium,
+              weighted_total - plain_total,
+              100.0 * (weighted_total - plain_total) / plain_total);
+  // The weighted LP can only reduce (or keep) the weighted objective, so
+  // given the same windows, premium usage must not grow.
+  return weighted_premium <= plain_premium * (1.0 + 1e-9) ? 0 : 1;
+}

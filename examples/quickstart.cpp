@@ -1,0 +1,91 @@
+// Quickstart: the whole LUBT pipeline on a ten-sink instance.
+//
+//   1. describe sinks and a clock source,
+//   2. generate a topology (every sink a leaf),
+//   3. pick per-sink delay windows,
+//   4. solve the EBF linear program for optimal edge lengths,
+//   5. embed the tree in the plane (Theorem 4.1 guarantees this succeeds),
+//   6. verify and print the result.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cstdio>
+
+#include "cts/linear_delay.h"
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "embed/placer.h"
+#include "embed/verifier.h"
+#include "embed/wire_realizer.h"
+#include "topo/nn_merge.h"
+
+using namespace lubt;
+
+int main() {
+  // 1. The instance: ten flip-flop clock pins and a clock source.
+  const std::vector<Point> sinks = {
+      {12, 80}, {25, 15}, {30, 62}, {45, 92}, {51, 33},
+      {60, 74}, {72, 10}, {80, 50}, {88, 85}, {95, 25},
+  };
+  const Point source{50, 50};
+  const double radius = Radius(sinks, source);
+  std::printf("instance: %zu sinks, radius (source->farthest) = %.1f\n",
+              sinks.size(), radius);
+
+  // 2. Topology: nearest-neighbour merge; every sink is a leaf, so a
+  //    solution exists for ANY bounds satisfying u_i >= dist(source, sink)
+  //    (Lemma 3.1).
+  const Topology topo = NnMergeTopology(sinks, source);
+
+  // 3. Delay windows: a tolerable-skew clock — every sink's delay must land
+  //    in [1.05, 1.20] x radius, i.e. skew budget 0.15 x radius with a hard
+  //    latency cap.
+  EbfProblem problem;
+  problem.topo = &topo;
+  problem.sinks = sinks;
+  problem.source = source;
+  problem.bounds.assign(sinks.size(),
+                        DelayBounds{1.05 * radius, 1.20 * radius});
+
+  // 4. Solve the LP.
+  const EbfSolveResult solved = SolveEbf(problem);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solved.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("LP solved: wirelength = %.2f (rows=%d, %.3fs)\n", solved.cost,
+              solved.lp_rows, solved.seconds);
+
+  // 5. Embed.
+  const auto embedding = EmbedTree(topo, sinks, source, solved.edge_len);
+  if (!embedding.ok()) {
+    std::fprintf(stderr, "embedding failed: %s\n",
+                 embedding.status().ToString().c_str());
+    return 1;
+  }
+
+  // 6. Verify and report.
+  const VerificationReport report =
+      VerifyEmbedding(topo, sinks, source, solved.edge_len,
+                      embedding->location, problem.bounds);
+  std::printf("verification: %s\n", report.status.ToString().c_str());
+  std::printf("  total wirelength  %.2f\n", report.total_wirelength);
+  std::printf("  physical routing  %.2f\n", report.total_physical);
+  std::printf("  snaking slack     %.2f\n", report.total_slack);
+
+  const std::vector<double> delays = LinearSinkDelays(topo, solved.edge_len);
+  std::printf("sink delays (radius units):");
+  for (const double d : delays) std::printf(" %.3f", d / radius);
+  std::printf("\n");
+
+  const auto wires =
+      RealizeWires(topo, solved.edge_len, embedding->location);
+  int snaked = 0;
+  for (const auto& w : wires) {
+    if (w.snake_length > 1e-9) ++snaked;
+  }
+  std::printf("%zu wires realized, %d with serpentine elongation\n",
+              wires.size(), snaked);
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Bounded-skew clock tree construction (the paper's comparator [9]).
+//
+// Huang-Kahng-Tsao's BST/DME code is not available, so this module provides
+// the substitute documented in DESIGN.md: a bottom-up merging-region DME in
+// which every cluster carries
+//
+//   * a TRR merging region (exactly the DME construction),
+//   * the exact interval [dmin, dmax] of its subtree's sink delays measured
+//     from the cluster's top (delays are sums of *assigned* edge lengths, so
+//     the interval is exact under the linear model with snaking),
+//
+// and every merge picks edge lengths (e_a, e_b) that minimize added wire
+// subject to keeping the merged delay spread within the skew bound; wire is
+// elongated only when a plain distance-split cannot meet the bound. The
+// invariant "cluster spread <= bound" makes every merge feasible.
+//
+// Special cases: bound 0 reduces to the Boese-Kahng zero-skew DME [7];
+// bound infinity reduces to a greedy nearest-neighbour Steiner heuristic.
+// For tight positive bounds the construction is suboptimal in cost exactly
+// like [9] (it cannot revisit earlier merges), which is what the paper's
+// Table 1 exploits: re-solving the same topology with EBF at the achieved
+// [shortest, longest] delays can only reduce cost.
+
+#ifndef LUBT_CTS_BOUNDED_SKEW_DME_H_
+#define LUBT_CTS_BOUNDED_SKEW_DME_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "topo/topology.h"
+#include "util/status.h"
+
+namespace lubt {
+
+/// Output of the baseline builder.
+struct BoundedSkewTree {
+  Topology topo;                 ///< full binary, every sink a leaf
+  std::vector<double> edge_len;  ///< assigned lengths, indexed by node id
+  double cost = 0.0;             ///< sum of assigned lengths
+  double min_delay = 0.0;        ///< shortest source-sink delay
+  double max_delay = 0.0;        ///< longest source-sink delay
+  std::vector<double> sink_delay;  ///< per sink index
+  std::string generator;         ///< which portfolio candidate won
+};
+
+/// Apply the bounded-skew merge recurrence bottom-up on a *fixed* topology
+/// (binary, every sink a leaf): assigns edge lengths keeping every subtree's
+/// delay spread within the bound, elongating only where forced. Always
+/// feasible (the spread invariant is maintained at every node).
+Result<BoundedSkewTree> BoundedSkewOnTopology(
+    const Topology& topo, std::span<const Point> sinks,
+    const std::optional<Point>& source, double skew_bound);
+
+/// Build a bounded-skew tree from a *known embedding*: every edge gets its
+/// physical child-parent distance, then each sink whose delay falls more
+/// than `skew_bound` below the maximum has its leaf edge padded (snaked)
+/// up to max_delay - skew_bound. Always feasible; cheap when the bound is
+/// loose, expensive when tight.
+Result<BoundedSkewTree> PadEmbeddingToSkewBound(
+    const Topology& topo, std::span<const Point> sinks,
+    const std::optional<Point>& source, std::span<const Point> node_loc,
+    double skew_bound);
+
+/// Build a bounded-skew tree over `sinks` with the given absolute skew
+/// bound (use kLpInf-like large values for "unbounded"; 0 for zero skew).
+/// With `source`, the root is the fixed source; otherwise the tree is
+/// source-free and delays are measured from the top merge node.
+///
+/// Portfolio construction, mirroring [9]'s skew-adaptive topology
+/// generation: a merge-order search (strong when the bound is tight) and a
+/// padded MST-derived embedding (strong when the bound is loose) are both
+/// built and the cheaper tree returned.
+Result<BoundedSkewTree> BuildBoundedSkewTree(
+    std::span<const Point> sinks, const std::optional<Point>& source,
+    double skew_bound);
+
+}  // namespace lubt
+
+#endif  // LUBT_CTS_BOUNDED_SKEW_DME_H_

@@ -1,0 +1,53 @@
+#include "cts/elmore_delay.h"
+
+namespace lubt {
+
+std::vector<double> SubtreeCapacitances(const Topology& topo,
+                                        std::span<const double> edge_len,
+                                        const ElmoreParams& params) {
+  LUBT_ASSERT(edge_len.size() == static_cast<std::size_t>(topo.NumNodes()));
+  std::vector<double> cap(static_cast<std::size_t>(topo.NumNodes()), 0.0);
+  for (const NodeId v : topo.PostOrder()) {
+    double c = 0.0;
+    if (topo.IsSinkNode(v)) {
+      c += params.LoadOf(topo.SinkIndex(v));
+    }
+    const TopoNode& node = topo.Node(v);
+    // Children contribute their subtree cap plus their own edge wire cap.
+    for (const NodeId child : {node.left, node.right}) {
+      if (child == kInvalidNode) continue;
+      c += cap[static_cast<std::size_t>(child)] +
+           params.unit_capacitance * edge_len[static_cast<std::size_t>(child)];
+    }
+    cap[static_cast<std::size_t>(v)] = c;
+  }
+  return cap;
+}
+
+std::vector<double> ElmoreSinkDelays(const Topology& topo,
+                                     std::span<const double> edge_len,
+                                     const ElmoreParams& params) {
+  const std::vector<double> cap = SubtreeCapacitances(topo, edge_len, params);
+  std::vector<double> node_delay(static_cast<std::size_t>(topo.NumNodes()),
+                                 0.0);
+  std::vector<double> delays(static_cast<std::size_t>(topo.NumSinkNodes()),
+                             0.0);
+  for (const NodeId v : topo.PreOrder()) {
+    const NodeId p = topo.Parent(v);
+    if (p != kInvalidNode) {
+      const double e = edge_len[static_cast<std::size_t>(v)];
+      const double stage =
+          params.unit_resistance * e *
+          (0.5 * params.unit_capacitance * e + cap[static_cast<std::size_t>(v)]);
+      node_delay[static_cast<std::size_t>(v)] =
+          node_delay[static_cast<std::size_t>(p)] + stage;
+    }
+    if (topo.IsSinkNode(v)) {
+      delays[static_cast<std::size_t>(topo.SinkIndex(v))] =
+          node_delay[static_cast<std::size_t>(v)];
+    }
+  }
+  return delays;
+}
+
+}  // namespace lubt

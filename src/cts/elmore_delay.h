@@ -1,0 +1,46 @@
+// Elmore delay model (Section 7, Equation 12).
+//
+// delay(s_j) = sum over path(s_0, s_j) of  r_w * e_k * (c_w * e_k / 2 + C_k)
+//
+// where C_k is the total capacitance of the subtree hanging below edge k
+// (edge capacitance c_w * length plus sink load capacitances). The model is
+// quadratic in the edge lengths; the EBF extension linearizes it (see
+// ebf/elmore_slp.h).
+
+#ifndef LUBT_CTS_ELMORE_DELAY_H_
+#define LUBT_CTS_ELMORE_DELAY_H_
+
+#include <span>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Electrical parameters of the routing layer and sink loads.
+struct ElmoreParams {
+  double unit_resistance = 1.0;   ///< r_w per unit length
+  double unit_capacitance = 1.0;  ///< c_w per unit length
+  /// Load capacitance per sink (indexed by sink index); empty = all zero.
+  std::vector<double> sink_load;
+
+  double LoadOf(std::int32_t sink) const {
+    if (sink_load.empty()) return 0.0;
+    return sink_load[static_cast<std::size_t>(sink)];
+  }
+};
+
+/// Downstream capacitance C_v of every node's subtree (self edge excluded),
+/// indexed by node id.
+std::vector<double> SubtreeCapacitances(const Topology& topo,
+                                        std::span<const double> edge_len,
+                                        const ElmoreParams& params);
+
+/// Elmore delay of every sink (indexed by sink index).
+std::vector<double> ElmoreSinkDelays(const Topology& topo,
+                                     std::span<const double> edge_len,
+                                     const ElmoreParams& params);
+
+}  // namespace lubt
+
+#endif  // LUBT_CTS_ELMORE_DELAY_H_

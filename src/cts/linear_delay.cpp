@@ -1,0 +1,26 @@
+#include "cts/linear_delay.h"
+
+namespace lubt {
+
+std::vector<double> LinearSinkDelays(const Topology& topo,
+                                     std::span<const double> edge_len) {
+  LUBT_ASSERT(edge_len.size() == static_cast<std::size_t>(topo.NumNodes()));
+  std::vector<double> root_dist(static_cast<std::size_t>(topo.NumNodes()), 0.0);
+  std::vector<double> delays(static_cast<std::size_t>(topo.NumSinkNodes()),
+                             0.0);
+  for (const NodeId v : topo.PreOrder()) {
+    const NodeId p = topo.Parent(v);
+    if (p != kInvalidNode) {
+      root_dist[static_cast<std::size_t>(v)] =
+          root_dist[static_cast<std::size_t>(p)] +
+          edge_len[static_cast<std::size_t>(v)];
+    }
+    if (topo.IsSinkNode(v)) {
+      delays[static_cast<std::size_t>(topo.SinkIndex(v))] =
+          root_dist[static_cast<std::size_t>(v)];
+    }
+  }
+  return delays;
+}
+
+}  // namespace lubt

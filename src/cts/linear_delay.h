@@ -1,0 +1,25 @@
+// Linear delay model (Section 2, Equation 1).
+//
+// Under the linear model the source-sink delay is simply the total wire
+// length of the source-sink path; with wire snaking allowed, the delay of a
+// sink is the sum of the *assigned* edge lengths on its path, independent of
+// where the embedder places the Steiner points.
+
+#ifndef LUBT_CTS_LINEAR_DELAY_H_
+#define LUBT_CTS_LINEAR_DELAY_H_
+
+#include <span>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Delay of every sink (indexed by sink index, size = NumSinkNodes())
+/// for the given per-node edge lengths.
+std::vector<double> LinearSinkDelays(const Topology& topo,
+                                     std::span<const double> edge_len);
+
+}  // namespace lubt
+
+#endif  // LUBT_CTS_LINEAR_DELAY_H_

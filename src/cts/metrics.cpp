@@ -1,0 +1,44 @@
+#include "cts/metrics.h"
+
+#include <algorithm>
+
+#include "cts/linear_delay.h"
+
+namespace lubt {
+
+TreeStats ComputeTreeStats(const Topology& topo,
+                           std::span<const double> edge_len) {
+  TreeStats stats;
+  for (const NodeId v : topo.PreOrder()) {
+    if (topo.Parent(v) != kInvalidNode) {
+      stats.cost += edge_len[static_cast<std::size_t>(v)];
+    }
+  }
+  const std::vector<double> delays = LinearSinkDelays(topo, edge_len);
+  LUBT_ASSERT(!delays.empty());
+  const auto [mn, mx] = std::minmax_element(delays.begin(), delays.end());
+  stats.min_delay = *mn;
+  stats.max_delay = *mx;
+  return stats;
+}
+
+double Radius(std::span<const Point> sinks,
+              const std::optional<Point>& source) {
+  LUBT_ASSERT(!sinks.empty());
+  if (source.has_value()) {
+    double r = 0.0;
+    for (const Point& s : sinks) {
+      r = std::max(r, ManhattanDist(*source, s));
+    }
+    return r;
+  }
+  double diameter = 0.0;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    for (std::size_t j = i + 1; j < sinks.size(); ++j) {
+      diameter = std::max(diameter, ManhattanDist(sinks[i], sinks[j]));
+    }
+  }
+  return diameter * 0.5;
+}
+
+}  // namespace lubt

@@ -1,0 +1,34 @@
+// Tree quality metrics shared by benches, tests and examples.
+
+#ifndef LUBT_CTS_METRICS_H_
+#define LUBT_CTS_METRICS_H_
+
+#include <optional>
+#include <span>
+
+#include "geom/point.h"
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Summary of one routed tree under the linear delay model.
+struct TreeStats {
+  double cost = 0.0;       ///< sum of assigned edge lengths
+  double min_delay = 0.0;  ///< shortest source-sink delay
+  double max_delay = 0.0;  ///< longest source-sink delay
+
+  double Skew() const { return max_delay - min_delay; }
+};
+
+/// Compute cost and delay extremes from assigned edge lengths.
+TreeStats ComputeTreeStats(const Topology& topo,
+                           std::span<const double> edge_len);
+
+/// The paper's radius: distance from the source to the farthest sink when
+/// the source is given, half the sink-set diameter otherwise (Section 2).
+/// The diameter of one sink is 0.
+double Radius(std::span<const Point> sinks, const std::optional<Point>& source);
+
+}  // namespace lubt
+
+#endif  // LUBT_CTS_METRICS_H_

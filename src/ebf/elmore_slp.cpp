@@ -1,0 +1,263 @@
+#include "ebf/elmore_slp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "topo/path_query.h"
+#include "util/logging.h"
+
+namespace lubt {
+namespace {
+
+// Relative violation of [lo, hi] by delay d.
+double BoundViolation(double d, const DelayBounds& b, double scale) {
+  double v = 0.0;
+  if (d < b.lo) v = (b.lo - d) / scale;
+  if (std::isfinite(b.hi) && d > b.hi) v = std::max(v, (d - b.hi) / scale);
+  return v;
+}
+
+}  // namespace
+
+ElmoreSlpResult SolveElmoreSlp(const EbfProblem& problem,
+                               const ElmoreSlpOptions& options) {
+  ElmoreSlpResult out;
+  const Status valid = ValidateEbfProblem(problem);
+  if (!valid.ok()) {
+    out.status = valid;
+    return out;
+  }
+  const Topology& topo = *problem.topo;
+  const double radius = std::max(Radius(problem.sinks, problem.source), 1e-12);
+  // Natural Elmore magnitude for violation normalization.
+  const double delay_scale = std::max(
+      options.params.unit_resistance * options.params.unit_capacitance *
+          radius * radius,
+      1e-12);
+
+  // Starting point: unconstrained (Steiner-only) EBF optimum.
+  EbfProblem relaxed = problem;
+  relaxed.bounds.assign(problem.sinks.size(), DelayBounds{0.0, kLpInf});
+  EbfSolveOptions start_opts;
+  start_opts.lp = options.lp;
+  start_opts.strategy = EbfStrategy::kFullRows;
+  EbfSolveResult start = SolveEbf(relaxed, start_opts);
+  if (!start.ok()) {
+    out.status = start.status;
+    return out;
+  }
+  std::vector<double> cur = start.edge_len;  // node-id indexed, layout units
+
+  const EdgeIndexer indexer(topo);
+  const PathQuery paths(topo);
+  const int n = indexer.NumEdges();
+  const NodeId root = topo.Root();
+
+  // Sink leaf per sink index.
+  std::vector<NodeId> sink_node(problem.sinks.size(), kInvalidNode);
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    if (topo.IsSinkNode(v)) {
+      sink_node[static_cast<std::size_t>(topo.SinkIndex(v))] = v;
+    }
+  }
+
+  double best_violation = kLpInf;
+  double best_cost = kLpInf;
+  std::vector<double> best = cur;
+
+  double trust = options.initial_trust * radius;
+  const double rw = options.params.unit_resistance;
+  const double cw = options.params.unit_capacitance;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    const std::vector<double> cap =
+        SubtreeCapacitances(topo, cur, options.params);
+    const std::vector<double> delays =
+        ElmoreSinkDelays(topo, cur, options.params);
+    const std::vector<double> root_dist = paths.RootDistances(cur);
+
+    // Track the incumbent.
+    double violation = 0.0;
+    for (std::size_t s = 0; s < problem.sinks.size(); ++s) {
+      violation = std::max(
+          violation, BoundViolation(delays[s], problem.bounds[s], delay_scale));
+    }
+    double cost = 0.0;
+    for (const double e : cur) cost += e;
+    const bool feasible = violation <= options.tolerance;
+    const bool best_feasible = best_violation <= options.tolerance;
+    if ((feasible && (!best_feasible || cost < best_cost)) ||
+        (!best_feasible && violation < best_violation)) {
+      best = cur;
+      best_violation = violation;
+      best_cost = cost;
+    }
+    LUBT_LOG_DEBUG << "slp iter=" << iter << " cost=" << cost
+                   << " violation=" << violation << " trust=" << trust;
+
+    // Build the LP around `cur` in radius-normalized variables.
+    LpModel model(n);
+    for (int col = 0; col < n; ++col) {
+      const NodeId v = indexer.NodeOf(col);
+      const double w = problem.edge_weight.empty()
+                           ? 1.0
+                           : problem.edge_weight[static_cast<std::size_t>(v)];
+      model.SetObjective(col, w);
+    }
+    // Exact Steiner rows for all sink pairs.
+    for (std::size_t i = 0; i < problem.sinks.size(); ++i) {
+      for (std::size_t j = i + 1; j < problem.sinks.size(); ++j) {
+        const double dist =
+            ManhattanDist(problem.sinks[i], problem.sinks[j]);
+        if (dist <= 0.0) continue;
+        SparseRow row;
+        for (const NodeId v :
+             paths.PathEdges(sink_node[i], sink_node[j])) {
+          row.index.push_back(indexer.ColOf(v));
+        }
+        std::sort(row.index.begin(), row.index.end());
+        row.value.assign(row.index.size(), 1.0);
+        row.lo = dist / radius;
+        model.AddRow(std::move(row));
+      }
+    }
+    // Fixed-source Steiner rows (source to each sink).
+    if (problem.source.has_value()) {
+      for (std::size_t s = 0; s < problem.sinks.size(); ++s) {
+        SparseRow row;
+        for (const NodeId v : paths.PathEdges(sink_node[s], root)) {
+          row.index.push_back(indexer.ColOf(v));
+        }
+        std::sort(row.index.begin(), row.index.end());
+        row.value.assign(row.index.size(), 1.0);
+        row.lo = ManhattanDist(*problem.source, problem.sinks[s]) / radius;
+        model.AddRow(std::move(row));
+      }
+    }
+    // Zero-length pinned edges.
+    for (const NodeId v : problem.zero_length_edges) {
+      const std::int32_t col = indexer.ColOf(v);
+      const double one = 1.0;
+      model.AddRow(std::span<const std::int32_t>(&col, 1),
+                   std::span<const double>(&one, 1), -kLpInf, 0.0);
+    }
+    // Linearized Elmore delay rows:
+    //   dD_j/de_a = rw*cw*rootdist(lca(a,j))            for a off the path,
+    //   dD_j/de_a = rw*cw*(rootdist(a)-e_a)
+    //               + rw*(cw*e_a + C_a)                  for a on the path.
+    for (std::size_t s = 0; s < problem.sinks.size(); ++s) {
+      const NodeId leaf = sink_node[s];
+      SparseRow row;
+      double g_dot_e0 = 0.0;
+      double max_coef = 0.0;
+      std::vector<double> grad(static_cast<std::size_t>(n), 0.0);
+      for (int col = 0; col < n; ++col) {
+        const NodeId a = indexer.NodeOf(col);
+        const NodeId anc = paths.Lca(a, leaf);
+        double g;
+        if (anc == a) {
+          // `a` is on the path root->leaf.
+          const double ea = cur[static_cast<std::size_t>(a)];
+          g = rw * cw * (root_dist[static_cast<std::size_t>(a)] - ea) +
+              rw * (cw * ea + cap[static_cast<std::size_t>(a)]);
+        } else {
+          g = rw * cw * root_dist[static_cast<std::size_t>(anc)];
+        }
+        grad[static_cast<std::size_t>(col)] = g;
+        max_coef = std::max(max_coef, std::abs(g));
+      }
+      if (max_coef <= 0.0) continue;
+      // LP variables are x = e / radius, so the row coefficient for column
+      // `col` is coef * radius; the whole row is then scaled to unit max
+      // coefficient for conditioning.
+      const double scale_row = 1.0 / (max_coef * radius);
+      for (int col = 0; col < n; ++col) {
+        const double coef = grad[static_cast<std::size_t>(col)];
+        if (coef == 0.0) continue;
+        row.index.push_back(col);
+        row.value.push_back(coef * radius * scale_row);
+        g_dot_e0 += coef * cur[static_cast<std::size_t>(indexer.NodeOf(col))];
+      }
+      // Constraint: lo <= D(e0) + g.(e - e0) <= hi, i.e.
+      //   (lo - D0 + g.e0) <= g.e <= (hi - D0 + g.e0),
+      // and in row units g.e maps to activity / scale_row.
+      const double shift = g_dot_e0 - delays[s];
+      double lo = -kLpInf;
+      double hi = kLpInf;
+      if (problem.bounds[s].lo > 0.0) {
+        lo = (problem.bounds[s].lo + shift) * scale_row;
+      }
+      if (std::isfinite(problem.bounds[s].hi)) {
+        hi = (problem.bounds[s].hi + shift) * scale_row;
+      }
+      if (lo == -kLpInf && hi == kLpInf) continue;
+      if (lo > hi) {  // keep the model well formed; report via violation
+        lo = hi;
+      }
+      row.lo = lo;
+      row.hi = hi;
+      model.AddRow(std::move(row));
+    }
+    // Per-edge trust region around `cur` (normalized units).
+    for (int col = 0; col < n; ++col) {
+      const double e0 = cur[static_cast<std::size_t>(indexer.NodeOf(col))];
+      const std::int32_t c32 = col;
+      const double one = 1.0;
+      model.AddRow(std::span<const std::int32_t>(&c32, 1),
+                   std::span<const double>(&one, 1),
+                   std::max(0.0, e0 - trust) / radius,
+                   (e0 + trust) / radius);
+    }
+
+    LpSolution lp = SolveLp(model, options.lp);
+    if (!lp.ok()) {
+      // Shrink the trust region and retry from the same point.
+      trust *= 0.5;
+      if (trust < 1e-9 * radius) break;
+      continue;
+    }
+    for (int col = 0; col < n; ++col) {
+      cur[static_cast<std::size_t>(indexer.NodeOf(col))] =
+          std::max(0.0, lp.x[static_cast<std::size_t>(col)] * radius);
+    }
+    trust *= options.trust_decay;
+    if (trust < 1e-9 * radius) break;
+  }
+
+  // Final incumbent check at the last point.
+  {
+    const std::vector<double> delays =
+        ElmoreSinkDelays(topo, cur, options.params);
+    double violation = 0.0;
+    for (std::size_t s = 0; s < problem.sinks.size(); ++s) {
+      violation = std::max(
+          violation, BoundViolation(delays[s], problem.bounds[s], delay_scale));
+    }
+    double cost = 0.0;
+    for (const double e : cur) cost += e;
+    const bool feasible = violation <= options.tolerance;
+    const bool best_feasible = best_violation <= options.tolerance;
+    if ((feasible && (!best_feasible || cost < best_cost)) ||
+        (!best_feasible && violation < best_violation)) {
+      best = cur;
+      best_violation = violation;
+      best_cost = cost;
+    }
+  }
+
+  out.edge_len = best;
+  out.delays = ElmoreSinkDelays(topo, best, options.params);
+  out.max_violation = best_violation;
+  out.cost = 0.0;
+  for (const double e : best) out.cost += e;
+  out.status = best_violation <= options.tolerance * 10.0
+                   ? Status::Ok()
+                   : Status::Infeasible(
+                         "SLP could not reach the Elmore delay bounds");
+  return out;
+}
+
+}  // namespace lubt

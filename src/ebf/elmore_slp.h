@@ -1,0 +1,57 @@
+// EBF under the Elmore delay model via sequential linear programming
+// (Section 7, "The Elmore delay").
+//
+// Elmore delays are quadratic in the edge lengths, so the delay rows are no
+// longer linear. With lower bounds present the feasible set is non-convex
+// and the paper prescribes a general NLP heuristic; we implement damped SLP:
+// starting from the unconstrained Steiner optimum, repeatedly linearize the
+// delay constraints at the current point, add a shrinking per-edge trust
+// region, and re-solve the LP. The Steiner rows stay exact throughout, so
+// every iterate remains embeddable. The best point found (feasible with
+// minimum cost, else minimum violation) is returned.
+//
+// For l_i = 0 the problem is convex and SLP converges to the global
+// optimum; with l_i > 0 it is a local heuristic, exactly as the paper
+// anticipates.
+
+#ifndef LUBT_EBF_ELMORE_SLP_H_
+#define LUBT_EBF_ELMORE_SLP_H_
+
+#include "cts/elmore_delay.h"
+#include "ebf/formulation.h"
+
+namespace lubt {
+
+/// SLP knobs.
+struct ElmoreSlpOptions {
+  ElmoreParams params;
+  int max_iterations = 40;
+  /// Initial per-edge trust radius as a fraction of the instance radius.
+  double initial_trust = 0.5;
+  /// Trust radius decay per iteration.
+  double trust_decay = 0.85;
+  /// Acceptable relative bound violation.
+  double tolerance = 1e-6;
+  LpSolverOptions lp;
+};
+
+/// Result of the SLP; delays are true Elmore delays at `edge_len`.
+struct ElmoreSlpResult {
+  Status status;
+  std::vector<double> edge_len;  ///< by node id, layout units
+  double cost = 0.0;
+  std::vector<double> delays;  ///< per sink index
+  double max_violation = 0.0;  ///< relative bound violation at the result
+  int iterations = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Solve `problem` interpreting its bounds as Elmore-delay bounds.
+/// Intended for small/medium instances (every Steiner row is materialized).
+ElmoreSlpResult SolveElmoreSlp(const EbfProblem& problem,
+                               const ElmoreSlpOptions& options = {});
+
+}  // namespace lubt
+
+#endif  // LUBT_EBF_ELMORE_SLP_H_

@@ -1,0 +1,354 @@
+#include "ebf/formulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cts/metrics.h"
+#include "topo/validate.h"
+
+namespace lubt {
+
+Status ValidateEbfProblem(const EbfProblem& problem) {
+  if (problem.topo == nullptr) {
+    return Status::InvalidArgument("problem has no topology");
+  }
+  const Topology& topo = *problem.topo;
+  LUBT_RETURN_IF_ERROR(
+      ValidateTopology(topo, static_cast<int>(problem.sinks.size())));
+  if (problem.bounds.size() != problem.sinks.size()) {
+    return Status::InvalidArgument("one DelayBounds required per sink");
+  }
+  const bool fixed = topo.Mode() == RootMode::kFixedSource;
+  if (fixed != problem.source.has_value()) {
+    return Status::InvalidArgument(
+        "source point must be given exactly when the topology has a fixed "
+        "source root");
+  }
+  for (const DelayBounds& b : problem.bounds) {
+    if (std::isnan(b.lo) || std::isnan(b.hi)) {
+      return Status::InvalidArgument("NaN delay bound");
+    }
+    if (b.lo < 0.0) {
+      return Status::InvalidArgument("negative delay lower bound");
+    }
+    if (b.lo > b.hi) {
+      return Status::InvalidArgument("delay lower bound exceeds upper bound");
+    }
+  }
+  if (!problem.edge_weight.empty() &&
+      problem.edge_weight.size() != static_cast<std::size_t>(topo.NumNodes())) {
+    return Status::InvalidArgument(
+        "edge_weight must be empty or have one entry per node");
+  }
+  for (const NodeId v : problem.zero_length_edges) {
+    if (v < 0 || v >= topo.NumNodes() || v == topo.Root()) {
+      return Status::InvalidArgument("zero-length edge id out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+EdgeIndexer::EdgeIndexer(const Topology& topo) {
+  col_of_node_.assign(static_cast<std::size_t>(topo.NumNodes()), -1);
+  node_of_col_.reserve(static_cast<std::size_t>(topo.NumEdges()));
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    if (v == topo.Root()) continue;
+    col_of_node_[static_cast<std::size_t>(v)] =
+        static_cast<int>(node_of_col_.size());
+    node_of_col_.push_back(v);
+  }
+}
+
+int EdgeIndexer::ColOf(NodeId node) const {
+  const int col = col_of_node_[static_cast<std::size_t>(node)];
+  LUBT_ASSERT(col >= 0);
+  return col;
+}
+
+NodeId EdgeIndexer::NodeOf(int col) const {
+  return node_of_col_[static_cast<std::size_t>(col)];
+}
+
+EbfFormulation::EbfFormulation(const EbfProblem& problem, double scale)
+    : problem_(&problem),
+      indexer_(*problem.topo),
+      paths_(*problem.topo),
+      model_(indexer_.NumEdges()),
+      scale_(scale) {}
+
+namespace {
+
+// Sorted-column sparse row over a set of edges (node ids), all coef 1.
+SparseRow RowOverEdges(const EdgeIndexer& indexer,
+                       std::span<const NodeId> edges, double lo, double hi) {
+  SparseRow row;
+  row.index.reserve(edges.size());
+  for (const NodeId v : edges) {
+    row.index.push_back(indexer.ColOf(v));
+  }
+  std::sort(row.index.begin(), row.index.end());
+  row.value.assign(row.index.size(), 1.0);
+  row.lo = lo;
+  row.hi = hi;
+  return row;
+}
+
+// Extreme sinks of a subtree in diagonal coordinates, for exact farthest
+// cross-pair queries (L1 distance = max coordinate gap in (u, v)).
+struct Extremes {
+  double max_u = -std::numeric_limits<double>::infinity();
+  double min_u = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  double min_v = std::numeric_limits<double>::infinity();
+  NodeId arg_max_u = kInvalidNode;
+  NodeId arg_min_u = kInvalidNode;
+  NodeId arg_max_v = kInvalidNode;
+  NodeId arg_min_v = kInvalidNode;
+
+  void Merge(const Extremes& o) {
+    if (o.max_u > max_u) { max_u = o.max_u; arg_max_u = o.arg_max_u; }
+    if (o.min_u < min_u) { min_u = o.min_u; arg_min_u = o.arg_min_u; }
+    if (o.max_v > max_v) { max_v = o.max_v; arg_max_v = o.arg_max_v; }
+    if (o.min_v < min_v) { min_v = o.min_v; arg_min_v = o.arg_min_v; }
+  }
+};
+
+}  // namespace
+
+Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
+                                             SteinerRowPolicy policy) {
+  LUBT_RETURN_IF_ERROR(ValidateEbfProblem(problem));
+  const Topology& topo = *problem.topo;
+
+  const double radius = Radius(problem.sinks, problem.source);
+  const double scale = radius > 0.0 ? radius : 1.0;
+
+  EbfFormulation f(problem, scale);
+  LpModel& model = f.model_;
+
+  // Objective: (weighted) total edge length.
+  for (int col = 0; col < f.indexer_.NumEdges(); ++col) {
+    const NodeId v = f.indexer_.NodeOf(col);
+    const double w = problem.edge_weight.empty()
+                         ? 1.0
+                         : problem.edge_weight[static_cast<std::size_t>(v)];
+    model.SetObjective(col, w);
+  }
+
+  // Zero-length (degree-4 split) edges: e <= 0 pins them with e >= 0.
+  for (const NodeId v : problem.zero_length_edges) {
+    const std::int32_t col = f.indexer_.ColOf(v);
+    const double one = 1.0;
+    model.AddRow(std::span<const std::int32_t>(&col, 1),
+                 std::span<const double>(&one, 1), -kLpInf, 0.0);
+  }
+
+  // Sink node lookup by sink index.
+  f.sink_nodes_.assign(problem.sinks.size(), kInvalidNode);
+  for (const NodeId v : topo.PostOrder()) {
+    if (topo.IsSinkNode(v)) {
+      f.sink_nodes_[static_cast<std::size_t>(topo.SinkIndex(v))] = v;
+    }
+  }
+
+  // Delay rows, one ranged row per sink. Fixed-source instances fold the
+  // (source, sink) Steiner row into the lower bound.
+  const NodeId root = topo.Root();
+  for (std::size_t s = 0; s < problem.sinks.size(); ++s) {
+    const NodeId leaf = f.sink_nodes_[s];
+    double lo = problem.bounds[s].lo / scale;
+    double hi = std::isfinite(problem.bounds[s].hi)
+                    ? problem.bounds[s].hi / scale
+                    : kLpInf;
+    if (problem.source.has_value()) {
+      const double dist =
+          ManhattanDist(*problem.source, problem.sinks[s]) / scale;
+      lo = std::max(lo, dist);
+    }
+    const std::vector<NodeId> edges = f.paths_.PathEdges(leaf, root);
+    // Regularize (near-)equality windows: exactly-tight rows (l = u, the
+    // zero-skew case) are painfully degenerate for interior-point methods.
+    // Widening by 1e-9 in radius units changes the optimum by a negligible
+    // amount while keeping the LP well-centered.
+    constexpr double kMinWindow = 1e-9;
+    if (std::isfinite(hi) && hi - lo < kMinWindow && lo <= hi) {
+      lo = std::max(0.0, hi - kMinWindow);
+    }
+    if (lo > hi) {
+      // Geometrically infeasible bounds (violates Equation 3): encode as two
+      // contradictory single-sided rows so the solver reports infeasibility.
+      model.AddRow(RowOverEdges(f.indexer_, edges, lo, kLpInf));
+      model.AddRow(RowOverEdges(f.indexer_, edges, -kLpInf, hi));
+      continue;
+    }
+    model.AddRow(RowOverEdges(f.indexer_, edges, lo, hi));
+  }
+
+  // Steiner rows.
+  const std::vector<NodeId> post = topo.PostOrder();
+  if (policy == SteinerRowPolicy::kSeed) {
+    // One farthest cross pair per binary internal node, found exactly from
+    // per-subtree extreme sinks in diagonal coordinates.
+    std::vector<Extremes> ext(static_cast<std::size_t>(topo.NumNodes()));
+    for (const NodeId v : post) {
+      Extremes& e = ext[static_cast<std::size_t>(v)];
+      if (topo.IsSinkNode(v)) {
+        const DiagPoint d =
+            ToDiag(problem.sinks[static_cast<std::size_t>(topo.SinkIndex(v))]);
+        e.max_u = e.min_u = d.u;
+        e.max_v = e.min_v = d.v;
+        e.arg_max_u = e.arg_min_u = e.arg_max_v = e.arg_min_v = v;
+        continue;
+      }
+      const TopoNode& node = topo.Node(v);
+      if (node.left != kInvalidNode) {
+        e.Merge(ext[static_cast<std::size_t>(node.left)]);
+      }
+      if (node.right != kInvalidNode) {
+        e.Merge(ext[static_cast<std::size_t>(node.right)]);
+      }
+      if (node.left == kInvalidNode || node.right == kInvalidNode) continue;
+      const Extremes& a = ext[static_cast<std::size_t>(node.left)];
+      const Extremes& b = ext[static_cast<std::size_t>(node.right)];
+      // Candidate gaps; the largest is the exact farthest cross distance.
+      const double cands[4] = {a.max_u - b.min_u, b.max_u - a.min_u,
+                               a.max_v - b.min_v, b.max_v - a.min_v};
+      const NodeId pairs[4][2] = {{a.arg_max_u, b.arg_min_u},
+                                  {b.arg_max_u, a.arg_min_u},
+                                  {a.arg_max_v, b.arg_min_v},
+                                  {b.arg_max_v, a.arg_min_v}};
+      int bestc = 0;
+      for (int c = 1; c < 4; ++c) {
+        if (cands[c] > cands[bestc]) bestc = c;
+      }
+      const NodeId sa = pairs[bestc][0];
+      const NodeId sb = pairs[bestc][1];
+      const double dist = ManhattanDist(
+          problem.sinks[static_cast<std::size_t>(topo.SinkIndex(sa))],
+          problem.sinks[static_cast<std::size_t>(topo.SinkIndex(sb))]);
+      if (dist <= 0.0) continue;
+      model.AddRow(f.MakeSteinerRow(sa, sb, dist / scale));
+      ++f.num_steiner_rows_;
+    }
+    return f;
+  }
+
+  // kAll / kReduced: enumerate sink pairs. For kReduced, a row is implied if
+  //   l_i + l_j - 2 * min_{k below lca} u_k >= dist(s_i, s_j)
+  // because delay(lca) <= delay(k) <= u_k for every sink k below the LCA.
+  std::vector<double> min_u_below(static_cast<std::size_t>(topo.NumNodes()),
+                                  kLpInf);
+  if (policy == SteinerRowPolicy::kReduced) {
+    for (const NodeId v : post) {
+      double mu = kLpInf;
+      if (topo.IsSinkNode(v)) {
+        const double hi =
+            problem.bounds[static_cast<std::size_t>(topo.SinkIndex(v))].hi;
+        mu = std::isfinite(hi) ? hi / scale : kLpInf;
+      }
+      const TopoNode& node = topo.Node(v);
+      for (const NodeId child : {node.left, node.right}) {
+        if (child != kInvalidNode) {
+          mu = std::min(mu, min_u_below[static_cast<std::size_t>(child)]);
+        }
+      }
+      min_u_below[static_cast<std::size_t>(v)] = mu;
+    }
+  }
+
+  for (std::size_t i = 0; i < problem.sinks.size(); ++i) {
+    for (std::size_t j = i + 1; j < problem.sinks.size(); ++j) {
+      const double dist = ManhattanDist(problem.sinks[i], problem.sinks[j]);
+      if (dist <= 0.0) continue;
+      const NodeId a = f.sink_nodes_[i];
+      const NodeId b = f.sink_nodes_[j];
+      if (policy == SteinerRowPolicy::kReduced) {
+        const NodeId anc = f.paths_.Lca(a, b);
+        const double mu = min_u_below[static_cast<std::size_t>(anc)];
+        if (std::isfinite(mu)) {
+          const double implied = problem.bounds[i].lo / scale +
+                                 problem.bounds[j].lo / scale - 2.0 * mu;
+          if (implied >= dist / scale) continue;
+        }
+      }
+      model.AddRow(f.MakeSteinerRow(a, b, dist / scale));
+      ++f.num_steiner_rows_;
+    }
+  }
+  return f;
+}
+
+SparseRow EbfFormulation::MakeSteinerRow(NodeId a, NodeId b,
+                                         double rhs_lp) const {
+  const std::vector<NodeId> edges = paths_.PathEdges(a, b);
+  return RowOverEdges(indexer_, edges, rhs_lp, kLpInf);
+}
+
+long long EbfFormulation::NumPotentialSteinerRows() const {
+  const long long m = static_cast<long long>(problem_->sinks.size());
+  return m * (m - 1) / 2;
+}
+
+std::vector<SparseRow> EbfFormulation::FindViolatedSteinerRows(
+    std::span<const double> x, double tol, int max_rows) const {
+  const Topology& topo = *problem_->topo;
+  // Per-node edge lengths in LP units.
+  std::vector<double> edge_len(static_cast<std::size_t>(topo.NumNodes()), 0.0);
+  for (int col = 0; col < indexer_.NumEdges(); ++col) {
+    edge_len[static_cast<std::size_t>(indexer_.NodeOf(col))] =
+        x[static_cast<std::size_t>(col)];
+  }
+  const std::vector<double> root_dist = paths_.RootDistances(edge_len);
+
+  struct Violation {
+    NodeId a;
+    NodeId b;
+    double dist_lp;
+    double amount;
+  };
+  std::vector<Violation> found;
+  for (std::size_t i = 0; i < problem_->sinks.size(); ++i) {
+    for (std::size_t j = i + 1; j < problem_->sinks.size(); ++j) {
+      const NodeId a = sink_nodes_[i];
+      const NodeId b = sink_nodes_[j];
+      const NodeId anc = paths_.Lca(a, b);
+      const double pl = root_dist[static_cast<std::size_t>(a)] +
+                        root_dist[static_cast<std::size_t>(b)] -
+                        2.0 * root_dist[static_cast<std::size_t>(anc)];
+      const double dist_lp =
+          ManhattanDist(problem_->sinks[i], problem_->sinks[j]) / scale_;
+      const double violation = dist_lp - pl;
+      if (violation > tol) {
+        found.push_back({a, b, dist_lp, violation});
+      }
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Violation& x1, const Violation& x2) {
+              return x1.amount > x2.amount;
+            });
+  if (static_cast<int>(found.size()) > max_rows) {
+    found.resize(static_cast<std::size_t>(max_rows));
+  }
+  std::vector<SparseRow> rows;
+  rows.reserve(found.size());
+  for (const Violation& v : found) {
+    rows.push_back(MakeSteinerRow(v.a, v.b, v.dist_lp));
+  }
+  return rows;
+}
+
+std::vector<double> EbfFormulation::EdgeLengths(
+    std::span<const double> x) const {
+  const Topology& topo = *problem_->topo;
+  std::vector<double> edge_len(static_cast<std::size_t>(topo.NumNodes()), 0.0);
+  for (int col = 0; col < indexer_.NumEdges(); ++col) {
+    const double e = x[static_cast<std::size_t>(col)] * scale_;
+    edge_len[static_cast<std::size_t>(indexer_.NodeOf(col))] =
+        std::max(e, 0.0);
+  }
+  return edge_len;
+}
+
+}  // namespace lubt

@@ -1,0 +1,124 @@
+// Edge-Based Formulation (Section 4).
+//
+// Variables are the tree's edge lengths, not Steiner-point coordinates —
+// this removes every absolute-value term from the program and makes it a
+// plain LP under the linear delay model:
+//
+//   min  sum_k w_k e_k
+//   s.t. sum over path(s_i, s_j) of e_k >= dist(s_i, s_j)   (Steiner, 4.1)
+//        l_i <= sum over path(s_0, s_i) of e_k <= u_i       (delay,   4.2)
+//        e_k >= 0,  e_k = 0 for split degree-4 links
+//
+// Fixed-source instances fold the (source, sink) Steiner row into the delay
+// row by raising its lower bound to max(l_i, dist(s_0, s_i)).
+//
+// The formulation is built in radius-normalized units for conditioning; the
+// solution is scaled back before being returned (ebf/solver.h).
+
+#ifndef LUBT_EBF_FORMULATION_H_
+#define LUBT_EBF_FORMULATION_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "lp/model.h"
+#include "topo/path_query.h"
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Per-sink delay window in absolute (layout) units.
+struct DelayBounds {
+  double lo = 0.0;
+  double hi = kLpInf;
+};
+
+/// A complete LUBT problem instance (Definition 2.1).
+struct EbfProblem {
+  const Topology* topo = nullptr;
+  std::span<const Point> sinks;          ///< indexed by sink index
+  std::optional<Point> source;           ///< must match topo's root mode
+  std::vector<DelayBounds> bounds;       ///< per sink index
+  /// Optional per-edge objective weights indexed by node id (Section 7,
+  /// "different weights on edges"); empty means all 1.
+  std::vector<double> edge_weight;
+  /// Node ids whose parent edge must be zero length (degree-4 splits).
+  std::vector<NodeId> zero_length_edges;
+};
+
+/// Validate an EbfProblem (shape, root-mode agreement, bound sanity per
+/// Equations 3/4). Infeasible *bounds* are reported by the solver, not here;
+/// this catches malformed input only.
+Status ValidateEbfProblem(const EbfProblem& problem);
+
+/// Maps LP columns to tree edges. Column k corresponds to the k-th non-root
+/// node in node-id order.
+class EdgeIndexer {
+ public:
+  explicit EdgeIndexer(const Topology& topo);
+
+  int NumEdges() const { return static_cast<int>(node_of_col_.size()); }
+  int ColOf(NodeId node) const;
+  NodeId NodeOf(int col) const;
+
+ private:
+  std::vector<int> col_of_node_;  // -1 for the root
+  std::vector<NodeId> node_of_col_;
+};
+
+/// How many Steiner rows the initial model carries.
+enum class SteinerRowPolicy {
+  kAll,      ///< every sink pair: Theta(m^2) rows (small instances only)
+  kReduced,  ///< kAll minus rows provably implied by the delay lower bounds
+  kSeed,     ///< one farthest cross pair per internal node (for lazy solving)
+};
+
+/// The built LP plus the machinery to separate missing Steiner rows.
+class EbfFormulation {
+ public:
+  /// Build the LP for `problem`. The problem data must outlive the
+  /// formulation. Fails only on malformed input.
+  static Result<EbfFormulation> Build(const EbfProblem& problem,
+                                      SteinerRowPolicy policy);
+
+  LpModel& MutableModel() { return model_; }
+  const LpModel& Model() const { return model_; }
+  const EdgeIndexer& Indexer() const { return indexer_; }
+
+  /// Scale factor between LP units and layout units (LP = layout / scale).
+  double Scale() const { return scale_; }
+
+  /// Number of Steiner rows present in the initial model.
+  int NumSteinerRows() const { return num_steiner_rows_; }
+  /// Number of Steiner rows a kAll build would contain.
+  long long NumPotentialSteinerRows() const;
+
+  /// Separation oracle: Steiner rows of the full problem violated by `x`
+  /// (LP units), strongest violations first, at most `max_rows`.
+  std::vector<SparseRow> FindViolatedSteinerRows(std::span<const double> x,
+                                                 double tol,
+                                                 int max_rows) const;
+
+  /// Convert an LP point to per-node edge lengths in layout units
+  /// (root entry = 0).
+  std::vector<double> EdgeLengths(std::span<const double> x) const;
+
+ private:
+  EbfFormulation(const EbfProblem& problem, double scale);
+
+  SparseRow MakeSteinerRow(NodeId a, NodeId b, double rhs_lp) const;
+
+  const EbfProblem* problem_;
+  EdgeIndexer indexer_;
+  PathQuery paths_;
+  LpModel model_;
+  double scale_;
+  int num_steiner_rows_ = 0;
+  std::vector<NodeId> sink_nodes_;  // by sink index
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_EBF_FORMULATION_H_

@@ -1,0 +1,36 @@
+#include "ebf/reducer.h"
+
+#include <cmath>
+
+namespace lubt {
+
+Result<ReductionReport> AnalyzeReduction(const EbfProblem& problem) {
+  ReductionReport report;
+
+  Result<EbfFormulation> all =
+      EbfFormulation::Build(problem, SteinerRowPolicy::kAll);
+  if (!all.ok()) return all.status();
+  report.potential_steiner_rows = all->NumPotentialSteinerRows();
+  report.all_rows = all->NumSteinerRows();
+
+  Result<EbfFormulation> reduced =
+      EbfFormulation::Build(problem, SteinerRowPolicy::kReduced);
+  if (!reduced.ok()) return reduced.status();
+  report.reduced_rows = reduced->NumSteinerRows();
+
+  Result<EbfFormulation> seed =
+      EbfFormulation::Build(problem, SteinerRowPolicy::kSeed);
+  if (!seed.ok()) return seed.status();
+  report.seed_rows = seed->NumSteinerRows();
+
+  report.delay_rows = static_cast<int>(problem.sinks.size());
+  return report;
+}
+
+bool SteinerRowImplied(double lo_i, double lo_j, double min_upper,
+                       double dist_ij) {
+  if (!std::isfinite(min_upper)) return false;
+  return lo_i + lo_j - 2.0 * min_upper >= dist_ij;
+}
+
+}  // namespace lubt

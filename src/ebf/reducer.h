@@ -1,0 +1,38 @@
+// Constraint-reduction analysis (Section 4.6).
+//
+// The paper observes that of the C(m,2) + 2m EBF rows, many Steiner rows
+// can be deleted using geometric and delay-bound reasoning. This module
+// quantifies that: it builds the same instance under each row policy and
+// reports the row counts, which the ablation bench turns into the paper's
+// "reduction of the constraints" evidence. It also exposes the sound
+// delay-implication filter as a standalone predicate for testing.
+
+#ifndef LUBT_EBF_REDUCER_H_
+#define LUBT_EBF_REDUCER_H_
+
+#include "ebf/formulation.h"
+
+namespace lubt {
+
+/// Row counts of one instance under every Steiner row policy.
+struct ReductionReport {
+  long long potential_steiner_rows = 0;  ///< C(m, 2)
+  int all_rows = 0;                      ///< materialized by kAll
+  int reduced_rows = 0;                  ///< surviving kReduced
+  int seed_rows = 0;                     ///< emitted by kSeed
+  int delay_rows = 0;                    ///< always 1 ranged row per sink
+};
+
+/// Build the instance under each policy and collect counts.
+Result<ReductionReport> AnalyzeReduction(const EbfProblem& problem);
+
+/// The kReduced implication test, exposed for unit testing: true when the
+/// Steiner row for sinks (i, j) is implied by the delay bounds, given the
+/// minimum delay upper bound among sinks below their LCA (`min_upper`,
+/// layout units; +inf when unbounded).
+bool SteinerRowImplied(double lo_i, double lo_j, double min_upper,
+                       double dist_ij);
+
+}  // namespace lubt
+
+#endif  // LUBT_EBF_REDUCER_H_

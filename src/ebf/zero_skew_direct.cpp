@@ -1,0 +1,78 @@
+#include "ebf/zero_skew_direct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/trr.h"
+#include "topo/validate.h"
+
+namespace lubt {
+
+Result<ZeroSkewResult> SolveZeroSkewDirect(
+    const Topology& topo, std::span<const Point> sinks,
+    const std::optional<Point>& source) {
+  LUBT_RETURN_IF_ERROR(ValidateTopology(topo, static_cast<int>(sinks.size())));
+  if (source.has_value() != (topo.Mode() == RootMode::kFixedSource)) {
+    return Status::InvalidArgument("source presence must match root mode");
+  }
+
+  ZeroSkewResult out;
+  out.edge_len.assign(static_cast<std::size_t>(topo.NumNodes()), 0.0);
+  std::vector<Trr> region(static_cast<std::size_t>(topo.NumNodes()));
+  std::vector<double> sub_delay(static_cast<std::size_t>(topo.NumNodes()),
+                                0.0);
+
+  for (const NodeId v : topo.PostOrder()) {
+    if (topo.IsSinkNode(v)) {
+      region[static_cast<std::size_t>(v)] = Trr::FromPoint(
+          sinks[static_cast<std::size_t>(topo.SinkIndex(v))]);
+      sub_delay[static_cast<std::size_t>(v)] = 0.0;
+      continue;
+    }
+    const TopoNode& node = topo.Node(v);
+    if (node.right == kInvalidNode) {
+      // Unary fixed-source root: connect to the child region tightly.
+      const NodeId c = node.left;
+      const double e = region[static_cast<std::size_t>(c)].DistTo(*source);
+      out.edge_len[static_cast<std::size_t>(c)] = e;
+      sub_delay[static_cast<std::size_t>(v)] =
+          sub_delay[static_cast<std::size_t>(c)] + e;
+      region[static_cast<std::size_t>(v)] = Trr::FromPoint(*source);
+      continue;
+    }
+    const NodeId a = node.left;
+    const NodeId b = node.right;
+    const Trr& ra = region[static_cast<std::size_t>(a)];
+    const Trr& rb = region[static_cast<std::size_t>(b)];
+    const double da = sub_delay[static_cast<std::size_t>(a)];
+    const double db = sub_delay[static_cast<std::size_t>(b)];
+    const double d = TrrDist(ra, rb);
+    // Balance the two sides; elongate the shallow side if the distance
+    // alone cannot make the delays equal.
+    const double total = std::max(d, std::abs(da - db));
+    const double ea = 0.5 * (total + (db - da));
+    const double eb = total - ea;
+    LUBT_ASSERT(ea >= -1e-9 && eb >= -1e-9);
+    out.edge_len[static_cast<std::size_t>(a)] = std::max(ea, 0.0);
+    out.edge_len[static_cast<std::size_t>(b)] = std::max(eb, 0.0);
+    // Tiny slack absorbs rounding when the inflated regions only touch.
+    const double eps = 1e-9 * (1.0 + total);
+    region[static_cast<std::size_t>(v)] =
+        Intersect(ra.Inflate(std::max(ea, 0.0) + eps),
+                  rb.Inflate(std::max(eb, 0.0) + eps));
+    if (region[static_cast<std::size_t>(v)].IsEmpty()) {
+      return Status::Internal("zero-skew merge region empty");
+    }
+    sub_delay[static_cast<std::size_t>(v)] = da + std::max(ea, 0.0);
+  }
+
+  out.delay = sub_delay[static_cast<std::size_t>(topo.Root())];
+  for (const NodeId v : topo.PreOrder()) {
+    if (topo.Parent(v) != kInvalidNode) {
+      out.cost += out.edge_len[static_cast<std::size_t>(v)];
+    }
+  }
+  return out;
+}
+
+}  // namespace lubt

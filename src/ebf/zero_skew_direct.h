@@ -1,0 +1,39 @@
+// Direct zero-skew solve (Section 4.6, last paragraph).
+//
+// With l_i = u_i = c the EBF's inequalities collapse to equalities and no
+// optimization is necessary: the n linear equations are solved directly by
+// one bottom-up pass of the Boese-Kahng zero-skew DME recurrence on the
+// *given* topology. This both reproduces the paper's claim and provides an
+// independent optimum against which the LP engines are cross-checked
+// (LP with l = u = achieved delay must return the same cost).
+
+#ifndef LUBT_EBF_ZERO_SKEW_DIRECT_H_
+#define LUBT_EBF_ZERO_SKEW_DIRECT_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "topo/topology.h"
+#include "util/status.h"
+
+namespace lubt {
+
+/// Zero-skew edge lengths for a given topology.
+struct ZeroSkewResult {
+  std::vector<double> edge_len;  ///< by node id; layout units
+  double delay = 0.0;            ///< the common source-sink delay
+  double cost = 0.0;             ///< total wirelength
+};
+
+/// Solve the zero-skew special case on `topo` (binary, every sink a leaf).
+/// The result is the minimum-cost zero-skew tree for this topology under the
+/// linear delay model.
+Result<ZeroSkewResult> SolveZeroSkewDirect(const Topology& topo,
+                                           std::span<const Point> sinks,
+                                           const std::optional<Point>& source);
+
+}  // namespace lubt
+
+#endif  // LUBT_EBF_ZERO_SKEW_DIRECT_H_

@@ -1,0 +1,77 @@
+#include "embed/feasible_region.h"
+
+#include <string>
+
+#include <algorithm>
+
+#include "geom/bbox.h"
+#include "topo/validate.h"
+
+namespace lubt {
+
+double AutoEmbedTolerance(std::span<const Point> sinks) {
+  const BBox box = BBox::Around(sinks);
+  const double span = box.IsEmpty() ? 0.0 : box.HalfPerimeter();
+  return std::max(1e-12, 1e-7 * span);
+}
+
+Result<FeasibleRegions> BuildFeasibleRegions(
+    const Topology& topo, std::span<const Point> sinks,
+    const std::optional<Point>& source, std::span<const double> edge_len,
+    double tol) {
+  LUBT_RETURN_IF_ERROR(ValidateTopology(topo, static_cast<int>(sinks.size())));
+  if (edge_len.size() != static_cast<std::size_t>(topo.NumNodes())) {
+    return Status::InvalidArgument("edge_len must have one entry per node");
+  }
+  if (source.has_value() != (topo.Mode() == RootMode::kFixedSource)) {
+    return Status::InvalidArgument("source presence must match root mode");
+  }
+  for (const double e : edge_len) {
+    if (!(e >= 0.0)) {
+      return Status::InvalidArgument("edge lengths must be non-negative");
+    }
+  }
+  if (tol < 0.0) tol = AutoEmbedTolerance(sinks);
+
+  FeasibleRegions out;
+  out.fr.assign(static_cast<std::size_t>(topo.NumNodes()), Trr::Empty());
+  out.trr.assign(static_cast<std::size_t>(topo.NumNodes()), Trr::Empty());
+
+  for (const NodeId v : topo.PostOrder()) {
+    Trr fr;
+    if (topo.IsSinkNode(v)) {
+      fr = Trr::FromPoint(
+          sinks[static_cast<std::size_t>(topo.SinkIndex(v))]);
+    } else {
+      const TopoNode& node = topo.Node(v);
+      if (node.right == kInvalidNode) {
+        // Unary fixed-source root.
+        fr = Trr::FromPoint(*source);
+        const Trr& child_trr = out.trr[static_cast<std::size_t>(node.left)];
+        if (!child_trr.Inflate(tol).Contains(*source)) {
+          return Status::Infeasible(
+              "source lies outside the TRR of the root's child (edge " +
+              std::to_string(node.left) + " too short)");
+        }
+      } else {
+        const Trr& lt = out.trr[static_cast<std::size_t>(node.left)];
+        const Trr& rt = out.trr[static_cast<std::size_t>(node.right)];
+        fr = Intersect(lt.Inflate(tol), rt.Inflate(tol));
+        if (fr.IsEmpty()) {
+          return Status::Infeasible(
+              "empty feasible region at Steiner node " + std::to_string(v) +
+              " (Steiner constraints violated beyond tolerance)");
+        }
+      }
+    }
+    out.fr[static_cast<std::size_t>(v)] = fr;
+    const NodeId p = topo.Parent(v);
+    if (p != kInvalidNode) {
+      out.trr[static_cast<std::size_t>(v)] =
+          fr.Inflate(edge_len[static_cast<std::size_t>(v)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lubt

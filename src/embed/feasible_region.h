@@ -1,0 +1,51 @@
+// Bottom-up feasible region construction (Section 5).
+//
+// Given a topology and *predetermined* edge lengths (from the LP), compute
+// for every node its feasible region FR and its upward search region
+// TRR(FR, e):
+//
+//   leaf sink s:        FR = {location of s}
+//   internal node k:    FR_k = TRR(FR_left, e_left) ∩ TRR(FR_right, e_right)
+//   fixed-source root:  FR = {source}; additionally the child's TRR must
+//                       contain the source.
+//
+// Theorem 4.1 guarantees non-empty regions whenever the edge lengths satisfy
+// the Steiner constraints; an empty region therefore indicates either an
+// invalid input or LP roundoff beyond the tolerance, and is reported as a
+// Status.
+
+#ifndef LUBT_EMBED_FEASIBLE_REGION_H_
+#define LUBT_EMBED_FEASIBLE_REGION_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/trr.h"
+#include "topo/topology.h"
+#include "util/status.h"
+
+namespace lubt {
+
+/// Feasible regions of every node, indexed by node id.
+struct FeasibleRegions {
+  std::vector<Trr> fr;   ///< feasible region of the node itself
+  std::vector<Trr> trr;  ///< fr inflated by the node's edge length
+};
+
+/// Tolerance used when `tol < 0` is passed to the functions below:
+/// 1e-7 of the sink-set half-perimeter (layout units), floored at 1e-12.
+double AutoEmbedTolerance(std::span<const Point> sinks);
+
+/// Build regions bottom-up. `tol` absorbs LP roundoff: each child TRR is
+/// inflated by `tol` before intersection (layout units); negative means
+/// AutoEmbedTolerance.
+Result<FeasibleRegions> BuildFeasibleRegions(
+    const Topology& topo, std::span<const Point> sinks,
+    const std::optional<Point>& source, std::span<const double> edge_len,
+    double tol = -1.0);
+
+}  // namespace lubt
+
+#endif  // LUBT_EMBED_FEASIBLE_REGION_H_

@@ -1,0 +1,71 @@
+#include "embed/placer.h"
+
+#include <string>
+
+namespace lubt {
+
+Result<Embedding> PlaceNodes(const Topology& topo,
+                             std::span<const Point> sinks,
+                             const std::optional<Point>& source,
+                             std::span<const double> edge_len,
+                             const FeasibleRegions& regions,
+                             PlacementRule rule, double tol) {
+  if (tol < 0.0) tol = AutoEmbedTolerance(sinks);
+  Embedding out;
+  out.location.assign(static_cast<std::size_t>(topo.NumNodes()),
+                      Point{0.0, 0.0});
+
+  for (const NodeId v : topo.PreOrder()) {
+    const Trr& fr = regions.fr[static_cast<std::size_t>(v)];
+    if (fr.IsEmpty()) {
+      return Status::Internal("empty feasible region during placement");
+    }
+    const NodeId p = topo.Parent(v);
+    Point chosen;
+    if (p == kInvalidNode) {
+      chosen = topo.Mode() == RootMode::kFixedSource ? *source : fr.Center();
+    } else if (topo.IsSinkNode(v)) {
+      chosen = sinks[static_cast<std::size_t>(topo.SinkIndex(v))];
+    } else {
+      const Point& parent_loc = out.location[static_cast<std::size_t>(p)];
+      // The region builder guarantees dist(parent, FR_v) <= e_v + tol; one
+      // extra tol of reach absorbs boundary-exact placements (ClosestTo puts
+      // parents exactly on the tol-inflated boundary) plus rounding. The
+      // chosen point still lies inside FR_v, so the slack does not compound
+      // down the tree.
+      const Trr reach = Trr::Square(
+          parent_loc, edge_len[static_cast<std::size_t>(v)] + 2.0 * tol);
+      const Trr feasible = Intersect(fr, reach);
+      if (feasible.IsEmpty()) {
+        return Status::Internal(
+            "placement intersection empty at node " + std::to_string(v) +
+            " (edge length inconsistent with feasible regions)");
+      }
+      chosen = rule == PlacementRule::kClosestToParent
+                   ? feasible.ClosestTo(parent_loc)
+                   : feasible.Center();
+    }
+    out.location[static_cast<std::size_t>(v)] = chosen;
+  }
+
+  // Sanity: sinks must sit exactly on their given locations.
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    if (topo.IsSinkNode(v)) {
+      out.location[static_cast<std::size_t>(v)] =
+          sinks[static_cast<std::size_t>(topo.SinkIndex(v))];
+    }
+  }
+  return out;
+}
+
+Result<Embedding> EmbedTree(const Topology& topo, std::span<const Point> sinks,
+                            const std::optional<Point>& source,
+                            std::span<const double> edge_len,
+                            PlacementRule rule, double tol) {
+  Result<FeasibleRegions> regions =
+      BuildFeasibleRegions(topo, sinks, source, edge_len, tol);
+  if (!regions.ok()) return regions.status();
+  return PlaceNodes(topo, sinks, source, edge_len, *regions, rule, tol);
+}
+
+}  // namespace lubt

@@ -1,0 +1,47 @@
+// Top-down Steiner point placement (Section 5, "Top Down Placements").
+//
+// With feasible regions built, placement walks the tree from the root: the
+// root takes any point of FR_root (the source when fixed); a child c of a
+// placed parent p may take any point of FR_c ∩ TRR({p}, e_c), which
+// Theorem 4.1 guarantees non-empty. Two selection rules are provided:
+// closest-to-parent (minimizes physical wire, maximizing snaking slack) and
+// region center (the paper's "anywhere within the intersection").
+
+#ifndef LUBT_EMBED_PLACER_H_
+#define LUBT_EMBED_PLACER_H_
+
+#include "embed/feasible_region.h"
+
+namespace lubt {
+
+/// How a point is chosen inside a feasible intersection.
+enum class PlacementRule {
+  kClosestToParent,  ///< default: tightest physical wire
+  kCenter,           ///< geometric center of the intersection
+};
+
+/// An embedded tree: a location for every node.
+struct Embedding {
+  std::vector<Point> location;  ///< indexed by node id
+};
+
+/// Place every node. `regions` must come from BuildFeasibleRegions on the
+/// same inputs; `tol` absorbs roundoff exactly as there.
+Result<Embedding> PlaceNodes(const Topology& topo,
+                             std::span<const Point> sinks,
+                             const std::optional<Point>& source,
+                             std::span<const double> edge_len,
+                             const FeasibleRegions& regions,
+                             PlacementRule rule = PlacementRule::kClosestToParent,
+                             double tol = -1.0);
+
+/// Convenience: regions + placement in one call.
+Result<Embedding> EmbedTree(const Topology& topo, std::span<const Point> sinks,
+                            const std::optional<Point>& source,
+                            std::span<const double> edge_len,
+                            PlacementRule rule = PlacementRule::kClosestToParent,
+                            double tol = -1.0);
+
+}  // namespace lubt
+
+#endif  // LUBT_EMBED_PLACER_H_

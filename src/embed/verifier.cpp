@@ -1,0 +1,94 @@
+#include "embed/verifier.h"
+
+#include <algorithm>
+#include <string>
+
+#include "cts/linear_delay.h"
+#include "embed/feasible_region.h"
+
+namespace lubt {
+
+VerificationReport VerifyEmbedding(const Topology& topo,
+                                   std::span<const Point> sinks,
+                                   const std::optional<Point>& source,
+                                   std::span<const double> edge_len,
+                                   std::span<const Point> locations,
+                                   std::span<const DelayBounds> bounds,
+                                   double tol) {
+  VerificationReport report;
+  if (tol < 0.0) tol = 16.0 * AutoEmbedTolerance(sinks);
+
+  auto fail = [&](std::string msg) {
+    if (report.status.ok()) {
+      report.status = Status::Internal(std::move(msg));
+    }
+  };
+
+  if (locations.size() != static_cast<std::size_t>(topo.NumNodes()) ||
+      edge_len.size() != static_cast<std::size_t>(topo.NumNodes())) {
+    report.status =
+        Status::InvalidArgument("locations/edge_len size mismatch");
+    return report;
+  }
+
+  // Fixed anchors.
+  if (topo.Mode() == RootMode::kFixedSource) {
+    const Point& root_loc =
+        locations[static_cast<std::size_t>(topo.Root())];
+    if (ManhattanDist(root_loc, *source) > tol) {
+      fail("root not placed at the source");
+    }
+  }
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    if (topo.IsSinkNode(v)) {
+      const Point& want =
+          sinks[static_cast<std::size_t>(topo.SinkIndex(v))];
+      if (ManhattanDist(locations[static_cast<std::size_t>(v)], want) > tol) {
+        fail("sink " + std::to_string(topo.SinkIndex(v)) +
+             " not at its given location");
+      }
+    }
+  }
+
+  // Edge realizability.
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    const NodeId p = topo.Parent(v);
+    if (p == kInvalidNode) continue;
+    const double e = edge_len[static_cast<std::size_t>(v)];
+    const double d = ManhattanDist(locations[static_cast<std::size_t>(v)],
+                                   locations[static_cast<std::size_t>(p)]);
+    report.total_wirelength += e;
+    report.total_physical += d;
+    const double overrun = d - e;
+    report.max_edge_overrun = std::max(report.max_edge_overrun, overrun);
+    if (overrun > tol) {
+      fail("edge of node " + std::to_string(v) +
+           " shorter than the child-parent distance");
+    }
+  }
+  report.total_slack = report.total_wirelength - report.total_physical;
+
+  // Delay bounds under the linear model.
+  if (!bounds.empty()) {
+    if (bounds.size() != static_cast<std::size_t>(topo.NumSinkNodes())) {
+      fail("bounds size mismatch");
+      return report;
+    }
+    const std::vector<double> delays = LinearSinkDelays(topo, edge_len);
+    for (std::size_t s = 0; s < delays.size(); ++s) {
+      double violation = 0.0;
+      if (delays[s] < bounds[s].lo) violation = bounds[s].lo - delays[s];
+      if (std::isfinite(bounds[s].hi) && delays[s] > bounds[s].hi) {
+        violation = std::max(violation, delays[s] - bounds[s].hi);
+      }
+      report.max_bound_violation =
+          std::max(report.max_bound_violation, violation);
+      if (violation > tol) {
+        fail("delay bound violated at sink " + std::to_string(s));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace lubt

@@ -1,0 +1,47 @@
+// Embedding verification.
+//
+// Independently re-checks everything the pipeline promises: assigned edge
+// lengths are geometrically realizable (dist(child, parent) <= e), sinks and
+// the source sit at their given coordinates, and the linear delays implied
+// by the assigned lengths respect the per-sink bounds. Used by tests,
+// benches and the examples as the final gate.
+
+#ifndef LUBT_EMBED_VERIFIER_H_
+#define LUBT_EMBED_VERIFIER_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ebf/formulation.h"
+#include "embed/placer.h"
+
+namespace lubt {
+
+/// Quantitative verification report.
+struct VerificationReport {
+  Status status;                 ///< first failure, or OK
+  double max_edge_overrun = 0.0; ///< max(dist(child,parent) - e) over edges
+  double max_bound_violation = 0.0;  ///< max delay-bound violation
+  double total_wirelength = 0.0;     ///< sum of assigned edge lengths
+  double total_physical = 0.0;       ///< sum of child-parent distances
+  double total_slack = 0.0;          ///< wirelength available for snaking
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Verify an embedding of `topo` with assigned `edge_len` and node
+/// `locations`. `bounds` may be empty to skip the delay check. Negative
+/// `tol` means AutoEmbedTolerance(sinks) (scaled x16 to absorb the extra
+/// roundoff of delay sums).
+VerificationReport VerifyEmbedding(const Topology& topo,
+                                   std::span<const Point> sinks,
+                                   const std::optional<Point>& source,
+                                   std::span<const double> edge_len,
+                                   std::span<const Point> locations,
+                                   std::span<const DelayBounds> bounds = {},
+                                   double tol = -1.0);
+
+}  // namespace lubt
+
+#endif  // LUBT_EMBED_VERIFIER_H_

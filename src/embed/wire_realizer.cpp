@@ -1,0 +1,38 @@
+#include "embed/wire_realizer.h"
+
+#include <algorithm>
+
+namespace lubt {
+
+std::vector<RealizedEdge> RealizeWires(const Topology& topo,
+                                       std::span<const double> edge_len,
+                                       std::span<const Point> locations,
+                                       double fold_pitch) {
+  LUBT_ASSERT(edge_len.size() == static_cast<std::size_t>(topo.NumNodes()));
+  LUBT_ASSERT(locations.size() == static_cast<std::size_t>(topo.NumNodes()));
+  std::vector<RealizedEdge> out;
+  out.reserve(static_cast<std::size_t>(topo.NumEdges()));
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    const NodeId p = topo.Parent(v);
+    if (p == kInvalidNode) continue;
+    RealizedEdge edge;
+    edge.node = v;
+    edge.assigned_length = edge_len[static_cast<std::size_t>(v)];
+    const Point& from = locations[static_cast<std::size_t>(p)];
+    const Point& to = locations[static_cast<std::size_t>(v)];
+    edge.physical_distance = ManhattanDist(from, to);
+    edge.snake_length =
+        std::max(0.0, edge.assigned_length - edge.physical_distance);
+    edge.segments = SnakedRoute(from, to, edge.snake_length, fold_pitch);
+    out.push_back(std::move(edge));
+  }
+  return out;
+}
+
+double RealizedWirelength(std::span<const RealizedEdge> edges) {
+  double total = 0.0;
+  for (const RealizedEdge& e : edges) total += TotalLength(e.segments);
+  return total;
+}
+
+}  // namespace lubt

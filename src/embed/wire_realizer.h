@@ -1,0 +1,42 @@
+// Rectilinear wire realization.
+//
+// Turns an embedded tree (locations + assigned edge lengths) into physical
+// rectilinear wiring: every edge becomes an L-route from parent to child,
+// plus a serpentine detour when the assigned length exceeds the physical
+// distance (wire elongation / snaking, which the paper's model explicitly
+// allows). The realized wirelength of every edge equals its assigned length
+// exactly, so linear delays of the realized layout match the LP solution.
+
+#ifndef LUBT_EMBED_WIRE_REALIZER_H_
+#define LUBT_EMBED_WIRE_REALIZER_H_
+
+#include <span>
+#include <vector>
+
+#include "embed/placer.h"
+#include "geom/segment.h"
+
+namespace lubt {
+
+/// Physical wiring of one tree edge.
+struct RealizedEdge {
+  NodeId node = kInvalidNode;            ///< child node identifying the edge
+  std::vector<WireSegment> segments;     ///< rectilinear pieces
+  double assigned_length = 0.0;          ///< LP-assigned edge length
+  double physical_distance = 0.0;        ///< L1 dist(child, parent)
+  double snake_length = 0.0;             ///< elongation realized as snaking
+};
+
+/// Realize every edge of an embedded tree. `fold_pitch` is forwarded to
+/// SnakedRoute (0 = one deep fold).
+std::vector<RealizedEdge> RealizeWires(const Topology& topo,
+                                       std::span<const double> edge_len,
+                                       std::span<const Point> locations,
+                                       double fold_pitch = 0.0);
+
+/// Total wirelength of a realization (== sum of assigned lengths).
+double RealizedWirelength(std::span<const RealizedEdge> edges);
+
+}  // namespace lubt
+
+#endif  // LUBT_EMBED_WIRE_REALIZER_H_

@@ -1,0 +1,77 @@
+#include "geom/bbox.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace lubt {
+
+BBox::BBox(const Point& lo, const Point& hi) : empty_(false), lo_(lo), hi_(hi) {
+  LUBT_ASSERT(lo.x <= hi.x && lo.y <= hi.y);
+}
+
+BBox BBox::Around(std::span<const Point> points) {
+  BBox box;
+  for (const Point& p : points) box.Expand(p);
+  return box;
+}
+
+void BBox::Expand(const Point& p) {
+  if (empty_) {
+    lo_ = hi_ = p;
+    empty_ = false;
+    return;
+  }
+  lo_.x = std::min(lo_.x, p.x);
+  lo_.y = std::min(lo_.y, p.y);
+  hi_.x = std::max(hi_.x, p.x);
+  hi_.y = std::max(hi_.y, p.y);
+}
+
+void BBox::Expand(const BBox& other) {
+  if (other.empty_) return;
+  Expand(other.lo_);
+  Expand(other.hi_);
+}
+
+BBox BBox::Inflated(double margin) const {
+  LUBT_ASSERT(margin >= 0.0);
+  if (empty_) return BBox();
+  return BBox({lo_.x - margin, lo_.y - margin},
+              {hi_.x + margin, hi_.y + margin});
+}
+
+const Point& BBox::Lo() const {
+  LUBT_ASSERT(!empty_);
+  return lo_;
+}
+
+const Point& BBox::Hi() const {
+  LUBT_ASSERT(!empty_);
+  return hi_;
+}
+
+Point BBox::Center() const {
+  LUBT_ASSERT(!empty_);
+  return {0.5 * (lo_.x + hi_.x), 0.5 * (lo_.y + hi_.y)};
+}
+
+double BBox::Width() const {
+  LUBT_ASSERT(!empty_);
+  return hi_.x - lo_.x;
+}
+
+double BBox::Height() const {
+  LUBT_ASSERT(!empty_);
+  return hi_.y - lo_.y;
+}
+
+double BBox::HalfPerimeter() const { return Width() + Height(); }
+
+bool BBox::Contains(const Point& p, double tol) const {
+  if (empty_) return false;
+  return p.x >= lo_.x - tol && p.x <= hi_.x + tol && p.y >= lo_.y - tol &&
+         p.y <= hi_.y + tol;
+}
+
+}  // namespace lubt

@@ -1,0 +1,55 @@
+// Axis-aligned bounding boxes in layout (x, y) coordinates.
+//
+// Used by the benchmark generators (die extents), the SVG exporter
+// (viewport fitting) and the topology generators (geometric bipartition).
+
+#ifndef LUBT_GEOM_BBOX_H_
+#define LUBT_GEOM_BBOX_H_
+
+#include <span>
+
+#include "geom/point.h"
+
+namespace lubt {
+
+/// Axis-aligned rectangle; empty until the first Expand().
+class BBox {
+ public:
+  BBox() = default;
+
+  /// Box spanning the two corner points.
+  BBox(const Point& lo, const Point& hi);
+
+  /// Tight box around a point set (empty box for an empty span).
+  static BBox Around(std::span<const Point> points);
+
+  bool IsEmpty() const { return empty_; }
+
+  /// Grow to include p.
+  void Expand(const Point& p);
+
+  /// Grow to include another box.
+  void Expand(const BBox& other);
+
+  /// Grow outward by margin >= 0 on all sides (no-op on empty).
+  BBox Inflated(double margin) const;
+
+  const Point& Lo() const;
+  const Point& Hi() const;
+  Point Center() const;
+  double Width() const;
+  double Height() const;
+  /// Half the Manhattan diameter of the box.
+  double HalfPerimeter() const;
+
+  bool Contains(const Point& p, double tol = 0.0) const;
+
+ private:
+  bool empty_ = true;
+  Point lo_{0.0, 0.0};
+  Point hi_{0.0, 0.0};
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_GEOM_BBOX_H_

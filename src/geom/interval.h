@@ -1,0 +1,83 @@
+// Closed real intervals with an explicit empty state.
+//
+// Intervals are the 1-D building block of TRR arithmetic: a TRR is the
+// product of a u-interval and a v-interval, and every TRR operation in the
+// paper (intersection, inflation, distance, the Helly argument of
+// Lemma 10.1) decomposes into the per-axis interval operation.
+
+#ifndef LUBT_GEOM_INTERVAL_H_
+#define LUBT_GEOM_INTERVAL_H_
+
+#include <algorithm>
+#include <ostream>
+
+namespace lubt {
+
+/// A closed interval [lo, hi]; empty iff lo > hi.
+struct Interval {
+  double lo = 1.0;
+  double hi = -1.0;  // default-constructed interval is empty
+
+  /// The degenerate interval {x}.
+  static Interval Singleton(double x) { return {x, x}; }
+
+  /// The canonical empty interval.
+  static Interval Empty() { return {1.0, -1.0}; }
+
+  bool IsEmpty() const { return lo > hi; }
+  double Length() const { return IsEmpty() ? 0.0 : hi - lo; }
+  double Center() const { return 0.5 * (lo + hi); }
+
+  bool Contains(double x, double tol = 0.0) const {
+    return !IsEmpty() && x >= lo - tol && x <= hi + tol;
+  }
+
+  /// True if `other` lies inside this interval (empty is inside everything).
+  bool Contains(const Interval& other, double tol = 0.0) const {
+    if (other.IsEmpty()) return true;
+    return !IsEmpty() && other.lo >= lo - tol && other.hi <= hi + tol;
+  }
+
+  /// Nearest point of the interval to x; requires non-empty.
+  double Clamp(double x) const { return std::min(std::max(x, lo), hi); }
+
+  /// Distance from x to the interval (0 if inside); requires non-empty.
+  double DistTo(double x) const {
+    if (x < lo) return lo - x;
+    if (x > hi) return x - hi;
+    return 0.0;
+  }
+
+  /// Grow by r >= 0 on both ends. Empty stays empty.
+  Interval Inflate(double r) const {
+    if (IsEmpty()) return Empty();
+    return {lo - r, hi + r};
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    if (a.IsEmpty() && b.IsEmpty()) return true;
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// Intersection; empty if disjoint.
+inline Interval Intersect(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  Interval r{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  return r.IsEmpty() ? Interval::Empty() : r;
+}
+
+/// Gap between two non-empty intervals (0 when they touch/overlap).
+inline double IntervalGap(const Interval& a, const Interval& b) {
+  const double g = std::max(b.lo - a.hi, a.lo - b.hi);
+  return g > 0.0 ? g : 0.0;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& itv) {
+  if (itv.IsEmpty()) return os << "[empty]";
+  return os << '[' << itv.lo << ", " << itv.hi << ']';
+}
+
+}  // namespace lubt
+
+#endif  // LUBT_GEOM_INTERVAL_H_

@@ -1,0 +1,80 @@
+// Points in the Manhattan (L1) plane and their diagonal-coordinate twins.
+//
+// The whole embedding machinery of the paper (tilted rectangular regions,
+// their intersections, inflations and distances — Section 5 and the Appendix)
+// becomes plain interval arithmetic after the 45-degree change of variables
+//
+//     u = x + y,   v = y - x
+//
+// because the L1 distance in (x, y) equals the Chebyshev (L-infinity)
+// distance in (u, v), and every TRR is an axis-aligned rectangle in (u, v).
+// Both representations are kept as distinct value types so conversions are
+// explicit and cannot be mixed up.
+
+#ifndef LUBT_GEOM_POINT_H_
+#define LUBT_GEOM_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace lubt {
+
+struct DiagPoint;
+
+/// A point in ordinary (x, y) coordinates.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// The same plane in diagonal coordinates (u = x+y, v = y-x).
+struct DiagPoint {
+  double u = 0.0;
+  double v = 0.0;
+
+  friend bool operator==(const DiagPoint& a, const DiagPoint& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+};
+
+/// (x, y) -> (u, v).
+inline DiagPoint ToDiag(const Point& p) { return {p.x + p.y, p.y - p.x}; }
+
+/// (u, v) -> (x, y).
+inline Point FromDiag(const DiagPoint& d) {
+  return {(d.u - d.v) * 0.5, (d.u + d.v) * 0.5};
+}
+
+/// Manhattan distance |dx| + |dy|.
+inline double ManhattanDist(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Chebyshev distance max(|du|, |dv|); equals ManhattanDist of the preimages.
+inline double ChebyshevDist(const DiagPoint& a, const DiagPoint& b) {
+  return std::max(std::abs(a.u - b.u), std::abs(a.v - b.v));
+}
+
+/// Euclidean distance; used only to demonstrate Section 4.7 (EBF is *not*
+/// valid in the Euclidean metric).
+inline double EuclideanDist(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+inline std::ostream& operator<<(std::ostream& os, const DiagPoint& p) {
+  return os << "[u=" << p.u << ", v=" << p.v << ']';
+}
+
+}  // namespace lubt
+
+#endif  // LUBT_GEOM_POINT_H_

@@ -1,0 +1,53 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace lubt {
+
+std::vector<WireSegment> LRoute(const Point& from, const Point& to) {
+  std::vector<WireSegment> out;
+  if (from == to) return out;
+  const Point corner{to.x, from.y};
+  if (from.x != to.x) out.push_back({from, corner});
+  if (from.y != to.y) out.push_back({corner, to});
+  return out;
+}
+
+std::vector<WireSegment> SnakedRoute(const Point& from, const Point& to,
+                                     double extra, double fold_pitch) {
+  LUBT_ASSERT(extra >= -1e-9);
+  extra = std::max(extra, 0.0);
+  if (extra == 0.0) return LRoute(from, to);
+
+  // Serpentine: go perpendicular by extra/2 and come back, then L-route.
+  // Each fold adds 2 * amplitude of wire. With a positive fold pitch the
+  // snake is split into several shallower folds stacked along x.
+  std::vector<WireSegment> out;
+  double remaining = extra;
+  Point cur = from;
+  const double amplitude_cap =
+      fold_pitch > 0.0 ? fold_pitch : extra * 0.5;  // one deep fold by default
+  int direction = 1;
+  while (remaining > 1e-12) {
+    const double amp = std::min(remaining * 0.5, amplitude_cap);
+    const Point up{cur.x, cur.y + direction * amp};
+    out.push_back({cur, up});
+    out.push_back({up, cur});
+    remaining -= 2.0 * amp;
+    direction = -direction;
+  }
+  auto tail = LRoute(cur, to);
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+double TotalLength(const std::vector<WireSegment>& segments) {
+  double total = 0.0;
+  for (const auto& s : segments) total += s.Length();
+  return total;
+}
+
+}  // namespace lubt

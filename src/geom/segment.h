@@ -1,0 +1,47 @@
+// Rectilinear wire segments and L-shaped routes.
+//
+// The LP determines abstract edge *lengths*; the embedder then has to lay
+// each edge down as rectilinear wire. A tight edge becomes an L-route (two
+// axis-parallel segments); an elongated edge additionally carries snaking
+// length. These helpers produce the polyline realization used by the SVG
+// exporter and by the wirelength cross-check in the verifier.
+
+#ifndef LUBT_GEOM_SEGMENT_H_
+#define LUBT_GEOM_SEGMENT_H_
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace lubt {
+
+/// A straight axis-parallel wire piece.
+struct WireSegment {
+  Point a;
+  Point b;
+
+  /// Manhattan length (segments are axis-parallel so this is exact wire).
+  double Length() const { return ManhattanDist(a, b); }
+
+  /// True if the segment is horizontal or vertical (or degenerate).
+  bool IsRectilinear() const { return a.x == b.x || a.y == b.y; }
+};
+
+/// L-shaped route from `from` to `to`, horizontal leg first.
+/// Returns 0, 1 or 2 segments (0 when the points coincide).
+std::vector<WireSegment> LRoute(const Point& from, const Point& to);
+
+/// A route from `from` to `to` with total wirelength exactly
+/// ManhattanDist(from, to) + extra, realized as an L-route plus a
+/// serpentine detour (trombone) of length `extra` inserted near `from`.
+/// `extra` must be >= 0. The serpentine fold pitch controls how tight the
+/// snake folds are; it only affects aesthetics of exported layouts.
+std::vector<WireSegment> SnakedRoute(const Point& from, const Point& to,
+                                     double extra, double fold_pitch = 0.0);
+
+/// Total Manhattan length of a polyline of segments.
+double TotalLength(const std::vector<WireSegment>& segments);
+
+}  // namespace lubt
+
+#endif  // LUBT_GEOM_SEGMENT_H_

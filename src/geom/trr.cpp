@@ -1,0 +1,111 @@
+#include "geom/trr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace lubt {
+
+Trr::Trr(Interval u, Interval v) : u_(u), v_(v) {
+  if (u_.IsEmpty() || v_.IsEmpty()) {
+    u_ = Interval::Empty();
+    v_ = Interval::Empty();
+  }
+}
+
+Trr Trr::FromPoint(const Point& p) {
+  const DiagPoint d = ToDiag(p);
+  return Trr(Interval::Singleton(d.u), Interval::Singleton(d.v));
+}
+
+Trr Trr::Square(const Point& center, double radius) {
+  LUBT_ASSERT(radius >= 0.0);
+  const DiagPoint d = ToDiag(center);
+  return Trr({d.u - radius, d.u + radius}, {d.v - radius, d.v + radius});
+}
+
+bool Trr::IsPoint() const {
+  return !IsEmpty() && u_.Length() == 0.0 && v_.Length() == 0.0;
+}
+
+bool Trr::IsSegment() const {
+  return !IsEmpty() && (u_.Length() == 0.0 || v_.Length() == 0.0);
+}
+
+Point Trr::Center() const {
+  LUBT_ASSERT(!IsEmpty());
+  return FromDiag({u_.Center(), v_.Center()});
+}
+
+double Trr::Width() const {
+  LUBT_ASSERT(!IsEmpty());
+  constexpr double kInvSqrt2 = 0.70710678118654752440;
+  return std::min(u_.Length(), v_.Length()) * kInvSqrt2;
+}
+
+bool Trr::Contains(const Point& p, double tol) const {
+  if (IsEmpty()) return false;
+  const DiagPoint d = ToDiag(p);
+  return u_.Contains(d.u, tol) && v_.Contains(d.v, tol);
+}
+
+bool Trr::Contains(const Trr& other, double tol) const {
+  if (other.IsEmpty()) return true;
+  if (IsEmpty()) return false;
+  return u_.Contains(other.u_, tol) && v_.Contains(other.v_, tol);
+}
+
+Trr Trr::Inflate(double r) const {
+  LUBT_ASSERT(r >= 0.0);
+  if (IsEmpty()) return Empty();
+  return Trr(u_.Inflate(r), v_.Inflate(r));
+}
+
+Point Trr::ClosestTo(const Point& p) const {
+  LUBT_ASSERT(!IsEmpty());
+  const DiagPoint d = ToDiag(p);
+  return FromDiag({u_.Clamp(d.u), v_.Clamp(d.v)});
+}
+
+double Trr::DistTo(const Point& p) const {
+  LUBT_ASSERT(!IsEmpty());
+  const DiagPoint d = ToDiag(p);
+  // L1 distance in (x,y) is L-infinity in (u,v): the larger per-axis gap.
+  return std::max(u_.DistTo(d.u), v_.DistTo(d.v));
+}
+
+Trr Intersect(const Trr& a, const Trr& b) {
+  return Trr(Intersect(a.U(), b.U()), Intersect(a.V(), b.V()));
+}
+
+Trr IntersectAll(std::span<const Trr> regions) {
+  if (regions.empty()) return Trr::Empty();
+  Trr acc = regions[0];
+  for (std::size_t i = 1; i < regions.size(); ++i) {
+    acc = Intersect(acc, regions[i]);
+    if (acc.IsEmpty()) return Trr::Empty();
+  }
+  return acc;
+}
+
+double TrrDist(const Trr& a, const Trr& b) {
+  LUBT_ASSERT(!a.IsEmpty() && !b.IsEmpty());
+  return std::max(IntervalGap(a.U(), b.U()), IntervalGap(a.V(), b.V()));
+}
+
+bool PairwiseIntersecting(std::span<const Trr> regions, double tol) {
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      if (TrrDist(regions[i], regions[j]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Trr& trr) {
+  if (trr.IsEmpty()) return os << "Trr{empty}";
+  return os << "Trr{u=" << trr.U() << ", v=" << trr.V() << '}';
+}
+
+}  // namespace lubt

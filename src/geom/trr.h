@@ -1,0 +1,111 @@
+// Tilted Rectangular Regions (TRRs) — Section 5 of the paper.
+//
+// A TRR is a rectangle rotated 45 degrees relative to the layout axes: the
+// locus of points within a Manhattan-ball-like region. Representing TRRs in
+// diagonal coordinates (u = x+y, v = y-x) turns them into axis-aligned boxes
+// and the three operations the paper needs into interval arithmetic:
+//
+//   * TRR(R, r)      — all points within L1 distance r of R  = per-axis
+//                      inflation by r (Figure 5-b),
+//   * intersection   — per-axis interval intersection (Figure 5-c),
+//   * dist(R1, R2)   — max of the per-axis interval gaps.
+//
+// The Helly property (Lemma 10.1: pairwise-intersecting TRRs share a common
+// point) follows from the 1-D Helly theorem applied to each axis; it is what
+// makes the LP's Steiner constraints *sufficient* for embeddability
+// (Theorem 4.1).
+
+#ifndef LUBT_GEOM_TRR_H_
+#define LUBT_GEOM_TRR_H_
+
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "geom/interval.h"
+#include "geom/point.h"
+
+namespace lubt {
+
+/// A TRR as a box in diagonal coordinates. Degenerate widths (segments,
+/// single points) are ordinary members of the type, as in the paper.
+class Trr {
+ public:
+  /// Default: the empty region.
+  Trr() = default;
+
+  /// Construct from diagonal-coordinate intervals.
+  Trr(Interval u, Interval v);
+
+  /// The singleton region {p}.
+  static Trr FromPoint(const Point& p);
+
+  /// Square TRR: all points within L1 distance `radius` of `center`
+  /// (the Manhattan "circle").
+  static Trr Square(const Point& center, double radius);
+
+  /// The canonical empty region.
+  static Trr Empty() { return Trr(); }
+
+  bool IsEmpty() const { return u_.IsEmpty() || v_.IsEmpty(); }
+
+  /// True when the region is a single point.
+  bool IsPoint() const;
+
+  /// True when the region has zero area (segment or point).
+  bool IsSegment() const;
+
+  const Interval& U() const { return u_; }
+  const Interval& V() const { return v_; }
+
+  /// Geometric center (requires non-empty).
+  Point Center() const;
+
+  /// Side lengths in layout units: the tilted rectangle's two side lengths
+  /// are Length(u)/sqrt(2) and Length(v)/sqrt(2); the paper's "width" is the
+  /// smaller of the two. Requires non-empty.
+  double Width() const;
+
+  /// Membership with tolerance (L-infinity in diagonal coordinates, i.e.
+  /// tolerance measured as Manhattan slack).
+  bool Contains(const Point& p, double tol = 0.0) const;
+
+  /// Whole-region containment.
+  bool Contains(const Trr& other, double tol = 0.0) const;
+
+  /// All points within L1 distance r >= 0 of this region (paper: TRR(R, r)).
+  Trr Inflate(double r) const;
+
+  /// Nearest point of the region to `p` in L1; requires non-empty.
+  Point ClosestTo(const Point& p) const;
+
+  /// L1 distance from p to the region (0 if inside); requires non-empty.
+  double DistTo(const Point& p) const;
+
+  friend bool operator==(const Trr& a, const Trr& b) {
+    if (a.IsEmpty() && b.IsEmpty()) return true;
+    return a.u_ == b.u_ && a.v_ == b.v_;
+  }
+
+ private:
+  Interval u_ = Interval::Empty();
+  Interval v_ = Interval::Empty();
+};
+
+/// Intersection of two TRRs (always a TRR — Figure 5-c).
+Trr Intersect(const Trr& a, const Trr& b);
+
+/// Intersection of many TRRs.
+Trr IntersectAll(std::span<const Trr> regions);
+
+/// Minimum L1 distance between two non-empty TRRs (0 when they intersect).
+double TrrDist(const Trr& a, const Trr& b);
+
+/// Check Lemma 10.1's hypothesis: do all pairs intersect (with tolerance)?
+bool PairwiseIntersecting(std::span<const Trr> regions, double tol = 0.0);
+
+std::ostream& operator<<(std::ostream& os, const Trr& trr);
+
+}  // namespace lubt
+
+#endif  // LUBT_GEOM_TRR_H_

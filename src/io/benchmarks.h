@@ -1,0 +1,53 @@
+// Synthetic stand-ins for the paper's benchmark instances.
+//
+// The paper evaluates on prim1/prim2 (Jackson-Srinivasan-Kuh, DAC'90) and
+// r1/r3 (Tsay, ICCAD'91). Those coordinate files are not distributable and
+// are unavailable offline, so — per the substitution policy in DESIGN.md —
+// this module generates deterministic synthetic instances with the same
+// sink cardinalities, die extents chosen so the resulting cost magnitudes
+// land near the paper's reported numbers, and the source at the die center.
+// Every table/figure comparison is self-relative (baseline vs LUBT on the
+// identical instance), so the reproduced *shapes* do not depend on the
+// exact coordinates.
+
+#ifndef LUBT_IO_BENCHMARKS_H_
+#define LUBT_IO_BENCHMARKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "io/sink_set.h"
+
+namespace lubt {
+
+/// The paper's benchmark identities.
+enum class BenchmarkId { kPrim1, kPrim2, kR1, kR3 };
+
+const char* BenchmarkName(BenchmarkId id);
+
+/// Sink count of the original benchmark (prim1: 269, prim2: 603,
+/// r1: 267, r3: 862).
+int BenchmarkSinkCount(BenchmarkId id);
+
+/// Generate the synthetic stand-in. `scale` in (0, 1] subsamples the sink
+/// count for quick runs (>= 4 sinks kept). Deterministic per (id, scale).
+SinkSet MakeBenchmark(BenchmarkId id, double scale = 1.0);
+
+/// All four benchmarks.
+std::vector<BenchmarkId> AllBenchmarks();
+
+/// A uniform random instance: `num_sinks` sinks in `die`, optional centered
+/// source. Deterministic per seed.
+SinkSet RandomSinkSet(int num_sinks, const BBox& die, std::uint64_t seed,
+                      bool with_source);
+
+/// A clustered instance (sinks around `num_clusters` random centers),
+/// exercising non-uniform spatial distributions. Deterministic per seed.
+SinkSet ClusteredSinkSet(int num_sinks, int num_clusters, const BBox& die,
+                         std::uint64_t seed, bool with_source);
+
+}  // namespace lubt
+
+#endif  // LUBT_IO_BENCHMARKS_H_

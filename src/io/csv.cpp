@@ -1,0 +1,17 @@
+#include "io/csv.h"
+
+#include <fstream>
+
+namespace lubt {
+
+Status WriteCsv(const TextTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot write " + path);
+  }
+  out << table.ToCsv();
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed for " + path);
+}
+
+}  // namespace lubt

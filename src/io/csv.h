@@ -1,0 +1,19 @@
+// CSV result emission helpers shared by the bench harness.
+
+#ifndef LUBT_IO_CSV_H_
+#define LUBT_IO_CSV_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "util/table.h"
+
+namespace lubt {
+
+/// Write a TextTable's CSV form next to the bench's stdout output.
+/// Returns the status of the write (benches warn but continue on failure).
+Status WriteCsv(const TextTable& table, const std::string& path);
+
+}  // namespace lubt
+
+#endif  // LUBT_IO_CSV_H_

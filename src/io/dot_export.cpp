@@ -1,0 +1,35 @@
+#include "io/dot_export.h"
+
+#include <sstream>
+
+namespace lubt {
+
+std::string TopologyToDot(const Topology& topo,
+                          std::span<const double> edge_len) {
+  std::ostringstream os;
+  os << "digraph lubt {\n  rankdir=TB;\n";
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    os << "  n" << v;
+    if (topo.IsSinkNode(v)) {
+      os << " [shape=box, label=\"s" << topo.SinkIndex(v) << "\"]";
+    } else if (v == topo.Root()) {
+      os << " [shape=doublecircle, label=\"root\"]";
+    } else {
+      os << " [shape=circle, label=\"\"]";
+    }
+    os << ";\n";
+  }
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    const NodeId p = topo.Parent(v);
+    if (p == kInvalidNode) continue;
+    os << "  n" << p << " -> n" << v;
+    if (!edge_len.empty()) {
+      os << " [label=\"" << edge_len[static_cast<std::size_t>(v)] << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lubt

@@ -1,0 +1,20 @@
+// Graphviz DOT export of topologies for debugging and documentation.
+
+#ifndef LUBT_IO_DOT_EXPORT_H_
+#define LUBT_IO_DOT_EXPORT_H_
+
+#include <span>
+#include <string>
+
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Render a topology as a DOT digraph. When `edge_len` is non-empty, edges
+/// are labelled with their lengths.
+std::string TopologyToDot(const Topology& topo,
+                          std::span<const double> edge_len = {});
+
+}  // namespace lubt
+
+#endif  // LUBT_IO_DOT_EXPORT_H_

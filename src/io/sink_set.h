@@ -1,0 +1,39 @@
+// Sink-set instances and their text format.
+//
+// Format (one record per line, '#' comments):
+//   name <identifier>
+//   source <x> <y>        (optional; at most one)
+//   sink <x> <y>          (one per sink, order defines sink indices)
+
+#ifndef LUBT_IO_SINK_SET_H_
+#define LUBT_IO_SINK_SET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+namespace lubt {
+
+/// One routing instance: named sinks plus an optional clock source.
+struct SinkSet {
+  std::string name;
+  std::vector<Point> sinks;
+  std::optional<Point> source;
+};
+
+/// Parse the text format; fails on malformed lines or zero sinks.
+Result<SinkSet> ParseSinkSet(const std::string& text);
+
+/// Serialize to the text format.
+std::string FormatSinkSet(const SinkSet& set);
+
+/// Load/store from/to a file path.
+Result<SinkSet> LoadSinkSet(const std::string& path);
+Status StoreSinkSet(const SinkSet& set, const std::string& path);
+
+}  // namespace lubt
+
+#endif  // LUBT_IO_SINK_SET_H_

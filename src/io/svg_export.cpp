@@ -1,0 +1,120 @@
+#include "io/svg_export.h"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "geom/bbox.h"
+
+namespace lubt {
+
+std::string EmbeddingToSvg(const Topology& topo, std::span<const Point> sinks,
+                           std::span<const Point> locations,
+                           std::span<const RealizedEdge> wires,
+                           double canvas_px) {
+  BBox box = BBox::Around(locations);
+  for (const RealizedEdge& e : wires) {
+    for (const WireSegment& s : e.segments) {
+      box.Expand(s.a);
+      box.Expand(s.b);
+    }
+  }
+  if (box.IsEmpty()) box = BBox({0, 0}, {1, 1});
+  box = box.Inflated(0.03 * (box.Width() + box.Height() + 1.0));
+  const double span = std::max({box.Width(), box.Height(), 1e-12});
+  const double k = canvas_px / span;
+  auto X = [&](double x) { return (x - box.Lo().x) * k; };
+  // SVG y grows downward; flip for conventional orientation.
+  auto Y = [&](double y) { return (box.Hi().y - y) * k; };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << box.Width() * k << "\" height=\"" << box.Height() * k << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const RealizedEdge& e : wires) {
+    for (const WireSegment& s : e.segments) {
+      os << "<line x1=\"" << X(s.a.x) << "\" y1=\"" << Y(s.a.y) << "\" x2=\""
+         << X(s.b.x) << "\" y2=\"" << Y(s.b.y)
+         << "\" stroke=\"#3366aa\" stroke-width=\"1\"/>\n";
+    }
+  }
+  const double r = std::max(2.0, canvas_px * 0.004);
+  for (const Point& s : sinks) {
+    os << "<circle cx=\"" << X(s.x) << "\" cy=\"" << Y(s.y) << "\" r=\"" << r
+       << "\" fill=\"#cc3333\"/>\n";
+  }
+  if (topo.HasRoot()) {
+    const Point& root = locations[static_cast<std::size_t>(topo.Root())];
+    os << "<rect x=\"" << X(root.x) - 1.5 * r << "\" y=\"" << Y(root.y) - 1.5 * r
+       << "\" width=\"" << 3 * r << "\" height=\"" << 3 * r
+       << "\" fill=\"#228833\"/>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string RegionsToSvg(std::span<const SvgRegion> regions,
+                         std::span<const Point> sinks,
+                         const std::optional<Point>& source,
+                         double canvas_px) {
+  // Corners of a TRR in layout coordinates (diagonal box corners mapped
+  // back through FromDiag).
+  auto corners = [](const Trr& t) {
+    return std::array<Point, 4>{
+        FromDiag({t.U().lo, t.V().lo}), FromDiag({t.U().lo, t.V().hi}),
+        FromDiag({t.U().hi, t.V().hi}), FromDiag({t.U().hi, t.V().lo})};
+  };
+
+  BBox box = BBox::Around(sinks);
+  if (source.has_value()) box.Expand(*source);
+  for (const SvgRegion& r : regions) {
+    if (r.region.IsEmpty()) continue;
+    for (const Point& c : corners(r.region)) box.Expand(c);
+  }
+  if (box.IsEmpty()) box = BBox({0, 0}, {1, 1});
+  box = box.Inflated(0.05 * (box.Width() + box.Height() + 1.0));
+  const double span = std::max({box.Width(), box.Height(), 1e-12});
+  const double k = canvas_px / span;
+  auto X = [&](double x) { return (x - box.Lo().x) * k; };
+  auto Y = [&](double y) { return (box.Hi().y - y) * k; };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << box.Width() * k << "\" height=\"" << box.Height() * k << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const SvgRegion& r : regions) {
+    if (r.region.IsEmpty()) continue;
+    os << "<polygon points=\"";
+    for (const Point& c : corners(r.region)) {
+      os << X(c.x) << ',' << Y(c.y) << ' ';
+    }
+    os << "\" fill=\"" << r.fill
+       << "\" fill-opacity=\"0.25\" stroke=\"" << r.fill
+       << "\" stroke-width=\"1\"/>\n";
+  }
+  const double rad = std::max(2.0, canvas_px * 0.004);
+  for (const Point& s : sinks) {
+    os << "<circle cx=\"" << X(s.x) << "\" cy=\"" << Y(s.y) << "\" r=\"" << rad
+       << "\" fill=\"#cc3333\"/>\n";
+  }
+  if (source.has_value()) {
+    os << "<rect x=\"" << X(source->x) - 1.5 * rad << "\" y=\""
+       << Y(source->y) - 1.5 * rad << "\" width=\"" << 3 * rad
+       << "\" height=\"" << 3 * rad << "\" fill=\"#228833\"/>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot write " + path);
+  }
+  out << content;
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed for " + path);
+}
+
+}  // namespace lubt

@@ -1,0 +1,43 @@
+// SVG export of embedded trees (wires, sinks, source, Steiner points).
+//
+// Used by the examples to produce inspectable layouts; snaked elongations
+// are drawn as actual serpentines so the rendered wirelength visually
+// matches the assigned lengths.
+
+#ifndef LUBT_IO_SVG_EXPORT_H_
+#define LUBT_IO_SVG_EXPORT_H_
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "embed/wire_realizer.h"
+#include "geom/trr.h"
+
+namespace lubt {
+
+/// Render an embedded, realized tree as an SVG document.
+std::string EmbeddingToSvg(const Topology& topo, std::span<const Point> sinks,
+                           std::span<const Point> locations,
+                           std::span<const RealizedEdge> wires,
+                           double canvas_px = 800.0);
+
+/// One tinted region overlay for RegionsToSvg.
+struct SvgRegion {
+  Trr region;
+  std::string fill = "#88aaff";  ///< CSS color; drawn at low opacity
+};
+
+/// Render feasible regions (tilted rectangles), the sinks and an optional
+/// source marker — the Section 5 bottom-up construction made visible.
+std::string RegionsToSvg(std::span<const SvgRegion> regions,
+                         std::span<const Point> sinks,
+                         const std::optional<Point>& source,
+                         double canvas_px = 800.0);
+
+/// Write an SVG string to a file.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace lubt
+
+#endif  // LUBT_IO_SVG_EXPORT_H_

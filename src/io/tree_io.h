@@ -1,0 +1,46 @@
+// Persisting solved trees (topology + edge lengths + placement).
+//
+// Text format, one record per line ('#' comments):
+//   tree v1
+//   mode fixed|free
+//   node <id> <left|-1> <right|-1> <sink|-1>      (ids ascend, parents last)
+//   root <id>
+//   edge <id> <length>
+//   loc  <id> <x> <y>
+//
+// Node ids must satisfy the library-wide invariant that children precede
+// their parents (all built-in constructions do); the loader re-creates the
+// arena with identical ids and validates the result.
+
+#ifndef LUBT_IO_TREE_IO_H_
+#define LUBT_IO_TREE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "topo/topology.h"
+#include "util/status.h"
+
+namespace lubt {
+
+/// A solved and embedded tree.
+struct TreeSolution {
+  Topology topo;
+  std::vector<double> edge_len;   ///< by node id (root entry 0)
+  std::vector<Point> locations;   ///< by node id; empty if not embedded
+};
+
+/// Serialize to the text format.
+std::string FormatTreeSolution(const TreeSolution& tree);
+
+/// Parse the text format; validates structure and arity.
+Result<TreeSolution> ParseTreeSolution(const std::string& text);
+
+/// File convenience wrappers.
+Status StoreTreeSolution(const TreeSolution& tree, const std::string& path);
+Result<TreeSolution> LoadTreeSolution(const std::string& path);
+
+}  // namespace lubt
+
+#endif  // LUBT_IO_TREE_IO_H_

@@ -1,0 +1,459 @@
+#include "lp/interior_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace lubt {
+namespace {
+
+// A in row-major sparse form with every row meaning  a' x >= b.
+struct GeForm {
+  std::vector<SparseRow> rows;  // lo field holds b; hi unused
+  int num_cols = 0;
+};
+
+GeForm BuildGeForm(const LpModel& model) {
+  GeForm ge;
+  ge.num_cols = model.NumCols();
+  // Rows are equilibrated to unit L2 norm: EBF delay rows over deep
+  // topologies carry hundreds of unit entries while Steiner rows carry a
+  // handful, and the norm mismatch stalls the interior-point iteration.
+  // Scaling a row rescales only its dual, which we do not report.
+  auto push_scaled = [&ge](const SparseRow& row, double sign, double rhs) {
+    double norm2 = 0.0;
+    for (double v : row.value) norm2 += v * v;
+    const double s = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 1.0;
+    SparseRow r;
+    r.index = row.index;
+    r.value.reserve(row.value.size());
+    for (double v : row.value) r.value.push_back(sign * v * s);
+    r.lo = sign * rhs * s;
+    ge.rows.push_back(std::move(r));
+  };
+  for (const SparseRow& row : model.Rows()) {
+    if (std::isfinite(row.lo)) push_scaled(row, 1.0, row.lo);
+    if (std::isfinite(row.hi)) push_scaled(row, -1.0, row.hi);
+  }
+  return ge;
+}
+
+double InfNorm(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+// Dense lower-triangular Cholesky with diagonal regularization fallback.
+// Returns false if the matrix could not be factored even with regularization.
+class Cholesky {
+ public:
+  explicit Cholesky(int n) : n_(n), l_(static_cast<std::size_t>(n) * n) {}
+
+  bool Factor(const std::vector<double>& m) {
+    double reg = 0.0;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (TryFactor(m, reg)) return true;
+      double trace = 0.0;
+      for (int i = 0; i < n_; ++i) trace += m[Idx(i, i)];
+      const double base = std::max(trace / n_, 1.0) * 1e-12;
+      reg = reg == 0.0 ? base : reg * 1e4;
+    }
+    return false;
+  }
+
+  // Solve L L' x = b in place.
+  void Solve(std::vector<double>& b) const {
+    for (int i = 0; i < n_; ++i) {
+      double s = b[static_cast<std::size_t>(i)];
+      const double* li = &l_[Idx(i, 0)];
+      for (int k = 0; k < i; ++k) s -= li[k] * b[static_cast<std::size_t>(k)];
+      b[static_cast<std::size_t>(i)] = s / li[i];
+    }
+    for (int i = n_ - 1; i >= 0; --i) {
+      double s = b[static_cast<std::size_t>(i)];
+      for (int k = i + 1; k < n_; ++k) {
+        s -= l_[Idx(k, i)] * b[static_cast<std::size_t>(k)];
+      }
+      b[static_cast<std::size_t>(i)] = s / l_[Idx(i, i)];
+    }
+  }
+
+ private:
+  std::size_t Idx(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(c);
+  }
+
+  bool TryFactor(const std::vector<double>& m, double reg) {
+    for (int j = 0; j < n_; ++j) {
+      double d = m[Idx(j, j)] + reg;
+      const double* lj = &l_[Idx(j, 0)];
+      for (int k = 0; k < j; ++k) d -= lj[k] * lj[k];
+      if (!(d > 0.0) || !std::isfinite(d)) return false;
+      const double ljj = std::sqrt(d);
+      l_[Idx(j, j)] = ljj;
+      const double inv = 1.0 / ljj;
+      for (int i = j + 1; i < n_; ++i) {
+        double s = m[Idx(i, j)];
+        const double* li = &l_[Idx(i, 0)];
+        for (int k = 0; k < j; ++k) s -= li[k] * lj[k];
+        l_[Idx(i, j)] = s * inv;
+      }
+    }
+    return true;
+  }
+
+  int n_;
+  std::vector<double> l_;
+};
+
+class MehrotraSolver {
+ public:
+  MehrotraSolver(const GeForm& ge, std::span<const double> cost,
+                 const LpSolverOptions& options)
+      : ge_(ge),
+        c_(cost.begin(), cost.end()),
+        n_(ge.num_cols),
+        m_(static_cast<int>(ge.rows.size())),
+        tol_(options.tolerance),
+        max_iter_(options.max_iterations > 0 ? options.max_iterations : 200) {
+    b_.reserve(static_cast<std::size_t>(m_));
+    for (const SparseRow& row : ge_.rows) b_.push_back(row.lo);
+    bnorm_ = 1.0 + InfNorm(b_);
+    cnorm_ = 1.0 + InfNorm(c_);
+  }
+
+  LpSolution Run() {
+    LpSolution out;
+    InitPoint();
+
+    Cholesky chol(n_);
+    std::vector<double> normal(static_cast<std::size_t>(n_) *
+                               static_cast<std::size_t>(n_));
+
+    // Best (most converged) iterate seen; returned if full tolerance is out
+    // of floating-point reach for a large degenerate model.
+    double best_metric = kBigMetric;
+    std::vector<double> best_x;
+    // A point this converged is accepted when the iteration breaks down.
+    const double acceptable = std::max(2e-6, tol_ * 10.0);
+
+    for (int iter = 0; iter < max_iter_; ++iter) {
+      out.iterations = iter + 1;
+      ComputeResiduals();
+      const double mu = Mu();
+      const double rel_p = InfNorm(rp_) / bnorm_;
+      const double rel_d = InfNorm(rd_) / cnorm_;
+      const double pobj = Dot(c_, x_);
+      const double dobj = Dot(b_, y_);
+      const double rel_gap = std::abs(pobj - dobj) / (1.0 + std::abs(pobj));
+      LUBT_LOG_DEBUG << "ipm iter=" << iter << " mu=" << mu
+                     << " rp=" << rel_p << " rd=" << rel_d
+                     << " gap=" << rel_gap;
+      if (rel_p < tol_ && rel_d < tol_ && rel_gap < tol_) {
+        out.status = Status::Ok();
+        out.x = x_;
+        return out;
+      }
+      const double metric = std::max({rel_p, rel_d, rel_gap});
+      if (metric < best_metric) {
+        best_metric = metric;
+        best_x = x_;
+      } else if (metric > 100.0 * best_metric && best_metric < acceptable) {
+        // Numerical breakdown after effective convergence (common for very
+        // degenerate vertices): return the best point.
+        out.status = Status::Ok();
+        out.x = std::move(best_x);
+        return out;
+      }
+      // Divergence heuristics for infeasible / unbounded problems.
+      if (InfNorm(y_) > 1e11 * cnorm_ && rel_p > tol_) {
+        out.status = Status::Infeasible("dual iterates diverge");
+        return out;
+      }
+      if (InfNorm(x_) > 1e11 * bnorm_ && rel_gap > tol_) {
+        out.status = Status::Unbounded("primal iterates diverge");
+        return out;
+      }
+
+      // Assemble and factor the normal matrix
+      //   M = A' diag(y/w) A + diag(z/x).
+      BuildNormalMatrix(normal);
+      if (!chol.Factor(normal)) {
+        out.status = Status::NumericalFailure("Cholesky factorization failed");
+        return out;
+      }
+
+      // Predictor (affine) direction: sigma = 0.
+      SolveNewton(chol, /*sigma_mu=*/0.0, /*corrector=*/false);
+      const double ap_aff = std::min(1.0, StepLength(x_, dx_, w_, dw_));
+      const double ad_aff = std::min(1.0, StepLength(z_, dz_, y_, dy_));
+      double mu_aff = 0.0;
+      for (int j = 0; j < n_; ++j) {
+        mu_aff += (x_[j] + ap_aff * dx_[j]) * (z_[j] + ad_aff * dz_[j]);
+      }
+      for (int i = 0; i < m_; ++i) {
+        mu_aff += (w_[i] + ap_aff * dw_[i]) * (y_[i] + ad_aff * dy_[i]);
+      }
+      mu_aff /= (n_ + m_);
+      const double ratio = mu_aff / std::max(mu, 1e-300);
+      const double sigma = std::min(1.0, ratio * ratio * ratio);
+
+      // Corrector direction reuses the factorization.
+      dx_aff_ = dx_; dw_aff_ = dw_; dy_aff_ = dy_; dz_aff_ = dz_;
+      SolveNewton(chol, sigma * mu, /*corrector=*/true);
+
+      const double tau = std::min(0.99995, std::max(0.995, 1.0 - 0.1 * mu));
+      const double ap = std::min(1.0, tau * StepLength(x_, dx_, w_, dw_));
+      const double ad = std::min(1.0, tau * StepLength(z_, dz_, y_, dy_));
+      for (int j = 0; j < n_; ++j) {
+        x_[j] += ap * dx_[j];
+        z_[j] += ad * dz_[j];
+      }
+      for (int i = 0; i < m_; ++i) {
+        w_[i] += ap * dw_[i];
+        y_[i] += ad * dy_[i];
+      }
+    }
+
+    // Iteration cap: accept the best iterate if it effectively converged.
+    if (best_metric < acceptable) {
+      out.status = Status::Ok();
+      out.x = std::move(best_x);
+      return out;
+    }
+    ComputeResiduals();
+    const double rel_p = InfNorm(rp_) / bnorm_;
+    if (rel_p > acceptable && InfNorm(y_) > 1e6 * cnorm_) {
+      out.status = Status::Infeasible("residuals stalled, duals large");
+      return out;
+    }
+    out.status = Status::NumericalFailure("iteration limit reached");
+    return out;
+  }
+
+  static constexpr double kBigMetric = 1e300;
+
+ private:
+  static double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  }
+
+  void InitPoint() {
+    const double scale = std::max(1.0, InfNorm(b_));
+    x_.assign(static_cast<std::size_t>(n_), scale);
+    z_.assign(static_cast<std::size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      z_[static_cast<std::size_t>(j)] =
+          std::max(1.0, std::abs(c_[static_cast<std::size_t>(j)]));
+    }
+    y_.assign(static_cast<std::size_t>(m_), 1.0);
+    w_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double act = ge_.rows[static_cast<std::size_t>(i)].Activity(x_);
+      w_[static_cast<std::size_t>(i)] =
+          std::max(act - b_[static_cast<std::size_t>(i)], 0.1 * scale);
+    }
+    dx_.assign(static_cast<std::size_t>(n_), 0.0);
+    dz_.assign(static_cast<std::size_t>(n_), 0.0);
+    dy_.assign(static_cast<std::size_t>(m_), 0.0);
+    dw_.assign(static_cast<std::size_t>(m_), 0.0);
+    rp_.assign(static_cast<std::size_t>(m_), 0.0);
+    rd_.assign(static_cast<std::size_t>(n_), 0.0);
+  }
+
+  double Mu() const {
+    double s = Dot(x_, z_) + Dot(w_, y_);
+    return s / (n_ + m_);
+  }
+
+  void ComputeResiduals() {
+    // rd = c - A'y - z.
+    for (int j = 0; j < n_; ++j) {
+      rd_[static_cast<std::size_t>(j)] =
+          c_[static_cast<std::size_t>(j)] - z_[static_cast<std::size_t>(j)];
+    }
+    for (int i = 0; i < m_; ++i) {
+      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
+      const double yi = y_[static_cast<std::size_t>(i)];
+      for (std::size_t k = 0; k < row.index.size(); ++k) {
+        rd_[static_cast<std::size_t>(row.index[k])] -= yi * row.value[k];
+      }
+    }
+    // rp = b - Ax + w.
+    for (int i = 0; i < m_; ++i) {
+      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
+      rp_[static_cast<std::size_t>(i)] = b_[static_cast<std::size_t>(i)] -
+                                         row.Activity(x_) +
+                                         w_[static_cast<std::size_t>(i)];
+    }
+  }
+
+  void BuildNormalMatrix(std::vector<double>& normal) {
+    std::fill(normal.begin(), normal.end(), 0.0);
+    auto idx = [&](int r, int c) {
+      return static_cast<std::size_t>(r) * static_cast<std::size_t>(n_) +
+             static_cast<std::size_t>(c);
+    };
+    for (int j = 0; j < n_; ++j) {
+      const double d = Clamp(z_[static_cast<std::size_t>(j)] /
+                             x_[static_cast<std::size_t>(j)]);
+      normal[idx(j, j)] = d;
+    }
+    for (int i = 0; i < m_; ++i) {
+      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
+      const double s = Clamp(y_[static_cast<std::size_t>(i)] /
+                             w_[static_cast<std::size_t>(i)]);
+      for (std::size_t a = 0; a < row.index.size(); ++a) {
+        const double sa = s * row.value[a];
+        const int ja = row.index[a];
+        for (std::size_t bk = 0; bk <= a; ++bk) {
+          const int jb = row.index[bk];
+          // row.index ascending => jb <= ja: fill lower triangle.
+          normal[idx(ja, jb)] += sa * row.value[bk];
+        }
+      }
+    }
+    // Mirror to the upper triangle for the straightforward factor loop.
+    for (int r = 0; r < n_; ++r) {
+      for (int c = r + 1; c < n_; ++c) normal[idx(r, c)] = normal[idx(c, r)];
+    }
+  }
+
+  static double Clamp(double v) {
+    return std::min(std::max(v, 1e-12), 1e12);
+  }
+
+  // Solve one Newton system. For the predictor (corrector=false):
+  //   r_xz = -XZe, r_wy = -WYe.
+  // For the corrector: r_xz = sigma_mu e - XZe - dXaff dZaff e, etc.
+  void SolveNewton(const Cholesky& chol, double sigma_mu, bool corrector) {
+    // g1 = rd - X^-1 r_xz ;  g2 = rp + Y^-1 r_wy.
+    std::vector<double> g1(static_cast<std::size_t>(n_));
+    std::vector<double> g2(static_cast<std::size_t>(m_));
+    rxz_buf_.resize(static_cast<std::size_t>(n_));
+    rwy_buf_.resize(static_cast<std::size_t>(m_));
+    for (int j = 0; j < n_; ++j) {
+      double rxz = -x_[static_cast<std::size_t>(j)] *
+                   z_[static_cast<std::size_t>(j)];
+      if (corrector) {
+        rxz += sigma_mu - dx_aff_[static_cast<std::size_t>(j)] *
+                              dz_aff_[static_cast<std::size_t>(j)];
+      }
+      g1[static_cast<std::size_t>(j)] =
+          rd_[static_cast<std::size_t>(j)] -
+          rxz / x_[static_cast<std::size_t>(j)];
+      // Stash per-column rxz for the dz recovery below.
+      rxz_buf_[static_cast<std::size_t>(j)] = rxz;
+    }
+    for (int i = 0; i < m_; ++i) {
+      double rwy = -w_[static_cast<std::size_t>(i)] *
+                   y_[static_cast<std::size_t>(i)];
+      if (corrector) {
+        rwy += sigma_mu - dw_aff_[static_cast<std::size_t>(i)] *
+                              dy_aff_[static_cast<std::size_t>(i)];
+      }
+      rwy_buf_[static_cast<std::size_t>(i)] = rwy;
+      g2[static_cast<std::size_t>(i)] =
+          rp_[static_cast<std::size_t>(i)] +
+          rwy / y_[static_cast<std::size_t>(i)];
+    }
+
+    // rhs = A' Dw^-1 g2 - g1, with Dw^-1 = diag(y/w).
+    std::vector<double> rhs(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      rhs[static_cast<std::size_t>(j)] = -g1[static_cast<std::size_t>(j)];
+    }
+    for (int i = 0; i < m_; ++i) {
+      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
+      const double s = Clamp(y_[static_cast<std::size_t>(i)] /
+                             w_[static_cast<std::size_t>(i)]) *
+                       g2[static_cast<std::size_t>(i)];
+      for (std::size_t k = 0; k < row.index.size(); ++k) {
+        rhs[static_cast<std::size_t>(row.index[k])] += s * row.value[k];
+      }
+    }
+
+    chol.Solve(rhs);
+    dx_ = rhs;
+
+    // dy = Dw^-1 (g2 - A dx);  dw = Y^-1 (rwy - W dy);  dz = X^-1 (rxz - Z dx).
+    for (int i = 0; i < m_; ++i) {
+      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
+      const double adx = row.Activity(dx_);
+      const double s = Clamp(y_[static_cast<std::size_t>(i)] /
+                             w_[static_cast<std::size_t>(i)]);
+      dy_[static_cast<std::size_t>(i)] =
+          s * (g2[static_cast<std::size_t>(i)] - adx);
+      dw_[static_cast<std::size_t>(i)] =
+          (rwy_buf_[static_cast<std::size_t>(i)] -
+           w_[static_cast<std::size_t>(i)] * dy_[static_cast<std::size_t>(i)]) /
+          y_[static_cast<std::size_t>(i)];
+    }
+    for (int j = 0; j < n_; ++j) {
+      dz_[static_cast<std::size_t>(j)] =
+          (rxz_buf_[static_cast<std::size_t>(j)] -
+           z_[static_cast<std::size_t>(j)] * dx_[static_cast<std::size_t>(j)]) /
+          x_[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Longest step in [0, 1e30] keeping both vectors positive.
+  static double StepLength(const std::vector<double>& a,
+                           const std::vector<double>& da,
+                           const std::vector<double>& b,
+                           const std::vector<double>& db) {
+    double alpha = 1e30;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (da[i] < 0.0) alpha = std::min(alpha, -a[i] / da[i]);
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (db[i] < 0.0) alpha = std::min(alpha, -b[i] / db[i]);
+    }
+    return alpha;
+  }
+
+  const GeForm& ge_;
+  std::vector<double> c_;
+  int n_;
+  int m_;
+  double tol_;
+  int max_iter_;
+  double bnorm_ = 1.0;
+  double cnorm_ = 1.0;
+
+  std::vector<double> b_;
+  std::vector<double> x_, z_, y_, w_;
+  std::vector<double> dx_, dz_, dy_, dw_;
+  std::vector<double> dx_aff_, dz_aff_, dy_aff_, dw_aff_;
+  std::vector<double> rp_, rd_;
+  std::vector<double> rxz_buf_, rwy_buf_;
+};
+
+}  // namespace
+
+LpSolution SolveWithInteriorPoint(const LpModel& model,
+                                  const LpSolverOptions& options) {
+  const GeForm ge = BuildGeForm(model);
+  if (ge.rows.empty()) {
+    LpSolution out;
+    for (int c = 0; c < model.NumCols(); ++c) {
+      if (model.Objective()[static_cast<std::size_t>(c)] < 0.0) {
+        out.status = Status::Unbounded("negative cost, no constraints");
+        return out;
+      }
+    }
+    out.x.assign(static_cast<std::size_t>(model.NumCols()), 0.0);
+    out.status = Status::Ok();
+    return out;
+  }
+  MehrotraSolver solver(ge, model.Objective(), options);
+  return solver.Run();
+}
+
+}  // namespace lubt

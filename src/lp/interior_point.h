@@ -1,0 +1,29 @@
+// Primal-dual interior-point LP solver (Mehrotra predictor-corrector).
+//
+// This is the engine class the paper itself used (LOQO is an interior-point
+// code). The model is solved in the inequality form
+//
+//     min c'x   s.t.  A x >= b,  x >= 0
+//
+// (ranged rows are split into opposing inequalities). Eliminating the two
+// complementarity blocks reduces each Newton step to the n x n SPD normal
+// system  (A' diag(y/w) A + diag(z/x)) dx = rhs  where n is the number of
+// structural columns — for EBF that is the number of tree edges, independent
+// of how many of the Theta(m^2) Steiner rows are present. Rows are sparse
+// (tree paths), so assembling the normal matrix is cheap; the dense Cholesky
+// of size n dominates.
+
+#ifndef LUBT_LP_INTERIOR_POINT_H_
+#define LUBT_LP_INTERIOR_POINT_H_
+
+#include "lp/model.h"
+
+namespace lubt {
+
+/// Solve `model` with the interior-point engine.
+LpSolution SolveWithInteriorPoint(const LpModel& model,
+                                  const LpSolverOptions& options = {});
+
+}  // namespace lubt
+
+#endif  // LUBT_LP_INTERIOR_POINT_H_

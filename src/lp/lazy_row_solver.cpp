@@ -1,0 +1,37 @@
+#include "lp/lazy_row_solver.h"
+
+#include "util/logging.h"
+
+namespace lubt {
+
+LpSolution SolveWithLazyRows(LpModel& model, const RowOracle& oracle,
+                             const LpSolverOptions& options, int max_rounds,
+                             LazySolveStats* stats) {
+  LazySolveStats local;
+  LpSolution solution;
+  for (int round = 0; round < max_rounds; ++round) {
+    ++local.rounds;
+    solution = SolveLp(model, options);
+    local.lp_iterations += solution.iterations;
+    if (!solution.ok()) break;
+
+    std::vector<SparseRow> violated = oracle(solution.x);
+    LUBT_LOG_DEBUG << "lazy round " << round << ": obj=" << solution.objective
+                   << " violated=" << violated.size();
+    if (violated.empty()) break;
+    for (SparseRow& row : violated) {
+      model.AddRow(std::move(row));
+      ++local.rows_added;
+    }
+    if (round + 1 == max_rounds) {
+      solution.status =
+          Status::NumericalFailure("lazy row generation did not converge");
+    }
+  }
+  local.final_rows = model.NumRows();
+  if (stats != nullptr) *stats = local;
+  solution.iterations = local.lp_iterations;
+  return solution;
+}
+
+}  // namespace lubt

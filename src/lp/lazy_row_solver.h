@@ -1,0 +1,44 @@
+// Row generation ("lazy constraints") on top of any LP engine.
+//
+// The EBF has a Steiner row for every pair of sinks — Theta(m^2) rows, most
+// of which are slack at the optimum (Section 4.6 of the paper argues they
+// can be reduced). We therefore solve a relaxation containing only a seed
+// subset, ask a caller-provided separation oracle for rows the current point
+// violates, add them, and repeat. Because every added row is a valid
+// constraint of the full problem, the final point (violating nothing) is
+// optimal for the full problem.
+
+#ifndef LUBT_LP_LAZY_ROW_SOLVER_H_
+#define LUBT_LP_LAZY_ROW_SOLVER_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace lubt {
+
+/// Separation oracle: given the current primal point, return rows of the
+/// full problem that the point violates (empty when none).
+using RowOracle =
+    std::function<std::vector<SparseRow>(std::span<const double> x)>;
+
+/// Statistics about a lazy solve.
+struct LazySolveStats {
+  int rounds = 0;           ///< LP solves performed
+  int rows_added = 0;       ///< rows appended by the oracle over all rounds
+  int final_rows = 0;       ///< rows in the last relaxation
+  int lp_iterations = 0;    ///< engine iterations over all rounds
+};
+
+/// Solve min c'x s.t. all rows of `model` plus all rows the oracle can emit.
+/// `model` is mutated: violated rows are appended to it.
+LpSolution SolveWithLazyRows(LpModel& model, const RowOracle& oracle,
+                             const LpSolverOptions& options = {},
+                             int max_rounds = 50,
+                             LazySolveStats* stats = nullptr);
+
+}  // namespace lubt
+
+#endif  // LUBT_LP_LAZY_ROW_SOLVER_H_

@@ -1,0 +1,24 @@
+// CPLEX-LP-format export of LpModel.
+//
+// Lets any EBF instance be handed to an external solver (GLPK, CPLEX,
+// Gurobi, HiGHS all read this format) for cross-checking or for scales
+// beyond the built-in engines. Only the subset the library produces is
+// emitted: minimize objective, ranged/one-sided rows, non-negative
+// variables.
+
+#ifndef LUBT_LP_LP_FORMAT_H_
+#define LUBT_LP_LP_FORMAT_H_
+
+#include <string>
+
+#include "lp/model.h"
+
+namespace lubt {
+
+/// Serialize `model` in CPLEX LP format. Columns are named x0, x1, ...;
+/// rows are named r0, r1, ... (ranged rows become two rows r<k>_lo/r<k>_hi).
+std::string ToLpFormat(const LpModel& model);
+
+}  // namespace lubt
+
+#endif  // LUBT_LP_LP_FORMAT_H_

@@ -1,0 +1,109 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/interior_point.h"
+#include "lp/simplex.h"
+#include "util/timer.h"
+
+namespace lubt {
+
+double SparseRow::Activity(std::span<const double> x) const {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < index.size(); ++k) {
+    acc += value[k] * x[static_cast<std::size_t>(index[k])];
+  }
+  return acc;
+}
+
+LpModel::LpModel(int num_cols) {
+  LUBT_ASSERT(num_cols > 0);
+  objective_.assign(static_cast<std::size_t>(num_cols), 0.0);
+}
+
+void LpModel::SetObjective(int col, double coef) {
+  LUBT_ASSERT(col >= 0 && col < NumCols());
+  LUBT_ASSERT(std::isfinite(coef));
+  objective_[static_cast<std::size_t>(col)] = coef;
+}
+
+int LpModel::AddRow(SparseRow row) {
+  LUBT_ASSERT(row.index.size() == row.value.size());
+  LUBT_ASSERT(!row.index.empty());
+  LUBT_ASSERT(std::isfinite(row.lo) || std::isfinite(row.hi));
+  LUBT_ASSERT(row.lo <= row.hi);
+  for (std::size_t k = 0; k < row.index.size(); ++k) {
+    LUBT_ASSERT(row.index[k] >= 0 && row.index[k] < NumCols());
+    LUBT_ASSERT(std::isfinite(row.value[k]));
+    if (k > 0) LUBT_ASSERT(row.index[k] > row.index[k - 1]);
+  }
+  rows_.push_back(std::move(row));
+  return NumRows() - 1;
+}
+
+int LpModel::AddRow(std::span<const std::int32_t> index,
+                    std::span<const double> value, double lo, double hi) {
+  SparseRow row;
+  row.index.assign(index.begin(), index.end());
+  row.value.assign(value.begin(), value.end());
+  row.lo = lo;
+  row.hi = hi;
+  return AddRow(std::move(row));
+}
+
+void LpModel::SetRowBounds(int r, double lo, double hi) {
+  LUBT_ASSERT(r >= 0 && r < NumRows());
+  LUBT_ASSERT(lo <= hi);
+  LUBT_ASSERT(std::isfinite(lo) || std::isfinite(hi));
+  rows_[static_cast<std::size_t>(r)].lo = lo;
+  rows_[static_cast<std::size_t>(r)].hi = hi;
+}
+
+double LpModel::ObjectiveValue(std::span<const double> x) const {
+  LUBT_ASSERT(x.size() == objective_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < objective_.size(); ++i) acc += objective_[i] * x[i];
+  return acc;
+}
+
+double LpModel::MaxInfeasibility(std::span<const double> x) const {
+  double worst = 0.0;
+  for (double xi : x) worst = std::max(worst, -xi);
+  for (const SparseRow& row : rows_) {
+    const double a = row.Activity(x);
+    if (std::isfinite(row.lo)) worst = std::max(worst, row.lo - a);
+    if (std::isfinite(row.hi)) worst = std::max(worst, a - row.hi);
+  }
+  return worst;
+}
+
+const char* LpEngineName(LpEngine engine) {
+  switch (engine) {
+    case LpEngine::kSimplex:
+      return "simplex";
+    case LpEngine::kInteriorPoint:
+      return "interior-point";
+  }
+  return "unknown";
+}
+
+LpSolution SolveLp(const LpModel& model, const LpSolverOptions& options) {
+  Timer timer;
+  LpSolution solution;
+  switch (options.engine) {
+    case LpEngine::kSimplex:
+      solution = SolveWithSimplex(model, options);
+      break;
+    case LpEngine::kInteriorPoint:
+      solution = SolveWithInteriorPoint(model, options);
+      break;
+  }
+  solution.seconds = timer.Seconds();
+  if (solution.ok()) {
+    solution.objective = model.ObjectiveValue(solution.x);
+  }
+  return solution;
+}
+
+}  // namespace lubt

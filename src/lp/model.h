@@ -1,0 +1,113 @@
+// Linear-program model shared by all solver engines.
+//
+// The EBF of the paper is
+//
+//     min  w' e
+//     s.t. sum of e over path(s_i, s_j) >= dist(s_i, s_j)   (Steiner rows)
+//          l_i <= sum of e over path(s_0, s_i) <= u_i        (delay rows)
+//          e >= 0
+//
+// so the model supports exactly what that needs: non-negative columns, a
+// linear objective, and sparse rows with independent lower/upper activity
+// bounds (either side may be infinite). Rows are stored sparsely because a
+// path constraint touches only the O(depth) edges on one tree path.
+
+#ifndef LUBT_LP_MODEL_H_
+#define LUBT_LP_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lubt {
+
+/// Infinity marker for absent row bounds.
+inline constexpr double kLpInf = std::numeric_limits<double>::infinity();
+
+/// One sparse constraint row: lo <= a' x <= hi.
+struct SparseRow {
+  std::vector<std::int32_t> index;  ///< column indices, strictly increasing
+  std::vector<double> value;        ///< matching coefficients
+  double lo = -kLpInf;
+  double hi = kLpInf;
+
+  /// a' x for a dense point.
+  double Activity(std::span<const double> x) const;
+};
+
+/// An LP: min c' x subject to row bounds, x >= 0.
+class LpModel {
+ public:
+  /// Create a model with `num_cols` non-negative variables and zero costs.
+  explicit LpModel(int num_cols);
+
+  int NumCols() const { return static_cast<int>(objective_.size()); }
+  int NumRows() const { return static_cast<int>(rows_.size()); }
+
+  /// Set the objective coefficient of one column.
+  void SetObjective(int col, double coef);
+
+  /// Dense objective accessor.
+  std::span<const double> Objective() const { return objective_; }
+
+  /// Add a row; returns its index. Indices must be valid columns, sorted,
+  /// and unique; at least one of lo/hi must be finite.
+  int AddRow(SparseRow row);
+
+  /// Convenience: add a row from parallel spans.
+  int AddRow(std::span<const std::int32_t> index, std::span<const double> value,
+             double lo, double hi);
+
+  const SparseRow& Row(int r) const { return rows_[static_cast<size_t>(r)]; }
+  std::span<const SparseRow> Rows() const { return rows_; }
+
+  /// Replace the bounds of an existing row.
+  void SetRowBounds(int r, double lo, double hi);
+
+  /// Objective value c' x.
+  double ObjectiveValue(std::span<const double> x) const;
+
+  /// Largest violation of any row bound or column non-negativity at x.
+  double MaxInfeasibility(std::span<const double> x) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<SparseRow> rows_;
+};
+
+/// Which algorithm solves the model.
+enum class LpEngine {
+  kSimplex,        ///< dense two-phase primal simplex (small/medium models)
+  kInteriorPoint,  ///< Mehrotra predictor-corrector (default; scales)
+};
+
+const char* LpEngineName(LpEngine engine);
+
+/// Solver knobs; defaults are good for EBF instances.
+struct LpSolverOptions {
+  LpEngine engine = LpEngine::kInteriorPoint;
+  int max_iterations = 0;   ///< 0 = engine default
+  double tolerance = 1e-8;  ///< relative optimality / feasibility target
+};
+
+/// Outcome of a solve.
+struct LpSolution {
+  Status status;             ///< Ok, Infeasible, Unbounded or NumericalFailure
+  std::vector<double> x;     ///< primal point (valid when status is Ok)
+  double objective = 0.0;    ///< c' x at the returned point
+  int iterations = 0;        ///< engine iterations spent
+  double seconds = 0.0;      ///< wall-clock solve time
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Solve with the engine selected in `options`.
+LpSolution SolveLp(const LpModel& model, const LpSolverOptions& options = {});
+
+}  // namespace lubt
+
+#endif  // LUBT_LP_MODEL_H_

@@ -1,0 +1,71 @@
+#include "lp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace lubt {
+
+LpModel Presolve(const LpModel& model, PresolveStats* stats) {
+  PresolveStats local;
+  LpModel out(model.NumCols());
+  for (int c = 0; c < model.NumCols(); ++c) {
+    out.SetObjective(c, model.Objective()[static_cast<std::size_t>(c)]);
+  }
+
+  // Key rows by their (index, value) support to merge duplicates.
+  std::map<std::pair<std::vector<std::int32_t>, std::vector<double>>, int>
+      seen;
+  std::vector<SparseRow> kept;
+
+  for (const SparseRow& row : model.Rows()) {
+    for (double v : row.value) LUBT_ASSERT(v >= 0.0);
+
+    // A row lo <= a'x <= inf with lo <= 0 and a >= 0 is implied by x >= 0.
+    const bool no_upper = !std::isfinite(row.hi);
+    if (no_upper && row.lo <= 0.0) {
+      ++local.trivial_rows_dropped;
+      continue;
+    }
+
+    auto key = std::make_pair(row.index, row.value);
+    auto it = seen.find(key);
+    if (it != seen.end()) {
+      SparseRow& prev = kept[static_cast<std::size_t>(it->second)];
+      prev.lo = std::max(prev.lo, row.lo);
+      prev.hi = std::min(prev.hi, row.hi);
+      ++local.duplicate_rows_merged;
+      continue;
+    }
+    seen.emplace(std::move(key), static_cast<int>(kept.size()));
+    kept.push_back(row);
+  }
+
+  for (SparseRow& row : kept) {
+    // Merged bounds may have crossed; that is a genuine infeasibility the
+    // solver must report, so clamp is NOT applied. But guard the AddRow
+    // precondition by leaving such rows as an explicitly infeasible pair.
+    if (row.lo > row.hi) {
+      // Encode infeasibility as two contradictory single-sided rows.
+      SparseRow lo_row = row;
+      lo_row.hi = kLpInf;
+      SparseRow hi_row = row;
+      hi_row.lo = -kLpInf;
+      const double lo = row.lo;
+      const double hi = row.hi;
+      lo_row.lo = lo;
+      hi_row.hi = hi;
+      out.AddRow(std::move(lo_row));
+      out.AddRow(std::move(hi_row));
+      continue;
+    }
+    out.AddRow(std::move(row));
+  }
+  local.rows_kept = out.NumRows();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace lubt

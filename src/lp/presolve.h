@@ -1,0 +1,31 @@
+// Cheap LP presolve passes.
+//
+// EBF models contain structurally redundant rows: pairs whose Steiner bound
+// is non-positive (trivially met since e >= 0 and coefficients are +1), and
+// duplicate-support rows produced when a Steiner pair coincides with a delay
+// path. Removing them before the solver both shrinks the model and improves
+// conditioning. This mirrors the paper's Section 4.6 observation that "many
+// Steiner constraints can be deleted".
+
+#ifndef LUBT_LP_PRESOLVE_H_
+#define LUBT_LP_PRESOLVE_H_
+
+#include "lp/model.h"
+
+namespace lubt {
+
+/// What presolve removed / merged.
+struct PresolveStats {
+  int trivial_rows_dropped = 0;    ///< rows implied by x >= 0
+  int duplicate_rows_merged = 0;   ///< identical-support rows folded together
+  int rows_kept = 0;
+};
+
+/// Return a reduced copy of `model` with the same optimal set.
+/// Only valid for models whose row coefficients are all non-negative
+/// (true for every EBF instance); asserts otherwise.
+LpModel Presolve(const LpModel& model, PresolveStats* stats = nullptr);
+
+}  // namespace lubt
+
+#endif  // LUBT_LP_PRESOLVE_H_

@@ -1,0 +1,304 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace lubt {
+namespace {
+
+constexpr double kPivotEps = 1e-9;
+constexpr double kZeroEps = 1e-10;
+
+// One inequality/equality row of the standard-form problem.
+enum class RowOp { kGe, kLe, kEq };
+
+struct StdRow {
+  std::vector<std::int32_t> index;
+  std::vector<double> value;
+  RowOp op;
+  double rhs;
+};
+
+// Expand ranged model rows into single-sided standard rows.
+std::vector<StdRow> BuildStandardRows(const LpModel& model) {
+  std::vector<StdRow> rows;
+  rows.reserve(static_cast<std::size_t>(model.NumRows()));
+  for (const SparseRow& row : model.Rows()) {
+    const bool has_lo = std::isfinite(row.lo);
+    const bool has_hi = std::isfinite(row.hi);
+    if (has_lo && has_hi && row.lo == row.hi) {
+      rows.push_back({row.index, row.value, RowOp::kEq, row.lo});
+      continue;
+    }
+    if (has_lo) rows.push_back({row.index, row.value, RowOp::kGe, row.lo});
+    if (has_hi) rows.push_back({row.index, row.value, RowOp::kLe, row.hi});
+  }
+  return rows;
+}
+
+// Dense tableau. Column layout: [structural | slack/surplus | artificial],
+// final column is the RHS. Row `m` is the objective row of the active phase.
+class Tableau {
+ public:
+  Tableau(const LpModel& model, const std::vector<StdRow>& rows)
+      : n_struct_(model.NumCols()), m_(static_cast<int>(rows.size())) {
+    // Count slack and artificial columns.
+    for (const StdRow& row : rows) {
+      const bool rhs_neg = row.rhs < 0.0;
+      RowOp op = row.op;
+      if (rhs_neg && op == RowOp::kGe) op = RowOp::kLe;
+      else if (rhs_neg && op == RowOp::kLe) op = RowOp::kGe;
+      if (op != RowOp::kEq) ++n_slack_;
+      if (op != RowOp::kLe) ++n_art_;
+    }
+    n_total_ = n_struct_ + n_slack_ + n_art_;
+    width_ = n_total_ + 1;
+    data_.assign(static_cast<std::size_t>(m_ + 1) *
+                     static_cast<std::size_t>(width_),
+                 0.0);
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+
+    int slack_at = n_struct_;
+    int art_at = n_struct_ + n_slack_;
+    first_art_ = art_at;
+    for (int r = 0; r < m_; ++r) {
+      const StdRow& row = rows[static_cast<std::size_t>(r)];
+      double sign = 1.0;
+      RowOp op = row.op;
+      double rhs = row.rhs;
+      if (rhs < 0.0) {  // normalize to rhs >= 0
+        sign = -1.0;
+        rhs = -rhs;
+        if (op == RowOp::kGe) op = RowOp::kLe;
+        else if (op == RowOp::kLe) op = RowOp::kGe;
+      }
+      for (std::size_t k = 0; k < row.index.size(); ++k) {
+        At(r, row.index[k]) = sign * row.value[k];
+      }
+      At(r, n_total_) = rhs;
+      if (op == RowOp::kLe) {
+        At(r, slack_at) = 1.0;
+        basis_[static_cast<std::size_t>(r)] = slack_at++;
+      } else if (op == RowOp::kGe) {
+        At(r, slack_at++) = -1.0;
+        At(r, art_at) = 1.0;
+        basis_[static_cast<std::size_t>(r)] = art_at++;
+      } else {  // kEq
+        At(r, art_at) = 1.0;
+        basis_[static_cast<std::size_t>(r)] = art_at++;
+      }
+    }
+  }
+
+  double& At(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(c)];
+  }
+  double At(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  int NumRows() const { return m_; }
+  int NumStruct() const { return n_struct_; }
+  int NumTotal() const { return n_total_; }
+  int FirstArtificial() const { return first_art_; }
+  int BasisOf(int r) const { return basis_[static_cast<std::size_t>(r)]; }
+
+  // Load the phase-1 objective (minimize sum of artificials) into row m_ and
+  // price out the basic artificials.
+  void LoadPhase1Objective() {
+    for (int c = 0; c <= n_total_; ++c) At(m_, c) = 0.0;
+    for (int c = first_art_; c < n_total_; ++c) At(m_, c) = 1.0;
+    for (int r = 0; r < m_; ++r) {
+      if (BasisOf(r) >= first_art_) {
+        for (int c = 0; c <= n_total_; ++c) At(m_, c) -= At(r, c);
+      }
+    }
+  }
+
+  // Load the phase-2 objective (the model costs); artificial columns are
+  // frozen out by the caller. Prices out the current basis.
+  void LoadPhase2Objective(std::span<const double> cost) {
+    for (int c = 0; c <= n_total_; ++c) At(m_, c) = 0.0;
+    for (int c = 0; c < n_struct_; ++c) At(m_, c) = cost[static_cast<std::size_t>(c)];
+    for (int r = 0; r < m_; ++r) {
+      const int b = BasisOf(r);
+      const double coef = At(m_, b);
+      if (coef != 0.0) {
+        for (int c = 0; c <= n_total_; ++c) At(m_, c) -= coef * At(r, c);
+      }
+    }
+  }
+
+  void Pivot(int pr, int pc) {
+    const double pivot = At(pr, pc);
+    const double inv = 1.0 / pivot;
+    for (int c = 0; c <= n_total_; ++c) At(pr, c) *= inv;
+    At(pr, pc) = 1.0;
+    for (int r = 0; r <= m_; ++r) {
+      if (r == pr) continue;
+      const double factor = At(r, pc);
+      if (std::abs(factor) < kZeroEps) {
+        At(r, pc) = 0.0;
+        continue;
+      }
+      for (int c = 0; c <= n_total_; ++c) At(r, c) -= factor * At(pr, c);
+      At(r, pc) = 0.0;
+    }
+    basis_[static_cast<std::size_t>(pr)] = pc;
+  }
+
+  // Run simplex iterations on the loaded objective row. `allowed_cols` caps
+  // the eligible entering columns (used to exclude artificials in phase 2).
+  // Returns Ok, Unbounded or NumericalFailure (iteration limit).
+  Status Iterate(int allowed_cols, int max_iterations, int* iterations_used) {
+    int iter = 0;
+    const int bland_after = std::max(200, 4 * (m_ + allowed_cols));
+    while (iter < max_iterations) {
+      ++iter;
+      const bool bland = iter > bland_after;
+      // Pricing.
+      int pc = -1;
+      double best = -kPivotEps;
+      for (int c = 0; c < allowed_cols; ++c) {
+        const double red = At(m_, c);
+        if (red < best) {
+          if (bland) {
+            pc = c;
+            break;
+          }
+          best = red;
+          pc = c;
+        } else if (bland && red < -kPivotEps && pc == -1) {
+          pc = c;
+          break;
+        }
+      }
+      if (pc == -1) {
+        *iterations_used += iter;
+        return Status::Ok();  // optimal for this phase
+      }
+      // Ratio test.
+      int pr = -1;
+      double best_ratio = kLpInf;
+      for (int r = 0; r < m_; ++r) {
+        const double a = At(r, pc);
+        if (a > kPivotEps) {
+          const double ratio = At(r, n_total_) / a;
+          if (ratio < best_ratio - kZeroEps ||
+              (ratio < best_ratio + kZeroEps && pr != -1 &&
+               BasisOf(r) < BasisOf(pr))) {
+            best_ratio = ratio;
+            pr = r;
+          }
+        }
+      }
+      if (pr == -1) {
+        *iterations_used += iter;
+        return Status::Unbounded("objective unbounded below");
+      }
+      Pivot(pr, pc);
+    }
+    *iterations_used += iter;
+    return Status::NumericalFailure("simplex iteration limit reached");
+  }
+
+  // After phase 1: pivot basic artificials (at value ~0) out of the basis,
+  // or detect redundant rows (left in place; they are harmless afterwards).
+  void DriveOutArtificials() {
+    for (int r = 0; r < m_; ++r) {
+      if (BasisOf(r) < first_art_) continue;
+      int pc = -1;
+      for (int c = 0; c < first_art_; ++c) {
+        if (std::abs(At(r, c)) > kPivotEps) {
+          pc = c;
+          break;
+        }
+      }
+      if (pc >= 0) Pivot(r, pc);
+      // else: the row is redundant; its artificial stays basic at zero.
+    }
+  }
+
+  double Rhs(int r) const { return At(r, n_total_); }
+  double ObjectiveRowValue() const { return -At(m_, n_total_); }
+
+ private:
+  int n_struct_;
+  int n_slack_ = 0;
+  int n_art_ = 0;
+  int n_total_ = 0;
+  int first_art_ = 0;
+  int width_ = 0;
+  int m_;
+  std::vector<double> data_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveWithSimplex(const LpModel& model,
+                            const LpSolverOptions& options) {
+  LpSolution solution;
+  const std::vector<StdRow> rows = BuildStandardRows(model);
+  if (rows.empty()) {
+    // No constraints: minimum of c'x over x >= 0.
+    solution.x.assign(static_cast<std::size_t>(model.NumCols()), 0.0);
+    for (int c = 0; c < model.NumCols(); ++c) {
+      if (model.Objective()[static_cast<std::size_t>(c)] < 0.0) {
+        solution.status = Status::Unbounded("negative cost, no constraints");
+        return solution;
+      }
+    }
+    solution.status = Status::Ok();
+    return solution;
+  }
+
+  Tableau tableau(model, rows);
+  const int max_iter = options.max_iterations > 0
+                           ? options.max_iterations
+                           : 50 * (tableau.NumRows() + tableau.NumTotal());
+
+  // Phase 1.
+  tableau.LoadPhase1Objective();
+  Status st = tableau.Iterate(tableau.NumTotal(), max_iter,
+                              &solution.iterations);
+  if (!st.ok()) {
+    solution.status = st.code() == StatusCode::kUnbounded
+                          ? Status::NumericalFailure(
+                                "phase-1 unbounded: numerical trouble")
+                          : st;
+    return solution;
+  }
+  const double phase1 = tableau.ObjectiveRowValue();
+  if (phase1 > 1e-7 * (1.0 + std::abs(phase1))) {
+    solution.status = Status::Infeasible("phase-1 optimum positive");
+    return solution;
+  }
+  tableau.DriveOutArtificials();
+
+  // Phase 2: artificial columns excluded from pricing.
+  tableau.LoadPhase2Objective(model.Objective());
+  st = tableau.Iterate(tableau.FirstArtificial(), max_iter,
+                       &solution.iterations);
+  if (!st.ok()) {
+    solution.status = st;
+    return solution;
+  }
+
+  solution.x.assign(static_cast<std::size_t>(model.NumCols()), 0.0);
+  for (int r = 0; r < tableau.NumRows(); ++r) {
+    const int b = tableau.BasisOf(r);
+    if (b < tableau.NumStruct()) {
+      solution.x[static_cast<std::size_t>(b)] = std::max(0.0, tableau.Rhs(r));
+    }
+  }
+  solution.status = Status::Ok();
+  return solution;
+}
+
+}  // namespace lubt

@@ -1,0 +1,23 @@
+// Dense two-phase primal simplex.
+//
+// Exact (up to floating point) and simple; intended for small and medium
+// models — unit tests, the worked example of Section 4.5, ablation studies,
+// and as an independent oracle against which the interior-point engine is
+// cross-checked. Ranged rows are split into two inequalities before the
+// tableau is formed. Anti-cycling: Dantzig pricing with a Bland's-rule
+// fallback once the iteration count suggests stalling.
+
+#ifndef LUBT_LP_SIMPLEX_H_
+#define LUBT_LP_SIMPLEX_H_
+
+#include "lp/model.h"
+
+namespace lubt {
+
+/// Solve `model` with the dense tableau simplex.
+LpSolution SolveWithSimplex(const LpModel& model,
+                            const LpSolverOptions& options = {});
+
+}  // namespace lubt
+
+#endif  // LUBT_LP_SIMPLEX_H_

@@ -1,0 +1,66 @@
+#include "topo/bipartition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "util/status.h"
+
+namespace lubt {
+namespace {
+
+// Build the subtree over indices [first, last) of `order`; returns its node.
+NodeId BuildRec(Topology& topo, std::span<const Point> sinks,
+                std::vector<std::int32_t>& order, std::size_t first,
+                std::size_t last) {
+  LUBT_ASSERT(last > first);
+  if (last - first == 1) {
+    return topo.AddSinkNode(order[first]);
+  }
+  // Split at the median of the longer bbox dimension.
+  BBox box;
+  for (std::size_t i = first; i < last; ++i) {
+    box.Expand(sinks[static_cast<std::size_t>(order[i])]);
+  }
+  const bool by_x = box.Width() >= box.Height();
+  const std::size_t mid = first + (last - first) / 2;
+  std::nth_element(order.begin() + static_cast<std::ptrdiff_t>(first),
+                   order.begin() + static_cast<std::ptrdiff_t>(mid),
+                   order.begin() + static_cast<std::ptrdiff_t>(last),
+                   [&](std::int32_t a, std::int32_t b) {
+                     const Point& pa = sinks[static_cast<std::size_t>(a)];
+                     const Point& pb = sinks[static_cast<std::size_t>(b)];
+                     if (by_x) {
+                       if (pa.x != pb.x) return pa.x < pb.x;
+                       if (pa.y != pb.y) return pa.y < pb.y;
+                     } else {
+                       if (pa.y != pb.y) return pa.y < pb.y;
+                       if (pa.x != pb.x) return pa.x < pb.x;
+                     }
+                     return a < b;
+                   });
+  const NodeId left = BuildRec(topo, sinks, order, first, mid);
+  const NodeId right = BuildRec(topo, sinks, order, mid, last);
+  return topo.AddInternalNode(left, right);
+}
+
+}  // namespace
+
+Topology BipartitionTopology(std::span<const Point> sinks,
+                             const std::optional<Point>& source) {
+  LUBT_ASSERT(!sinks.empty());
+  Topology topo;
+  std::vector<std::int32_t> order(sinks.size());
+  std::iota(order.begin(), order.end(), 0);
+  const NodeId top = BuildRec(topo, sinks, order, 0, sinks.size());
+  if (source.has_value()) {
+    const NodeId root = topo.AddUnaryNode(top);
+    topo.SetRoot(root, RootMode::kFixedSource);
+  } else {
+    topo.SetRoot(top, RootMode::kFreeSource);
+  }
+  return topo;
+}
+
+}  // namespace lubt

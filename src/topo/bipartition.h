@@ -1,0 +1,26 @@
+// Recursive geometric bipartition topology generation.
+//
+// Alternative generator used for ablation: split the sink set at the median
+// of its bounding box's longer dimension and recurse, producing a balanced
+// binary topology (depth O(log m)). Balanced depth keeps EBF rows sparse,
+// which the LP ablation benches quantify against nearest-neighbour merge.
+
+#ifndef LUBT_TOPO_BIPARTITION_H_
+#define LUBT_TOPO_BIPARTITION_H_
+
+#include <optional>
+#include <span>
+
+#include "geom/point.h"
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Build a median-bipartition topology over `sinks`. Root handling matches
+/// NnMergeTopology. Deterministic for a fixed input order.
+Topology BipartitionTopology(std::span<const Point> sinks,
+                             const std::optional<Point>& source);
+
+}  // namespace lubt
+
+#endif  // LUBT_TOPO_BIPARTITION_H_

@@ -1,0 +1,135 @@
+#include "topo/mst.h"
+
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lubt {
+namespace {
+
+// Prim over Manhattan distances; returns parent[] with parent[root] = -1.
+std::vector<int> PrimMst(std::span<const Point> pts, int root) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<double> key(static_cast<std::size_t>(n),
+                          std::numeric_limits<double>::infinity());
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<bool> done(static_cast<std::size_t>(n), false);
+  key[static_cast<std::size_t>(root)] = 0.0;
+  for (int it = 0; it < n; ++it) {
+    int best = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!done[static_cast<std::size_t>(i)] &&
+          (best < 0 ||
+           key[static_cast<std::size_t>(i)] < key[static_cast<std::size_t>(best)])) {
+        best = i;
+      }
+    }
+    done[static_cast<std::size_t>(best)] = true;
+    for (int i = 0; i < n; ++i) {
+      if (done[static_cast<std::size_t>(i)]) continue;
+      const double d = ManhattanDist(pts[static_cast<std::size_t>(best)],
+                                     pts[static_cast<std::size_t>(i)]);
+      if (d < key[static_cast<std::size_t>(i)]) {
+        key[static_cast<std::size_t>(i)] = d;
+        parent[static_cast<std::size_t>(i)] = best;
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+double MstLength(std::span<const Point> points) {
+  if (points.size() < 2) return 0.0;
+  const std::vector<int> parent = PrimMst(points, 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (parent[i] >= 0) {
+      total += ManhattanDist(points[i],
+                             points[static_cast<std::size_t>(parent[i])]);
+    }
+  }
+  return total;
+}
+
+Topology MstBinaryTopology(std::span<const Point> sinks,
+                           const std::optional<Point>& source,
+                           std::vector<Point>* node_loc) {
+  LUBT_ASSERT(!sinks.empty());
+  const int m = static_cast<int>(sinks.size());
+
+  // Root the MST at the sink closest to the source (locality of the root
+  // edge), or at sink 0.
+  int root_sink = 0;
+  if (source.has_value()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      const double d =
+          ManhattanDist(*source, sinks[static_cast<std::size_t>(i)]);
+      if (d < best) {
+        best = d;
+        root_sink = i;
+      }
+    }
+  }
+
+  const std::vector<int> parent = PrimMst(sinks, root_sink);
+  std::vector<std::vector<int>> children(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    if (parent[static_cast<std::size_t>(i)] >= 0) {
+      children[static_cast<std::size_t>(parent[static_cast<std::size_t>(i)])]
+          .push_back(i);
+    }
+  }
+
+  // Post-order fold: each MST vertex becomes leaf(s) chained with its
+  // children's subtrees via Steiner nodes. The natural embedding places
+  // every chain node on its vertex.
+  Topology topo;
+  std::vector<Point> loc;
+  std::vector<NodeId> built(static_cast<std::size_t>(m), kInvalidNode);
+  std::vector<int> stack{root_sink};
+  std::vector<bool> expanded(static_cast<std::size_t>(m), false);
+  auto place = [&](NodeId id, const Point& p) {
+    if (static_cast<std::size_t>(id) >= loc.size()) {
+      loc.resize(static_cast<std::size_t>(id) + 1);
+    }
+    loc[static_cast<std::size_t>(id)] = p;
+  };
+  while (!stack.empty()) {
+    const int v = stack.back();
+    if (!expanded[static_cast<std::size_t>(v)]) {
+      expanded[static_cast<std::size_t>(v)] = true;
+      for (int c : children[static_cast<std::size_t>(v)]) stack.push_back(c);
+      continue;
+    }
+    stack.pop_back();
+    if (built[static_cast<std::size_t>(v)] != kInvalidNode) continue;
+    const Point& here = sinks[static_cast<std::size_t>(v)];
+    NodeId acc = topo.AddSinkNode(v);
+    place(acc, here);
+    for (int c : children[static_cast<std::size_t>(v)]) {
+      acc = topo.AddInternalNode(acc, built[static_cast<std::size_t>(c)]);
+      place(acc, here);
+    }
+    built[static_cast<std::size_t>(v)] = acc;
+  }
+
+  const NodeId top = built[static_cast<std::size_t>(root_sink)];
+  if (source.has_value()) {
+    const NodeId root = topo.AddUnaryNode(top);
+    place(root, *source);
+    topo.SetRoot(root, RootMode::kFixedSource);
+  } else {
+    topo.SetRoot(top, RootMode::kFreeSource);
+  }
+  if (node_loc != nullptr) {
+    loc.resize(static_cast<std::size_t>(topo.NumNodes()));
+    *node_loc = std::move(loc);
+  }
+  return topo;
+}
+
+}  // namespace lubt

@@ -1,0 +1,37 @@
+// MST-derived binary topologies.
+//
+// A rectilinear MST over the sinks, rooted at the sink nearest the source
+// (or at sink 0 without a source), converted into a full binary topology:
+// every MST vertex becomes a leaf hanging off a chain of Steiner nodes that
+// an embedder may collapse onto the vertex's location. The LP embedding of
+// this topology therefore costs at most the MST length — which makes it the
+// strong *loose-bound* candidate in the baseline's topology portfolio
+// (merge-based topologies win when the skew bound is tight, MST-derived ones
+// when it is loose; [9] likewise adapts its topology to the bound).
+
+#ifndef LUBT_TOPO_MST_H_
+#define LUBT_TOPO_MST_H_
+
+#include <optional>
+#include <span>
+
+#include "geom/point.h"
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Build the MST-derived binary topology. O(m^2) Prim. When `node_loc` is
+/// non-null it receives the natural embedding (chain Steiner nodes collapse
+/// onto their MST vertex), under which the tree's wirelength equals the MST
+/// length exactly.
+Topology MstBinaryTopology(std::span<const Point> sinks,
+                           const std::optional<Point>& source,
+                           std::vector<Point>* node_loc = nullptr);
+
+/// Total length of the rectilinear MST over `points` (O(n^2) Prim); used by
+/// tests and benches as a Steiner-cost reference.
+double MstLength(std::span<const Point> points);
+
+}  // namespace lubt
+
+#endif  // LUBT_TOPO_MST_H_

@@ -1,0 +1,127 @@
+#include "topo/nn_merge.h"
+
+#include <limits>
+#include <vector>
+
+#include "geom/trr.h"
+#include "util/status.h"
+
+namespace lubt {
+namespace {
+
+struct Cluster {
+  NodeId node = kInvalidNode;
+  Trr region;
+  bool active = false;
+  // Cached nearest active neighbour (may be stale; refreshed lazily).
+  int nn = -1;
+  double nn_dist = std::numeric_limits<double>::infinity();
+};
+
+// Recompute the nearest active neighbour of cluster c by full scan.
+void RefreshNn(std::vector<Cluster>& clusters, int c) {
+  Cluster& self = clusters[static_cast<std::size_t>(c)];
+  self.nn = -1;
+  self.nn_dist = std::numeric_limits<double>::infinity();
+  for (int j = 0; j < static_cast<int>(clusters.size()); ++j) {
+    if (j == c || !clusters[static_cast<std::size_t>(j)].active) continue;
+    const double d =
+        TrrDist(self.region, clusters[static_cast<std::size_t>(j)].region);
+    if (d < self.nn_dist) {
+      self.nn_dist = d;
+      self.nn = j;
+    }
+  }
+}
+
+}  // namespace
+
+Topology NnMergeTopology(std::span<const Point> sinks,
+                         const std::optional<Point>& source) {
+  LUBT_ASSERT(!sinks.empty());
+  Topology topo;
+
+  std::vector<Cluster> clusters;
+  clusters.reserve(2 * sinks.size());
+  for (std::size_t s = 0; s < sinks.size(); ++s) {
+    Cluster c;
+    c.node = topo.AddSinkNode(static_cast<std::int32_t>(s));
+    c.region = Trr::FromPoint(sinks[s]);
+    c.active = true;
+    clusters.push_back(c);
+  }
+
+  int active_count = static_cast<int>(clusters.size());
+  for (int c = 0; c < active_count; ++c) RefreshNn(clusters, c);
+
+  while (active_count > 1) {
+    // Pick the cluster with the smallest cached nn distance whose cached
+    // target is still active; refresh stale entries on the fly.
+    int best = -1;
+    for (int c = 0; c < static_cast<int>(clusters.size()); ++c) {
+      Cluster& cl = clusters[static_cast<std::size_t>(c)];
+      if (!cl.active) continue;
+      if (cl.nn < 0 || !clusters[static_cast<std::size_t>(cl.nn)].active) {
+        RefreshNn(clusters, c);
+      }
+      if (best < 0 ||
+          cl.nn_dist < clusters[static_cast<std::size_t>(best)].nn_dist) {
+        best = c;
+      }
+    }
+    const int a = best;
+    const int b = clusters[static_cast<std::size_t>(a)].nn;
+    LUBT_ASSERT(b >= 0 && clusters[static_cast<std::size_t>(b)].active);
+
+    const Trr& ra = clusters[static_cast<std::size_t>(a)].region;
+    const Trr& rb = clusters[static_cast<std::size_t>(b)].region;
+    const double d = TrrDist(ra, rb);
+    // Tiny slack absorbs rounding: at exactly half the distance the inflated
+    // regions only touch.
+    const double half = d * 0.5 + 1e-9 * (1.0 + d);
+    Trr merged = Intersect(ra.Inflate(half), rb.Inflate(half));
+    LUBT_ASSERT(!merged.IsEmpty());
+
+    Cluster next;
+    next.node = topo.AddInternalNode(clusters[static_cast<std::size_t>(a)].node,
+                                     clusters[static_cast<std::size_t>(b)].node);
+    next.region = merged;
+    next.active = true;
+    clusters[static_cast<std::size_t>(a)].active = false;
+    clusters[static_cast<std::size_t>(b)].active = false;
+    clusters.push_back(next);
+    const int nid = static_cast<int>(clusters.size()) - 1;
+    RefreshNn(clusters, nid);
+    // Let existing clusters see the newcomer (cheap one-sided update).
+    for (int c = 0; c < nid; ++c) {
+      Cluster& cl = clusters[static_cast<std::size_t>(c)];
+      if (!cl.active) continue;
+      const double dc = TrrDist(cl.region, next.region);
+      if (dc < cl.nn_dist) {
+        cl.nn_dist = dc;
+        cl.nn = nid;
+      }
+    }
+    --active_count;
+  }
+
+  // Find the surviving cluster.
+  NodeId top = kInvalidNode;
+  for (const Cluster& c : clusters) {
+    if (c.active) {
+      top = c.node;
+      break;
+    }
+  }
+  LUBT_ASSERT(top != kInvalidNode);
+
+  if (source.has_value()) {
+    const NodeId root = topo.AddUnaryNode(top);
+    topo.SetRoot(root, RootMode::kFixedSource);
+  } else {
+    topo.SetRoot(top, RootMode::kFreeSource);
+  }
+  return topo;
+}
+
+}  // namespace lubt

@@ -1,0 +1,30 @@
+// Nearest-neighbour merge topology generation.
+//
+// The paper (Section 8) adopts its topology generator from Huang-Kahng-Tsao
+// [9], which is based on Edahiro's nearest-neighbour clustering: repeatedly
+// merge the two clusters whose merging regions are closest in L1, producing
+// a full binary tree in which every sink is a leaf (so Lemma 3.1 guarantees
+// LUBT feasibility for any bounds). Cluster regions are maintained exactly
+// as in DME: merging two regions at L1 distance d yields the intersection of
+// the regions inflated by d/2 each.
+
+#ifndef LUBT_TOPO_NN_MERGE_H_
+#define LUBT_TOPO_NN_MERGE_H_
+
+#include <optional>
+#include <span>
+
+#include "geom/point.h"
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Build a nearest-neighbour-merge topology over `sinks`.
+/// With a `source`, the tree gets a fixed-source unary root; otherwise the
+/// top merge node is a free-source root. Requires at least one sink.
+Topology NnMergeTopology(std::span<const Point> sinks,
+                         const std::optional<Point>& source);
+
+}  // namespace lubt
+
+#endif  // LUBT_TOPO_NN_MERGE_H_

@@ -1,0 +1,92 @@
+#include "topo/path_query.h"
+
+#include <algorithm>
+
+namespace lubt {
+
+PathQuery::PathQuery(const Topology& topo) : topo_(topo) {
+  const int n = topo.NumNodes();
+  depth_.assign(static_cast<std::size_t>(n), 0);
+  while ((1 << log_) < n) ++log_;
+  up_.assign(static_cast<std::size_t>(log_ + 1),
+             std::vector<NodeId>(static_cast<std::size_t>(n), kInvalidNode));
+
+  for (const NodeId v : topo.PreOrder()) {
+    const NodeId p = topo.Parent(v);
+    up_[0][static_cast<std::size_t>(v)] = p;
+    depth_[static_cast<std::size_t>(v)] =
+        p == kInvalidNode ? 0 : depth_[static_cast<std::size_t>(p)] + 1;
+  }
+  for (int k = 1; k <= log_; ++k) {
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId mid = up_[static_cast<std::size_t>(k - 1)]
+                            [static_cast<std::size_t>(v)];
+      up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)] =
+          mid == kInvalidNode
+              ? kInvalidNode
+              : up_[static_cast<std::size_t>(k - 1)]
+                   [static_cast<std::size_t>(mid)];
+    }
+  }
+}
+
+NodeId PathQuery::Lca(NodeId a, NodeId b) const {
+  if (depth_[static_cast<std::size_t>(a)] <
+      depth_[static_cast<std::size_t>(b)]) {
+    std::swap(a, b);
+  }
+  int diff = depth_[static_cast<std::size_t>(a)] -
+             depth_[static_cast<std::size_t>(b)];
+  for (int k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1) a = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(a)];
+  }
+  if (a == b) return a;
+  for (int k = log_; k >= 0; --k) {
+    const NodeId ua = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(a)];
+    const NodeId ub = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(b)];
+    if (ua != ub) {
+      a = ua;
+      b = ub;
+    }
+  }
+  return up_[0][static_cast<std::size_t>(a)];
+}
+
+std::vector<NodeId> PathQuery::PathEdges(NodeId a, NodeId b) const {
+  const NodeId anc = Lca(a, b);
+  std::vector<NodeId> edges;
+  for (NodeId v = a; v != anc; v = topo_.Parent(v)) edges.push_back(v);
+  std::vector<NodeId> down;
+  for (NodeId v = b; v != anc; v = topo_.Parent(v)) down.push_back(v);
+  edges.insert(edges.end(), down.rbegin(), down.rend());
+  return edges;
+}
+
+double PathQuery::PathLength(NodeId a, NodeId b,
+                             std::span<const double> edge_len) const {
+  const NodeId anc = Lca(a, b);
+  double total = 0.0;
+  for (NodeId v = a; v != anc; v = topo_.Parent(v)) {
+    total += edge_len[static_cast<std::size_t>(v)];
+  }
+  for (NodeId v = b; v != anc; v = topo_.Parent(v)) {
+    total += edge_len[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+std::vector<double> PathQuery::RootDistances(
+    std::span<const double> edge_len) const {
+  std::vector<double> dist(static_cast<std::size_t>(topo_.NumNodes()), 0.0);
+  for (const NodeId v : topo_.PreOrder()) {
+    const NodeId p = topo_.Parent(v);
+    if (p != kInvalidNode) {
+      dist[static_cast<std::size_t>(v)] =
+          dist[static_cast<std::size_t>(p)] +
+          edge_len[static_cast<std::size_t>(v)];
+    }
+  }
+  return dist;
+}
+
+}  // namespace lubt

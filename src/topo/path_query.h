@@ -1,0 +1,52 @@
+// Path and LCA queries over a topology.
+//
+// EBF rows are path sums, and the lazy separation oracle must evaluate
+// pathlength(s_i, s_j) for Theta(m^2) sink pairs per round. Binary-lifting
+// LCA gives O(log n) per pair; with fixed edge lengths, root-distance prefix
+// sums make each pathlength O(1) after O(n log n) preprocessing:
+//
+//     pathlength(a, b) = rootdist(a) + rootdist(b) - 2 rootdist(lca(a, b)).
+
+#ifndef LUBT_TOPO_PATH_QUERY_H_
+#define LUBT_TOPO_PATH_QUERY_H_
+
+#include <span>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Immutable query accelerator bound to one topology.
+class PathQuery {
+ public:
+  explicit PathQuery(const Topology& topo);
+
+  /// Lowest common ancestor.
+  NodeId Lca(NodeId a, NodeId b) const;
+
+  /// Edge count from the root.
+  int Depth(NodeId a) const { return depth_[static_cast<std::size_t>(a)]; }
+
+  /// The edges on the a..b path, identified by their child node, ascending
+  /// from a to the LCA then descending to b (order: a-side first).
+  std::vector<NodeId> PathEdges(NodeId a, NodeId b) const;
+
+  /// Sum of edge lengths on the a..b path; `edge_len` is indexed by node id
+  /// (the root's entry is ignored).
+  double PathLength(NodeId a, NodeId b, std::span<const double> edge_len) const;
+
+  /// Distance from the root to every node for the given edge lengths
+  /// (= delay under the linear model). Indexed by node id.
+  std::vector<double> RootDistances(std::span<const double> edge_len) const;
+
+ private:
+  const Topology& topo_;
+  int log_ = 1;
+  std::vector<int> depth_;
+  std::vector<std::vector<NodeId>> up_;  // up_[k][v] = 2^k-th ancestor
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_TOPO_PATH_QUERY_H_

@@ -1,0 +1,81 @@
+#include "topo/refine.h"
+
+#include <vector>
+
+#include "cts/bounded_skew_dme.h"
+#include "topo/validate.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+// Cost oracle: bounded-skew edge lengths on the fixed topology.
+double EvalCost(const Topology& topo, std::span<const Point> sinks,
+                const std::optional<Point>& source, double bound) {
+  auto tree = BoundedSkewOnTopology(topo, sinks, source, bound);
+  LUBT_ASSERT(tree.ok());
+  return tree->cost;
+}
+
+}  // namespace
+
+Result<RefineResult> RefineTopologyForBound(
+    const Topology& topo, std::span<const Point> sinks,
+    const std::optional<Point>& source, double skew_bound,
+    const RefineOptions& options) {
+  LUBT_RETURN_IF_ERROR(ValidateTopology(topo, static_cast<int>(sinks.size())));
+  if (!(skew_bound >= 0.0)) {
+    return Status::InvalidArgument("skew bound must be non-negative");
+  }
+  if (options.max_passes < 0 || options.partners_per_node <= 0) {
+    return Status::InvalidArgument("invalid refinement options");
+  }
+
+  RefineResult out;
+  out.topo = topo;
+  out.initial_cost = EvalCost(out.topo, sinks, source, skew_bound);
+  double current = out.initial_cost;
+
+  Rng rng(options.seed);
+  const int n = out.topo.NumNodes();
+  const NodeId root = out.topo.Root();
+
+  // Candidate nodes: every non-root node (leaves and Steiner alike).
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != root && out.topo.Parent(v) != kInvalidNode) {
+      candidates.push_back(v);
+    }
+  }
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    int applied_this_pass = 0;
+    for (const NodeId a : candidates) {
+      for (int t = 0; t < options.partners_per_node; ++t) {
+        const NodeId b = candidates[rng.UniformInt(
+            static_cast<std::uint64_t>(candidates.size()))];
+        if (a == b) continue;
+        if (out.topo.Parent(a) == out.topo.Parent(b)) continue;  // no-op swap
+        if (out.topo.IsAncestor(a, b) || out.topo.IsAncestor(b, a)) continue;
+        ++out.moves_tried;
+        out.topo.SwapSubtrees(a, b);
+        const double cost = EvalCost(out.topo, sinks, source, skew_bound);
+        if (cost < current * (1.0 - 1e-12)) {
+          current = cost;
+          ++out.moves_applied;
+          ++applied_this_pass;
+        } else {
+          out.topo.SwapSubtrees(a, b);  // revert
+        }
+      }
+    }
+    LUBT_LOG_DEBUG << "refine pass " << pass << ": cost " << current << " ("
+                   << applied_this_pass << " moves)";
+    if (applied_this_pass == 0) break;
+  }
+  out.final_cost = current;
+  return out;
+}
+
+}  // namespace lubt

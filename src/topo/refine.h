@@ -1,0 +1,51 @@
+// Bound-aware topology refinement — the future work named in the paper's
+// conclusion ("better topology generation which is guided by both the lower
+// and the upper bounds, and at the same time, results in lower tree cost").
+//
+// A stochastic hill climb over subtree-swap moves: two disjoint subtrees
+// exchange their attachment points; a move is kept when the bounded-skew
+// edge-length recurrence (cts/bounded_skew_dme.h) reports a cheaper tree
+// for the target skew budget. Because the evaluator assigns edge lengths
+// respecting the budget, the search is genuinely guided by the bounds: at
+// tight budgets it penalizes depth-unbalancing moves, at loose budgets it
+// behaves like plain Steiner-tree improvement.
+
+#ifndef LUBT_TOPO_REFINE_H_
+#define LUBT_TOPO_REFINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "geom/point.h"
+#include "topo/topology.h"
+#include "util/status.h"
+
+namespace lubt {
+
+/// Refinement knobs.
+struct RefineOptions {
+  int max_passes = 3;        ///< sweeps over all nodes
+  int partners_per_node = 8; ///< random swap partners tried per node
+  std::uint64_t seed = 1;    ///< move-sampling seed
+};
+
+/// Result of a refinement run.
+struct RefineResult {
+  Topology topo;             ///< improved topology
+  double initial_cost = 0.0; ///< bounded-skew cost before
+  double final_cost = 0.0;   ///< bounded-skew cost after
+  int moves_applied = 0;     ///< accepted swaps
+  int moves_tried = 0;
+};
+
+/// Refine `topo` for the given absolute skew budget. The input topology
+/// must be valid for `sinks` (every sink a leaf, binary).
+Result<RefineResult> RefineTopologyForBound(
+    const Topology& topo, std::span<const Point> sinks,
+    const std::optional<Point>& source, double skew_bound,
+    const RefineOptions& options = {});
+
+}  // namespace lubt
+
+#endif  // LUBT_TOPO_REFINE_H_

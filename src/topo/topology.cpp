@@ -1,0 +1,211 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+
+namespace lubt {
+
+NodeId Topology::NewNode() {
+  nodes_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Topology::AddSinkNode(std::int32_t sink_index) {
+  LUBT_ASSERT(sink_index >= 0);
+  const NodeId id = NewNode();
+  nodes_[static_cast<std::size_t>(id)].sink = sink_index;
+  ++num_sinks_;
+  return id;
+}
+
+NodeId Topology::AddInternalNode(NodeId left, NodeId right) {
+  LUBT_ASSERT(left >= 0 && left < NumNodes());
+  LUBT_ASSERT(right >= 0 && right < NumNodes());
+  LUBT_ASSERT(left != right);
+  LUBT_ASSERT(Parent(left) == kInvalidNode && Parent(right) == kInvalidNode);
+  const NodeId id = NewNode();
+  TopoNode& node = nodes_[static_cast<std::size_t>(id)];
+  node.left = left;
+  node.right = right;
+  nodes_[static_cast<std::size_t>(left)].parent = id;
+  nodes_[static_cast<std::size_t>(right)].parent = id;
+  return id;
+}
+
+NodeId Topology::AddUnaryNode(NodeId child) {
+  LUBT_ASSERT(child >= 0 && child < NumNodes());
+  LUBT_ASSERT(Parent(child) == kInvalidNode);
+  const NodeId id = NewNode();
+  nodes_[static_cast<std::size_t>(id)].left = child;
+  nodes_[static_cast<std::size_t>(child)].parent = id;
+  return id;
+}
+
+void Topology::SetRoot(NodeId root, RootMode mode) {
+  LUBT_ASSERT(root >= 0 && root < NumNodes());
+  LUBT_ASSERT(Parent(root) == kInvalidNode);
+  if (mode == RootMode::kFixedSource) {
+    // Fixed source: degree exactly one.
+    LUBT_ASSERT(Node(root).left != kInvalidNode &&
+                Node(root).right == kInvalidNode);
+    LUBT_ASSERT(!IsSinkNode(root));
+  }
+  root_ = root;
+  mode_ = mode;
+}
+
+NodeId Topology::Root() const {
+  LUBT_ASSERT(root_ != kInvalidNode);
+  return root_;
+}
+
+const TopoNode& Topology::Node(NodeId id) const {
+  LUBT_ASSERT(id >= 0 && id < NumNodes());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId> Topology::PreOrder() const {
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(NumNodes()));
+  std::vector<NodeId> stack{Root()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    const TopoNode& node = Node(id);
+    if (node.right != kInvalidNode) stack.push_back(node.right);
+    if (node.left != kInvalidNode) stack.push_back(node.left);
+  }
+  return order;
+}
+
+std::vector<NodeId> Topology::PostOrder() const {
+  std::vector<NodeId> order = PreOrder();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<NodeId> Topology::SinkNodes() const {
+  std::vector<NodeId> sinks;
+  sinks.reserve(static_cast<std::size_t>(num_sinks_));
+  for (const NodeId id : PostOrder()) {
+    if (IsSinkNode(id)) sinks.push_back(id);
+  }
+  return sinks;
+}
+
+std::vector<int> Topology::Depths() const {
+  std::vector<int> depth(static_cast<std::size_t>(NumNodes()), 0);
+  for (const NodeId id : PreOrder()) {
+    const NodeId p = Parent(id);
+    depth[static_cast<std::size_t>(id)] =
+        p == kInvalidNode ? 0 : depth[static_cast<std::size_t>(p)] + 1;
+  }
+  return depth;
+}
+
+bool Topology::IsAncestor(NodeId ancestor, NodeId node) const {
+  for (NodeId v = node; v != kInvalidNode; v = Parent(v)) {
+    if (v == ancestor) return true;
+  }
+  return false;
+}
+
+void Topology::SwapSubtrees(NodeId a, NodeId b) {
+  LUBT_ASSERT(a != b);
+  const NodeId pa = Parent(a);
+  const NodeId pb = Parent(b);
+  LUBT_ASSERT(pa != kInvalidNode && pb != kInvalidNode);
+  LUBT_ASSERT(!IsAncestor(a, b) && !IsAncestor(b, a));
+
+  auto relink = [this](NodeId parent, NodeId from, NodeId to) {
+    TopoNode& node = nodes_[static_cast<std::size_t>(parent)];
+    if (node.left == from) {
+      node.left = to;
+    } else {
+      LUBT_ASSERT(node.right == from);
+      node.right = to;
+    }
+  };
+  relink(pa, a, b);
+  relink(pb, b, a);
+  nodes_[static_cast<std::size_t>(a)].parent = pb;
+  nodes_[static_cast<std::size_t>(b)].parent = pa;
+}
+
+Result<Topology> BuildBinaryTopology(
+    const std::vector<std::vector<std::int32_t>>& children,
+    const std::vector<std::int32_t>& sink_of, std::int32_t root, RootMode mode,
+    std::vector<std::int32_t>* zero_length_edges) {
+  if (children.size() != sink_of.size()) {
+    return Status::InvalidArgument("children/sink_of size mismatch");
+  }
+  const auto n = static_cast<std::int32_t>(children.size());
+  if (root < 0 || root >= n) {
+    return Status::InvalidArgument("root out of range");
+  }
+
+  Topology topo;
+  if (zero_length_edges != nullptr) zero_length_edges->clear();
+
+  // Recursively (iteratively, post-order) build each original node; nodes
+  // with k > 2 children become a chain of k-1 binary nodes whose internal
+  // connecting edges must be zero length (Figure 2 generalized).
+  std::vector<NodeId> built(static_cast<std::size_t>(n), kInvalidNode);
+  std::vector<std::int32_t> stack{root};
+  std::vector<bool> expanded(static_cast<std::size_t>(n), false);
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    const auto& kids = children[static_cast<std::size_t>(v)];
+    if (!expanded[static_cast<std::size_t>(v)]) {
+      expanded[static_cast<std::size_t>(v)] = true;
+      for (std::int32_t k : kids) {
+        if (k < 0 || k >= n) {
+          return Status::InvalidArgument("child index out of range");
+        }
+        stack.push_back(k);
+      }
+      continue;
+    }
+    stack.pop_back();
+    if (built[static_cast<std::size_t>(v)] != kInvalidNode) continue;
+
+    if (kids.empty()) {
+      if (sink_of[static_cast<std::size_t>(v)] < 0) {
+        return Status::InvalidArgument(
+            "leaf node without a sink index (degenerate Steiner leaf)");
+      }
+      built[static_cast<std::size_t>(v)] =
+          topo.AddSinkNode(sink_of[static_cast<std::size_t>(v)]);
+      continue;
+    }
+    if (sink_of[static_cast<std::size_t>(v)] >= 0) {
+      return Status::InvalidArgument(
+          "internal node carries a sink index; sinks must be leaves");
+    }
+    if (kids.size() == 1) {
+      if (v != root) {
+        return Status::InvalidArgument("unary non-root node");
+      }
+      built[static_cast<std::size_t>(v)] =
+          topo.AddUnaryNode(built[static_cast<std::size_t>(kids[0])]);
+      continue;
+    }
+    // Fold children left to right; intermediate links get zero length.
+    NodeId acc = built[static_cast<std::size_t>(kids[0])];
+    for (std::size_t i = 1; i < kids.size(); ++i) {
+      const NodeId next = built[static_cast<std::size_t>(kids[i])];
+      const NodeId merged = topo.AddInternalNode(acc, next);
+      if (i + 1 < kids.size() && zero_length_edges != nullptr) {
+        // The edge from `merged` to the next chain node must be degenerate.
+        zero_length_edges->push_back(merged);
+      }
+      acc = merged;
+    }
+    built[static_cast<std::size_t>(v)] = acc;
+  }
+
+  topo.SetRoot(built[static_cast<std::size_t>(root)], mode);
+  return topo;
+}
+
+}  // namespace lubt

@@ -1,0 +1,132 @@
+// Rooted routing-tree topologies (Section 2 / Section 3 of the paper).
+//
+// A topology is pure connectivity: sinks are leaves with fixed locations,
+// Steiner nodes are internal with locations decided later by the embedder.
+// Following the paper we identify each non-root node with the edge to its
+// parent, so "edge i" and "node i" are interchangeable; LP columns are the
+// edges in a dense order provided by EdgeIndexer (ebf/formulation.h).
+//
+// Two root conventions, matching Definition 2.1:
+//  * kFreeSource : the root is a Steiner point with two children and its
+//                  location is an output of the embedding;
+//  * kFixedSource: the root is the clock source at a given location, with
+//                  exactly one child (the paper normalizes every fixed-source
+//                  Steiner node to degree 3 and the root to degree 1).
+//
+// Degree-4 Steiner points are normalized by SplitDegree4 (Figure 2): the
+// builder API only creates binary nodes, but imported topologies may need
+// the split.
+
+#ifndef LUBT_TOPO_TOPOLOGY_H_
+#define LUBT_TOPO_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lubt {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// How the root of a topology is interpreted.
+enum class RootMode {
+  kFreeSource,   ///< root is a Steiner point, location to be chosen
+  kFixedSource,  ///< root is the given source location, single child
+};
+
+/// Connectivity of one node.
+struct TopoNode {
+  NodeId parent = kInvalidNode;
+  NodeId left = kInvalidNode;   ///< first child (kInvalidNode if leaf)
+  NodeId right = kInvalidNode;  ///< second child (kInvalidNode if unary/leaf)
+  std::int32_t sink = -1;       ///< sink index for leaves; -1 for Steiner
+};
+
+/// An arena of nodes forming a rooted tree.
+class Topology {
+ public:
+  /// Start building; nodes are added bottom-up and the root set last.
+  Topology() = default;
+
+  /// Add a leaf node bound to sink `sink_index` (an index into the caller's
+  /// sink array). Returns the node id.
+  NodeId AddSinkNode(std::int32_t sink_index);
+
+  /// Add an internal (Steiner) node with two existing parentless children.
+  NodeId AddInternalNode(NodeId left, NodeId right);
+
+  /// Add a unary node above `child` (used for the fixed-source root).
+  NodeId AddUnaryNode(NodeId child);
+
+  /// Declare the root and the root interpretation. Must be parentless.
+  void SetRoot(NodeId root, RootMode mode);
+
+  bool HasRoot() const { return root_ != kInvalidNode; }
+  NodeId Root() const;
+  RootMode Mode() const { return mode_; }
+
+  int NumNodes() const { return static_cast<int>(nodes_.size()); }
+  /// Number of leaves bound to sinks.
+  int NumSinkNodes() const { return num_sinks_; }
+  /// Number of edges = nodes except the root.
+  int NumEdges() const { return NumNodes() - 1; }
+
+  const TopoNode& Node(NodeId id) const;
+  NodeId Parent(NodeId id) const { return Node(id).parent; }
+  bool IsLeaf(NodeId id) const {
+    return Node(id).left == kInvalidNode && Node(id).right == kInvalidNode;
+  }
+  bool IsSinkNode(NodeId id) const { return Node(id).sink >= 0; }
+  std::int32_t SinkIndex(NodeId id) const { return Node(id).sink; }
+
+  /// Nodes in an order where every parent precedes its children.
+  /// Requires a root.
+  std::vector<NodeId> PreOrder() const;
+
+  /// Nodes in an order where every child precedes its parent.
+  std::vector<NodeId> PostOrder() const;
+
+  /// Leaf node ids in PostOrder encounter order.
+  std::vector<NodeId> SinkNodes() const;
+
+  /// Edge count from the root (root depth 0). Requires a root.
+  std::vector<int> Depths() const;
+
+  /// True when `ancestor` lies on the path from `node` to the root
+  /// (a node is its own ancestor).
+  bool IsAncestor(NodeId ancestor, NodeId node) const;
+
+  /// Exchange the positions of two disjoint subtrees (neither may be an
+  /// ancestor of the other, and neither may be the root). Keeps the
+  /// topology full-binary and all sinks leaves; used by the topology
+  /// refinement pass.
+  void SwapSubtrees(NodeId a, NodeId b);
+
+ private:
+  NodeId NewNode();
+
+  std::vector<TopoNode> nodes_;
+  NodeId root_ = kInvalidNode;
+  RootMode mode_ = RootMode::kFreeSource;
+  int num_sinks_ = 0;
+};
+
+/// Normalize a topology that contains nodes with more than two children
+/// given as (parent, children-list) adjacency: split degree-4+ Steiner
+/// points into chains of binary nodes joined by zero-length edges
+/// (Figure 2). The builder API cannot create such nodes, so this operates
+/// on an adjacency-list description and returns a binary Topology.
+/// `children[i]` lists the children of node i; `sink_of[i]` is the sink
+/// index of node i or -1. Node `root` becomes the root.
+Result<Topology> BuildBinaryTopology(
+    const std::vector<std::vector<std::int32_t>>& children,
+    const std::vector<std::int32_t>& sink_of, std::int32_t root,
+    RootMode mode,
+    std::vector<std::int32_t>* zero_length_edges = nullptr);
+
+}  // namespace lubt
+
+#endif  // LUBT_TOPO_TOPOLOGY_H_

@@ -1,0 +1,94 @@
+#include "topo/validate.h"
+
+#include <string>
+#include <vector>
+
+namespace lubt {
+
+Status ValidateTopology(const Topology& topo, int num_sinks) {
+  if (!topo.HasRoot()) {
+    return Status::InvalidArgument("topology has no root");
+  }
+  const NodeId root = topo.Root();
+  const int n = topo.NumNodes();
+
+  std::vector<int> visits(static_cast<std::size_t>(n), 0);
+  for (const NodeId v : topo.PreOrder()) {
+    ++visits[static_cast<std::size_t>(v)];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (visits[static_cast<std::size_t>(v)] != 1) {
+      return Status::InvalidArgument(
+          "node " + std::to_string(v) + " visited " +
+          std::to_string(visits[static_cast<std::size_t>(v)]) +
+          " times from root (unreachable or shared)");
+    }
+  }
+
+  std::vector<int> sink_seen(static_cast<std::size_t>(num_sinks), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const TopoNode& node = topo.Node(v);
+    // Parent/child agreement.
+    if (node.left != kInvalidNode &&
+        topo.Parent(node.left) != v) {
+      return Status::InvalidArgument("left child parent mismatch at node " +
+                                     std::to_string(v));
+    }
+    if (node.right != kInvalidNode && topo.Parent(node.right) != v) {
+      return Status::InvalidArgument("right child parent mismatch at node " +
+                                     std::to_string(v));
+    }
+    if (node.parent == kInvalidNode && v != root) {
+      return Status::InvalidArgument("non-root node " + std::to_string(v) +
+                                     " has no parent");
+    }
+
+    const bool is_leaf = topo.IsLeaf(v);
+    if (is_leaf) {
+      if (node.sink < 0) {
+        return Status::InvalidArgument("Steiner leaf at node " +
+                                       std::to_string(v));
+      }
+      if (node.sink >= num_sinks) {
+        return Status::InvalidArgument("sink index out of range at node " +
+                                       std::to_string(v));
+      }
+      ++sink_seen[static_cast<std::size_t>(node.sink)];
+    } else {
+      if (node.sink >= 0) {
+        return Status::InvalidArgument("internal node " + std::to_string(v) +
+                                       " bound to a sink");
+      }
+      const bool unary = node.right == kInvalidNode;
+      if (unary) {
+        const bool fixed_root =
+            v == root && topo.Mode() == RootMode::kFixedSource;
+        if (!fixed_root) {
+          return Status::InvalidArgument("unary node " + std::to_string(v) +
+                                         " (only a fixed-source root may be "
+                                         "unary)");
+        }
+      }
+    }
+  }
+
+  if (topo.Mode() == RootMode::kFreeSource &&
+      (topo.Node(root).right == kInvalidNode || topo.IsLeaf(root))) {
+    if (topo.NumSinkNodes() > 1) {
+      return Status::InvalidArgument(
+          "free-source root must be a binary Steiner node");
+    }
+  }
+
+  for (int s = 0; s < num_sinks; ++s) {
+    if (sink_seen[static_cast<std::size_t>(s)] != 1) {
+      return Status::InvalidArgument(
+          "sink " + std::to_string(s) + " appears " +
+          std::to_string(sink_seen[static_cast<std::size_t>(s)]) +
+          " times (must be exactly once)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lubt

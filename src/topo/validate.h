@@ -1,0 +1,25 @@
+// Structural validation of topologies against the paper's assumptions.
+
+#ifndef LUBT_TOPO_VALIDATE_H_
+#define LUBT_TOPO_VALIDATE_H_
+
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Check that `topo` is a well-formed LUBT topology over `num_sinks` sinks:
+///  * has a root of the declared mode (binary Steiner root for kFreeSource,
+///    unary source root for kFixedSource);
+///  * every node is reachable from the root exactly once and parent/child
+///    pointers agree;
+///  * every internal non-root node has exactly two children (degree 3);
+///  * every sink index in [0, num_sinks) appears on exactly one leaf;
+///  * no Steiner leaf exists.
+/// Note: the paper additionally assumes every *sink* is a leaf for
+/// guaranteed feasibility (Lemma 3.1); that is enforced here because the
+/// builder API cannot attach a sink to an internal node.
+Status ValidateTopology(const Topology& topo, int num_sinks);
+
+}  // namespace lubt
+
+#endif  // LUBT_TOPO_VALIDATE_H_

@@ -1,0 +1,70 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace lubt {
+
+Result<ArgParser> ArgParser::Parse(int argc, const char* const* argv,
+                                   std::vector<std::string> known_flags) {
+  ArgParser out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    bool has_value = false;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_value = true;
+    }
+    if (std::find(known_flags.begin(), known_flags.end(), arg) ==
+        known_flags.end()) {
+      return Status::InvalidArgument("unknown flag --" + arg);
+    }
+    if (!has_value) {
+      // Consume the next token as the value unless it is another flag or
+      // the end of the line (then it's a boolean switch).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    out.values_[arg] = std::move(value);
+  }
+  return out;
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double ArgParser::GetDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+int ArgParser::GetInt(const std::string& name, int fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+bool ArgParser::GetBool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace lubt

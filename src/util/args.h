@@ -1,0 +1,44 @@
+// Minimal command-line flag parsing for the tools.
+//
+// Supports --name value and --name=value forms, typed getters with
+// defaults, required flags, and leftover positional arguments. Unknown
+// flags are an error so typos fail loudly.
+
+#ifndef LUBT_UTIL_ARGS_H_
+#define LUBT_UTIL_ARGS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lubt {
+
+/// Parsed command line.
+class ArgParser {
+ public:
+  /// Parse argv. `known_flags` lists every accepted --flag name (without
+  /// dashes); anything else fails.
+  static Result<ArgParser> Parse(int argc, const char* const* argv,
+                                 std::vector<std::string> known_flags);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  int GetInt(const std::string& name, int fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_UTIL_ARGS_H_

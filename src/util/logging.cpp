@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/timer.h"
+
+namespace lubt {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("LUBT_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kQuiet);
+  const int v = std::atoi(env);
+  if (v < 0) return 0;
+  if (v > 2) return 2;
+  return v;
+}
+
+Timer& ProcessTimer() {
+  static Timer timer;
+  return timer;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() {
+  int v = g_level.load();
+  if (v < 0) {
+    v = InitLevelFromEnv();
+    g_level.store(v);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+namespace internal {
+
+void LogLine(LogLevel level, const std::string& message) {
+  const char* tag = level == LogLevel::kDebug ? "D" : "I";
+  std::fprintf(stderr, "[%s %9.3fs] %s\n", tag, ProcessTimer().Seconds(),
+               message.c_str());
+}
+
+}  // namespace internal
+}  // namespace lubt

@@ -1,0 +1,56 @@
+// Minimal leveled logging to stderr.
+//
+// Verbosity is process-global and settable from code or the LUBT_LOG_LEVEL
+// environment variable (0=quiet, 1=info, 2=debug). Log lines are prefixed
+// with the level and a monotonic timestamp so long LP runs can be profiled
+// from their logs.
+
+#ifndef LUBT_UTIL_LOGGING_H_
+#define LUBT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lubt {
+
+enum class LogLevel : int { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+/// Set process-wide verbosity.
+void SetLogLevel(LogLevel level);
+
+/// Current verbosity (initialized from LUBT_LOG_LEVEL on first use).
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogLine(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define LUBT_LOG_INFO                                             \
+  if (::lubt::GetLogLevel() >= ::lubt::LogLevel::kInfo)           \
+  ::lubt::internal::LogMessage(::lubt::LogLevel::kInfo)
+
+#define LUBT_LOG_DEBUG                                            \
+  if (::lubt::GetLogLevel() >= ::lubt::LogLevel::kDebug)          \
+  ::lubt::internal::LogMessage(::lubt::LogLevel::kDebug)
+
+}  // namespace lubt
+
+#endif  // LUBT_UTIL_LOGGING_H_

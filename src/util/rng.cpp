@@ -1,0 +1,80 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace lubt {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  LUBT_ASSERT(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  LUBT_ASSERT(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return v % n;
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  LUBT_ASSERT(lo <= hi);
+  return lo + static_cast<int>(UniformInt(
+                  static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Normal() {
+  // Box–Muller; draw until u1 is safely positive for the log.
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+}  // namespace lubt

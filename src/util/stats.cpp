@@ -1,0 +1,45 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace lubt {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Min() const {
+  LUBT_ASSERT(count_ > 0);
+  return min_;
+}
+
+double RunningStats::Max() const {
+  LUBT_ASSERT(count_ > 0);
+  return max_;
+}
+
+double RunningStats::Mean() const {
+  LUBT_ASSERT(count_ > 0);
+  return mean_;
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace lubt

@@ -1,0 +1,36 @@
+// Small running-statistics accumulator for benches and tests.
+
+#ifndef LUBT_UTIL_STATS_H_
+#define LUBT_UTIL_STATS_H_
+
+#include <cstddef>
+
+namespace lubt {
+
+/// Streaming min/max/mean/variance (Welford) accumulator.
+class RunningStats {
+ public:
+  /// Fold one sample into the accumulator.
+  void Add(double x);
+
+  std::size_t Count() const { return count_; }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double Variance() const;
+  double StdDev() const;
+  double Sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_UTIL_STATS_H_

@@ -1,0 +1,49 @@
+#include "util/status.h"
+
+#include <cstdio>
+
+namespace lubt {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kInfeasible:
+      return "INFEASIBLE";
+    case StatusCode::kUnbounded:
+      return "UNBOUNDED";
+    case StatusCode::kNumericalFailure:
+      return "NUMERICAL_FAILURE";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+
+void AssertFail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "LUBT_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lubt

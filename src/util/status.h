@@ -1,0 +1,123 @@
+// Lightweight status / expected types used across the library.
+//
+// The library reports recoverable failures (infeasible LP, malformed input,
+// empty feasible region) through Status / Result<T> rather than exceptions,
+// so that callers driving large parameter sweeps can continue past individual
+// infeasible configurations. Programming errors (violated preconditions) are
+// guarded with LUBT_ASSERT which aborts.
+
+#ifndef LUBT_UTIL_STATUS_H_
+#define LUBT_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace lubt {
+
+/// Error categories surfaced by the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad topology, negative bound, ...).
+  kInfeasible,        ///< No solution exists (LP infeasible, empty region).
+  kUnbounded,         ///< LP objective unbounded below.
+  kNumericalFailure,  ///< Solver failed to converge / lost precision.
+  kNotFound,          ///< Missing file or entity.
+  kInternal,          ///< Invariant violation that was caught gracefully.
+};
+
+/// Human-readable name of a status code ("OK", "INFEASIBLE", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A status: either OK or a code plus a diagnostic message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status NumericalFailure(std::string msg) {
+    return Status(StatusCode::kNumericalFailure, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value or an error Status. Minimal absl::StatusOr-alike.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                 // NOLINT
+  Result(Status status) : status_(std::move(status)) {          // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ engaged.
+};
+
+namespace internal {
+[[noreturn]] void AssertFail(const char* expr, const char* file, int line);
+}  // namespace internal
+
+/// Precondition / invariant check; active in all build types because the
+/// algorithms here are cheap relative to their LP solves.
+#define LUBT_ASSERT(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::lubt::internal::AssertFail(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+/// Propagate a non-OK status out of the current function.
+#define LUBT_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::lubt::Status lubt_status_ = (expr);       \
+    if (!lubt_status_.ok()) return lubt_status_; \
+  } while (false)
+
+}  // namespace lubt
+
+#endif  // LUBT_UTIL_STATUS_H_

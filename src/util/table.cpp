@@ -1,0 +1,113 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace lubt {
+namespace {
+
+constexpr const char* kSeparatorSentinel = "\x01sep";
+
+bool IsSeparator(const std::vector<std::string>& row) {
+  return row.size() == 1 && row[0] == kSeparatorSentinel;
+}
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LUBT_ASSERT(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  LUBT_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddSeparator() { rows_.push_back({kSeparatorSentinel}); }
+
+std::size_t TextTable::NumRows() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (!IsSeparator(row)) ++n;
+  }
+  return n;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (IsSeparator(row)) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (IsSeparator(row)) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      emit_row(row);
+    }
+  }
+  return os.str();
+}
+
+std::string TextTable::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << CsvEscape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    if (!IsSeparator(row)) emit(row);
+  }
+  return os.str();
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatCost(double value) { return FormatDouble(value, 2); }
+
+}  // namespace lubt

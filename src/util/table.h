@@ -1,0 +1,51 @@
+// Plain-text table formatting shared by the benchmark harness.
+//
+// The bench binaries reproduce the paper's tables; this helper keeps their
+// stdout aligned and also serializes the same rows to CSV for downstream
+// plotting.
+
+#ifndef LUBT_UTIL_TABLE_H_
+#define LUBT_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace lubt {
+
+/// Column-aligned text table with optional CSV export.
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Append a horizontal separator row.
+  void AddSeparator();
+
+  /// Number of data rows (separators excluded).
+  std::size_t NumRows() const;
+
+  /// Render with padded columns, a header rule, and 2-space gutters.
+  std::string ToString() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  // A row with the sentinel single cell "\x01sep" renders as a rule.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` fractional digits.
+std::string FormatDouble(double value, int digits = 2);
+
+/// Format a double like the paper's cost columns (1-2 decimals, thousands
+/// kept plain).
+std::string FormatCost(double value);
+
+}  // namespace lubt
+
+#endif  // LUBT_UTIL_TABLE_H_

@@ -1,0 +1,17 @@
+#include "util/timer.h"
+
+namespace lubt {
+
+Timer::Timer() : start_(std::chrono::steady_clock::now()) {}
+
+void Timer::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::Seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double Timer::Millis() const { return Seconds() * 1e3; }
+
+}  // namespace lubt

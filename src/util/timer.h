@@ -1,0 +1,30 @@
+// Wall-clock timing helper used by benches and solver statistics.
+
+#ifndef LUBT_UTIL_TIMER_H_
+#define LUBT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace lubt {
+
+/// Monotonic stopwatch. Starts on construction; Restart() re-arms it.
+class Timer {
+ public:
+  Timer();
+
+  /// Reset the start point to now.
+  void Restart();
+
+  /// Seconds elapsed since construction / last Restart().
+  double Seconds() const;
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double Millis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_UTIL_TIMER_H_

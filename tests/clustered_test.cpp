@@ -1,0 +1,90 @@
+// Non-uniform (clustered) sink distributions through the full pipeline —
+// real clock nets cluster around macros, and clustered instances stress
+// the topology generators and the baseline differently than uniform ones.
+
+#include <gtest/gtest.h>
+
+#include "cts/bounded_skew_dme.h"
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "embed/placer.h"
+#include "embed/verifier.h"
+#include "io/benchmarks.h"
+#include "util/logging.h"
+
+namespace lubt {
+namespace {
+
+class ClusteredPipelineTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ClusteredPipelineTest, BaselineThenLubtVerifies) {
+  const auto [seed, bound_f] = GetParam();
+  const SinkSet set =
+      ClusteredSinkSet(50, 4, BBox({0, 0}, {2000, 1500}),
+                       static_cast<std::uint64_t>(seed) * 13 + 5, true);
+  const double radius = Radius(set.sinks, set.source);
+  auto base = BuildBoundedSkewTree(set.sinks, set.source, bound_f * radius);
+  ASSERT_TRUE(base.ok()) << base.status();
+  EXPECT_LE(base->max_delay - base->min_delay,
+            bound_f * radius * (1.0 + 1e-6) + 1e-9);
+
+  EbfProblem prob;
+  prob.topo = &base->topo;
+  prob.sinks = set.sinks;
+  prob.source = set.source;
+  prob.bounds.assign(set.sinks.size(),
+                     DelayBounds{base->min_delay, base->max_delay});
+  const EbfSolveResult lubt = SolveEbf(prob);
+  ASSERT_TRUE(lubt.ok()) << lubt.status;
+  EXPECT_LE(lubt.cost, base->cost * (1.0 + 1e-6));
+
+  auto embedding =
+      EmbedTree(base->topo, set.sinks, set.source, lubt.edge_len);
+  ASSERT_TRUE(embedding.ok()) << embedding.status();
+  const auto report =
+      VerifyEmbedding(base->topo, set.sinks, set.source, lubt.edge_len,
+                      embedding->location, prob.bounds);
+  EXPECT_TRUE(report.ok()) << report.status;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusteredPipelineTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.0, 0.1, 1.0)));
+
+TEST(ClusteredPipelineTest, ClusteredCheaperThanUniformAtEqualCount) {
+  // Clustered nets have shorter NN distances, so Steiner cost is lower for
+  // the same sink count and die — a sanity check on the generators.
+  const BBox die({0, 0}, {1000, 1000});
+  const SinkSet uniform = RandomSinkSet(80, die, 9, true);
+  const SinkSet clustered = ClusteredSinkSet(80, 3, die, 9, true);
+  auto u = BuildBoundedSkewTree(uniform.sinks, uniform.source, 1e18);
+  auto c = BuildBoundedSkewTree(clustered.sinks, clustered.source, 1e18);
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(c->cost, u->cost);
+}
+
+// ---- Logging smoke ----------------------------------------------------------
+
+TEST(LoggingTest, LevelsAndMacros) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  LUBT_LOG_INFO << "info line from the test " << 42;
+  LUBT_LOG_DEBUG << "debug line from the test " << 3.14;
+  SetLogLevel(LogLevel::kQuiet);
+  // With quiet level the macro body must not run (cheap side-effect check).
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  LUBT_LOG_INFO << touch();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace lubt

@@ -1,0 +1,231 @@
+// CTS layer tests: delay models, metrics, bounded-skew baseline properties.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "cts/bounded_skew_dme.h"
+#include "cts/elmore_delay.h"
+#include "cts/linear_delay.h"
+#include "cts/metrics.h"
+#include "io/benchmarks.h"
+#include "topo/mst.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+// ((s0, s1), s2) with unary fixed-source root; hand-assigned lengths.
+struct SmallTree {
+  Topology topo;
+  std::vector<double> len;
+  SmallTree() {
+    const NodeId a = topo.AddSinkNode(0);
+    const NodeId b = topo.AddSinkNode(1);
+    const NodeId c = topo.AddSinkNode(2);
+    const NodeId ab = topo.AddInternalNode(a, b);
+    const NodeId abc = topo.AddInternalNode(ab, c);
+    const NodeId root = topo.AddUnaryNode(abc);
+    topo.SetRoot(root, RootMode::kFixedSource);
+    // ids: a=0,b=1,c=2,ab=3,abc=4,root=5
+    len = {2.0, 3.0, 4.0, 1.0, 5.0, 0.0};
+  }
+};
+
+TEST(LinearDelayTest, HandComputedDelays) {
+  SmallTree t;
+  const auto d = LinearSinkDelays(t.topo, t.len);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 5.0 + 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0 + 1.0 + 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0 + 4.0);
+}
+
+TEST(MetricsTest, TreeStats) {
+  SmallTree t;
+  const TreeStats stats = ComputeTreeStats(t.topo, t.len);
+  EXPECT_DOUBLE_EQ(stats.cost, 15.0);
+  EXPECT_DOUBLE_EQ(stats.min_delay, 8.0);
+  EXPECT_DOUBLE_EQ(stats.max_delay, 9.0);
+  EXPECT_DOUBLE_EQ(stats.Skew(), 1.0);
+}
+
+TEST(MetricsTest, RadiusFixedAndFree) {
+  const std::vector<Point> sinks{{0, 0}, {10, 0}, {0, 6}};
+  EXPECT_DOUBLE_EQ(Radius(sinks, Point{0, 0}), 10.0);
+  // Free source: half the diameter. Farthest pair: (10,0)-(0,6) -> 16.
+  EXPECT_DOUBLE_EQ(Radius(sinks, std::nullopt), 8.0);
+  EXPECT_DOUBLE_EQ(Radius(std::vector<Point>{{3, 3}}, std::nullopt), 0.0);
+}
+
+// ---- Elmore -----------------------------------------------------------------
+
+TEST(ElmoreTest, SubtreeCapacitances) {
+  SmallTree t;
+  ElmoreParams params;
+  params.unit_capacitance = 2.0;
+  params.sink_load = {1.0, 1.0, 1.0};
+  const auto cap = SubtreeCapacitances(t.topo, t.len, params);
+  // Leaves: just their load.
+  EXPECT_DOUBLE_EQ(cap[0], 1.0);
+  EXPECT_DOUBLE_EQ(cap[2], 1.0);
+  // ab: loads of a,b plus wire cap of edges a,b = 2 + 2*(2+3) = 12.
+  EXPECT_DOUBLE_EQ(cap[3], 12.0);
+  // abc: cap(ab) + wire(ab edge) + cap(c) + wire(c edge)
+  //    = 12 + 2*1 + 1 + 2*4 = 23.
+  EXPECT_DOUBLE_EQ(cap[4], 23.0);
+  // root: cap(abc) + wire(abc edge) = 23 + 2*5 = 33.
+  EXPECT_DOUBLE_EQ(cap[5], 33.0);
+}
+
+TEST(ElmoreTest, HandComputedDelay) {
+  // Single wire: source - sink, length L. delay = r*L*(c*L/2 + load).
+  Topology topo;
+  const NodeId s = topo.AddSinkNode(0);
+  const NodeId root = topo.AddUnaryNode(s);
+  topo.SetRoot(root, RootMode::kFixedSource);
+  std::vector<double> len{4.0, 0.0};
+  ElmoreParams params;
+  params.unit_resistance = 3.0;
+  params.unit_capacitance = 2.0;
+  params.sink_load = {5.0};
+  const auto d = ElmoreSinkDelays(topo, len, params);
+  EXPECT_DOUBLE_EQ(d[0], 3.0 * 4.0 * (2.0 * 4.0 / 2.0 + 5.0));
+}
+
+TEST(ElmoreTest, DelayMonotoneInLength) {
+  SmallTree t;
+  ElmoreParams params;
+  params.sink_load = {0.5, 0.5, 0.5};
+  const auto d1 = ElmoreSinkDelays(t.topo, t.len, params);
+  auto longer = t.len;
+  longer[4] += 1.0;  // lengthen the shared trunk
+  const auto d2 = ElmoreSinkDelays(t.topo, longer, params);
+  for (std::size_t i = 0; i < d1.size(); ++i) EXPECT_GT(d2[i], d1[i]);
+}
+
+TEST(ElmoreTest, ZeroLengthTreeHasZeroDelay) {
+  SmallTree t;
+  std::vector<double> zeros(t.len.size(), 0.0);
+  ElmoreParams params;
+  params.sink_load = {1.0, 2.0, 3.0};
+  for (const double d : ElmoreSinkDelays(t.topo, zeros, params)) {
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+}
+
+// ---- Bounded-skew baseline ---------------------------------------------------
+
+class BaselineTest : public ::testing::TestWithParam<std::tuple<int, double>> {
+};
+
+TEST_P(BaselineTest, SkewBoundRespected) {
+  const auto [seed, bound_factor] = GetParam();
+  SinkSet set = RandomSinkSet(30 + seed * 7, BBox({0, 0}, {1000, 1000}),
+                              static_cast<std::uint64_t>(seed), true);
+  const double R = Radius(set.sinks, set.source);
+  const double bound = bound_factor * R;
+  auto tree = BuildBoundedSkewTree(set.sinks, set.source, bound);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_LE(tree->max_delay - tree->min_delay, bound + 1e-6 * (1.0 + bound));
+  // Delay vector is consistent with the metrics.
+  const auto d = tree->sink_delay;
+  EXPECT_DOUBLE_EQ(*std::max_element(d.begin(), d.end()), tree->max_delay);
+  EXPECT_DOUBLE_EQ(*std::min_element(d.begin(), d.end()), tree->min_delay);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0.0, 0.05, 0.3, 1.0, 1e18)));
+
+TEST(BaselineTest, ZeroBoundGivesEqualDelays) {
+  SinkSet set = RandomSinkSet(40, BBox({0, 0}, {500, 500}), 42, true);
+  auto tree = BuildBoundedSkewTree(set.sinks, set.source, 0.0);
+  ASSERT_TRUE(tree.ok());
+  for (const double d : tree->sink_delay) {
+    EXPECT_NEAR(d, tree->max_delay, 1e-6 * (1.0 + tree->max_delay));
+  }
+}
+
+TEST(BaselineTest, LooseBoundApproachesMstCost) {
+  SinkSet set = RandomSinkSet(60, BBox({0, 0}, {1000, 1000}), 43, true);
+  auto tree = BuildBoundedSkewTree(set.sinks, set.source, 1e18);
+  ASSERT_TRUE(tree.ok());
+  const double mst = MstLength(set.sinks);
+  // Padded-MST candidate guarantees cost <= MST + source attachment.
+  double attach = 1e18;
+  for (const Point& s : set.sinks) {
+    attach = std::min(attach, ManhattanDist(*set.source, s));
+  }
+  EXPECT_LE(tree->cost, mst + attach + 1e-6);
+}
+
+TEST(BaselineTest, CostWeaklyDecreasesWithLooserBound) {
+  SinkSet set = RandomSinkSet(50, BBox({0, 0}, {1000, 1000}), 44, true);
+  const double R = Radius(set.sinks, set.source);
+  double zero_cost = 0.0;
+  double loose_cost = 0.0;
+  auto t0 = BuildBoundedSkewTree(set.sinks, set.source, 0.0);
+  auto tinf = BuildBoundedSkewTree(set.sinks, set.source, 100.0 * R);
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(tinf.ok());
+  zero_cost = t0->cost;
+  loose_cost = tinf->cost;
+  EXPECT_GT(zero_cost, loose_cost);
+}
+
+TEST(BaselineTest, FreeSourceMode) {
+  SinkSet set = RandomSinkSet(20, BBox({0, 0}, {100, 100}), 45, false);
+  auto tree = BuildBoundedSkewTree(set.sinks, std::nullopt, 0.0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->topo.Mode(), RootMode::kFreeSource);
+  for (const double d : tree->sink_delay) {
+    EXPECT_NEAR(d, tree->max_delay, 1e-6 * (1.0 + tree->max_delay));
+  }
+}
+
+TEST(BaselineTest, SingleSink) {
+  const std::vector<Point> sinks{{5.0, 5.0}};
+  auto tree = BuildBoundedSkewTree(sinks, Point{0.0, 0.0}, 0.0);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(tree->cost, 10.0);
+  EXPECT_DOUBLE_EQ(tree->max_delay, 10.0);
+}
+
+TEST(BaselineTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildBoundedSkewTree({}, std::nullopt, 1.0).ok());
+  const std::vector<Point> sinks{{1, 1}};
+  EXPECT_FALSE(BuildBoundedSkewTree(sinks, std::nullopt, -1.0).ok());
+  EXPECT_FALSE(
+      BuildBoundedSkewTree(sinks, std::nullopt, std::nan("")).ok());
+}
+
+TEST(BaselineTest, PadEmbeddingMeetsBound) {
+  SinkSet set = RandomSinkSet(30, BBox({0, 0}, {400, 400}), 46, true);
+  std::vector<Point> loc;
+  Topology mst = MstBinaryTopology(set.sinks, set.source, &loc);
+  for (const double bound : {0.0, 50.0, 1000.0}) {
+    auto tree =
+        PadEmbeddingToSkewBound(mst, set.sinks, set.source, loc, bound);
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    EXPECT_LE(tree->max_delay - tree->min_delay,
+              bound + 1e-6 * (1.0 + bound));
+  }
+}
+
+TEST(BaselineTest, BoundedSkewOnTopologyRespectsBound) {
+  SinkSet set = RandomSinkSet(25, BBox({0, 0}, {300, 300}), 47, true);
+  const Topology mst = MstBinaryTopology(set.sinks, set.source);
+  for (const double bound : {0.0, 20.0, 500.0}) {
+    auto tree = BoundedSkewOnTopology(mst, set.sinks, set.source, bound);
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    EXPECT_LE(tree->max_delay - tree->min_delay,
+              bound + 1e-6 * (1.0 + bound));
+  }
+}
+
+}  // namespace
+}  // namespace lubt

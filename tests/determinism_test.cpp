@@ -1,0 +1,63 @@
+// Determinism: the whole pipeline — generators, baseline, LP, embedding —
+// must be bit-identical across repeat in-process runs. Reproducibility of
+// EXPERIMENTS.md depends on this.
+
+#include <gtest/gtest.h>
+
+#include "cts/bounded_skew_dme.h"
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "embed/placer.h"
+#include "io/benchmarks.h"
+
+namespace lubt {
+namespace {
+
+struct PipelineRun {
+  double base_cost;
+  double lubt_cost;
+  std::vector<double> edge_len;
+  std::vector<Point> locations;
+};
+
+PipelineRun RunOnce(double bound_f) {
+  const SinkSet set = MakeBenchmark(BenchmarkId::kPrim1, 0.15);
+  const double radius = Radius(set.sinks, set.source);
+  auto base = BuildBoundedSkewTree(set.sinks, set.source, bound_f * radius);
+  LUBT_ASSERT(base.ok());
+  EbfProblem prob;
+  prob.topo = &base->topo;
+  prob.sinks = set.sinks;
+  prob.source = set.source;
+  prob.bounds.assign(set.sinks.size(),
+                     DelayBounds{base->min_delay, base->max_delay});
+  const EbfSolveResult lubt = SolveEbf(prob);
+  LUBT_ASSERT(lubt.ok());
+  auto embedding =
+      EmbedTree(base->topo, set.sinks, set.source, lubt.edge_len);
+  LUBT_ASSERT(embedding.ok());
+  return {base->cost, lubt.cost, lubt.edge_len, embedding->location};
+}
+
+class DeterminismTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeterminismTest, RepeatRunsAreBitIdentical) {
+  const PipelineRun a = RunOnce(GetParam());
+  const PipelineRun b = RunOnce(GetParam());
+  EXPECT_EQ(a.base_cost, b.base_cost);
+  EXPECT_EQ(a.lubt_cost, b.lubt_cost);
+  ASSERT_EQ(a.edge_len.size(), b.edge_len.size());
+  for (std::size_t i = 0; i < a.edge_len.size(); ++i) {
+    EXPECT_EQ(a.edge_len[i], b.edge_len[i]) << "edge " << i;
+  }
+  ASSERT_EQ(a.locations.size(), b.locations.size());
+  for (std::size_t i = 0; i < a.locations.size(); ++i) {
+    EXPECT_EQ(a.locations[i], b.locations[i]) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, DeterminismTest,
+                         ::testing::Values(0.0, 0.1, 1.0));
+
+}  // namespace
+}  // namespace lubt

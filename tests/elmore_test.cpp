@@ -1,0 +1,160 @@
+// Elmore-delay EBF extension tests (Section 7): the SLP heuristic on
+// upper-bounded (convex) and two-sided (non-convex) instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cts/elmore_delay.h"
+#include "cts/metrics.h"
+#include "ebf/elmore_slp.h"
+#include "ebf/solver.h"
+#include "embed/placer.h"
+#include "embed/verifier.h"
+#include "io/benchmarks.h"
+#include "topo/nn_merge.h"
+
+namespace lubt {
+namespace {
+
+struct ElmoreFixture {
+  SinkSet set;
+  Topology topo;
+  double radius;
+  ElmoreParams params;
+
+  explicit ElmoreFixture(int m, std::uint64_t seed) {
+    set = RandomSinkSet(m, BBox({0, 0}, {100, 100}), seed, true);
+    topo = NnMergeTopology(set.sinks, set.source);
+    radius = Radius(set.sinks, set.source);
+    params.unit_resistance = 1.0;
+    params.unit_capacitance = 1.0;
+    params.sink_load.assign(static_cast<std::size_t>(m), 2.0);
+  }
+
+  EbfProblem Problem() const {
+    EbfProblem p;
+    p.topo = &topo;
+    p.sinks = set.sinks;
+    p.source = set.source;
+    return p;
+  }
+
+  // Elmore delay of the Steiner-optimal tree: the natural reference scale.
+  double SteinerElmoreMax() const {
+    EbfProblem p = Problem();
+    p.bounds.assign(set.sinks.size(), DelayBounds{0.0, kLpInf});
+    EbfSolveOptions opt;
+    opt.lp.engine = LpEngine::kSimplex;
+    opt.strategy = EbfStrategy::kFullRows;
+    const EbfSolveResult r = SolveEbf(p, opt);
+    LUBT_ASSERT(r.ok());
+    const auto d = ElmoreSinkDelays(topo, r.edge_len, params);
+    return *std::max_element(d.begin(), d.end());
+  }
+};
+
+TEST(ElmoreSlpTest, UpperBoundOnlyConvexCase) {
+  ElmoreFixture f(10, 71);
+  const double dmax = f.SteinerElmoreMax();
+  EbfProblem prob = f.Problem();
+  // Ask for 80% of the unconstrained max delay: feasible but binding.
+  prob.bounds.assign(f.set.sinks.size(), DelayBounds{0.0, 0.8 * dmax});
+  ElmoreSlpOptions opt;
+  opt.params = f.params;
+  opt.lp.engine = LpEngine::kSimplex;
+  const ElmoreSlpResult r = SolveElmoreSlp(prob, opt);
+  ASSERT_TRUE(r.ok()) << r.status << " violation=" << r.max_violation;
+  for (const double d : r.delays) {
+    EXPECT_LE(d, 0.8 * dmax * (1.0 + 1e-4));
+  }
+  // The Steiner constraints stayed exact, so the tree embeds.
+  auto embedding =
+      EmbedTree(f.topo, f.set.sinks, f.set.source, r.edge_len);
+  EXPECT_TRUE(embedding.ok()) << embedding.status();
+}
+
+TEST(ElmoreSlpTest, TwoSidedBoundsHeuristic) {
+  ElmoreFixture f(8, 72);
+  const double dmax = f.SteinerElmoreMax();
+  EbfProblem prob = f.Problem();
+  // Window around 1.2x the unconstrained max: upper slack, real lower bound.
+  prob.bounds.assign(f.set.sinks.size(),
+                     DelayBounds{1.1 * dmax, 1.6 * dmax});
+  ElmoreSlpOptions opt;
+  opt.params = f.params;
+  opt.lp.engine = LpEngine::kSimplex;
+  const ElmoreSlpResult r = SolveElmoreSlp(prob, opt);
+  ASSERT_TRUE(r.ok()) << r.status << " violation=" << r.max_violation;
+  for (const double d : r.delays) {
+    EXPECT_GE(d, 1.1 * dmax * (1.0 - 1e-3));
+    EXPECT_LE(d, 1.6 * dmax * (1.0 + 1e-3));
+  }
+}
+
+TEST(ElmoreSlpTest, BoundedSkewStyleWindow) {
+  // The clock-tree use: common window [u - d, u] in Elmore units.
+  ElmoreFixture f(8, 73);
+  const double dmax = f.SteinerElmoreMax();
+  EbfProblem prob = f.Problem();
+  prob.bounds.assign(f.set.sinks.size(),
+                     DelayBounds{1.15 * dmax, 1.35 * dmax});
+  ElmoreSlpOptions opt;
+  opt.params = f.params;
+  opt.lp.engine = LpEngine::kSimplex;
+  const ElmoreSlpResult r = SolveElmoreSlp(prob, opt);
+  ASSERT_TRUE(r.ok()) << r.status << " violation=" << r.max_violation;
+  const double lo = *std::min_element(r.delays.begin(), r.delays.end());
+  const double hi = *std::max_element(r.delays.begin(), r.delays.end());
+  EXPECT_LE(hi - lo, (1.35 - 1.15) * dmax * (1.0 + 1e-2));
+}
+
+TEST(ElmoreSlpTest, InfeasiblyTightUpperBoundReported) {
+  ElmoreFixture f(8, 74);
+  EbfProblem prob = f.Problem();
+  // Elmore delay of any tree connecting the farthest sink is bounded below;
+  // demand far less than that.
+  prob.bounds.assign(f.set.sinks.size(), DelayBounds{0.0, 1e-3});
+  ElmoreSlpOptions opt;
+  opt.params = f.params;
+  opt.lp.engine = LpEngine::kSimplex;
+  opt.max_iterations = 15;
+  const ElmoreSlpResult r = SolveElmoreSlp(prob, opt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GT(r.max_violation, 0.0);
+}
+
+TEST(ElmoreSlpTest, CostAboveSteinerFloor) {
+  ElmoreFixture f(10, 75);
+  const double dmax = f.SteinerElmoreMax();
+  // Unconstrained Steiner wirelength is a floor for any bounded solve.
+  EbfProblem steiner = f.Problem();
+  steiner.bounds.assign(f.set.sinks.size(), DelayBounds{0.0, kLpInf});
+  EbfSolveOptions sopt;
+  sopt.lp.engine = LpEngine::kSimplex;
+  sopt.strategy = EbfStrategy::kFullRows;
+  const EbfSolveResult floor_lp = SolveEbf(steiner, sopt);
+  ASSERT_TRUE(floor_lp.ok());
+
+  EbfProblem prob = f.Problem();
+  prob.bounds.assign(f.set.sinks.size(), DelayBounds{0.0, 0.9 * dmax});
+  ElmoreSlpOptions opt;
+  opt.params = f.params;
+  opt.lp.engine = LpEngine::kSimplex;
+  const ElmoreSlpResult r = SolveElmoreSlp(prob, opt);
+  ASSERT_TRUE(r.ok()) << r.status;
+  EXPECT_GE(r.cost, floor_lp.cost * (1.0 - 1e-6));
+}
+
+TEST(ElmoreSlpTest, RejectsMalformedProblem) {
+  ElmoreFixture f(5, 76);
+  EbfProblem prob = f.Problem();
+  prob.bounds.assign(3, DelayBounds{0.0, 1.0});  // wrong arity
+  const ElmoreSlpResult r = SolveElmoreSlp(prob);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lubt

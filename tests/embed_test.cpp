@@ -1,0 +1,317 @@
+// Embedding tests: Theorem 4.1 as an executable property, feasible-region
+// construction, placement rules, verification, wire realization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "cts/bounded_skew_dme.h"
+#include "cts/linear_delay.h"
+#include "ebf/solver.h"
+#include "embed/feasible_region.h"
+#include "embed/placer.h"
+#include "embed/verifier.h"
+#include "embed/wire_realizer.h"
+#include "io/benchmarks.h"
+#include "topo/mst.h"
+#include "topo/nn_merge.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+// End-to-end helper: solve a LUBT instance and embed it.
+struct Pipeline {
+  SinkSet set;
+  Topology topo;
+  EbfSolveResult solved;
+  Result<Embedding> embedding = Status::Internal("not run");
+
+  explicit Pipeline(int m, std::uint64_t seed, double lo_f, double hi_f,
+                    bool with_source = true) {
+    set = RandomSinkSet(m, BBox({0, 0}, {1000, 1000}), seed, with_source);
+    topo = NnMergeTopology(set.sinks, set.source);
+    const double R = Radius(set.sinks, set.source);
+    EbfProblem prob;
+    prob.topo = &topo;
+    prob.sinks = set.sinks;
+    prob.source = set.source;
+    prob.bounds.assign(set.sinks.size(), DelayBounds{lo_f * R, hi_f * R});
+    EbfSolveOptions opt;
+    opt.lp.engine = LpEngine::kSimplex;
+    opt.strategy = EbfStrategy::kFullRows;
+    solved = SolveEbf(prob, opt);
+    if (solved.ok()) {
+      embedding = EmbedTree(topo, set.sinks, set.source, solved.edge_len);
+    }
+  }
+};
+
+// ---- Theorem 4.1 as a property test ----------------------------------------
+
+class Theorem41Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem41Test, LpSolutionsAlwaysEmbed) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const int m = 5 + static_cast<int>(rng.UniformInt(20));
+  const double lo_f = rng.Uniform(0.8, 1.2);
+  // Upper bounds must cover the radius (Equation 3) to be feasible.
+  const double hi_f = std::max(lo_f, 1.0) + rng.Uniform(0.05, 0.8);
+  Pipeline p(m, static_cast<std::uint64_t>(seed) * 31 + 7, lo_f, hi_f);
+  ASSERT_TRUE(p.solved.ok()) << p.solved.status;
+  ASSERT_TRUE(p.embedding.ok()) << p.embedding.status();
+
+  const double R = Radius(p.set.sinks, p.set.source);
+  std::vector<DelayBounds> bounds(p.set.sinks.size(),
+                                  DelayBounds{lo_f * R, hi_f * R});
+  const VerificationReport report =
+      VerifyEmbedding(p.topo, p.set.sinks, p.set.source, p.solved.edge_len,
+                      p.embedding->location, bounds);
+  EXPECT_TRUE(report.ok()) << report.status;
+  // Placement may overrun each edge by up to twice the embed tolerance, so
+  // the total slack can be slightly negative on large instances.
+  const double slack_tol =
+      4.0 * AutoEmbedTolerance(p.set.sinks) * p.topo.NumEdges();
+  EXPECT_GE(report.total_slack, -slack_tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem41Test, ::testing::Range(1, 26));
+
+// Random *feasible-by-construction* edge lengths (not LP vertices) must also
+// embed: take any embedded tree and lengths >= the physical distances.
+class RandomLengthsEmbedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLengthsEmbedTest, InflatedPhysicalLengthsEmbed) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 3);
+  SinkSet set = RandomSinkSet(12, BBox({0, 0}, {300, 300}),
+                              static_cast<std::uint64_t>(GetParam()), true);
+  std::vector<Point> loc;
+  Topology topo = MstBinaryTopology(set.sinks, set.source, &loc);
+  std::vector<double> len(static_cast<std::size_t>(topo.NumNodes()), 0.0);
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    const NodeId p = topo.Parent(v);
+    if (p == kInvalidNode) continue;
+    const double d = ManhattanDist(loc[static_cast<std::size_t>(v)],
+                                   loc[static_cast<std::size_t>(p)]);
+    len[static_cast<std::size_t>(v)] = d + rng.Uniform(0.0, 40.0);
+  }
+  auto embedding = EmbedTree(topo, set.sinks, set.source, len);
+  ASSERT_TRUE(embedding.ok()) << embedding.status();
+  const VerificationReport report = VerifyEmbedding(
+      topo, set.sinks, set.source, len, embedding->location);
+  EXPECT_TRUE(report.ok()) << report.status;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLengthsEmbedTest,
+                         ::testing::Range(1, 16));
+
+// ---- Feasible regions -------------------------------------------------------
+
+TEST(FeasibleRegionTest, SinkRegionsAreTheirLocations) {
+  Pipeline p(8, 42, 1.0, 1.3);
+  ASSERT_TRUE(p.solved.ok());
+  auto regions = BuildFeasibleRegions(p.topo, p.set.sinks, p.set.source,
+                                      p.solved.edge_len);
+  ASSERT_TRUE(regions.ok());
+  for (NodeId v = 0; v < p.topo.NumNodes(); ++v) {
+    if (p.topo.IsSinkNode(v)) {
+      const Trr& fr = regions->fr[static_cast<std::size_t>(v)];
+      EXPECT_TRUE(fr.IsPoint());
+      EXPECT_TRUE(fr.Contains(
+          p.set.sinks[static_cast<std::size_t>(p.topo.SinkIndex(v))], 1e-9));
+    }
+  }
+}
+
+TEST(FeasibleRegionTest, DetectsViolatedSteinerConstraints) {
+  // Shrink an edge far below its physical need: region build must fail.
+  Pipeline p(8, 43, 1.0, 1.3);
+  ASSERT_TRUE(p.solved.ok());
+  auto broken = p.solved.edge_len;
+  // Find the largest edge and zero it plus its siblings.
+  std::size_t worst = 0;
+  for (std::size_t i = 0; i < broken.size(); ++i) {
+    if (broken[i] > broken[worst]) worst = i;
+  }
+  for (auto& e : broken) e *= 0.01;
+  auto regions =
+      BuildFeasibleRegions(p.topo, p.set.sinks, p.set.source, broken);
+  EXPECT_FALSE(regions.ok());
+  EXPECT_EQ(regions.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(FeasibleRegionTest, RejectsMalformedInput) {
+  Pipeline p(6, 44, 1.0, 1.4);
+  ASSERT_TRUE(p.solved.ok());
+  // Wrong arity.
+  std::vector<double> short_len(3, 1.0);
+  EXPECT_FALSE(
+      BuildFeasibleRegions(p.topo, p.set.sinks, p.set.source, short_len)
+          .ok());
+  // Negative length.
+  auto bad = p.solved.edge_len;
+  bad[0] = -1.0;
+  EXPECT_FALSE(
+      BuildFeasibleRegions(p.topo, p.set.sinks, p.set.source, bad).ok());
+  // Missing source for fixed-source topology.
+  EXPECT_FALSE(BuildFeasibleRegions(p.topo, p.set.sinks, std::nullopt,
+                                    p.solved.edge_len)
+                   .ok());
+}
+
+// ---- Placement rules --------------------------------------------------------
+
+TEST(PlacerTest, BothRulesProduceValidEmbeddings) {
+  Pipeline p(15, 45, 0.9, 1.2);
+  ASSERT_TRUE(p.solved.ok());
+  for (const auto rule :
+       {PlacementRule::kClosestToParent, PlacementRule::kCenter}) {
+    auto embedding =
+        EmbedTree(p.topo, p.set.sinks, p.set.source, p.solved.edge_len, rule);
+    ASSERT_TRUE(embedding.ok()) << embedding.status();
+    const VerificationReport report =
+        VerifyEmbedding(p.topo, p.set.sinks, p.set.source, p.solved.edge_len,
+                        embedding->location);
+    EXPECT_TRUE(report.ok()) << report.status;
+  }
+}
+
+TEST(PlacerTest, ClosestToParentNoLongerPhysicalWire) {
+  Pipeline p(15, 46, 0.9, 1.2);
+  ASSERT_TRUE(p.solved.ok());
+  auto closest = EmbedTree(p.topo, p.set.sinks, p.set.source,
+                           p.solved.edge_len, PlacementRule::kClosestToParent);
+  auto center = EmbedTree(p.topo, p.set.sinks, p.set.source,
+                          p.solved.edge_len, PlacementRule::kCenter);
+  ASSERT_TRUE(closest.ok());
+  ASSERT_TRUE(center.ok());
+  const auto rep_c = VerifyEmbedding(p.topo, p.set.sinks, p.set.source,
+                                     p.solved.edge_len, closest->location);
+  const auto rep_m = VerifyEmbedding(p.topo, p.set.sinks, p.set.source,
+                                     p.solved.edge_len, center->location);
+  // Closest-to-parent is a greedy rule, not a global optimum; it should be
+  // no more than marginally worse and usually better.
+  EXPECT_LE(rep_c.total_physical, rep_m.total_physical * 1.02 + 1e-6);
+}
+
+TEST(PlacerTest, RootPlacedAtSource) {
+  Pipeline p(10, 47, 1.0, 1.2);
+  ASSERT_TRUE(p.solved.ok());
+  ASSERT_TRUE(p.embedding.ok());
+  const Point& root_loc =
+      p.embedding->location[static_cast<std::size_t>(p.topo.Root())];
+  EXPECT_DOUBLE_EQ(ManhattanDist(root_loc, *p.set.source), 0.0);
+}
+
+TEST(PlacerTest, FreeSourceRootInsideItsRegion) {
+  Pipeline p(10, 48, 1.0, 1.5, /*with_source=*/false);
+  ASSERT_TRUE(p.solved.ok()) << p.solved.status;
+  ASSERT_TRUE(p.embedding.ok()) << p.embedding.status();
+  auto regions = BuildFeasibleRegions(p.topo, p.set.sinks, std::nullopt,
+                                      p.solved.edge_len);
+  ASSERT_TRUE(regions.ok());
+  const NodeId root = p.topo.Root();
+  EXPECT_TRUE(regions->fr[static_cast<std::size_t>(root)].Contains(
+      p.embedding->location[static_cast<std::size_t>(root)], 1e-6));
+}
+
+// ---- Verifier failure injection ---------------------------------------------
+
+TEST(VerifierTest, CatchesMovedSink) {
+  Pipeline p(8, 49, 1.0, 1.3);
+  ASSERT_TRUE(p.embedding.ok());
+  auto loc = p.embedding->location;
+  // Move a sink node away from its given location.
+  for (NodeId v = 0; v < p.topo.NumNodes(); ++v) {
+    if (p.topo.IsSinkNode(v)) {
+      loc[static_cast<std::size_t>(v)].x += 100.0;
+      break;
+    }
+  }
+  const auto report = VerifyEmbedding(p.topo, p.set.sinks, p.set.source,
+                                      p.solved.edge_len, loc);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifierTest, CatchesShortEdge) {
+  Pipeline p(8, 50, 1.0, 1.3);
+  ASSERT_TRUE(p.embedding.ok());
+  auto len = p.solved.edge_len;
+  // Shrink every internal edge drastically.
+  for (NodeId v = 0; v < p.topo.NumNodes(); ++v) {
+    if (!p.topo.IsSinkNode(v)) len[static_cast<std::size_t>(v)] *= 0.01;
+  }
+  const auto report = VerifyEmbedding(p.topo, p.set.sinks, p.set.source, len,
+                                      p.embedding->location);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.max_edge_overrun, 0.0);
+}
+
+TEST(VerifierTest, CatchesBoundViolation) {
+  Pipeline p(8, 51, 1.0, 1.3);
+  ASSERT_TRUE(p.embedding.ok());
+  const double R = Radius(p.set.sinks, p.set.source);
+  // Impossible bounds for the already-solved lengths.
+  std::vector<DelayBounds> bounds(p.set.sinks.size(),
+                                  DelayBounds{2.5 * R, 3.0 * R});
+  const auto report =
+      VerifyEmbedding(p.topo, p.set.sinks, p.set.source, p.solved.edge_len,
+                      p.embedding->location, bounds);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.max_bound_violation, 0.0);
+}
+
+TEST(VerifierTest, ReportsWirelengthDecomposition) {
+  Pipeline p(10, 52, 1.1, 1.4);
+  ASSERT_TRUE(p.embedding.ok());
+  const auto report = VerifyEmbedding(p.topo, p.set.sinks, p.set.source,
+                                      p.solved.edge_len, p.embedding->location);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.total_wirelength, p.solved.cost, 1e-6 * p.solved.cost);
+  EXPECT_NEAR(report.total_slack,
+              report.total_wirelength - report.total_physical, 1e-9);
+  EXPECT_GE(report.total_slack, -1e-6);
+}
+
+// ---- Wire realization -------------------------------------------------------
+
+TEST(WireRealizerTest, RealizedLengthEqualsAssigned) {
+  Pipeline p(12, 53, 1.0, 1.25);
+  ASSERT_TRUE(p.embedding.ok());
+  const auto wires =
+      RealizeWires(p.topo, p.solved.edge_len, p.embedding->location);
+  EXPECT_EQ(wires.size(), static_cast<std::size_t>(p.topo.NumEdges()));
+  double assigned = 0.0;
+  for (const auto& w : wires) {
+    // The realization is exact: L-route + snake covers max(assigned, dist);
+    // dist may exceed assigned by up to the placement tolerance.
+    EXPECT_NEAR(TotalLength(w.segments),
+                std::max(w.assigned_length, w.physical_distance), 1e-9);
+    for (const auto& s : w.segments) EXPECT_TRUE(s.IsRectilinear());
+    assigned += w.assigned_length;
+  }
+  EXPECT_NEAR(RealizedWirelength(wires), assigned,
+              4.0 * AutoEmbedTolerance(p.set.sinks) * wires.size());
+  EXPECT_NEAR(assigned, p.solved.cost, 1e-6 * (1.0 + p.solved.cost));
+}
+
+TEST(WireRealizerTest, SnakesOnlyWhenElongated) {
+  Pipeline p(12, 54, 1.2, 1.3);  // tight-ish window forces elongation
+  ASSERT_TRUE(p.embedding.ok());
+  const auto wires =
+      RealizeWires(p.topo, p.solved.edge_len, p.embedding->location);
+  bool any_snake = false;
+  for (const auto& w : wires) {
+    EXPECT_GE(w.snake_length, -1e-9);
+    EXPECT_NEAR(w.snake_length,
+                std::max(0.0, w.assigned_length - w.physical_distance), 1e-9);
+    if (w.snake_length > 1e-6) any_snake = true;
+  }
+  EXPECT_TRUE(any_snake) << "expected at least one elongated edge";
+}
+
+}  // namespace
+}  // namespace lubt

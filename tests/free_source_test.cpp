@@ -1,0 +1,140 @@
+// Free-source (Equation 4) coverage: the root is a Steiner point whose
+// location is an output. End-to-end runs, radius semantics, zero-skew
+// cross-checks on every topology generator.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cts/bounded_skew_dme.h"
+#include "cts/linear_delay.h"
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "ebf/zero_skew_direct.h"
+#include "embed/placer.h"
+#include "embed/verifier.h"
+#include "io/benchmarks.h"
+#include "topo/bipartition.h"
+#include "topo/mst.h"
+#include "topo/nn_merge.h"
+
+namespace lubt {
+namespace {
+
+class FreeSourceE2eTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FreeSourceE2eTest, SolveEmbedVerify) {
+  const int seed = GetParam();
+  SinkSet set = RandomSinkSet(10 + 4 * seed, BBox({0, 0}, {500, 500}),
+                              static_cast<std::uint64_t>(seed) * 7 + 2,
+                              /*with_source=*/false);
+  const double radius = Radius(set.sinks, std::nullopt);  // half diameter
+  Topology topo = NnMergeTopology(set.sinks, std::nullopt);
+
+  EbfProblem prob;
+  prob.topo = &topo;
+  prob.sinks = set.sinks;
+  // Equation 4 requires u >= radius for guaranteed feasibility.
+  prob.bounds.assign(set.sinks.size(),
+                     DelayBounds{1.0 * radius, 1.4 * radius});
+  EbfSolveOptions opt;
+  opt.lp.engine = LpEngine::kSimplex;
+  opt.strategy = EbfStrategy::kFullRows;
+  const EbfSolveResult r = SolveEbf(prob, opt);
+  ASSERT_TRUE(r.ok()) << r.status;
+
+  auto embedding = EmbedTree(topo, set.sinks, std::nullopt, r.edge_len);
+  ASSERT_TRUE(embedding.ok()) << embedding.status();
+  const auto report = VerifyEmbedding(topo, set.sinks, std::nullopt,
+                                      r.edge_len, embedding->location,
+                                      prob.bounds);
+  EXPECT_TRUE(report.ok()) << report.status;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FreeSourceE2eTest, ::testing::Range(1, 9));
+
+TEST(FreeSourceTest, ZeroSkewDelayAtLeastHalfDiameter) {
+  SinkSet set = RandomSinkSet(30, BBox({0, 0}, {400, 400}), 61, false);
+  const double radius = Radius(set.sinks, std::nullopt);
+  for (int which = 0; which < 3; ++which) {
+    Topology topo = which == 0   ? NnMergeTopology(set.sinks, std::nullopt)
+                    : which == 1 ? BipartitionTopology(set.sinks, std::nullopt)
+                                 : MstBinaryTopology(set.sinks, std::nullopt);
+    auto direct = SolveZeroSkewDirect(topo, set.sinks, std::nullopt);
+    ASSERT_TRUE(direct.ok()) << "generator " << which;
+    // Every sink pair is connected through the root, so the common delay is
+    // at least half the sink-set diameter (the free-source radius).
+    EXPECT_GE(direct->delay, radius * (1.0 - 1e-6)) << "generator " << which;
+    const auto delays = LinearSinkDelays(topo, direct->edge_len);
+    for (const double d : delays) {
+      EXPECT_NEAR(d, direct->delay, 1e-6 * (1.0 + direct->delay));
+    }
+  }
+}
+
+TEST(FreeSourceTest, ZeroSkewDirectMatchesLpOnAllGenerators) {
+  SinkSet set = RandomSinkSet(12, BBox({0, 0}, {200, 200}), 62, false);
+  for (int which = 0; which < 3; ++which) {
+    Topology topo = which == 0   ? NnMergeTopology(set.sinks, std::nullopt)
+                    : which == 1 ? BipartitionTopology(set.sinks, std::nullopt)
+                                 : MstBinaryTopology(set.sinks, std::nullopt);
+    auto direct = SolveZeroSkewDirect(topo, set.sinks, std::nullopt);
+    ASSERT_TRUE(direct.ok());
+    EbfProblem prob;
+    prob.topo = &topo;
+    prob.sinks = set.sinks;
+    prob.bounds.assign(set.sinks.size(),
+                       DelayBounds{direct->delay, direct->delay});
+    EbfSolveOptions opt;
+    opt.lp.engine = LpEngine::kSimplex;
+    opt.strategy = EbfStrategy::kFullRows;
+    opt.use_zero_skew_fast_path = false;
+    const EbfSolveResult lp = SolveEbf(prob, opt);
+    ASSERT_TRUE(lp.ok()) << "generator " << which << ": " << lp.status;
+    EXPECT_NEAR(lp.cost, direct->cost, 1e-5 * (1.0 + direct->cost))
+        << "generator " << which;
+  }
+}
+
+TEST(FreeSourceTest, BaselineWindowFeedsLubt) {
+  // The Table-1 flow works without a source too.
+  SinkSet set = RandomSinkSet(25, BBox({0, 0}, {300, 300}), 63, false);
+  const double radius = Radius(set.sinks, std::nullopt);
+  auto base = BuildBoundedSkewTree(set.sinks, std::nullopt, 0.2 * radius);
+  ASSERT_TRUE(base.ok()) << base.status();
+  EXPECT_LE(base->max_delay - base->min_delay,
+            0.2 * radius * (1.0 + 1e-6) + 1e-9);
+
+  EbfProblem prob;
+  prob.topo = &base->topo;
+  prob.sinks = set.sinks;
+  prob.bounds.assign(set.sinks.size(),
+                     DelayBounds{base->min_delay, base->max_delay});
+  const EbfSolveResult lubt = SolveEbf(prob);
+  ASSERT_TRUE(lubt.ok()) << lubt.status;
+  EXPECT_LE(lubt.cost, base->cost * (1.0 + 1e-6));
+}
+
+TEST(FreeSourceTest, RootLocationIsChosenNotGiven) {
+  SinkSet set = RandomSinkSet(8, BBox({0, 0}, {100, 100}), 64, false);
+  const double radius = Radius(set.sinks, std::nullopt);
+  Topology topo = NnMergeTopology(set.sinks, std::nullopt);
+  EbfProblem prob;
+  prob.topo = &topo;
+  prob.sinks = set.sinks;
+  prob.bounds.assign(set.sinks.size(), DelayBounds{0.0, 2.0 * radius});
+  EbfSolveOptions opt;
+  opt.lp.engine = LpEngine::kSimplex;
+  opt.strategy = EbfStrategy::kFullRows;
+  const EbfSolveResult r = SolveEbf(prob, opt);
+  ASSERT_TRUE(r.ok());
+  auto embedding = EmbedTree(topo, set.sinks, std::nullopt, r.edge_len);
+  ASSERT_TRUE(embedding.ok());
+  // The root sits inside the sinks' bounding box (it is a merge point).
+  const BBox box = BBox::Around(set.sinks).Inflated(1e-6);
+  EXPECT_TRUE(box.Contains(
+      embedding->location[static_cast<std::size_t>(topo.Root())]));
+}
+
+}  // namespace
+}  // namespace lubt

@@ -1,0 +1,248 @@
+// Geometry kernel tests: points, intervals, TRRs, segments, bboxes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/interval.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+#include "geom/trr.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+TEST(PointTest, DiagonalRoundTrip) {
+  const Point p{3.5, -2.25};
+  const Point q = FromDiag(ToDiag(p));
+  EXPECT_DOUBLE_EQ(p.x, q.x);
+  EXPECT_DOUBLE_EQ(p.y, q.y);
+}
+
+TEST(PointTest, ManhattanEqualsChebyshevInDiag) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const Point b{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    EXPECT_NEAR(ManhattanDist(a, b), ChebyshevDist(ToDiag(a), ToDiag(b)),
+                1e-12);
+  }
+}
+
+TEST(PointTest, ManhattanDominatesEuclidean) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const Point a{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const Point b{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    EXPECT_GE(ManhattanDist(a, b) + 1e-12, EuclideanDist(a, b));
+  }
+}
+
+TEST(IntervalTest, EmptyBasics) {
+  const Interval e = Interval::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.Length(), 0.0);
+  EXPECT_FALSE(e.Contains(0.0));
+  EXPECT_TRUE((Interval{0.0, 1.0}.Contains(e)));
+}
+
+TEST(IntervalTest, IntersectAndGap) {
+  const Interval a{0.0, 2.0};
+  const Interval b{1.0, 3.0};
+  const Interval c{4.0, 5.0};
+  EXPECT_EQ(Intersect(a, b), (Interval{1.0, 2.0}));
+  EXPECT_TRUE(Intersect(a, c).IsEmpty());
+  EXPECT_DOUBLE_EQ(IntervalGap(a, c), 2.0);
+  EXPECT_DOUBLE_EQ(IntervalGap(a, b), 0.0);
+}
+
+TEST(IntervalTest, InflateClampDist) {
+  const Interval a{1.0, 3.0};
+  EXPECT_EQ(a.Inflate(0.5), (Interval{0.5, 3.5}));
+  EXPECT_DOUBLE_EQ(a.Clamp(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.Clamp(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(a.Clamp(9.0), 3.0);
+  EXPECT_DOUBLE_EQ(a.DistTo(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.DistTo(2.5), 0.0);
+  EXPECT_DOUBLE_EQ(a.DistTo(4.0), 1.0);
+}
+
+TEST(TrrTest, SquareContainsItsBall) {
+  const Point c{1.0, 2.0};
+  const Trr square = Trr::Square(c, 3.0);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(-5, 7), rng.Uniform(-4, 8)};
+    EXPECT_EQ(square.Contains(p, 1e-12), ManhattanDist(c, p) <= 3.0 + 1e-12)
+        << "point " << p.x << "," << p.y;
+  }
+}
+
+TEST(TrrTest, PointRegionIsPoint) {
+  const Trr t = Trr::FromPoint({2.0, 3.0});
+  EXPECT_TRUE(t.IsPoint());
+  EXPECT_TRUE(t.IsSegment());
+  EXPECT_EQ(t.Center(), (Point{2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(t.Width(), 0.0);
+}
+
+TEST(TrrTest, InflationIsMinkowskiSum) {
+  // Every point within distance r of the region, and no others.
+  const Trr base = Intersect(Trr::Square({0, 0}, 2.0), Trr::Square({1, 0}, 2.0));
+  const Trr big = base.Inflate(1.5);
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(-6, 7), rng.Uniform(-6, 6)};
+    const double d = base.DistTo(p);
+    EXPECT_EQ(big.Contains(p, 1e-9), d <= 1.5 + 1e-9);
+  }
+}
+
+TEST(TrrTest, DistanceMatchesClosestPoints) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const Trr a = Trr::Square({rng.Uniform(-20, 20), rng.Uniform(-20, 20)},
+                              rng.Uniform(0.0, 5.0));
+    const Trr b = Trr::Square({rng.Uniform(-20, 20), rng.Uniform(-20, 20)},
+                              rng.Uniform(0.0, 5.0));
+    const double d = TrrDist(a, b);
+    // Closest point from each side realizes the distance.
+    const Point pb = b.ClosestTo(a.Center());
+    const Point pa = a.ClosestTo(pb);
+    const Point pb2 = b.ClosestTo(pa);
+    EXPECT_LE(d, ManhattanDist(pa, pb2) + 1e-9);
+    // Distance is symmetric and zero iff intersecting.
+    EXPECT_DOUBLE_EQ(d, TrrDist(b, a));
+    EXPECT_EQ(d == 0.0, !Intersect(a, b).IsEmpty());
+  }
+}
+
+TEST(TrrTest, IntersectionIsExact) {
+  const Trr a = Trr::Square({0, 0}, 2.0);
+  const Trr b = Trr::Square({2, 0}, 2.0);
+  const Trr c = Intersect(a, b);
+  ASSERT_FALSE(c.IsEmpty());
+  Rng rng(14);
+  for (int i = 0; i < 400; ++i) {
+    const Point p{rng.Uniform(-3, 5), rng.Uniform(-3, 3)};
+    EXPECT_EQ(c.Contains(p, 1e-12),
+              a.Contains(p, 1e-12) && b.Contains(p, 1e-12));
+  }
+}
+
+TEST(TrrTest, DegenerateIntersectionIsSegmentOrPoint) {
+  // Two Manhattan circles at distance exactly the sum of radii intersect in
+  // a segment (the classic zero-skew merging segment).
+  const Trr a = Trr::Square({0, 0}, 1.0);
+  const Trr b = Trr::Square({4, 0}, 3.0);
+  const Trr c = Intersect(a, b);
+  ASSERT_FALSE(c.IsEmpty());
+  EXPECT_TRUE(c.IsSegment());
+}
+
+// ---- Helly property (Lemma 10.1) ----------------------------------------
+
+class TrrHellyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrrHellyTest, PairwiseIntersectionImpliesCommonPoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Generate squares around a loose cluster until pairwise-intersecting.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<Trr> regions;
+    const int n = 3 + static_cast<int>(rng.UniformInt(5));
+    for (int i = 0; i < n; ++i) {
+      regions.push_back(
+          Trr::Square({rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+                      rng.Uniform(3.0, 8.0)));
+    }
+    if (!PairwiseIntersecting(regions)) continue;
+    const Trr common = IntersectAll(regions);
+    EXPECT_FALSE(common.IsEmpty())
+        << "Helly property violated for " << n << " TRRs";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrrHellyTest, ::testing::Range(1, 21));
+
+TEST(TrrHellyTest, EuclideanCounterexampleDoesNotApply) {
+  // Three unit-side equilateral-triangle circles (Euclidean) pairwise touch
+  // but share no common point — the analogous *Manhattan* construction must
+  // have a common point (this is why EBF is valid only in L1; Section 4.7).
+  const Point a{0.0, 0.0};
+  const Point b{1.0, 0.0};
+  const Point c{0.5, 0.5};
+  const double dab = ManhattanDist(a, b);
+  const double dac = ManhattanDist(a, c);
+  const double dbc = ManhattanDist(b, c);
+  // Radii = half the pairwise distances: pairwise touching balls.
+  const Trr ta = Trr::Square(a, 0.5 * std::max(dab, dac));
+  const Trr tb = Trr::Square(b, 0.5 * std::max(dab, dbc));
+  const Trr tc = Trr::Square(c, 0.5 * std::max(dac, dbc));
+  std::vector<Trr> regions{ta, tb, tc};
+  ASSERT_TRUE(PairwiseIntersecting(regions, 1e-12));
+  EXPECT_FALSE(IntersectAll(regions).IsEmpty());
+}
+
+// ---- Segments ------------------------------------------------------------
+
+TEST(SegmentTest, LRouteLengthIsManhattan) {
+  const Point a{0, 0};
+  const Point b{3, -4};
+  const auto route = LRoute(a, b);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_DOUBLE_EQ(TotalLength(route), ManhattanDist(a, b));
+  for (const auto& s : route) EXPECT_TRUE(s.IsRectilinear());
+}
+
+TEST(SegmentTest, LRouteDegenerateCases) {
+  EXPECT_TRUE(LRoute({1, 1}, {1, 1}).empty());
+  EXPECT_EQ(LRoute({0, 0}, {5, 0}).size(), 1u);
+  EXPECT_EQ(LRoute({0, 0}, {0, 5}).size(), 1u);
+}
+
+TEST(SegmentTest, SnakedRouteRealizesExactLength) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const Point a{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const Point b{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const double extra = rng.Uniform(0.0, 7.0);
+    const auto route = SnakedRoute(a, b, extra);
+    EXPECT_NEAR(TotalLength(route), ManhattanDist(a, b) + extra, 1e-9);
+  }
+}
+
+TEST(SegmentTest, SnakedRouteWithFoldPitch) {
+  const auto route = SnakedRoute({0, 0}, {10, 0}, 6.0, 1.0);
+  EXPECT_NEAR(TotalLength(route), 16.0, 1e-9);
+  for (const auto& s : route) EXPECT_TRUE(s.IsRectilinear());
+}
+
+// ---- BBox ------------------------------------------------------------------
+
+TEST(BBoxTest, AroundPoints) {
+  const std::vector<Point> pts{{0, 1}, {4, -2}, {2, 5}};
+  const BBox box = BBox::Around(pts);
+  ASSERT_FALSE(box.IsEmpty());
+  EXPECT_EQ(box.Lo(), (Point{0, -2}));
+  EXPECT_EQ(box.Hi(), (Point{4, 5}));
+  EXPECT_DOUBLE_EQ(box.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 7.0);
+  EXPECT_DOUBLE_EQ(box.HalfPerimeter(), 11.0);
+  EXPECT_TRUE(box.Contains({2, 2}));
+  EXPECT_FALSE(box.Contains({5, 2}));
+}
+
+TEST(BBoxTest, EmptyAndInflate) {
+  BBox box;
+  EXPECT_TRUE(box.IsEmpty());
+  box.Expand({1, 1});
+  EXPECT_FALSE(box.IsEmpty());
+  const BBox big = box.Inflated(2.0);
+  EXPECT_EQ(big.Lo(), (Point{-1, -1}));
+  EXPECT_EQ(big.Hi(), (Point{3, 3}));
+}
+
+}  // namespace
+}  // namespace lubt

@@ -1,0 +1,89 @@
+// LP-format exporter tests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cts/metrics.h"
+#include "ebf/formulation.h"
+#include "io/benchmarks.h"
+#include "lp/lp_format.h"
+#include "topo/nn_merge.h"
+
+namespace lubt {
+namespace {
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(LpFormatTest, SmallModelStructure) {
+  LpModel m(2);
+  m.SetObjective(0, 1.0);
+  m.SetObjective(1, 2.5);
+  m.AddRow(std::vector<std::int32_t>{0, 1}, std::vector<double>{1.0, 1.0},
+           3.0, kLpInf);
+  m.AddRow(std::vector<std::int32_t>{0}, std::vector<double>{1.0}, -kLpInf,
+           5.0);
+  m.AddRow(std::vector<std::int32_t>{1}, std::vector<double>{2.0}, 1.0, 4.0);
+  m.AddRow(std::vector<std::int32_t>{0, 1}, std::vector<double>{1.0, -1.0},
+           2.0, 2.0);
+  const std::string lp = ToLpFormat(m);
+
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Bounds"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+  // Objective: x0 + 2.5 x1.
+  EXPECT_NE(lp.find("x0 + 2.5 x1"), std::string::npos);
+  // One >=, one <=, a ranged pair, and an equality.
+  EXPECT_NE(lp.find("r0_lo:"), std::string::npos);
+  EXPECT_NE(lp.find("r1_hi:"), std::string::npos);
+  EXPECT_NE(lp.find("r2_lo:"), std::string::npos);
+  EXPECT_NE(lp.find("r2_hi:"), std::string::npos);
+  EXPECT_NE(lp.find("r3:"), std::string::npos);
+  EXPECT_NE(lp.find("= 2"), std::string::npos);
+  // Negative coefficient rendered as subtraction.
+  EXPECT_NE(lp.find("x0 - x1"), std::string::npos);
+  // Non-negativity bounds for both columns.
+  EXPECT_NE(lp.find("0 <= x0"), std::string::npos);
+  EXPECT_NE(lp.find("0 <= x1"), std::string::npos);
+}
+
+TEST(LpFormatTest, EbfInstanceExports) {
+  SinkSet set = RandomSinkSet(10, BBox({0, 0}, {100, 100}), 12, true);
+  const double radius = Radius(set.sinks, set.source);
+  Topology topo = NnMergeTopology(set.sinks, set.source);
+  EbfProblem prob;
+  prob.topo = &topo;
+  prob.sinks = set.sinks;
+  prob.source = set.source;
+  prob.bounds.assign(set.sinks.size(), DelayBounds{0.9 * radius, 1.2 * radius});
+  auto built = EbfFormulation::Build(prob, SteinerRowPolicy::kAll);
+  ASSERT_TRUE(built.ok());
+  const std::string lp = ToLpFormat(built->Model());
+  // One variable per edge.
+  EXPECT_EQ(CountOccurrences(lp, "0 <= x"), built->Model().NumCols());
+  // Every delay row is ranged -> a _lo and _hi pair; Steiner rows are _lo
+  // only. Total ">=" lines = Steiner + delay rows.
+  EXPECT_EQ(CountOccurrences(lp, ">="),
+            built->NumSteinerRows() + static_cast<int>(set.sinks.size()));
+  EXPECT_EQ(CountOccurrences(lp, "<="),
+            static_cast<int>(set.sinks.size()) + built->Model().NumCols());
+}
+
+TEST(LpFormatTest, ZeroObjectiveStillValid) {
+  LpModel m(1);
+  m.AddRow(std::vector<std::int32_t>{0}, std::vector<double>{1.0}, 1.0,
+           kLpInf);
+  const std::string lp = ToLpFormat(m);
+  EXPECT_NE(lp.find("obj: 0 x0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lubt

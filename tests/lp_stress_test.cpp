@@ -1,0 +1,184 @@
+// LP engine stress tests: random ranged/equality models cross-checked
+// between engines, degenerate and near-degenerate instances, and
+// brute-force verification on 2-variable models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+LpSolverOptions Engine(LpEngine e) {
+  LpSolverOptions o;
+  o.engine = e;
+  return o;
+}
+
+// Random model with >= , <= , ranged and equality rows, feasible by
+// construction around an interior point x0 > 0.
+LpModel RandomRangedModel(Rng& rng, int n, int rows) {
+  LpModel m(n);
+  for (int c = 0; c < n; ++c) m.SetObjective(c, rng.Uniform(0.1, 2.0));
+  std::vector<double> x0(static_cast<std::size_t>(n));
+  for (double& v : x0) v = rng.Uniform(0.5, 2.0);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::int32_t> idx;
+    std::vector<double> val;
+    double act = 0.0;
+    for (int c = 0; c < n; ++c) {
+      if (rng.Bernoulli(0.7)) {
+        idx.push_back(c);
+        const double a = rng.Uniform(0.1, 1.5);
+        val.push_back(a);
+        act += a * x0[static_cast<std::size_t>(c)];
+      }
+    }
+    if (idx.empty()) continue;
+    switch (rng.UniformInt(0, 2)) {
+      case 0:  // one-sided >=
+        m.AddRow(idx, val, act * rng.Uniform(0.2, 0.9), kLpInf);
+        break;
+      case 1:  // one-sided <=
+        m.AddRow(idx, val, -kLpInf, act * rng.Uniform(1.1, 2.0));
+        break;
+      default:  // ranged around the interior point
+        m.AddRow(idx, val, act * rng.Uniform(0.3, 0.9),
+                 act * rng.Uniform(1.1, 1.8));
+        break;
+    }
+  }
+  return m;
+}
+
+class RangedCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangedCrossCheckTest, EnginesAgreeOnRangedModels) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337 + 11);
+  const int n = 3 + static_cast<int>(rng.UniformInt(5));
+  const int rows = 5 + static_cast<int>(rng.UniformInt(10));
+  LpModel m = RandomRangedModel(rng, n, rows);
+  const LpSolution a = SolveLp(m, Engine(LpEngine::kSimplex));
+  const LpSolution b = SolveLp(m, Engine(LpEngine::kInteriorPoint));
+  ASSERT_TRUE(a.ok()) << a.status;
+  ASSERT_TRUE(b.ok()) << b.status;
+  EXPECT_NEAR(a.objective, b.objective, 1e-5 * (1.0 + std::abs(a.objective)));
+  EXPECT_LE(m.MaxInfeasibility(a.x), 1e-6);
+  EXPECT_LE(m.MaxInfeasibility(b.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangedCrossCheckTest, ::testing::Range(1, 21));
+
+TEST(LpStressTest, BealeCyclingExample) {
+  // Beale's classic cycling LP (degenerate); Bland fallback must finish.
+  // min -0.75 x4 + 150 x5 - 0.02 x6 + 6 x7
+  // s.t. 0.25 x4 - 60 x5 - 0.04 x6 + 9 x7 <= 0
+  //      0.5  x4 - 90 x5 - 0.02 x6 + 3 x7 <= 0
+  //      x6 <= 1
+  // optimum -0.05 at x6 = 1.
+  LpModel m(4);
+  m.SetObjective(0, -0.75);
+  m.SetObjective(1, 150.0);
+  m.SetObjective(2, -0.02);
+  m.SetObjective(3, 6.0);
+  m.AddRow(std::vector<std::int32_t>{0, 1, 2, 3},
+           std::vector<double>{0.25, -60.0, -0.04, 9.0}, -kLpInf, 0.0);
+  m.AddRow(std::vector<std::int32_t>{0, 1, 2, 3},
+           std::vector<double>{0.5, -90.0, -0.02, 3.0}, -kLpInf, 0.0);
+  m.AddRow(std::vector<std::int32_t>{2}, std::vector<double>{1.0}, -kLpInf,
+           1.0);
+  const LpSolution s = SolveLp(m, Engine(LpEngine::kSimplex));
+  ASSERT_TRUE(s.ok()) << s.status;
+  EXPECT_NEAR(s.objective, -0.05, 1e-7);
+}
+
+TEST(LpStressTest, TwoVariableBruteForceSweep) {
+  // Verify the simplex optimum against a dense grid on 2-variable models.
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m = RandomRangedModel(rng, 2, 4);
+    const LpSolution s = SolveLp(m, Engine(LpEngine::kSimplex));
+    if (!s.ok()) continue;  // random model may be infeasible; skip
+    // Grid search over [0, 5]^2.
+    double best = 1e300;
+    for (int i = 0; i <= 250; ++i) {
+      for (int j = 0; j <= 250; ++j) {
+        const std::vector<double> x{i * 0.02, j * 0.02};
+        if (m.MaxInfeasibility(x) <= 1e-9) {
+          best = std::min(best, m.ObjectiveValue(x));
+        }
+      }
+    }
+    if (best < 1e299) {
+      // Grid resolution limits accuracy; simplex must not be worse.
+      EXPECT_LE(s.objective, best + 1e-6) << "trial " << trial;
+      EXPECT_GE(s.objective, best - 0.2) << "trial " << trial;
+    }
+  }
+}
+
+TEST(LpStressTest, TinyCoefficientsStayStable) {
+  LpModel m(2);
+  m.SetObjective(0, 1e-6);
+  m.SetObjective(1, 1e-6);
+  m.AddRow(std::vector<std::int32_t>{0, 1}, std::vector<double>{1e-5, 1e-5},
+           2e-5, kLpInf);
+  for (const LpEngine e : {LpEngine::kSimplex, LpEngine::kInteriorPoint}) {
+    const LpSolution s = SolveLp(m, Engine(e));
+    ASSERT_TRUE(s.ok()) << LpEngineName(e) << ": " << s.status;
+    EXPECT_NEAR(s.objective, 2e-6, 1e-9);
+  }
+}
+
+TEST(LpStressTest, LargeCoefficientsStayStable) {
+  LpModel m(2);
+  m.SetObjective(0, 1e6);
+  m.SetObjective(1, 2e6);
+  m.AddRow(std::vector<std::int32_t>{0, 1}, std::vector<double>{1e5, 1e5},
+           3e5, kLpInf);
+  for (const LpEngine e : {LpEngine::kSimplex, LpEngine::kInteriorPoint}) {
+    const LpSolution s = SolveLp(m, Engine(e));
+    ASSERT_TRUE(s.ok()) << LpEngineName(e) << ": " << s.status;
+    EXPECT_NEAR(s.objective, 3e6, 1.0);
+  }
+}
+
+TEST(LpStressTest, ManyRedundantRows) {
+  // 200 copies of the same constraint: degenerate but trivial.
+  LpModel m(3);
+  for (int c = 0; c < 3; ++c) m.SetObjective(c, 1.0);
+  for (int r = 0; r < 200; ++r) {
+    m.AddRow(std::vector<std::int32_t>{0, 1, 2},
+             std::vector<double>{1.0, 1.0, 1.0}, 3.0, kLpInf);
+  }
+  for (const LpEngine e : {LpEngine::kSimplex, LpEngine::kInteriorPoint}) {
+    const LpSolution s = SolveLp(m, Engine(e));
+    ASSERT_TRUE(s.ok()) << LpEngineName(e) << ": " << s.status;
+    EXPECT_NEAR(s.objective, 3.0, 1e-6);
+  }
+}
+
+TEST(LpStressTest, EqualityChain) {
+  // x1 = 1, x_{i+1} = x_i + 1 as equalities; min sum = known.
+  constexpr int kN = 10;
+  LpModel m(kN);
+  for (int c = 0; c < kN; ++c) m.SetObjective(c, 1.0);
+  m.AddRow(std::vector<std::int32_t>{0}, std::vector<double>{1.0}, 1.0, 1.0);
+  for (int i = 0; i + 1 < kN; ++i) {
+    m.AddRow(std::vector<std::int32_t>{i, i + 1},
+             std::vector<double>{-1.0, 1.0}, 1.0, 1.0);
+  }
+  const double want = kN * (kN + 1) / 2.0;
+  for (const LpEngine e : {LpEngine::kSimplex, LpEngine::kInteriorPoint}) {
+    const LpSolution s = SolveLp(m, Engine(e));
+    ASSERT_TRUE(s.ok()) << LpEngineName(e) << ": " << s.status;
+    EXPECT_NEAR(s.objective, want, 1e-5 * want);
+  }
+}
+
+}  // namespace
+}  // namespace lubt

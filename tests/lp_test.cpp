@@ -1,0 +1,328 @@
+// LP solver tests: simplex and interior-point engines, cross-checked
+// against each other and against hand-solved problems; presolve; lazy rows.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/lazy_row_solver.h"
+#include "lp/model.h"
+#include "lp/presolve.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+LpSolverOptions Simplex() {
+  LpSolverOptions o;
+  o.engine = LpEngine::kSimplex;
+  return o;
+}
+
+LpSolverOptions Ipm() {
+  LpSolverOptions o;
+  o.engine = LpEngine::kInteriorPoint;
+  return o;
+}
+
+void AddGe(LpModel& m, std::vector<std::int32_t> idx, std::vector<double> val,
+           double rhs) {
+  m.AddRow(idx, val, rhs, kLpInf);
+}
+
+// min x+y st x+y >= 2, x >= 0.5 -> objective 2.
+LpModel TinyModel() {
+  LpModel m(2);
+  m.SetObjective(0, 1.0);
+  m.SetObjective(1, 1.0);
+  AddGe(m, {0, 1}, {1.0, 1.0}, 2.0);
+  AddGe(m, {0}, {1.0}, 0.5);
+  return m;
+}
+
+class LpEngineTest : public ::testing::TestWithParam<LpEngine> {
+ protected:
+  LpSolverOptions Options() const {
+    LpSolverOptions o;
+    o.engine = GetParam();
+    return o;
+  }
+};
+
+TEST_P(LpEngineTest, TinyProblem) {
+  LpModel m = TinyModel();
+  const LpSolution s = SolveLp(m, Options());
+  ASSERT_TRUE(s.ok()) << s.status;
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+  EXPECT_LE(m.MaxInfeasibility(s.x), 1e-6);
+}
+
+TEST_P(LpEngineTest, ClassicTextbookMax) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negative).
+  // Optimum: x=2, y=6, obj=36.
+  LpModel m(2);
+  m.SetObjective(0, -3.0);
+  m.SetObjective(1, -5.0);
+  m.AddRow(std::vector<std::int32_t>{0}, std::vector<double>{1.0}, -kLpInf,
+           4.0);
+  m.AddRow(std::vector<std::int32_t>{1}, std::vector<double>{2.0}, -kLpInf,
+           12.0);
+  m.AddRow(std::vector<std::int32_t>{0, 1}, std::vector<double>{3.0, 2.0},
+           -kLpInf, 18.0);
+  const LpSolution s = SolveLp(m, Options());
+  ASSERT_TRUE(s.ok()) << s.status;
+  EXPECT_NEAR(s.objective, -36.0, 1e-6);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-5);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-5);
+}
+
+TEST_P(LpEngineTest, RangedRow) {
+  // min x st 3 <= x + y <= 5, y <= 1 (as -y >= -1 via range).
+  LpModel m(2);
+  m.SetObjective(0, 1.0);
+  m.AddRow(std::vector<std::int32_t>{0, 1}, std::vector<double>{1.0, 1.0}, 3.0,
+           5.0);
+  m.AddRow(std::vector<std::int32_t>{1}, std::vector<double>{1.0}, -kLpInf,
+           1.0);
+  const LpSolution s = SolveLp(m, Options());
+  ASSERT_TRUE(s.ok()) << s.status;
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+}
+
+TEST_P(LpEngineTest, EqualityRow) {
+  // min x + 2y st x + y = 4, x - y <= 0 -> x = y = 2, obj 6.
+  LpModel m(2);
+  m.SetObjective(0, 1.0);
+  m.SetObjective(1, 2.0);
+  m.AddRow(std::vector<std::int32_t>{0, 1}, std::vector<double>{1.0, 1.0}, 4.0,
+           4.0);
+  m.AddRow(std::vector<std::int32_t>{0, 1}, std::vector<double>{1.0, -1.0},
+           -kLpInf, 0.0);
+  const LpSolution s = SolveLp(m, Options());
+  ASSERT_TRUE(s.ok()) << s.status;
+  EXPECT_NEAR(s.objective, 6.0, 1e-5);
+}
+
+TEST_P(LpEngineTest, InfeasibleDetected) {
+  // x >= 3 and x <= 1.
+  LpModel m(1);
+  m.SetObjective(0, 1.0);
+  m.AddRow(std::vector<std::int32_t>{0}, std::vector<double>{1.0}, 3.0,
+           kLpInf);
+  m.AddRow(std::vector<std::int32_t>{0}, std::vector<double>{1.0}, -kLpInf,
+           1.0);
+  const LpSolution s = SolveLp(m, Options());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status.code(), StatusCode::kInfeasible) << s.status;
+}
+
+TEST_P(LpEngineTest, UnboundedDetected) {
+  // min -x st x >= 1 : unbounded below.
+  LpModel m(1);
+  m.SetObjective(0, -1.0);
+  m.AddRow(std::vector<std::int32_t>{0}, std::vector<double>{1.0}, 1.0,
+           kLpInf);
+  const LpSolution s = SolveLp(m, Options());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status.code(), StatusCode::kUnbounded) << s.status;
+}
+
+TEST_P(LpEngineTest, DegenerateProblem) {
+  // Multiple redundant constraints through the optimum.
+  LpModel m(2);
+  m.SetObjective(0, 1.0);
+  m.SetObjective(1, 1.0);
+  AddGe(m, {0, 1}, {1.0, 1.0}, 2.0);
+  AddGe(m, {0, 1}, {2.0, 2.0}, 4.0);
+  AddGe(m, {0, 1}, {1.0, 1.0}, 1.0);
+  AddGe(m, {0}, {1.0}, 1.0);
+  AddGe(m, {1}, {1.0}, 1.0);
+  const LpSolution s = SolveLp(m, Options());
+  ASSERT_TRUE(s.ok()) << s.status;
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+}
+
+TEST_P(LpEngineTest, ZeroObjectiveFeasibility) {
+  // Pure feasibility question.
+  LpModel m(2);
+  AddGe(m, {0, 1}, {1.0, 2.0}, 3.0);
+  const LpSolution s = SolveLp(m, Options());
+  ASSERT_TRUE(s.ok()) << s.status;
+  EXPECT_LE(m.MaxInfeasibility(s.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, LpEngineTest,
+                         ::testing::Values(LpEngine::kSimplex,
+                                           LpEngine::kInteriorPoint),
+                         [](const auto& info) {
+                           return std::string(LpEngineName(info.param)) ==
+                                          "simplex"
+                                      ? "Simplex"
+                                      : "InteriorPoint";
+                         });
+
+// ---- Cross-validation on random feasible problems ------------------------
+
+class LpCrossCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpCrossCheckTest, SimplexAndIpmAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  const int n = 3 + static_cast<int>(rng.UniformInt(6));
+  const int rows = 4 + static_cast<int>(rng.UniformInt(8));
+  LpModel m(n);
+  for (int c = 0; c < n; ++c) m.SetObjective(c, rng.Uniform(0.2, 3.0));
+  // Feasible by construction: rows a'x >= a'x0 * f with f <= 1, x0 > 0.
+  std::vector<double> x0(static_cast<std::size_t>(n));
+  for (double& v : x0) v = rng.Uniform(0.5, 2.0);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::int32_t> idx;
+    std::vector<double> val;
+    double act = 0.0;
+    for (int c = 0; c < n; ++c) {
+      if (rng.Bernoulli(0.6)) {
+        idx.push_back(c);
+        const double a = rng.Uniform(0.1, 2.0);
+        val.push_back(a);
+        act += a * x0[static_cast<std::size_t>(c)];
+      }
+    }
+    if (idx.empty()) continue;
+    m.AddRow(idx, val, act * rng.Uniform(0.3, 1.0), kLpInf);
+  }
+  const LpSolution a = SolveLp(m, Simplex());
+  const LpSolution b = SolveLp(m, Ipm());
+  ASSERT_TRUE(a.ok()) << a.status;
+  ASSERT_TRUE(b.ok()) << b.status;
+  EXPECT_NEAR(a.objective, b.objective,
+              1e-5 * (1.0 + std::abs(a.objective)));
+  EXPECT_LE(m.MaxInfeasibility(a.x), 1e-6);
+  EXPECT_LE(m.MaxInfeasibility(b.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpCrossCheckTest, ::testing::Range(1, 26));
+
+// ---- Presolve --------------------------------------------------------------
+
+TEST(PresolveTest, DropsTrivialRows) {
+  LpModel m(2);
+  m.SetObjective(0, 1.0);
+  m.SetObjective(1, 1.0);
+  AddGe(m, {0, 1}, {1.0, 1.0}, -1.0);  // implied by x >= 0
+  AddGe(m, {0, 1}, {1.0, 1.0}, 0.0);   // implied by x >= 0
+  AddGe(m, {0}, {1.0}, 2.0);           // real
+  PresolveStats stats;
+  const LpModel reduced = Presolve(m, &stats);
+  EXPECT_EQ(stats.trivial_rows_dropped, 2);
+  EXPECT_EQ(reduced.NumRows(), 1);
+  const LpSolution s = SolveLp(reduced, Simplex());
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+}
+
+TEST(PresolveTest, MergesDuplicateRows) {
+  LpModel m(2);
+  m.SetObjective(0, 1.0);
+  m.SetObjective(1, 1.0);
+  AddGe(m, {0, 1}, {1.0, 1.0}, 2.0);
+  AddGe(m, {0, 1}, {1.0, 1.0}, 3.0);  // tighter duplicate
+  m.AddRow(std::vector<std::int32_t>{0, 1}, std::vector<double>{1.0, 1.0},
+           -kLpInf, 9.0);
+  PresolveStats stats;
+  const LpModel reduced = Presolve(m, &stats);
+  EXPECT_EQ(stats.duplicate_rows_merged, 2);
+  EXPECT_EQ(reduced.NumRows(), 1);
+  const LpSolution s = SolveLp(reduced, Simplex());
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 3.0, 1e-8);
+}
+
+TEST(PresolveTest, PreservesInfeasibility) {
+  LpModel m(1);
+  m.SetObjective(0, 1.0);
+  AddGe(m, {0}, {1.0}, 5.0);
+  m.AddRow(std::vector<std::int32_t>{0}, std::vector<double>{1.0}, -kLpInf,
+           1.0);
+  const LpModel reduced = Presolve(m);
+  const LpSolution s = SolveLp(reduced, Simplex());
+  EXPECT_EQ(s.status.code(), StatusCode::kInfeasible);
+}
+
+// ---- Lazy row generation ----------------------------------------------------
+
+TEST(LazyRowTest, ConvergesToFullModelOptimum) {
+  // Full problem: x_i + x_j >= d_ij for all pairs of 4 variables; start with
+  // no Steiner-like rows and let the oracle add them.
+  const double d[4][4] = {{0, 3, 4, 5}, {3, 0, 2, 6}, {4, 2, 0, 1},
+                          {5, 6, 1, 0}};
+  LpModel full(4);
+  LpModel lazy(4);
+  for (int c = 0; c < 4; ++c) {
+    full.SetObjective(c, 1.0);
+    lazy.SetObjective(c, 1.0);
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      full.AddRow(std::vector<std::int32_t>{i, j},
+                  std::vector<double>{1.0, 1.0}, d[i][j], kLpInf);
+    }
+  }
+  const LpSolution ref = SolveLp(full, Simplex());
+  ASSERT_TRUE(ref.ok());
+
+  const RowOracle oracle = [&](std::span<const double> x) {
+    std::vector<SparseRow> out;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        if (x[static_cast<std::size_t>(i)] + x[static_cast<std::size_t>(j)] <
+            d[i][j] - 1e-9) {
+          SparseRow row;
+          row.index = {i, j};
+          row.value = {1.0, 1.0};
+          row.lo = d[i][j];
+          out.push_back(std::move(row));
+        }
+      }
+    }
+    return out;
+  };
+  LazySolveStats stats;
+  const LpSolution s = SolveWithLazyRows(lazy, oracle, Simplex(), 20, &stats);
+  ASSERT_TRUE(s.ok()) << s.status;
+  EXPECT_NEAR(s.objective, ref.objective, 1e-7);
+  EXPECT_GE(stats.rounds, 2);
+  EXPECT_LE(full.MaxInfeasibility(s.x), 1e-7);
+}
+
+TEST(LazyRowTest, EmptyOracleIsOneShot) {
+  LpModel m = TinyModel();
+  const RowOracle oracle = [](std::span<const double>) {
+    return std::vector<SparseRow>{};
+  };
+  LazySolveStats stats;
+  const LpSolution s = SolveWithLazyRows(m, oracle, Simplex(), 20, &stats);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(stats.rounds, 1);
+  EXPECT_EQ(stats.rows_added, 0);
+}
+
+// ---- Model sanity ------------------------------------------------------------
+
+TEST(LpModelTest, ActivityAndInfeasibility) {
+  LpModel m = TinyModel();
+  const std::vector<double> x{1.0, 0.5};
+  EXPECT_DOUBLE_EQ(m.Row(0).Activity(x), 1.5);
+  EXPECT_DOUBLE_EQ(m.MaxInfeasibility(x), 0.5);  // row 0 short by 0.5
+  EXPECT_DOUBLE_EQ(m.ObjectiveValue(x), 1.5);
+}
+
+TEST(LpModelTest, SetRowBounds) {
+  LpModel m = TinyModel();
+  m.SetRowBounds(0, 4.0, kLpInf);
+  const LpSolution s = SolveLp(m, Simplex());
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 4.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace lubt

@@ -1,0 +1,140 @@
+// Topology refinement tests (subtree swap machinery + hill climb).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cts/bounded_skew_dme.h"
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "io/benchmarks.h"
+#include "topo/mst.h"
+#include "topo/nn_merge.h"
+#include "topo/refine.h"
+#include "topo/validate.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+TEST(SwapSubtreesTest, SwapPreservesValidity) {
+  SinkSet set = RandomSinkSet(20, BBox({0, 0}, {100, 100}), 3, true);
+  Topology topo = NnMergeTopology(set.sinks, set.source);
+  // Find two disjoint non-root nodes and swap them.
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  for (NodeId x = 0; x < topo.NumNodes() && a == kInvalidNode; ++x) {
+    for (NodeId y = x + 1; y < topo.NumNodes(); ++y) {
+      if (x == topo.Root() || y == topo.Root()) continue;
+      if (topo.Parent(x) == kInvalidNode || topo.Parent(y) == kInvalidNode) {
+        continue;
+      }
+      if (topo.Parent(x) == topo.Parent(y)) continue;
+      if (topo.IsAncestor(x, y) || topo.IsAncestor(y, x)) continue;
+      a = x;
+      b = y;
+      break;
+    }
+  }
+  ASSERT_NE(a, kInvalidNode);
+  const NodeId pa = topo.Parent(a);
+  const NodeId pb = topo.Parent(b);
+  topo.SwapSubtrees(a, b);
+  EXPECT_EQ(topo.Parent(a), pb);
+  EXPECT_EQ(topo.Parent(b), pa);
+  EXPECT_TRUE(ValidateTopology(topo, 20).ok());
+  // Swapping back restores the original structure.
+  topo.SwapSubtrees(a, b);
+  EXPECT_EQ(topo.Parent(a), pa);
+  EXPECT_EQ(topo.Parent(b), pb);
+  EXPECT_TRUE(ValidateTopology(topo, 20).ok());
+}
+
+TEST(SwapSubtreesTest, IsAncestorBasics) {
+  Topology topo;
+  const NodeId s0 = topo.AddSinkNode(0);
+  const NodeId s1 = topo.AddSinkNode(1);
+  const NodeId p = topo.AddInternalNode(s0, s1);
+  const NodeId root = topo.AddUnaryNode(p);
+  topo.SetRoot(root, RootMode::kFixedSource);
+  EXPECT_TRUE(topo.IsAncestor(root, s0));
+  EXPECT_TRUE(topo.IsAncestor(p, s1));
+  EXPECT_TRUE(topo.IsAncestor(s0, s0));
+  EXPECT_FALSE(topo.IsAncestor(s0, s1));
+  EXPECT_FALSE(topo.IsAncestor(s0, root));
+}
+
+class RefineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefineTest, NeverWorsensItsObjectiveAndStaysValid) {
+  const int seed = GetParam();
+  SinkSet set = RandomSinkSet(25 + 5 * seed, BBox({0, 0}, {500, 500}),
+                              static_cast<std::uint64_t>(seed), true);
+  const double radius = Radius(set.sinks, set.source);
+  const Topology topo = MstBinaryTopology(set.sinks, set.source);
+  for (const double bound_f : {0.05, 1.0}) {
+    RefineOptions opt;
+    opt.max_passes = 2;
+    opt.partners_per_node = 4;
+    opt.seed = static_cast<std::uint64_t>(seed) * 17 + 1;
+    auto refined = RefineTopologyForBound(topo, set.sinks, set.source,
+                                          bound_f * radius, opt);
+    ASSERT_TRUE(refined.ok()) << refined.status();
+    EXPECT_LE(refined->final_cost,
+              refined->initial_cost * (1.0 + 1e-9));
+    EXPECT_TRUE(ValidateTopology(refined->topo,
+                                 static_cast<int>(set.sinks.size()))
+                    .ok());
+    // The refined topology still solves and embeds (smoke).
+    auto assigned = BoundedSkewOnTopology(refined->topo, set.sinks,
+                                          set.source, bound_f * radius);
+    ASSERT_TRUE(assigned.ok());
+    EXPECT_NEAR(assigned->cost, refined->final_cost,
+                1e-6 * (1.0 + assigned->cost));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefineTest, ::testing::Range(1, 7));
+
+TEST(RefineTest, ImprovesBadTopologiesSubstantially) {
+  // MST topologies are poor for tight skew; the refiner should claw back a
+  // significant fraction.
+  SinkSet set = MakeBenchmark(BenchmarkId::kPrim1, 0.25);
+  const double radius = Radius(set.sinks, set.source);
+  const Topology topo = MstBinaryTopology(set.sinks, set.source);
+  RefineOptions opt;
+  opt.max_passes = 2;
+  opt.partners_per_node = 6;
+  auto refined = RefineTopologyForBound(topo, set.sinks, set.source,
+                                        0.05 * radius, opt);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_LT(refined->final_cost, 0.85 * refined->initial_cost)
+      << "expected >15% improvement on the MST topology at tight skew";
+  EXPECT_GT(refined->moves_applied, 0);
+}
+
+TEST(RefineTest, ZeroPassesIsIdentity) {
+  SinkSet set = RandomSinkSet(15, BBox({0, 0}, {100, 100}), 9, true);
+  const Topology topo = NnMergeTopology(set.sinks, set.source);
+  RefineOptions opt;
+  opt.max_passes = 0;
+  auto refined =
+      RefineTopologyForBound(topo, set.sinks, set.source, 10.0, opt);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined->moves_applied, 0);
+  EXPECT_DOUBLE_EQ(refined->initial_cost, refined->final_cost);
+}
+
+TEST(RefineTest, RejectsBadOptions) {
+  SinkSet set = RandomSinkSet(5, BBox({0, 0}, {10, 10}), 2, true);
+  const Topology topo = NnMergeTopology(set.sinks, set.source);
+  RefineOptions opt;
+  opt.partners_per_node = 0;
+  EXPECT_FALSE(
+      RefineTopologyForBound(topo, set.sinks, set.source, 1.0, opt).ok());
+  EXPECT_FALSE(
+      RefineTopologyForBound(topo, set.sinks, set.source, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace lubt

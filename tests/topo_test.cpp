@@ -1,0 +1,301 @@
+// Topology substrate tests: builders, validation, path/LCA queries,
+// generators (NN merge, bipartition, MST), degree-4 splitting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "geom/point.h"
+#include "io/benchmarks.h"
+#include "topo/bipartition.h"
+#include "topo/mst.h"
+#include "topo/nn_merge.h"
+#include "topo/path_query.h"
+#include "topo/topology.h"
+#include "topo/validate.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+// Small fixed topology: ((s0, s1), s2) with a fixed source on top.
+Topology MakeSmallFixed() {
+  Topology topo;
+  const NodeId a = topo.AddSinkNode(0);
+  const NodeId b = topo.AddSinkNode(1);
+  const NodeId c = topo.AddSinkNode(2);
+  const NodeId ab = topo.AddInternalNode(a, b);
+  const NodeId abc = topo.AddInternalNode(ab, c);
+  const NodeId root = topo.AddUnaryNode(abc);
+  topo.SetRoot(root, RootMode::kFixedSource);
+  return topo;
+}
+
+TEST(TopologyTest, BuilderBasics) {
+  Topology topo = MakeSmallFixed();
+  EXPECT_EQ(topo.NumNodes(), 6);
+  EXPECT_EQ(topo.NumEdges(), 5);
+  EXPECT_EQ(topo.NumSinkNodes(), 3);
+  EXPECT_EQ(topo.Mode(), RootMode::kFixedSource);
+  EXPECT_TRUE(topo.IsLeaf(0));
+  EXPECT_FALSE(topo.IsLeaf(3));
+  EXPECT_EQ(topo.SinkIndex(1), 1);
+  EXPECT_EQ(topo.Parent(topo.Root()), kInvalidNode);
+}
+
+TEST(TopologyTest, PreOrderParentsFirst) {
+  Topology topo = MakeSmallFixed();
+  const auto order = topo.PreOrder();
+  ASSERT_EQ(order.size(), 6u);
+  std::vector<int> position(6, -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    const NodeId p = topo.Parent(v);
+    if (p != kInvalidNode) {
+      EXPECT_LT(position[static_cast<std::size_t>(p)],
+                position[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(TopologyTest, PostOrderChildrenFirst) {
+  Topology topo = MakeSmallFixed();
+  const auto order = topo.PostOrder();
+  std::vector<int> position(6, -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    const NodeId p = topo.Parent(v);
+    if (p != kInvalidNode) {
+      EXPECT_GT(position[static_cast<std::size_t>(p)],
+                position[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(TopologyTest, DepthsAndSinkNodes) {
+  Topology topo = MakeSmallFixed();
+  const auto depth = topo.Depths();
+  EXPECT_EQ(depth[static_cast<std::size_t>(topo.Root())], 0);
+  EXPECT_EQ(depth[0], 3);  // sink 0 is three edges down
+  EXPECT_EQ(depth[2], 2);  // sink 2 two edges down
+  EXPECT_EQ(topo.SinkNodes().size(), 3u);
+}
+
+TEST(ValidateTest, AcceptsWellFormed) {
+  Topology topo = MakeSmallFixed();
+  EXPECT_TRUE(ValidateTopology(topo, 3).ok());
+}
+
+TEST(ValidateTest, RejectsMissingRoot) {
+  Topology topo;
+  topo.AddSinkNode(0);
+  EXPECT_EQ(ValidateTopology(topo, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, RejectsWrongSinkCount) {
+  Topology topo = MakeSmallFixed();
+  EXPECT_FALSE(ValidateTopology(topo, 2).ok());
+  EXPECT_FALSE(ValidateTopology(topo, 4).ok());
+}
+
+TEST(ValidateTest, RejectsDuplicateSinkIndex) {
+  Topology topo;
+  const NodeId a = topo.AddSinkNode(0);
+  const NodeId b = topo.AddSinkNode(0);
+  topo.SetRoot(topo.AddInternalNode(a, b), RootMode::kFreeSource);
+  EXPECT_FALSE(ValidateTopology(topo, 2).ok());
+}
+
+// ---- BuildBinaryTopology (degree splitting, Figure 2) ---------------------
+
+TEST(BinaryBuildTest, SplitsHighDegreeNodes) {
+  // Node 0 is a Steiner root with four sink children 1..4.
+  std::vector<std::vector<std::int32_t>> children{{1, 2, 3, 4}, {}, {}, {}, {}};
+  std::vector<std::int32_t> sink_of{-1, 0, 1, 2, 3};
+  std::vector<std::int32_t> zero_edges;
+  auto built = BuildBinaryTopology(children, sink_of, 0, RootMode::kFreeSource,
+                                   &zero_edges);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_TRUE(ValidateTopology(*built, 4).ok());
+  // 4 sinks -> 3 internal nodes; the chain has 2 zero-length links.
+  EXPECT_EQ(built->NumNodes(), 7);
+  EXPECT_EQ(zero_edges.size(), 2u);
+}
+
+TEST(BinaryBuildTest, RejectsSinkWithChildren) {
+  std::vector<std::vector<std::int32_t>> children{{1, 2}, {}, {}};
+  std::vector<std::int32_t> sink_of{0, 1, 2};  // root is also a sink: invalid
+  auto built = BuildBinaryTopology(children, sink_of, 0, RootMode::kFreeSource);
+  EXPECT_FALSE(built.ok());
+}
+
+TEST(BinaryBuildTest, RejectsSteinerLeaf) {
+  std::vector<std::vector<std::int32_t>> children{{1, 2}, {}, {}};
+  std::vector<std::int32_t> sink_of{-1, 0, -1};  // node 2 Steiner leaf
+  auto built = BuildBinaryTopology(children, sink_of, 0, RootMode::kFreeSource);
+  EXPECT_FALSE(built.ok());
+}
+
+TEST(BinaryBuildTest, UnaryRootAllowed) {
+  std::vector<std::vector<std::int32_t>> children{{1}, {2, 3}, {}, {}};
+  std::vector<std::int32_t> sink_of{-1, -1, 0, 1};
+  auto built =
+      BuildBinaryTopology(children, sink_of, 0, RootMode::kFixedSource);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_TRUE(ValidateTopology(*built, 2).ok());
+}
+
+// ---- PathQuery --------------------------------------------------------------
+
+TEST(PathQueryTest, LcaSmall) {
+  Topology topo = MakeSmallFixed();
+  PathQuery paths(topo);
+  EXPECT_EQ(paths.Lca(0, 1), 3);             // (s0, s1) meet at their parent
+  EXPECT_EQ(paths.Lca(0, 2), 4);             // s0, s2 meet at abc
+  EXPECT_EQ(paths.Lca(0, 0), 0);
+  EXPECT_EQ(paths.Lca(3, 0), 3);             // ancestor case
+  EXPECT_EQ(paths.Lca(topo.Root(), 2), topo.Root());
+}
+
+TEST(PathQueryTest, PathEdgesAndLength) {
+  Topology topo = MakeSmallFixed();
+  PathQuery paths(topo);
+  // Edge lengths by node id: 1.0 for every non-root node.
+  std::vector<double> len(6, 1.0);
+  len[static_cast<std::size_t>(topo.Root())] = 0.0;
+  EXPECT_EQ(paths.PathEdges(0, 1), (std::vector<NodeId>{0, 1}));
+  EXPECT_DOUBLE_EQ(paths.PathLength(0, 1, len), 2.0);
+  EXPECT_DOUBLE_EQ(paths.PathLength(0, 2, len), 3.0);
+  EXPECT_DOUBLE_EQ(paths.PathLength(0, topo.Root(), len), 3.0);
+  EXPECT_DOUBLE_EQ(paths.PathLength(2, 2, len), 0.0);
+}
+
+TEST(PathQueryTest, RootDistancesMatchPathLength) {
+  SinkSet set = RandomSinkSet(40, BBox({0, 0}, {100, 100}), 99, true);
+  Topology topo = NnMergeTopology(set.sinks, set.source);
+  PathQuery paths(topo);
+  Rng rng(5);
+  std::vector<double> len(static_cast<std::size_t>(topo.NumNodes()));
+  for (double& v : len) v = rng.Uniform(0.0, 10.0);
+  len[static_cast<std::size_t>(topo.Root())] = 0.0;
+  const auto dist = paths.RootDistances(len);
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    EXPECT_NEAR(dist[static_cast<std::size_t>(v)],
+                paths.PathLength(topo.Root(), v, len), 1e-9);
+  }
+}
+
+TEST(PathQueryTest, PairwisePathLengthViaLcaIdentity) {
+  SinkSet set = RandomSinkSet(30, BBox({0, 0}, {50, 50}), 123, false);
+  Topology topo = BipartitionTopology(set.sinks, std::nullopt);
+  PathQuery paths(topo);
+  Rng rng(7);
+  std::vector<double> len(static_cast<std::size_t>(topo.NumNodes()));
+  for (double& v : len) v = rng.Uniform(0.0, 3.0);
+  len[static_cast<std::size_t>(topo.Root())] = 0.0;
+  const auto dist = paths.RootDistances(len);
+  const auto sinks = topo.SinkNodes();
+  for (std::size_t i = 0; i < sinks.size(); i += 3) {
+    for (std::size_t j = i + 1; j < sinks.size(); j += 2) {
+      const NodeId a = sinks[i];
+      const NodeId b = sinks[j];
+      const NodeId anc = paths.Lca(a, b);
+      EXPECT_NEAR(paths.PathLength(a, b, len),
+                  dist[static_cast<std::size_t>(a)] +
+                      dist[static_cast<std::size_t>(b)] -
+                      2.0 * dist[static_cast<std::size_t>(anc)],
+                  1e-9);
+    }
+  }
+}
+
+// ---- Generators -------------------------------------------------------------
+
+class GeneratorTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(GeneratorTest, AllGeneratorsProduceValidTopologies) {
+  const auto [m, seed, with_source] = GetParam();
+  SinkSet set = RandomSinkSet(m, BBox({0, 0}, {1000, 1000}),
+                              static_cast<std::uint64_t>(seed), with_source);
+  const Topology nn = NnMergeTopology(set.sinks, set.source);
+  const Topology bp = BipartitionTopology(set.sinks, set.source);
+  const Topology mst = MstBinaryTopology(set.sinks, set.source);
+  for (const Topology* topo : {&nn, &bp, &mst}) {
+    EXPECT_TRUE(ValidateTopology(*topo, m).ok());
+    EXPECT_EQ(topo->NumSinkNodes(), m);
+    // Full binary leaf topology: m sinks, m-1 internal, +1 for fixed root.
+    const int expected = 2 * m - 1 + (with_source ? 1 : 0);
+    EXPECT_EQ(topo->NumNodes(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeneratorTest,
+    ::testing::Values(std::tuple<int, int, bool>{1, 1, true},
+                      std::tuple<int, int, bool>{2, 2, false},
+                      std::tuple<int, int, bool>{7, 3, true},
+                      std::tuple<int, int, bool>{25, 4, false},
+                      std::tuple<int, int, bool>{60, 5, true},
+                      std::tuple<int, int, bool>{123, 6, true}));
+
+TEST(GeneratorTest, BipartitionIsBalanced) {
+  SinkSet set = RandomSinkSet(64, BBox({0, 0}, {100, 100}), 11, false);
+  Topology topo = BipartitionTopology(set.sinks, std::nullopt);
+  const auto depth = topo.Depths();
+  int max_depth = 0;
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    if (topo.IsSinkNode(v)) {
+      max_depth = std::max(max_depth, depth[static_cast<std::size_t>(v)]);
+    }
+  }
+  EXPECT_EQ(max_depth, 6);  // 64 sinks, perfectly balanced
+}
+
+TEST(GeneratorTest, MstTopologyRealizesMstCost) {
+  SinkSet set = RandomSinkSet(40, BBox({0, 0}, {500, 500}), 21, true);
+  std::vector<Point> loc;
+  Topology topo = MstBinaryTopology(set.sinks, set.source, &loc);
+  ASSERT_EQ(loc.size(), static_cast<std::size_t>(topo.NumNodes()));
+  // Sum of child-parent distances under the natural embedding equals the
+  // MST length plus the source attachment.
+  double total = 0.0;
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    const NodeId p = topo.Parent(v);
+    if (p != kInvalidNode) {
+      total += ManhattanDist(loc[static_cast<std::size_t>(v)],
+                             loc[static_cast<std::size_t>(p)]);
+    }
+  }
+  double source_attach = 1e18;
+  for (const Point& s : set.sinks) {
+    source_attach = std::min(source_attach, ManhattanDist(*set.source, s));
+  }
+  EXPECT_NEAR(total, MstLength(set.sinks) + source_attach, 1e-6);
+}
+
+TEST(GeneratorTest, MstLengthMatchesBruteForceOnTriangle) {
+  const std::vector<Point> pts{{0, 0}, {3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(MstLength(pts), 7.0);
+  EXPECT_DOUBLE_EQ(MstLength(std::vector<Point>{{1, 1}}), 0.0);
+}
+
+TEST(GeneratorTest, DeterministicForFixedInput) {
+  SinkSet set = RandomSinkSet(30, BBox({0, 0}, {100, 100}), 77, true);
+  const Topology a = NnMergeTopology(set.sinks, set.source);
+  const Topology b = NnMergeTopology(set.sinks, set.source);
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.Parent(v), b.Parent(v));
+    EXPECT_EQ(a.Node(v).sink, b.Node(v).sink);
+  }
+}
+
+}  // namespace
+}  // namespace lubt

@@ -1,0 +1,236 @@
+// lubt_cli — end-to-end LUBT runs from the command line.
+//
+// Reads a sink set (or generates a random one), builds a topology, solves
+// the EBF LP for the requested delay window, embeds, verifies, and
+// optionally exports SVG / DOT layouts.
+//
+// Examples:
+//   lubt_cli --input my_net.sinks --lower 1.0 --upper 1.2 --svg tree.svg
+//   lubt_cli --random 100 --seed 7 --skew 0.1 --topology mst
+//   lubt_cli --benchmark prim1 --scale 0.2 --lower 0.9 --upper 1.1
+//            --engine simplex --strategy full --refine 2   (one line)
+//
+// Bounds are given in radius units (radius = source to farthest sink).
+// With --skew D instead of --lower/--upper, the tool runs the bounded-skew
+// baseline at budget D and reuses its achieved window, like the paper's
+// Table 1 flow.
+
+#include <cstdio>
+#include <string>
+
+#include "cts/bounded_skew_dme.h"
+#include "cts/linear_delay.h"
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "embed/placer.h"
+#include "embed/verifier.h"
+#include "embed/wire_realizer.h"
+#include "io/benchmarks.h"
+#include "io/dot_export.h"
+#include "io/sink_set.h"
+#include "io/svg_export.h"
+#include "io/tree_io.h"
+#include "topo/bipartition.h"
+#include "topo/mst.h"
+#include "topo/nn_merge.h"
+#include "topo/refine.h"
+#include "util/args.h"
+
+using namespace lubt;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: lubt_cli [flags]
+
+input (one of):
+  --input PATH         sink-set file ("name N / source X Y / sink X Y" lines)
+  --random M           M uniform random sinks (with --seed, default die 1000^2)
+  --benchmark NAME     prim1 | prim2 | r1 | r3 synthetic stand-in
+  --scale F            subsample fraction for --benchmark (default 1.0)
+
+bounds (one of):
+  --lower L --upper U  delay window in radius units
+  --skew D             run the bounded-skew baseline at budget D (radius
+                       units) and reuse its achieved window (Table-1 flow)
+
+options:
+  --topology T         nn (default) | bipartition | mst
+  --engine E           ipm (default) | simplex
+  --strategy S         lazy (default) | full | reduced
+  --refine N           N topology refinement passes before solving
+  --seed N             seed for --random (default 1)
+  --svg PATH           write the embedded layout as SVG
+  --dot PATH           write the topology as Graphviz DOT
+  --save PATH          write the solved tree (topology+lengths+placement)
+  --quiet              suppress per-sink delay listing
+)";
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(
+      argc, argv,
+      {"input", "random", "benchmark", "scale", "lower", "upper", "skew",
+       "topology", "engine", "strategy", "refine", "seed", "svg", "dot",
+       "save", "quiet", "help"});
+  if (!parsed.ok()) return Fail(parsed.status().message());
+  const ArgParser& args = *parsed;
+  if (args.Has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+
+  // --- Load the instance. ---
+  SinkSet set;
+  if (args.Has("input")) {
+    auto loaded = LoadSinkSet(args.GetString("input", ""));
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    set = std::move(*loaded);
+  } else if (args.Has("random")) {
+    const int m = args.GetInt("random", 50);
+    if (m <= 0) return Fail("--random needs a positive count");
+    set = RandomSinkSet(m, BBox({0, 0}, {1000, 1000}),
+                        static_cast<std::uint64_t>(args.GetInt("seed", 1)),
+                        /*with_source=*/true);
+  } else if (args.Has("benchmark")) {
+    const std::string name = args.GetString("benchmark", "");
+    BenchmarkId id;
+    if (name == "prim1") id = BenchmarkId::kPrim1;
+    else if (name == "prim2") id = BenchmarkId::kPrim2;
+    else if (name == "r1") id = BenchmarkId::kR1;
+    else if (name == "r3") id = BenchmarkId::kR3;
+    else return Fail("unknown benchmark '" + name + "'");
+    set = MakeBenchmark(id, args.GetDouble("scale", 1.0));
+  } else {
+    return Fail("no input given (--input, --random or --benchmark)");
+  }
+  if (!set.source.has_value()) {
+    return Fail("the CLI currently requires a source in the instance");
+  }
+  const double radius = Radius(set.sinks, set.source);
+  std::printf("instance '%s': %zu sinks, radius %.2f\n", set.name.c_str(),
+              set.sinks.size(), radius);
+
+  // --- Bounds and topology. ---
+  Topology topo;
+  double lower = 0.0;
+  double upper = 0.0;
+  if (args.Has("skew")) {
+    const double budget = args.GetDouble("skew", 0.1) * radius;
+    auto base = BuildBoundedSkewTree(set.sinks, set.source, budget);
+    if (!base.ok()) return Fail(base.status().ToString());
+    std::printf("baseline (%s): cost %.2f, window [%.3f, %.3f] x R\n",
+                base->generator.c_str(), base->cost,
+                base->min_delay / radius, base->max_delay / radius);
+    topo = std::move(base->topo);
+    lower = base->min_delay;
+    upper = base->max_delay;
+  } else {
+    if (!args.Has("lower") || !args.Has("upper")) {
+      return Fail("need either --skew or both --lower and --upper");
+    }
+    lower = args.GetDouble("lower", 0.0) * radius;
+    upper = args.GetDouble("upper", 0.0) * radius;
+    const std::string kind = args.GetString("topology", "nn");
+    if (kind == "nn") topo = NnMergeTopology(set.sinks, set.source);
+    else if (kind == "bipartition")
+      topo = BipartitionTopology(set.sinks, set.source);
+    else if (kind == "mst") topo = MstBinaryTopology(set.sinks, set.source);
+    else return Fail("unknown topology '" + kind + "'");
+  }
+
+  // --- Optional refinement. ---
+  const int refine_passes = args.GetInt("refine", 0);
+  if (refine_passes > 0) {
+    RefineOptions ropt;
+    ropt.max_passes = refine_passes;
+    auto refined = RefineTopologyForBound(topo, set.sinks, set.source,
+                                          upper - lower, ropt);
+    if (!refined.ok()) return Fail(refined.status().ToString());
+    std::printf("refinement: %.2f -> %.2f (%d moves)\n",
+                refined->initial_cost, refined->final_cost,
+                refined->moves_applied);
+    topo = std::move(refined->topo);
+  }
+
+  // --- Solve. ---
+  EbfProblem problem;
+  problem.topo = &topo;
+  problem.sinks = set.sinks;
+  problem.source = set.source;
+  problem.bounds.assign(set.sinks.size(), DelayBounds{lower, upper});
+
+  EbfSolveOptions opt;
+  const std::string engine = args.GetString("engine", "ipm");
+  if (engine == "simplex") opt.lp.engine = LpEngine::kSimplex;
+  else if (engine == "ipm") opt.lp.engine = LpEngine::kInteriorPoint;
+  else return Fail("unknown engine '" + engine + "'");
+  const std::string strategy = args.GetString("strategy", "lazy");
+  if (strategy == "full") opt.strategy = EbfStrategy::kFullRows;
+  else if (strategy == "reduced") opt.strategy = EbfStrategy::kReducedRows;
+  else if (strategy == "lazy") opt.strategy = EbfStrategy::kLazy;
+  else return Fail("unknown strategy '" + strategy + "'");
+
+  const EbfSolveResult solved = SolveEbf(problem, opt);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solved.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("LUBT: cost %.2f, window [%.3f, %.3f] x R, %d rows, %.3fs\n",
+              solved.cost, solved.stats.min_delay / radius,
+              solved.stats.max_delay / radius, solved.lp_rows,
+              solved.seconds);
+
+  // --- Embed + verify. ---
+  const auto embedding =
+      EmbedTree(topo, set.sinks, set.source, solved.edge_len);
+  if (!embedding.ok()) {
+    std::fprintf(stderr, "embedding failed: %s\n",
+                 embedding.status().ToString().c_str());
+    return 1;
+  }
+  const auto report =
+      VerifyEmbedding(topo, set.sinks, set.source, solved.edge_len,
+                      embedding->location, problem.bounds);
+  std::printf("verification: %s (wire %.2f, physical %.2f, snaking %.2f)\n",
+              report.status.ToString().c_str(), report.total_wirelength,
+              report.total_physical, report.total_slack);
+
+  if (!args.GetBool("quiet", false)) {
+    const auto delays = LinearSinkDelays(topo, solved.edge_len);
+    std::printf("sink delays (radius units):");
+    for (const double d : delays) std::printf(" %.3f", d / radius);
+    std::printf("\n");
+  }
+
+  // --- Exports. ---
+  if (args.Has("dot")) {
+    const Status s = WriteTextFile(args.GetString("dot", ""),
+                                   TopologyToDot(topo, solved.edge_len));
+    std::printf("dot: %s\n", s.ToString().c_str());
+  }
+  if (args.Has("save")) {
+    TreeSolution solution;
+    solution.topo = topo;
+    solution.edge_len = solved.edge_len;
+    solution.locations = embedding->location;
+    const Status s = StoreTreeSolution(solution, args.GetString("save", ""));
+    std::printf("save: %s\n", s.ToString().c_str());
+  }
+  if (args.Has("svg")) {
+    const auto wires =
+        RealizeWires(topo, solved.edge_len, embedding->location,
+                     /*fold_pitch=*/radius * 0.01);
+    const Status s = WriteTextFile(
+        args.GetString("svg", ""),
+        EmbeddingToSvg(topo, set.sinks, embedding->location, wires));
+    std::printf("svg: %s\n", s.ToString().c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
