@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elmore.dir/bench_elmore.cpp.o"
+  "CMakeFiles/bench_elmore.dir/bench_elmore.cpp.o.d"
+  "bench_elmore"
+  "bench_elmore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elmore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tradeoff_curve.dir/fig8_tradeoff_curve.cpp.o"
+  "CMakeFiles/fig8_tradeoff_curve.dir/fig8_tradeoff_curve.cpp.o.d"
+  "fig8_tradeoff_curve"
+  "fig8_tradeoff_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tradeoff_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

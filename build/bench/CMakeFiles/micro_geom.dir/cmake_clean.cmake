@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_geom.dir/micro_geom.cpp.o"
+  "CMakeFiles/micro_geom.dir/micro_geom.cpp.o.d"
+  "micro_geom"
+  "micro_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

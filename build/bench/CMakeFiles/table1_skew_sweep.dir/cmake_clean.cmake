@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_skew_sweep.dir/table1_skew_sweep.cpp.o"
+  "CMakeFiles/table1_skew_sweep.dir/table1_skew_sweep.cpp.o.d"
+  "table1_skew_sweep"
+  "table1_skew_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_skew_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

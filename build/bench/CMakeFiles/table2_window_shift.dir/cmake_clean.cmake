@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_window_shift.dir/table2_window_shift.cpp.o"
+  "CMakeFiles/table2_window_shift.dir/table2_window_shift.cpp.o.d"
+  "table2_window_shift"
+  "table2_window_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_window_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

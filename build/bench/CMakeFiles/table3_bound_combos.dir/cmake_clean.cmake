@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bound_combos.dir/table3_bound_combos.cpp.o"
+  "CMakeFiles/table3_bound_combos.dir/table3_bound_combos.cpp.o.d"
+  "table3_bound_combos"
+  "table3_bound_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bound_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

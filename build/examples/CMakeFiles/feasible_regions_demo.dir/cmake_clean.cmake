@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasible_regions_demo.dir/feasible_regions_demo.cpp.o"
+  "CMakeFiles/feasible_regions_demo.dir/feasible_regions_demo.cpp.o.d"
+  "feasible_regions_demo"
+  "feasible_regions_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasible_regions_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

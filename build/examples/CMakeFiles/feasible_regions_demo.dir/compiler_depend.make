@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for feasible_regions_demo.
+# This may be replaced when dependencies are built.

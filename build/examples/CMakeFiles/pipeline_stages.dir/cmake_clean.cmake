@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_stages.dir/pipeline_stages.cpp.o"
+  "CMakeFiles/pipeline_stages.dir/pipeline_stages.cpp.o.d"
+  "pipeline_stages"
+  "pipeline_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/premium_metal.dir/premium_metal.cpp.o"
+  "CMakeFiles/premium_metal.dir/premium_metal.cpp.o.d"
+  "premium_metal"
+  "premium_metal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/premium_metal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

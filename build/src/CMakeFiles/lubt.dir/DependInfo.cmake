@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cts/bounded_skew_dme.cpp" "src/CMakeFiles/lubt.dir/cts/bounded_skew_dme.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/cts/bounded_skew_dme.cpp.o.d"
+  "/root/repo/src/cts/elmore_delay.cpp" "src/CMakeFiles/lubt.dir/cts/elmore_delay.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/cts/elmore_delay.cpp.o.d"
+  "/root/repo/src/cts/linear_delay.cpp" "src/CMakeFiles/lubt.dir/cts/linear_delay.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/cts/linear_delay.cpp.o.d"
+  "/root/repo/src/cts/metrics.cpp" "src/CMakeFiles/lubt.dir/cts/metrics.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/cts/metrics.cpp.o.d"
+  "/root/repo/src/ebf/elmore_slp.cpp" "src/CMakeFiles/lubt.dir/ebf/elmore_slp.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/ebf/elmore_slp.cpp.o.d"
+  "/root/repo/src/ebf/formulation.cpp" "src/CMakeFiles/lubt.dir/ebf/formulation.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/ebf/formulation.cpp.o.d"
+  "/root/repo/src/ebf/reducer.cpp" "src/CMakeFiles/lubt.dir/ebf/reducer.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/ebf/reducer.cpp.o.d"
+  "/root/repo/src/ebf/solver.cpp" "src/CMakeFiles/lubt.dir/ebf/solver.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/ebf/solver.cpp.o.d"
+  "/root/repo/src/ebf/zero_skew_direct.cpp" "src/CMakeFiles/lubt.dir/ebf/zero_skew_direct.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/ebf/zero_skew_direct.cpp.o.d"
+  "/root/repo/src/embed/feasible_region.cpp" "src/CMakeFiles/lubt.dir/embed/feasible_region.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/embed/feasible_region.cpp.o.d"
+  "/root/repo/src/embed/placer.cpp" "src/CMakeFiles/lubt.dir/embed/placer.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/embed/placer.cpp.o.d"
+  "/root/repo/src/embed/verifier.cpp" "src/CMakeFiles/lubt.dir/embed/verifier.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/embed/verifier.cpp.o.d"
+  "/root/repo/src/embed/wire_realizer.cpp" "src/CMakeFiles/lubt.dir/embed/wire_realizer.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/embed/wire_realizer.cpp.o.d"
+  "/root/repo/src/geom/bbox.cpp" "src/CMakeFiles/lubt.dir/geom/bbox.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/geom/bbox.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/CMakeFiles/lubt.dir/geom/segment.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/geom/segment.cpp.o.d"
+  "/root/repo/src/geom/trr.cpp" "src/CMakeFiles/lubt.dir/geom/trr.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/geom/trr.cpp.o.d"
+  "/root/repo/src/io/benchmarks.cpp" "src/CMakeFiles/lubt.dir/io/benchmarks.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/io/benchmarks.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/lubt.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/dot_export.cpp" "src/CMakeFiles/lubt.dir/io/dot_export.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/io/dot_export.cpp.o.d"
+  "/root/repo/src/io/sink_set.cpp" "src/CMakeFiles/lubt.dir/io/sink_set.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/io/sink_set.cpp.o.d"
+  "/root/repo/src/io/svg_export.cpp" "src/CMakeFiles/lubt.dir/io/svg_export.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/io/svg_export.cpp.o.d"
+  "/root/repo/src/io/tree_io.cpp" "src/CMakeFiles/lubt.dir/io/tree_io.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/io/tree_io.cpp.o.d"
+  "/root/repo/src/lp/interior_point.cpp" "src/CMakeFiles/lubt.dir/lp/interior_point.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/lp/interior_point.cpp.o.d"
+  "/root/repo/src/lp/lazy_row_solver.cpp" "src/CMakeFiles/lubt.dir/lp/lazy_row_solver.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/lp/lazy_row_solver.cpp.o.d"
+  "/root/repo/src/lp/lp_format.cpp" "src/CMakeFiles/lubt.dir/lp/lp_format.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/lp/lp_format.cpp.o.d"
+  "/root/repo/src/lp/model.cpp" "src/CMakeFiles/lubt.dir/lp/model.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/lp/model.cpp.o.d"
+  "/root/repo/src/lp/presolve.cpp" "src/CMakeFiles/lubt.dir/lp/presolve.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/lp/presolve.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/CMakeFiles/lubt.dir/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/lp/simplex.cpp.o.d"
+  "/root/repo/src/topo/bipartition.cpp" "src/CMakeFiles/lubt.dir/topo/bipartition.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/topo/bipartition.cpp.o.d"
+  "/root/repo/src/topo/mst.cpp" "src/CMakeFiles/lubt.dir/topo/mst.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/topo/mst.cpp.o.d"
+  "/root/repo/src/topo/nn_merge.cpp" "src/CMakeFiles/lubt.dir/topo/nn_merge.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/topo/nn_merge.cpp.o.d"
+  "/root/repo/src/topo/path_query.cpp" "src/CMakeFiles/lubt.dir/topo/path_query.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/topo/path_query.cpp.o.d"
+  "/root/repo/src/topo/refine.cpp" "src/CMakeFiles/lubt.dir/topo/refine.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/topo/refine.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/lubt.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/topo/validate.cpp" "src/CMakeFiles/lubt.dir/topo/validate.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/topo/validate.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/lubt.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/lubt.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/lubt.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/lubt.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/lubt.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/util/status.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/lubt.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/lubt.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/lubt.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebf_test.dir/ebf_test.cpp.o"
+  "CMakeFiles/ebf_test.dir/ebf_test.cpp.o.d"
+  "ebf_test"
+  "ebf_test.pdb"
+  "ebf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_source_test.dir/free_source_test.cpp.o"
+  "CMakeFiles/free_source_test.dir/free_source_test.cpp.o.d"
+  "free_source_test"
+  "free_source_test.pdb"
+  "free_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/cts_test[1]_include.cmake")
+include("/root/repo/build/tests/ebf_test[1]_include.cmake")
+include("/root/repo/build/tests/embed_test[1]_include.cmake")
+include("/root/repo/build/tests/elmore_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/refine_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_io_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_format_test[1]_include.cmake")
+include("/root/repo/build/tests/free_source_test[1]_include.cmake")
+include("/root/repo/build/tests/clustered_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")

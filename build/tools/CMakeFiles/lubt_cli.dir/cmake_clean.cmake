@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lubt_cli.dir/lubt_cli.cpp.o"
+  "CMakeFiles/lubt_cli.dir/lubt_cli.cpp.o.d"
+  "lubt_cli"
+  "lubt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lubt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

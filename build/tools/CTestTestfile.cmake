@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lubt_cli_help "/root/repo/build/tools/lubt_cli" "--help")
+set_tests_properties(lubt_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lubt_cli_random_window "/root/repo/build/tools/lubt_cli" "--random" "15" "--seed" "3" "--lower" "1.0" "--upper" "1.3" "--engine" "simplex" "--strategy" "full" "--quiet")
+set_tests_properties(lubt_cli_random_window PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lubt_cli_skew_flow "/root/repo/build/tools/lubt_cli" "--random" "20" "--seed" "4" "--skew" "0.15" "--quiet")
+set_tests_properties(lubt_cli_skew_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lubt_cli_mst_refine "/root/repo/build/tools/lubt_cli" "--random" "15" "--seed" "5" "--lower" "1.0" "--upper" "1.5" "--topology" "mst" "--refine" "1" "--quiet")
+set_tests_properties(lubt_cli_mst_refine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lubt_cli_rejects_unknown_flag "/root/repo/build/tools/lubt_cli" "--no-such-flag")
+set_tests_properties(lubt_cli_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
