@@ -1,0 +1,23 @@
+#include "check/dcheck.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lubt {
+namespace internal {
+
+void DcheckFail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "LUBT_DCHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+void DcheckFiniteFail(const char* expr, double value, const char* file,
+                      int line) {
+  std::fprintf(stderr,
+               "LUBT_DCHECK_FINITE failed: %s = %g is not finite at %s:%d\n",
+               expr, value, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lubt

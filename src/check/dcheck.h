@@ -1,0 +1,73 @@
+// Debug-only invariant checks, compiled out of release builds.
+//
+// LUBT_ASSERT (util/status.h) stays active in every build because it guards
+// cheap API preconditions. The LUBT_DCHECK family below is for invariants on
+// hot numerical paths (per-iteration solver state, per-node merge state)
+// where an always-on check would cost real time: the macros expand to
+// nothing unless the build asks for them.
+//
+// Activation: defined(LUBT_ENABLE_DCHECK) — set by the CMake option
+// -DLUBT_DCHECK=ON and by the asan/ubsan presets — or any unoptimized
+// (!NDEBUG) build. `LUBT_DCHECK_IS_ON` is usable in ordinary `if`s to gate
+// validator calls that are more than a single expression.
+//
+// When compiled out, the condition is still parsed (inside sizeof) so a
+// DCHECK cannot bit-rot in release-only code paths, but it is never
+// evaluated and has zero runtime cost.
+
+#ifndef LUBT_CHECK_DCHECK_H_
+#define LUBT_CHECK_DCHECK_H_
+
+#include <cmath>
+
+namespace lubt {
+namespace internal {
+
+[[noreturn]] void DcheckFail(const char* expr, const char* file, int line);
+[[noreturn]] void DcheckFiniteFail(const char* expr, double value,
+                                   const char* file, int line);
+
+}  // namespace internal
+}  // namespace lubt
+
+#if defined(LUBT_ENABLE_DCHECK) || !defined(NDEBUG)
+#define LUBT_DCHECK_IS_ON 1
+#else
+#define LUBT_DCHECK_IS_ON 0
+#endif
+
+#if LUBT_DCHECK_IS_ON
+
+/// Abort with a diagnostic when `expr` is false (debug/sanitizer builds).
+#define LUBT_DCHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr)) ::lubt::internal::DcheckFail(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+/// Abort when a floating-point value is NaN or infinite. The offending
+/// value is printed, which a plain DCHECK cannot do.
+#define LUBT_DCHECK_FINITE(val)                                        \
+  do {                                                                 \
+    const double lubt_dcheck_value_ = static_cast<double>(val);        \
+    if (!std::isfinite(lubt_dcheck_value_)) {                          \
+      ::lubt::internal::DcheckFiniteFail(#val, lubt_dcheck_value_,     \
+                                         __FILE__, __LINE__);          \
+    }                                                                  \
+  } while (false)
+
+#else  // !LUBT_DCHECK_IS_ON
+
+// sizeof keeps the operand syntactically checked without evaluating it.
+#define LUBT_DCHECK(expr) \
+  do {                    \
+    (void)sizeof(!(expr)); \
+  } while (false)
+
+#define LUBT_DCHECK_FINITE(val) \
+  do {                          \
+    (void)sizeof((val));        \
+  } while (false)
+
+#endif  // LUBT_DCHECK_IS_ON
+
+#endif  // LUBT_CHECK_DCHECK_H_

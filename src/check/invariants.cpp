@@ -1,0 +1,212 @@
+#include "check/invariants.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cts/metrics.h"
+#include "embed/verifier.h"
+#include "topo/path_query.h"
+#include "topo/validate.h"
+
+namespace lubt {
+namespace {
+
+std::string RowTag(int r) { return "row " + std::to_string(r); }
+
+// Shared auto-tolerance for the layout-unit validators: proportional to the
+// instance radius so it tracks the LP's radius-normalized solve tolerances,
+// floored for degenerate (single-point) instances.
+double AutoLengthTolerance(const EbfProblem& problem) {
+  const double radius = Radius(problem.sinks, problem.source);
+  return std::max(1e-9, 1e-5 * std::max(1.0, radius));
+}
+
+}  // namespace
+
+Status ValidateModel(const LpModel& model) {
+  if (model.NumCols() <= 0) {
+    return Status::InvalidArgument("model has no columns");
+  }
+  for (int c = 0; c < model.NumCols(); ++c) {
+    const double coef = model.Objective()[static_cast<std::size_t>(c)];
+    if (!std::isfinite(coef)) {
+      return Status::InvalidArgument("non-finite objective coefficient at column " +
+                                     std::to_string(c));
+    }
+  }
+  for (int r = 0; r < model.NumRows(); ++r) {
+    const SparseRow& row = model.Row(r);
+    if (row.index.size() != row.value.size()) {
+      return Status::InvalidArgument(RowTag(r) +
+                                     ": index/value size mismatch");
+    }
+    if (row.index.empty()) {
+      return Status::InvalidArgument(RowTag(r) + ": empty support");
+    }
+    if (std::isnan(row.lo) || std::isnan(row.hi)) {
+      return Status::InvalidArgument(RowTag(r) + ": NaN bound");
+    }
+    if (!std::isfinite(row.lo) && !std::isfinite(row.hi)) {
+      return Status::InvalidArgument(RowTag(r) + ": both bounds infinite");
+    }
+    if (row.lo > row.hi) {
+      return Status::InvalidArgument(
+          RowTag(r) + ": inverted bounds (lo " + std::to_string(row.lo) +
+          " > hi " + std::to_string(row.hi) + ")");
+    }
+    for (std::size_t k = 0; k < row.index.size(); ++k) {
+      const std::int32_t col = row.index[k];
+      if (col < 0 || col >= model.NumCols()) {
+        return Status::InvalidArgument(RowTag(r) + ": column index " +
+                                       std::to_string(col) + " out of range");
+      }
+      if (k > 0 && col <= row.index[k - 1]) {
+        return Status::InvalidArgument(
+            RowTag(r) + ": column indices not strictly increasing");
+      }
+      if (!std::isfinite(row.value[k])) {
+        return Status::InvalidArgument(RowTag(r) +
+                                       ": non-finite coefficient at column " +
+                                       std::to_string(col));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateLpSolution(const LpModel& model, std::span<const double> x,
+                          double tol) {
+  if (static_cast<int>(x.size()) != model.NumCols()) {
+    return Status::Internal("solution size " + std::to_string(x.size()) +
+                            " != model columns " +
+                            std::to_string(model.NumCols()));
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i])) {
+      return Status::Internal("non-finite solution entry at column " +
+                              std::to_string(i));
+    }
+  }
+  const double worst = model.MaxInfeasibility(x);
+  if (worst > tol) {
+    return Status::Internal("solution infeasible: max violation " +
+                            std::to_string(worst) + " exceeds tolerance " +
+                            std::to_string(tol));
+  }
+  return Status::Ok();
+}
+
+Status ValidateEdgeLengths(const EbfProblem& problem,
+                           std::span<const double> edge_len, double tol) {
+  LUBT_RETURN_IF_ERROR(ValidateEbfProblem(problem));
+  const Topology& topo = *problem.topo;
+  if (tol < 0.0) tol = AutoLengthTolerance(problem);
+
+  if (edge_len.size() != static_cast<std::size_t>(topo.NumNodes())) {
+    return Status::InvalidArgument(
+        "edge_len must have one entry per node, got " +
+        std::to_string(edge_len.size()) + " for " +
+        std::to_string(topo.NumNodes()) + " nodes");
+  }
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    const double e = edge_len[static_cast<std::size_t>(v)];
+    if (!std::isfinite(e)) {
+      return Status::InvalidArgument("non-finite edge length at node " +
+                                     std::to_string(v));
+    }
+    if (v == topo.Root()) continue;
+    if (e < -tol) {
+      return Status::InvalidArgument("negative edge length " +
+                                     std::to_string(e) + " at node " +
+                                     std::to_string(v));
+    }
+  }
+  for (const NodeId v : problem.zero_length_edges) {
+    const double e = edge_len[static_cast<std::size_t>(v)];
+    if (std::abs(e) > tol) {
+      return Status::Internal("pinned zero-length edge at node " +
+                              std::to_string(v) + " has length " +
+                              std::to_string(e));
+    }
+  }
+
+  const PathQuery paths(topo);
+  const std::vector<double> rootdist = paths.RootDistances(edge_len);
+  const std::vector<NodeId> sink_nodes = topo.SinkNodes();
+
+  // Node id of every sink index (ValidateEbfProblem guarantees exactly one).
+  std::vector<NodeId> node_of_sink(problem.sinks.size(), kInvalidNode);
+  for (const NodeId v : sink_nodes) {
+    node_of_sink[static_cast<std::size_t>(topo.SinkIndex(v))] = v;
+  }
+
+  // Delay windows (Equation 4.2): l_i <= rootdist(s_i) <= u_i. For a fixed
+  // source the root *is* the source; for a free source the root is a Steiner
+  // point and the window is still measured from it.
+  for (std::size_t i = 0; i < problem.bounds.size(); ++i) {
+    const double d = rootdist[static_cast<std::size_t>(node_of_sink[i])];
+    const DelayBounds& b = problem.bounds[i];
+    if (d < b.lo - tol || d > b.hi + tol) {
+      return Status::Internal(
+          "sink " + std::to_string(i) + " delay " + std::to_string(d) +
+          " outside bounds [" + std::to_string(b.lo) + ", " +
+          std::to_string(b.hi) + "]");
+    }
+  }
+
+  // Steiner constraints (Equation 4.1) over every fixed-point pair: the
+  // tree path between two sinks must be at least their L1 distance, and
+  // with a fixed source every root path at least the source-sink distance.
+  for (std::size_t i = 0; i < sink_nodes.size(); ++i) {
+    const NodeId a = sink_nodes[i];
+    const Point& pa = problem.sinks[static_cast<std::size_t>(topo.SinkIndex(a))];
+    if (problem.source.has_value()) {
+      const double need = ManhattanDist(*problem.source, pa);
+      if (rootdist[static_cast<std::size_t>(a)] < need - tol) {
+        return Status::Internal(
+            "source-sink Steiner violation at sink node " + std::to_string(a) +
+            ": path " + std::to_string(rootdist[static_cast<std::size_t>(a)]) +
+            " < distance " + std::to_string(need));
+      }
+    }
+    for (std::size_t j = i + 1; j < sink_nodes.size(); ++j) {
+      const NodeId b = sink_nodes[j];
+      const Point& pb =
+          problem.sinks[static_cast<std::size_t>(topo.SinkIndex(b))];
+      const double need = ManhattanDist(pa, pb);
+      const double have = paths.PathLength(a, b, edge_len);
+      if (have < need - tol) {
+        return Status::Internal(
+            "Steiner violation between sink nodes " + std::to_string(a) +
+            " and " + std::to_string(b) + ": path " + std::to_string(have) +
+            " < distance " + std::to_string(need));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateEmbedding(const EbfProblem& problem,
+                         std::span<const double> edge_len,
+                         std::span<const Point> locations, double tol) {
+  LUBT_RETURN_IF_ERROR(ValidateEbfProblem(problem));
+  const Topology& topo = *problem.topo;
+  if (locations.size() != static_cast<std::size_t>(topo.NumNodes())) {
+    return Status::InvalidArgument(
+        "locations must have one entry per node, got " +
+        std::to_string(locations.size()) + " for " +
+        std::to_string(topo.NumNodes()) + " nodes");
+  }
+  for (const Point& p : locations) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return Status::InvalidArgument("non-finite node location");
+    }
+  }
+  const VerificationReport report =
+      VerifyEmbedding(topo, problem.sinks, problem.source, edge_len, locations,
+                      problem.bounds, tol);
+  return report.status;
+}
+
+}  // namespace lubt

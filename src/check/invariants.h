@@ -1,0 +1,65 @@
+// Structural validators for the LP → embed pipeline.
+//
+// Theorem 4.1's guarantee — every Steiner-feasible edge-length vector is
+// embeddable — only holds when the LP model, the solve, and the bottom-up
+// feasible-region merge are each handed structurally sound data. These
+// validators re-check the contracts at module boundaries, independently of
+// the code that produced the data:
+//
+//   ValidateModel        every LpModel handed to an engine
+//   ValidateTopology     (topo/validate.h) every topology entering EBF
+//   ValidateEdgeLengths  every solved edge-length vector leaving SolveEbf
+//   ValidateEmbedding    every placement leaving the embedder
+//
+// All validators return Status (kInvalidArgument for malformed inputs,
+// kInternal for violated postconditions) rather than aborting, so callers
+// can surface the failure; the cheap ones run unconditionally at their
+// boundary, the O(m^2) ones are gated behind LUBT_DCHECK_IS_ON there but
+// are always callable directly (tests and tools/self_check use them on
+// every run).
+
+#ifndef LUBT_CHECK_INVARIANTS_H_
+#define LUBT_CHECK_INVARIANTS_H_
+
+#include <span>
+
+#include "ebf/formulation.h"
+#include "geom/point.h"
+#include "lp/model.h"
+#include "topo/topology.h"
+#include "util/status.h"
+
+namespace lubt {
+
+/// Structural soundness of an LP: finite objective and row coefficients,
+/// `lo <= hi` with at least one side finite per row, column indices in
+/// range, strictly increasing within each row. O(nnz).
+Status ValidateModel(const LpModel& model);
+
+/// Primal feasibility of `x` for `model` within `tol`: every row activity
+/// inside its bounds and every column non-negative. kInternal on violation
+/// (the solver claimed success). O(nnz).
+Status ValidateLpSolution(const LpModel& model, std::span<const double> x,
+                          double tol);
+
+/// Postcondition of SolveEbf: `edge_len` (indexed by node id, root entry 0)
+/// is finite and non-negative, pinned zero-length edges are zero, every
+/// sink-sink Steiner constraint holds (path length >= L1 distance), and
+/// every sink's source-path delay lies inside its bounds window — all
+/// within `tol` layout units. Negative `tol` selects an automatic
+/// tolerance scaled to the instance radius. O(m^2 log n) for m sinks.
+Status ValidateEdgeLengths(const EbfProblem& problem,
+                           std::span<const double> edge_len,
+                           double tol = -1.0);
+
+/// Postcondition of the embedder: node `locations` realize `edge_len`
+/// (dist(child, parent) <= e per edge), sinks/source sit at their fixed
+/// coordinates, and delays implied by the assigned lengths respect
+/// `problem.bounds`. Delegates to VerifyEmbedding (embed/verifier.h).
+Status ValidateEmbedding(const EbfProblem& problem,
+                         std::span<const double> edge_len,
+                         std::span<const Point> locations, double tol = -1.0);
+
+}  // namespace lubt
+
+#endif  // LUBT_CHECK_INVARIANTS_H_

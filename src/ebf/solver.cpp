@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "check/dcheck.h"
+#include "check/invariants.h"
 #include "ebf/zero_skew_direct.h"
 #include "lp/presolve.h"
 #include "util/logging.h"
@@ -9,6 +11,23 @@
 
 namespace lubt {
 namespace {
+
+// Debug-build postcondition gate: a solve that claims success must hand
+// back edge lengths that satisfy every Steiner row and delay window
+// (Theorem 4.1's premise). O(m^2 log n), so compiled out of release.
+void PostcheckEdgeLengths(const EbfProblem& problem, EbfSolveResult* result) {
+#if LUBT_DCHECK_IS_ON
+  if (!result->ok()) return;
+  const Status post = ValidateEdgeLengths(problem, result->edge_len);
+  if (!post.ok()) {
+    result->status = post;
+    result->edge_len.clear();
+  }
+#else
+  (void)problem;
+  (void)result;
+#endif
+}
 
 // True when every sink demands the same exact delay (l_i = u_i = c).
 bool IsZeroSkewInstance(const EbfProblem& problem, double* common_delay) {
@@ -86,15 +105,20 @@ EbfSolveResult SolveEbf(const EbfProblem& problem,
   Timer timer;
   EbfSolveResult result;
 
+  // Boundary gate: malformed problems are rejected here on every path
+  // (previously only the fast-path branch validated, so a disabled fast
+  // path let bad input straight into the formulation).
+  const Status valid = ValidateEbfProblem(problem);
+  if (!valid.ok()) {
+    result.status = valid;
+    return result;
+  }
+
   if (options.use_zero_skew_fast_path) {
-    const Status valid = ValidateEbfProblem(problem);
-    if (!valid.ok()) {
-      result.status = valid;
-      return result;
-    }
     double common_delay = 0.0;
     if (IsZeroSkewInstance(problem, &common_delay) &&
         TryZeroSkewFastPath(problem, common_delay, &result)) {
+      PostcheckEdgeLengths(problem, &result);
       result.seconds = timer.Seconds();
       LUBT_LOG_INFO << "EBF zero-skew fast path: cost=" << result.cost;
       return result;
@@ -154,6 +178,7 @@ EbfSolveResult SolveEbf(const EbfProblem& problem,
   result.cost = result.stats.cost;
   result.objective = lp.objective * formulation.Scale();
   result.status = Status::Ok();
+  PostcheckEdgeLengths(problem, &result);
   result.seconds = timer.Seconds();
   LUBT_LOG_INFO << "EBF solved: cost=" << result.cost
                 << " rows=" << result.lp_rows

@@ -1,6 +1,9 @@
 #include "embed/placer.h"
 
+#include <cmath>
 #include <string>
+
+#include "check/dcheck.h"
 
 namespace lubt {
 
@@ -44,7 +47,14 @@ Result<Embedding> PlaceNodes(const Topology& topo,
       chosen = rule == PlacementRule::kClosestToParent
                    ? feasible.ClosestTo(parent_loc)
                    : feasible.Center();
+      // Theorem 4.1's induction step: the point handed to the children must
+      // be reachable from its parent within the assigned edge length (the
+      // 2 tol slack above is exactly what the region builder may owe us).
+      LUBT_DCHECK(ManhattanDist(chosen, parent_loc) <=
+                  edge_len[static_cast<std::size_t>(v)] + 4.0 * tol);
     }
+    LUBT_DCHECK_FINITE(chosen.x);
+    LUBT_DCHECK_FINITE(chosen.y);
     out.location[static_cast<std::size_t>(v)] = chosen;
   }
 

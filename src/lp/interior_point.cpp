@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "check/dcheck.h"
 #include "util/logging.h"
 
 namespace lubt {
@@ -153,6 +154,12 @@ class MehrotraSolver {
       LUBT_LOG_DEBUG << "ipm iter=" << iter << " mu=" << mu
                      << " rp=" << rel_p << " rd=" << rel_d
                      << " gap=" << rel_gap;
+      // The complementarity measure and residual norms must stay finite;
+      // a NaN here means the Newton system silently blew up last iteration
+      // and every later test of `metric` would be vacuously false.
+      LUBT_DCHECK_FINITE(mu);
+      LUBT_DCHECK_FINITE(rel_p);
+      LUBT_DCHECK_FINITE(rel_d);
       if (rel_p < tol_ && rel_d < tol_ && rel_gap < tol_) {
         out.status = Status::Ok();
         out.x = x_;
@@ -209,6 +216,10 @@ class MehrotraSolver {
       const double tau = std::min(0.99995, std::max(0.995, 1.0 - 0.1 * mu));
       const double ap = std::min(1.0, tau * StepLength(x_, dx_, w_, dw_));
       const double ad = std::min(1.0, tau * StepLength(z_, dz_, y_, dy_));
+      // Step lengths are damped to keep (x, w, z, y) strictly positive —
+      // the invariant every formula above divides by.
+      LUBT_DCHECK(ap >= 0.0 && ap <= 1.0);
+      LUBT_DCHECK(ad >= 0.0 && ad <= 1.0);
       for (int j = 0; j < n_; ++j) {
         x_[j] += ap * dx_[j];
         z_[j] += ad * dz_[j];

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/dcheck.h"
+#include "check/invariants.h"
 #include "lp/interior_point.h"
 #include "lp/simplex.h"
 #include "util/timer.h"
@@ -52,6 +54,11 @@ int LpModel::AddRow(std::span<const std::int32_t> index,
   return AddRow(std::move(row));
 }
 
+SparseRow& LpModel::MutableRow(int r) {
+  LUBT_ASSERT(r >= 0 && r < NumRows());
+  return rows_[static_cast<std::size_t>(r)];
+}
+
 void LpModel::SetRowBounds(int r, double lo, double hi) {
   LUBT_ASSERT(r >= 0 && r < NumRows());
   LUBT_ASSERT(lo <= hi);
@@ -91,6 +98,14 @@ const char* LpEngineName(LpEngine engine) {
 LpSolution SolveLp(const LpModel& model, const LpSolverOptions& options) {
   Timer timer;
   LpSolution solution;
+  // Boundary gate: engines assume structural soundness (sorted finite rows,
+  // in-range indices) and would otherwise produce garbage or crash on a
+  // model that bypassed the AddRow assertions.
+  solution.status = ValidateModel(model);
+  if (!solution.ok()) {
+    solution.seconds = timer.Seconds();
+    return solution;
+  }
   switch (options.engine) {
     case LpEngine::kSimplex:
       solution = SolveWithSimplex(model, options);
@@ -102,6 +117,20 @@ LpSolution SolveLp(const LpModel& model, const LpSolverOptions& options) {
   solution.seconds = timer.Seconds();
   if (solution.ok()) {
     solution.objective = model.ObjectiveValue(solution.x);
+#if LUBT_DCHECK_IS_ON
+    // Postcondition: a claimed-optimal point must actually be feasible.
+    // Tolerance is the engine target made absolute against the model's
+    // bound magnitudes (activities scale with them).
+    double magnitude = 1.0;
+    for (const SparseRow& row : model.Rows()) {
+      if (std::isfinite(row.lo)) magnitude = std::max(magnitude, std::abs(row.lo));
+      if (std::isfinite(row.hi)) magnitude = std::max(magnitude, std::abs(row.hi));
+    }
+    const double rel = options.tolerance > 0.0 ? options.tolerance : 1e-8;
+    const Status feasible = ValidateLpSolution(
+        model, solution.x, std::max(1e-6, 100.0 * rel) * magnitude);
+    if (!feasible.ok()) solution.status = feasible;
+#endif
   }
   return solution;
 }

@@ -65,6 +65,13 @@ class LpModel {
   const SparseRow& Row(int r) const { return rows_[static_cast<size_t>(r)]; }
   std::span<const SparseRow> Rows() const { return rows_; }
 
+  /// Mutable access for in-place row surgery (scaling passes, test
+  /// fixtures). AddRow's structural invariants become the caller's
+  /// responsibility; ValidateModel (check/invariants.h) re-checks them at
+  /// the SolveLp boundary, so a model corrupted through this handle is
+  /// rejected instead of crashing an engine.
+  SparseRow& MutableRow(int r);
+
   /// Replace the bounds of an existing row.
   void SetRowBounds(int r, double lo, double hi);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "check/dcheck.h"
 #include "util/logging.h"
 
 namespace lubt {
@@ -136,6 +137,10 @@ class Tableau {
 
   void Pivot(int pr, int pc) {
     const double pivot = At(pr, pc);
+    // The ratio test only selects entries above kPivotEps; pivoting on a
+    // smaller value means the tableau has degraded beyond repair.
+    LUBT_DCHECK(std::abs(pivot) > kZeroEps);
+    LUBT_DCHECK_FINITE(pivot);
     const double inv = 1.0 / pivot;
     for (int c = 0; c <= n_total_; ++c) At(pr, c) *= inv;
     At(pr, pc) = 1.0;

@@ -91,4 +91,8 @@ Status ValidateTopology(const Topology& topo, int num_sinks) {
   return Status::Ok();
 }
 
+Status ValidateTopology(const Topology& topo) {
+  return ValidateTopology(topo, topo.NumSinkNodes());
+}
+
 }  // namespace lubt

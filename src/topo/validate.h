@@ -20,6 +20,13 @@ namespace lubt {
 /// builder API cannot attach a sink to an internal node.
 Status ValidateTopology(const Topology& topo, int num_sinks);
 
+/// Same, with the sink count taken from the topology itself. Use when no
+/// external sink array fixes the expected count (e.g. the invariant
+/// checkers in src/check validating a topology in isolation); the indexed
+/// overload additionally catches a topology/sink-array cardinality
+/// mismatch.
+Status ValidateTopology(const Topology& topo);
+
 }  // namespace lubt
 
 #endif  // LUBT_TOPO_VALIDATE_H_

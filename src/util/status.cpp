@@ -45,5 +45,12 @@ void AssertFail(const char* expr, const char* file, int line) {
   std::abort();
 }
 
+void BadResultAccess(const char* op, const Status& status) {
+  std::fprintf(stderr,
+               "Result<T>::%s called on an error Result holding: %s\n", op,
+               status.ToString().c_str());
+  std::abort();
+}
+
 }  // namespace internal
 }  // namespace lubt

@@ -72,6 +72,12 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
+namespace internal {
+/// Diagnostic abort for value access on an error Result (prints the stored
+/// status so the failure is attributable, unlike the former silent UB).
+[[noreturn]] void BadResultAccess(const char* op, const Status& status);
+}  // namespace internal
+
 /// Either a value or an error Status. Minimal absl::StatusOr-alike.
 template <typename T>
 class Result {
@@ -86,16 +92,44 @@ class Result {
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return std::move(*value_); }
+  /// Value accessors abort with the stored error instead of dereferencing an
+  /// empty optional (which would be silent UB) when the Result holds a
+  /// Status. Check ok() first, or use status() to inspect the error.
+  const T& value() const& {
+    CheckHasValue("value()");
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue("value()");
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue("value()");
+    return std::move(*value_);
+  }
 
-  const T& operator*() const& { return *value_; }
-  T& operator*() & { return *value_; }
-  const T* operator->() const { return &*value_; }
-  T* operator->() { return &*value_; }
+  const T& operator*() const& {
+    CheckHasValue("operator*");
+    return *value_;
+  }
+  T& operator*() & {
+    CheckHasValue("operator*");
+    return *value_;
+  }
+  const T* operator->() const {
+    CheckHasValue("operator->");
+    return &*value_;
+  }
+  T* operator->() {
+    CheckHasValue("operator->");
+    return &*value_;
+  }
 
  private:
+  void CheckHasValue(const char* op) const {
+    if (!value_.has_value()) internal::BadResultAccess(op, status_);
+  }
+
   std::optional<T> value_;
   Status status_;  // OK iff value_ engaged.
 };

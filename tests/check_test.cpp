@@ -1,0 +1,372 @@
+// Tests for the src/check invariant layer: every validator must reject its
+// malformed input with the documented StatusCode, the SolveLp/SolveEbf
+// boundary gates must surface those rejections instead of crashing, and the
+// hardened Result<T> accessors must abort loudly instead of silent UB.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "check/dcheck.h"
+#include "check/invariants.h"
+#include "ebf/solver.h"
+#include "embed/placer.h"
+#include "io/benchmarks.h"
+#include "topo/nn_merge.h"
+#include "topo/validate.h"
+#include "util/status.h"
+
+namespace lubt {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// A tiny sound model: min x0 + x1 s.t. x0 + x1 >= 1, x >= 0.
+LpModel SmallModel() {
+  LpModel model(2);
+  model.SetObjective(0, 1.0);
+  model.SetObjective(1, 1.0);
+  const std::int32_t idx[] = {0, 1};
+  const double val[] = {1.0, 1.0};
+  model.AddRow(idx, val, 1.0, kLpInf);
+  return model;
+}
+
+// A small valid problem shared by the edge-length/embedding tests.
+struct SmallProblem {
+  SinkSet set;
+  Topology topo;
+  EbfProblem prob;
+
+  explicit SmallProblem(bool with_source = true) {
+    set = RandomSinkSet(8, BBox({0, 0}, {100, 100}), 7, with_source);
+    topo = NnMergeTopology(set.sinks, set.source);
+    prob.topo = &topo;
+    prob.sinks = set.sinks;
+    prob.source = set.source;
+    prob.bounds.assign(set.sinks.size(), DelayBounds{0.0, kLpInf});
+  }
+};
+
+// ---- ValidateModel ---------------------------------------------------------
+
+TEST(ValidateModelTest, AcceptsSoundModel) {
+  EXPECT_TRUE(ValidateModel(SmallModel()).ok());
+}
+
+TEST(ValidateModelTest, RejectsNanCoefficient) {
+  LpModel model = SmallModel();
+  model.MutableRow(0).value[1] = kNaN;
+  const Status s = ValidateModel(model);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("non-finite coefficient"), std::string::npos);
+}
+
+TEST(ValidateModelTest, RejectsInvertedBounds) {
+  LpModel model = SmallModel();
+  model.MutableRow(0).lo = 2.0;
+  model.MutableRow(0).hi = 1.0;
+  const Status s = ValidateModel(model);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("inverted bounds"), std::string::npos);
+}
+
+TEST(ValidateModelTest, RejectsNanBound) {
+  LpModel model = SmallModel();
+  model.MutableRow(0).lo = kNaN;
+  EXPECT_EQ(ValidateModel(model).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateModelTest, RejectsDoublyInfiniteBounds) {
+  LpModel model = SmallModel();
+  model.MutableRow(0).lo = -kLpInf;
+  model.MutableRow(0).hi = kLpInf;
+  EXPECT_EQ(ValidateModel(model).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateModelTest, RejectsOutOfRangeColumnIndex) {
+  LpModel model = SmallModel();
+  model.MutableRow(0).index[1] = 7;
+  EXPECT_EQ(ValidateModel(model).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateModelTest, RejectsUnsortedColumnIndices) {
+  LpModel model = SmallModel();
+  model.MutableRow(0).index[0] = 1;
+  model.MutableRow(0).index[1] = 0;
+  EXPECT_EQ(ValidateModel(model).code(), StatusCode::kInvalidArgument);
+}
+
+// The SolveLp boundary gate: a corrupted model is rejected with a status on
+// every engine, never handed to the numerics.
+TEST(ValidateModelTest, SolveLpRejectsCorruptedModel) {
+  for (const LpEngine engine : {LpEngine::kSimplex, LpEngine::kInteriorPoint}) {
+    LpModel model = SmallModel();
+    model.MutableRow(0).value[0] = kNaN;
+    LpSolverOptions options;
+    options.engine = engine;
+    const LpSolution solution = SolveLp(model, options);
+    EXPECT_FALSE(solution.ok()) << LpEngineName(engine);
+    EXPECT_EQ(solution.status.code(), StatusCode::kInvalidArgument)
+        << LpEngineName(engine);
+  }
+}
+
+// ---- ValidateLpSolution ----------------------------------------------------
+
+TEST(ValidateLpSolutionTest, AcceptsFeasiblePoint) {
+  const LpModel model = SmallModel();
+  const double x[] = {0.5, 0.5};
+  EXPECT_TRUE(ValidateLpSolution(model, x, 1e-9).ok());
+}
+
+TEST(ValidateLpSolutionTest, RejectsInfeasiblePoint) {
+  const LpModel model = SmallModel();
+  const double x[] = {0.1, 0.1};  // row activity 0.2 < lo 1.0
+  EXPECT_EQ(ValidateLpSolution(model, x, 1e-9).code(), StatusCode::kInternal);
+}
+
+TEST(ValidateLpSolutionTest, RejectsSizeMismatchAndNan) {
+  const LpModel model = SmallModel();
+  const double short_x[] = {1.0};
+  EXPECT_EQ(ValidateLpSolution(model, short_x, 1e-9).code(),
+            StatusCode::kInternal);
+  const double nan_x[] = {kNaN, 1.0};
+  EXPECT_EQ(ValidateLpSolution(model, nan_x, 1e-9).code(),
+            StatusCode::kInternal);
+}
+
+// ---- ValidateTopology ------------------------------------------------------
+
+TEST(ValidateTopologyTest, RejectsRootlessTopology) {
+  Topology topo;
+  topo.AddSinkNode(0);
+  EXPECT_EQ(ValidateTopology(topo, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTopologyTest, RejectsUnreachableNode) {
+  Topology topo;
+  const NodeId a = topo.AddSinkNode(0);
+  const NodeId b = topo.AddSinkNode(1);
+  topo.AddSinkNode(2);  // never linked under the root
+  topo.SetRoot(topo.AddInternalNode(a, b), RootMode::kFreeSource);
+  const Status s = ValidateTopology(topo, 3);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTopologyTest, RejectsDuplicateSinkBinding) {
+  Topology topo;
+  const NodeId a = topo.AddSinkNode(0);
+  const NodeId b = topo.AddSinkNode(0);  // sink 0 bound twice
+  topo.SetRoot(topo.AddInternalNode(a, b), RootMode::kFreeSource);
+  const Status s = ValidateTopology(topo, 2);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTopologyTest, RejectsSinkIndexOutOfRange) {
+  Topology topo;
+  const NodeId a = topo.AddSinkNode(0);
+  const NodeId b = topo.AddSinkNode(9);
+  topo.SetRoot(topo.AddInternalNode(a, b), RootMode::kFreeSource);
+  EXPECT_EQ(ValidateTopology(topo, 2).code(), StatusCode::kInvalidArgument);
+}
+
+// A non-leaf sink cannot be built through the Topology builder; the
+// adjacency importer is the entry point that must reject it.
+TEST(ValidateTopologyTest, ImporterRejectsNonLeafSink) {
+  const std::vector<std::vector<std::int32_t>> children = {{1, 2}, {}, {}};
+  const std::vector<std::int32_t> sink_of = {0, 1, 2};  // node 0 is internal
+  const auto built =
+      BuildBinaryTopology(children, sink_of, 0, RootMode::kFreeSource);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("sinks must be leaves"),
+            std::string::npos);
+}
+
+TEST(ValidateTopologyTest, SinkCountOverloadUsesOwnCount) {
+  Topology topo;
+  const NodeId a = topo.AddSinkNode(0);
+  const NodeId b = topo.AddSinkNode(1);
+  topo.SetRoot(topo.AddInternalNode(a, b), RootMode::kFreeSource);
+  EXPECT_TRUE(ValidateTopology(topo).ok());
+  // The indexed overload still catches the cardinality mismatch.
+  EXPECT_EQ(ValidateTopology(topo, 3).code(), StatusCode::kInvalidArgument);
+}
+
+// ---- ValidateEdgeLengths ---------------------------------------------------
+
+TEST(ValidateEdgeLengthsTest, AcceptsSolvedLengths) {
+  SmallProblem sp;
+  const EbfSolveResult solved = SolveEbf(sp.prob);
+  ASSERT_TRUE(solved.ok()) << solved.status;
+  EXPECT_TRUE(ValidateEdgeLengths(sp.prob, solved.edge_len).ok());
+}
+
+TEST(ValidateEdgeLengthsTest, RejectsNegativeEdgeLength) {
+  SmallProblem sp;
+  EbfSolveResult solved = SolveEbf(sp.prob);
+  ASSERT_TRUE(solved.ok()) << solved.status;
+  for (NodeId v = 0; v < sp.topo.NumNodes(); ++v) {
+    if (v != sp.topo.Root()) {
+      solved.edge_len[static_cast<std::size_t>(v)] = -1.0;
+      break;
+    }
+  }
+  const Status s = ValidateEdgeLengths(sp.prob, solved.edge_len);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("negative edge length"), std::string::npos);
+}
+
+TEST(ValidateEdgeLengthsTest, RejectsNanEdgeLength) {
+  SmallProblem sp;
+  EbfSolveResult solved = SolveEbf(sp.prob);
+  ASSERT_TRUE(solved.ok()) << solved.status;
+  solved.edge_len[0] = kNaN;
+  EXPECT_EQ(ValidateEdgeLengths(sp.prob, solved.edge_len).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateEdgeLengthsTest, RejectsWrongSize) {
+  SmallProblem sp;
+  const std::vector<double> too_short(3, 1.0);
+  EXPECT_EQ(ValidateEdgeLengths(sp.prob, too_short).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateEdgeLengthsTest, RejectsSteinerViolation) {
+  SmallProblem sp(/*with_source=*/false);
+  // All-zero lengths collapse every path; with >= 2 distinct sinks some
+  // Steiner row must be violated — a postcondition break, hence kInternal.
+  const std::vector<double> zeros(
+      static_cast<std::size_t>(sp.topo.NumNodes()), 0.0);
+  const Status s = ValidateEdgeLengths(sp.prob, zeros);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ValidateEdgeLengthsTest, RejectsDelayWindowViolation) {
+  SmallProblem sp;
+  EbfSolveResult solved = SolveEbf(sp.prob);
+  ASSERT_TRUE(solved.ok()) << solved.status;
+  // Tighten the window far below the solved delays.
+  sp.prob.bounds.assign(sp.set.sinks.size(), DelayBounds{0.0, 1e-3});
+  const Status s = ValidateEdgeLengths(sp.prob, solved.edge_len);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+// ---- ValidateEmbedding -----------------------------------------------------
+
+TEST(ValidateEmbeddingTest, AcceptsPlacedTree) {
+  SmallProblem sp;
+  const EbfSolveResult solved = SolveEbf(sp.prob);
+  ASSERT_TRUE(solved.ok()) << solved.status;
+  const auto embedding =
+      EmbedTree(sp.topo, sp.set.sinks, sp.set.source, solved.edge_len);
+  ASSERT_TRUE(embedding.ok()) << embedding.status();
+  EXPECT_TRUE(
+      ValidateEmbedding(sp.prob, solved.edge_len, embedding->location).ok());
+}
+
+TEST(ValidateEmbeddingTest, RejectsWrongSizeAndNanLocation) {
+  SmallProblem sp;
+  const EbfSolveResult solved = SolveEbf(sp.prob);
+  ASSERT_TRUE(solved.ok()) << solved.status;
+  const std::vector<Point> too_short(2);
+  EXPECT_EQ(ValidateEmbedding(sp.prob, solved.edge_len, too_short).code(),
+            StatusCode::kInvalidArgument);
+
+  const auto embedding =
+      EmbedTree(sp.topo, sp.set.sinks, sp.set.source, solved.edge_len);
+  ASSERT_TRUE(embedding.ok());
+  std::vector<Point> corrupted = embedding->location;
+  corrupted[0].x = kNaN;
+  EXPECT_EQ(ValidateEmbedding(sp.prob, solved.edge_len, corrupted).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateEmbeddingTest, RejectsUnrealizableLocations) {
+  SmallProblem sp;
+  const EbfSolveResult solved = SolveEbf(sp.prob);
+  ASSERT_TRUE(solved.ok()) << solved.status;
+  const auto embedding =
+      EmbedTree(sp.topo, sp.set.sinks, sp.set.source, solved.edge_len);
+  ASSERT_TRUE(embedding.ok());
+  std::vector<Point> moved = embedding->location;
+  // Teleport a Steiner node far outside the die: some edge must now be
+  // longer than its assigned length.
+  for (NodeId v = 0; v < sp.topo.NumNodes(); ++v) {
+    if (!sp.topo.IsSinkNode(v) && v != sp.topo.Root()) {
+      moved[static_cast<std::size_t>(v)] = Point{1e6, 1e6};
+      break;
+    }
+  }
+  EXPECT_EQ(ValidateEmbedding(sp.prob, solved.edge_len, moved).code(),
+            StatusCode::kInternal);
+}
+
+// ---- SolveEbf boundary -----------------------------------------------------
+
+// Malformed problems are rejected on every path, including with the
+// zero-skew fast path disabled (which used to skip validation entirely).
+TEST(SolveEbfBoundaryTest, RejectsMalformedProblemWithoutFastPath) {
+  SmallProblem sp;
+  sp.prob.bounds.back().lo = 10.0;
+  sp.prob.bounds.back().hi = 1.0;  // inverted window
+  EbfSolveOptions options;
+  options.use_zero_skew_fast_path = false;
+  const EbfSolveResult solved = SolveEbf(sp.prob, options);
+  EXPECT_FALSE(solved.ok());
+  EXPECT_EQ(solved.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolveEbfBoundaryTest, RejectsNanBounds) {
+  SmallProblem sp;
+  sp.prob.bounds.front().hi = kNaN;
+  const EbfSolveResult solved = SolveEbf(sp.prob);
+  EXPECT_EQ(solved.status.code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Result<T> hardening ---------------------------------------------------
+
+TEST(ResultHardeningTest, ValueOnErrorAbortsWithDiagnostic) {
+  const Result<int> error(Status::Infeasible("no tree"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_DEATH((void)error.value(), "value\\(\\) called on an error Result");
+  EXPECT_DEATH((void)*error, "operator\\* called on an error Result");
+  EXPECT_DEATH((void)error.operator->(),
+               "operator-> called on an error Result");
+}
+
+TEST(ResultHardeningTest, ValueAccessStillWorksWhenEngaged) {
+  Result<int> okay(41);
+  ASSERT_TRUE(okay.ok());
+  EXPECT_EQ(okay.value(), 41);
+  EXPECT_EQ(*okay, 41);
+  okay.value() = 42;
+  EXPECT_EQ(*okay, 42);
+  EXPECT_TRUE(okay.status().ok());
+}
+
+// ---- DCHECK macros ---------------------------------------------------------
+
+TEST(DcheckTest, CompiledOutDcheckDoesNotEvaluate) {
+  int evaluations = 0;
+  LUBT_DCHECK((++evaluations, true));
+  LUBT_DCHECK_FINITE((++evaluations, 1.0));
+#if LUBT_DCHECK_IS_ON
+  EXPECT_EQ(evaluations, 2);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+#if LUBT_DCHECK_IS_ON
+TEST(DcheckTest, FailingDcheckAborts) {
+  EXPECT_DEATH(LUBT_DCHECK(1 + 1 == 3), "LUBT_DCHECK failed");
+  EXPECT_DEATH(LUBT_DCHECK_FINITE(kNaN), "is not finite");
+}
+#endif
+
+}  // namespace
+}  // namespace lubt

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Pre-merge correctness gate: configure + build + ctest under each analysis
+# preset. Exits non-zero on the first compiler warning (-Werror), sanitizer
+# finding (-fno-sanitize-recover=all turns every report into a test
+# failure), clang-tidy diagnostic, or test failure.
+#
+# Usage:
+#   tools/check.sh             # default + asan + ubsan (+ tidy if available)
+#   tools/check.sh asan ubsan  # just the named presets
+#
+# Environment:
+#   JOBS=N             build parallelism (default: nproc)
+#   SELF_CHECK_SEEDS=N extra randomized sweep size per sanitizer (default 40)
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+SELF_CHECK_SEEDS="${SELF_CHECK_SEEDS:-40}"
+
+# Sanitizer runtime policy: abort on the first finding so ctest sees it.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:abort_on_error=1:print_stacktrace=1"
+
+if [[ $# -gt 0 ]]; then
+  presets=("$@")
+else
+  presets=(default asan ubsan)
+  if command -v clang-tidy > /dev/null 2>&1; then
+    presets+=(tidy)
+  else
+    echo "check.sh: clang-tidy not found; skipping the tidy preset" >&2
+  fi
+fi
+
+failed=()
+for preset in "${presets[@]}"; do
+  echo "==== [$preset] configure ===="
+  if ! cmake --preset "$preset" > "/tmp/lubt-check-$preset-configure.log" 2>&1; then
+    tail -40 "/tmp/lubt-check-$preset-configure.log"
+    failed+=("$preset (configure)")
+    continue
+  fi
+  echo "==== [$preset] build ===="
+  if ! cmake --build --preset "$preset" -j "$JOBS" \
+       > "/tmp/lubt-check-$preset-build.log" 2>&1; then
+    grep -E "error|warning" "/tmp/lubt-check-$preset-build.log" | head -50
+    tail -10 "/tmp/lubt-check-$preset-build.log"
+    failed+=("$preset (build)")
+    continue
+  fi
+  echo "==== [$preset] ctest ===="
+  if ! ctest --preset "$preset" > "/tmp/lubt-check-$preset-test.log" 2>&1; then
+    # Re-print the failing tests with their output.
+    grep -E "Failed|Timeout|\*\*\*" "/tmp/lubt-check-$preset-test.log" | head -30
+    failed+=("$preset (ctest)")
+    continue
+  fi
+  tail -3 "/tmp/lubt-check-$preset-test.log" | sed "s/^/[$preset] /"
+
+  # Sanitizer presets additionally run a wider randomized sweep than the
+  # quick slice registered under ctest.
+  if [[ "$preset" == "asan" || "$preset" == "ubsan" || "$preset" == "tsan" ]]; then
+    echo "==== [$preset] self_check --seeds $SELF_CHECK_SEEDS ===="
+    if ! "./build-$preset/tools/self_check" --seeds "$SELF_CHECK_SEEDS" \
+         --quiet; then
+      failed+=("$preset (self_check)")
+      continue
+    fi
+  fi
+done
+
+echo
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "check.sh: FAILED: ${failed[*]}"
+  exit 1
+fi
+echo "check.sh: all presets clean (${presets[*]})"

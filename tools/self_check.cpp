@@ -1,0 +1,242 @@
+// Randomized end-to-end self-check of the topology → EBF → LP → embed
+// pipeline with every src/check validator enabled unconditionally.
+//
+// Each seed draws a random instance (uniform or clustered sinks, fixed or
+// free source, NN-merge or MST topology), a random bounds regime, and a
+// random solver configuration, then asserts the full invariant chain:
+//
+//   ValidateTopology      on the generated topology,
+//   ValidateModel         on the built LP (via SolveLp's boundary gate),
+//   ValidateEdgeLengths   on the solved lengths (Steiner + delay windows),
+//   ValidateEmbedding     on the placed tree (realizability + bounds),
+//
+// and that deliberately infeasible windows are *reported* as kInfeasible
+// rather than mis-solved. This binary is the designated workload for the
+// asan/ubsan presets (tools/check.sh) and runs under ctest at small scale,
+// so every sanitizer finding or invariant break fails the pre-merge gate.
+
+#include <cstdio>
+#include <string>
+
+#include "check/invariants.h"
+#include "cts/bounded_skew_dme.h"
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "embed/placer.h"
+#include "geom/bbox.h"
+#include "io/benchmarks.h"
+#include "topo/mst.h"
+#include "topo/nn_merge.h"
+#include "topo/validate.h"
+#include "util/args.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+// One of the bounds regimes a seed can draw.
+enum class BoundsRegime {
+  kAchievedWindow,  // baseline tree's achieved [min, max] delays (feasible)
+  kSteinerOnly,     // l = 0, u = inf (plain Steiner objective, feasible)
+  kZeroSkew,        // l = u = achieved max delay (feasible, fast-path prone)
+  kInfeasible,      // u below the farthest sink's distance (must reject)
+};
+
+const char* RegimeName(BoundsRegime regime) {
+  switch (regime) {
+    case BoundsRegime::kAchievedWindow:
+      return "achieved-window";
+    case BoundsRegime::kSteinerOnly:
+      return "steiner-only";
+    case BoundsRegime::kZeroSkew:
+      return "zero-skew";
+    case BoundsRegime::kInfeasible:
+      return "infeasible";
+  }
+  return "unknown";
+}
+
+struct CaseConfig {
+  std::uint64_t seed = 0;
+  int num_sinks = 0;
+  bool clustered = false;
+  bool with_source = false;
+  bool mst_topology = false;
+  BoundsRegime regime = BoundsRegime::kAchievedWindow;
+  EbfSolveOptions options;
+};
+
+std::string Describe(const CaseConfig& c) {
+  std::string out = "seed " + std::to_string(c.seed) + ": m=" +
+                    std::to_string(c.num_sinks);
+  out += c.clustered ? " clustered" : " uniform";
+  out += c.with_source ? " fixed-source" : " free-source";
+  out += c.mst_topology ? " mst" : " nn-merge";
+  out += std::string(" ") + RegimeName(c.regime);
+  out += std::string(" ") + LpEngineName(c.options.lp.engine);
+  out += std::string(" ") + EbfStrategyName(c.options.strategy);
+  return out;
+}
+
+// Draw every stochastic choice for one seed.
+CaseConfig DrawCase(std::uint64_t seed, int min_sinks, int max_sinks) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  CaseConfig c;
+  c.seed = seed;
+  c.num_sinks = rng.UniformInt(min_sinks, max_sinks);
+  c.clustered = rng.Bernoulli(0.3);
+  c.with_source = rng.Bernoulli(0.6);
+  c.mst_topology = rng.Bernoulli(0.3);
+  const double regime_draw = rng.Uniform();
+  if (regime_draw < 0.4) {
+    c.regime = BoundsRegime::kAchievedWindow;
+  } else if (regime_draw < 0.6) {
+    c.regime = BoundsRegime::kSteinerOnly;
+  } else if (regime_draw < 0.8) {
+    c.regime = BoundsRegime::kZeroSkew;
+  } else {
+    c.regime = BoundsRegime::kInfeasible;
+  }
+  // Simplex tableaus are dense; cap it to small instances.
+  c.options.lp.engine = (c.num_sinks <= 24 && rng.Bernoulli(0.4))
+                            ? LpEngine::kSimplex
+                            : LpEngine::kInteriorPoint;
+  const double strategy_draw = rng.Uniform();
+  if (c.num_sinks <= 24 && strategy_draw < 0.3) {
+    c.options.strategy = EbfStrategy::kFullRows;
+    c.options.use_presolve = rng.Bernoulli(0.5);
+  } else if (c.num_sinks <= 32 && strategy_draw < 0.5) {
+    c.options.strategy = EbfStrategy::kReducedRows;
+  } else {
+    c.options.strategy = EbfStrategy::kLazy;
+  }
+  c.options.use_zero_skew_fast_path = rng.Bernoulli(0.7);
+  return c;
+}
+
+// Returns an error description, or the empty string when the case passes.
+std::string RunCase(const CaseConfig& c, bool quiet) {
+  const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+  const SinkSet set =
+      c.clustered ? ClusteredSinkSet(c.num_sinks, 4, die, c.seed, c.with_source)
+                  : RandomSinkSet(c.num_sinks, die, c.seed, c.with_source);
+
+  const Topology topo = c.mst_topology
+                            ? MstBinaryTopology(set.sinks, set.source)
+                            : NnMergeTopology(set.sinks, set.source);
+  const Status topo_ok =
+      ValidateTopology(topo, static_cast<int>(set.sinks.size()));
+  if (!topo_ok.ok()) return "ValidateTopology: " + topo_ok.ToString();
+
+  // A feasible reference window comes from the bounded-skew baseline on the
+  // same topology (its achieved delays are achievable by construction).
+  const double radius = Radius(set.sinks, set.source);
+  auto base = BoundedSkewOnTopology(topo, set.sinks, set.source, 0.5 * radius);
+  if (!base.ok()) return "BoundedSkewOnTopology: " + base.status().ToString();
+
+  EbfProblem prob;
+  prob.topo = &topo;
+  prob.sinks = set.sinks;
+  prob.source = set.source;
+  bool expect_feasible = true;
+  switch (c.regime) {
+    case BoundsRegime::kAchievedWindow:
+      prob.bounds.assign(set.sinks.size(),
+                         DelayBounds{base->min_delay, base->max_delay});
+      break;
+    case BoundsRegime::kSteinerOnly:
+      prob.bounds.assign(set.sinks.size(), DelayBounds{0.0, kLpInf});
+      break;
+    case BoundsRegime::kZeroSkew:
+      prob.bounds.assign(set.sinks.size(),
+                         DelayBounds{base->max_delay, base->max_delay});
+      break;
+    case BoundsRegime::kInfeasible:
+      // No tree can deliver below half the farthest fixed-point distance
+      // (Steiner rows force path >= distance), so this window must be
+      // reported infeasible, never "solved".
+      prob.bounds.assign(set.sinks.size(), DelayBounds{0.0, 0.45 * radius});
+      expect_feasible = false;
+      break;
+  }
+
+  const EbfSolveResult solved = SolveEbf(prob, c.options);
+  if (!expect_feasible) {
+    if (solved.ok()) return "infeasible window was claimed solved";
+    if (solved.status.code() != StatusCode::kInfeasible) {
+      return "infeasible window misreported as " + solved.status.ToString();
+    }
+    if (!quiet) std::printf("ok   %s rejected as infeasible\n", Describe(c).c_str());
+    return "";
+  }
+  if (!solved.ok()) return "SolveEbf: " + solved.status.ToString();
+
+  const Status lengths_ok = ValidateEdgeLengths(prob, solved.edge_len);
+  if (!lengths_ok.ok()) {
+    return "ValidateEdgeLengths: " + lengths_ok.ToString();
+  }
+
+  const PlacementRule rule = (c.seed % 2 == 0) ? PlacementRule::kClosestToParent
+                                               : PlacementRule::kCenter;
+  auto embedding =
+      EmbedTree(topo, set.sinks, set.source, solved.edge_len, rule);
+  if (!embedding.ok()) return "EmbedTree: " + embedding.status().ToString();
+
+  const Status embed_ok =
+      ValidateEmbedding(prob, solved.edge_len, embedding->location);
+  if (!embed_ok.ok()) return "ValidateEmbedding: " + embed_ok.ToString();
+
+  if (!quiet) {
+    std::printf("ok   %s cost=%.1f rows=%d\n", Describe(c).c_str(),
+                solved.cost, solved.lp_rows);
+  }
+  return "";
+}
+
+int Run(int argc, const char* const* argv) {
+  Result<ArgParser> args = ArgParser::Parse(
+      argc, argv,
+      {"seeds", "start-seed", "min-sinks", "max-sinks", "quiet", "help"});
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  if (args->Has("help")) {
+    std::printf(
+        "self_check: randomized LP -> embed pipeline property driver\n"
+        "  --seeds N       number of random cases (default 8)\n"
+        "  --start-seed S  first seed (default 1)\n"
+        "  --min-sinks M   smallest instance (default 4)\n"
+        "  --max-sinks M   largest instance (default 40)\n"
+        "  --quiet         only print failures and the summary\n");
+    return 0;
+  }
+  const int seeds = args->GetInt("seeds", 8);
+  const int start = args->GetInt("start-seed", 1);
+  const int min_sinks = args->GetInt("min-sinks", 4);
+  const int max_sinks = args->GetInt("max-sinks", 40);
+  const bool quiet = args->GetBool("quiet", false);
+  if (seeds <= 0 || min_sinks < 2 || max_sinks < min_sinks) {
+    std::fprintf(stderr, "invalid sweep parameters\n");
+    return 2;
+  }
+
+  int failures = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const CaseConfig c = DrawCase(static_cast<std::uint64_t>(start + s),
+                                  min_sinks, max_sinks);
+    const std::string error = RunCase(c, quiet);
+    if (!error.empty()) {
+      ++failures;
+      std::fprintf(stderr, "FAIL %s\n     %s\n", Describe(c).c_str(),
+                   error.c_str());
+    }
+  }
+  std::printf("self_check: %d/%d cases passed\n", seeds - failures, seeds);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lubt
+
+int main(int argc, char** argv) { return lubt::Run(argc, argv); }
