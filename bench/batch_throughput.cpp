@@ -1,0 +1,141 @@
+// Batch-solve throughput: jobs/sec of SolveBatch at 1/2/4/8 workers on a
+// seeded batch of independent LUBT jobs (default 64), plus a bit-exactness
+// check that every worker count produced identical results — the runtime's
+// determinism contract measured, not assumed.
+//
+// Flags: --num-jobs N (default 64), --jobs-max W (default 8), --seed S.
+// The scaling expectation (jobs/sec non-decreasing up to the hardware
+// thread count) is asserted; beyond the hardware count the curve may
+// flatten, which is reported but not an error.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "io/benchmarks.h"
+#include "runtime/batch_solver.h"
+#include "util/args.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace lubt;
+
+namespace {
+
+std::vector<BatchJob> MakeJobs(int count, std::uint64_t seed) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+  for (int i = 0; i < count; ++i) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(i));
+    BatchJob job;
+    job.name = "job" + std::to_string(i);
+    job.set = RandomSinkSet(rng.UniformInt(16, 32), die, rng.Next(),
+                            /*with_source=*/true);
+    job.topology =
+        rng.Bernoulli(0.3) ? BatchTopology::kMst : BatchTopology::kNnMerge;
+    job.lower = 0.9;
+    job.upper = 1.25;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+bool SameResults(const BatchResult& a, const BatchResult& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const BatchJobResult& x = a.results[i];
+    const BatchJobResult& y = b.results[i];
+    if (x.outcome != y.outcome || x.cost != y.cost ||
+        x.edge_len != y.edge_len) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed =
+      ArgParser::Parse(argc, argv, {"num-jobs", "jobs-max", "seed", "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  if (parsed->Has("help")) {
+    std::printf(
+        "batch_throughput: SolveBatch jobs/sec vs worker count\n"
+        "  --num-jobs N   batch size (default 64)\n"
+        "  --jobs-max W   largest worker count, doubling from 1 (default 8)\n"
+        "  --seed S       batch generator seed (default 1)\n");
+    return 0;
+  }
+  const Result<int> num_jobs = parsed->GetIntFlag("num-jobs", 64, 1);
+  const Result<int> jobs_max = parsed->GetIntFlag("jobs-max", 8, 1, 256);
+  const Result<int> seed = parsed->GetIntFlag("seed", 1, 0);
+  for (const Result<int>* flag : {&num_jobs, &jobs_max, &seed}) {
+    if (!flag->ok()) {
+      std::fprintf(stderr, "%s\n", flag->status().ToString().c_str());
+      return 2;
+    }
+  }
+
+  const int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const std::vector<BatchJob> jobs =
+      MakeJobs(*num_jobs, static_cast<std::uint64_t>(*seed));
+  std::printf("batch_throughput: %d jobs, worker counts 1..%d, %d hardware "
+              "thread%s\n",
+              *num_jobs, *jobs_max, hardware, hardware == 1 ? "" : "s");
+
+  TextTable table({"workers", "wall s", "jobs/s", "speedup", "ok", "other"});
+  bool all_ok = true;
+  BatchResult reference;
+  double base_rate = 0.0;
+  double prev_rate = 0.0;
+  for (int workers = 1; workers <= *jobs_max; workers *= 2) {
+    BatchResult batch = SolveBatch(jobs, BatchOptions{.workers = workers});
+    const BatchStats& s = batch.stats;
+    if (workers == 1) {
+      base_rate = s.jobs_per_second;
+    } else if (!SameResults(reference, batch)) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %d-worker results differ from "
+                   "serial\n",
+                   workers);
+      all_ok = false;
+    }
+    if (s.num_error > 0 || s.num_timed_out > 0) {
+      std::fprintf(stderr, "UNEXPECTED FAILURES at %d workers: %d error, %d "
+                           "timed-out\n",
+                   workers, s.num_error, s.num_timed_out);
+      all_ok = false;
+    }
+    // Within the hardware's parallelism the curve must not regress by more
+    // than measurement noise (10%); beyond it flat/declining is expected.
+    if (workers > 1 && workers <= hardware && s.jobs_per_second < 0.9 * prev_rate) {
+      std::fprintf(stderr,
+                   "SCALING REGRESSION: %.2f jobs/s at %d workers, below "
+                   "%.2f at %d\n",
+                   s.jobs_per_second, workers, prev_rate, workers / 2);
+      all_ok = false;
+    }
+    prev_rate = s.jobs_per_second;
+    table.AddRow({std::to_string(workers), FormatDouble(s.wall_seconds, 3),
+                  FormatDouble(s.jobs_per_second, 2),
+                  FormatDouble(base_rate > 0.0 ? s.jobs_per_second / base_rate
+                                               : 0.0, 2),
+                  std::to_string(s.num_ok),
+                  std::to_string(s.num_jobs - s.num_ok)});
+    if (workers == 1) reference = std::move(batch);
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (hardware == 1) {
+    std::printf("(single hardware thread: speedup is expected to stay ~1)\n");
+  }
+  return all_ok ? 0 : 1;
+}

@@ -11,7 +11,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "cts/bounded_skew_dme.h"
 #include "cts/metrics.h"
@@ -20,6 +22,8 @@
 #include "embed/verifier.h"
 #include "io/benchmarks.h"
 #include "io/csv.h"
+#include "runtime/thread_pool.h"
+#include "util/args.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -130,6 +134,39 @@ inline RowResult RunWindowOnBaselineTopo(const SinkSet& set,
   out.shortest = lubt.stats.min_delay / radius;
   out.longest = lubt.stats.max_delay / radius;
   out.status = Status::Ok();
+  return out;
+}
+
+/// Parse the shared bench command line (currently just --jobs). Rows of a
+/// sweep are independent (instance x bound) solves, so benches fan them out
+/// on the runtime's pool. Exits the process on a malformed flag.
+inline int ParseBenchJobs(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(argc, argv, {"jobs", "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  if (parsed->Has("help")) {
+    std::printf("flags:\n  --jobs N   solve sweep rows on N worker threads "
+                "(default 1; 0 = hardware concurrency)\n");
+    std::exit(0);
+  }
+  const Result<int> jobs = parsed->GetJobsFlag(1);
+  if (!jobs.ok()) {
+    std::fprintf(stderr, "%s\n", jobs.status().ToString().c_str());
+    std::exit(2);
+  }
+  return *jobs;
+}
+
+/// Compute `n` sweep rows on `jobs` workers; out[i] = row(i), in index
+/// order. row() must only read shared state (the precomputed SinkSets).
+inline std::vector<RowResult> ComputeRows(
+    int n, int jobs, const std::function<RowResult(int)>& row) {
+  std::vector<RowResult> out(static_cast<std::size_t>(n));
+  ParallelFor(n, jobs, [&](int i) {
+    out[static_cast<std::size_t>(i)] = row(i);
+  });
   return out;
 }
 

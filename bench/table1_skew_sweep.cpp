@@ -8,7 +8,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "common.h"
 
@@ -26,22 +28,40 @@ std::string BoundLabel(double b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ParseBenchJobs(argc, argv);
   const double scale = BenchScale();
   std::printf("Table 1 reproduction (LUBT vs bounded-skew baseline)\n");
   std::printf("sink scale = %.2f  (LUBT_BENCH_SCALE; 1.0 = paper size)\n",
               scale);
 
   const double bounds[] = {0.0, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, kInfBound};
+  constexpr int kNumBounds = static_cast<int>(std::size(bounds));
+
+  // Each (benchmark, bound) row is an independent solve: precompute the
+  // sink sets (shared read-only across workers) and fan the rows out.
+  const std::vector<BenchmarkId> ids = AllBenchmarks();
+  std::vector<SinkSet> sets;
+  for (const BenchmarkId id : ids) sets.push_back(MakeBenchmark(id, scale));
+  const int num_rows = static_cast<int>(ids.size()) * kNumBounds;
+  const std::vector<RowResult> rows =
+      ComputeRows(num_rows, jobs, [&](int i) {
+        return RunBaselineThenLubt(sets[static_cast<std::size_t>(
+                                       i / kNumBounds)],
+                                   bounds[i % kNumBounds]);
+      });
 
   TextTable table({"bench", "skew bound", "shortest delay", "longest delay",
                    "baseline cost", "LUBT cost", "improv %", "gen",
                    "lubt s"});
   bool all_ok = true;
-  for (const BenchmarkId id : AllBenchmarks()) {
-    const SinkSet set = MakeBenchmark(id, scale);
-    for (const double b : bounds) {
-      const RowResult row = RunBaselineThenLubt(set, b);
+  for (std::size_t set_idx = 0; set_idx < ids.size(); ++set_idx) {
+    const SinkSet& set = sets[set_idx];
+    for (int bi = 0; bi < kNumBounds; ++bi) {
+      const double b = bounds[bi];
+      const RowResult& row =
+          rows[set_idx * static_cast<std::size_t>(kNumBounds) +
+               static_cast<std::size_t>(bi)];
       if (!row.ok()) {
         std::fprintf(stderr, "%s bound %s FAILED: %s\n", set.name.c_str(),
                      BoundLabel(b).c_str(), row.status.ToString().c_str());

@@ -8,6 +8,8 @@
 // mirroring how the paper derives its topologies.
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "common.h"
 
@@ -18,7 +20,8 @@ using namespace lubt::bench;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ParseBenchJobs(argc, argv);
   const double scale = BenchScale();
   std::printf("Table 3 reproduction (other bound combinations)\n");
   std::printf("sink scale = %.2f\n", scale);
@@ -30,15 +33,30 @@ int main() {
   const Window windows[] = {{0.99, 1.0}, {0.98, 1.0}, {0.95, 1.0},
                             {0.90, 1.0}, {0.50, 1.0}, {0.0, 1.0},
                             {0.0, 1.5},  {0.0, 2.0}};
+  constexpr int kNumWindows = static_cast<int>(std::size(windows));
+
+  const std::vector<BenchmarkId> ids = AllBenchmarks();
+  std::vector<SinkSet> sets;
+  for (const BenchmarkId id : ids) sets.push_back(MakeBenchmark(id, scale));
+  const int num_rows = static_cast<int>(ids.size()) * kNumWindows;
+  const std::vector<RowResult> rows =
+      ComputeRows(num_rows, jobs, [&](int i) {
+        const Window& w = windows[i % kNumWindows];
+        return RunWindowOnBaselineTopo(
+            sets[static_cast<std::size_t>(i / kNumWindows)], w.hi - w.lo,
+            w.lo, w.hi);
+      });
 
   TextTable table(
       {"bench", "lower bound", "upper bound", "tree cost", "lubt s"});
   bool all_ok = true;
-  for (const BenchmarkId id : AllBenchmarks()) {
-    const SinkSet set = MakeBenchmark(id, scale);
-    for (const Window& w : windows) {
-      const RowResult row =
-          RunWindowOnBaselineTopo(set, w.hi - w.lo, w.lo, w.hi);
+  for (std::size_t set_idx = 0; set_idx < ids.size(); ++set_idx) {
+    const SinkSet& set = sets[set_idx];
+    for (int wi = 0; wi < kNumWindows; ++wi) {
+      const Window& w = windows[wi];
+      const RowResult& row =
+          rows[set_idx * static_cast<std::size_t>(kNumWindows) +
+               static_cast<std::size_t>(wi)];
       if (!row.ok()) {
         std::fprintf(stderr, "%s window [%0.2f, %0.2f] FAILED: %s\n",
                      set.name.c_str(), w.lo, w.hi,

@@ -1,0 +1,205 @@
+#include "runtime/batch_solver.h"
+
+#include <utility>
+
+#include "cts/metrics.h"
+#include "embed/verifier.h"
+#include "runtime/thread_pool.h"
+#include "topo/bipartition.h"
+#include "topo/mst.h"
+#include "topo/nn_merge.h"
+#include "topo/validate.h"
+#include "util/timer.h"
+
+namespace lubt {
+namespace {
+
+// Bounds at or above this (in radius units) mean "unbounded above".
+constexpr double kUnboundedAbove = 1e17;
+
+BatchJobResult Fail(JobOutcome outcome, Status status) {
+  BatchJobResult out;
+  out.outcome = outcome;
+  out.status = std::move(status);
+  return out;
+}
+
+}  // namespace
+
+const char* BatchTopologyName(BatchTopology topology) {
+  switch (topology) {
+    case BatchTopology::kNnMerge:
+      return "nn";
+    case BatchTopology::kMst:
+      return "mst";
+    case BatchTopology::kBipartition:
+      return "bipartition";
+  }
+  return "unknown";
+}
+
+const char* JobOutcomeName(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kOk:
+      return "ok";
+    case JobOutcome::kInfeasible:
+      return "infeasible";
+    case JobOutcome::kError:
+      return "error";
+    case JobOutcome::kTimedOut:
+      return "timed-out";
+  }
+  return "unknown";
+}
+
+BatchJobResult SolveOneJob(const BatchJob& job) {
+  Timer total;
+  if (job.set.sinks.empty()) {
+    return Fail(JobOutcome::kError,
+                Status::InvalidArgument("job has no sinks"));
+  }
+  if (!(job.lower <= job.upper)) {
+    return Fail(JobOutcome::kError,
+                Status::InvalidArgument("window lower bound above upper"));
+  }
+  const bool timed = job.timeout_seconds > 0.0;
+  const auto past_deadline = [&] {
+    return timed && total.Seconds() > job.timeout_seconds;
+  };
+
+  BatchJobResult out;
+  const double radius = Radius(job.set.sinks, job.set.source);
+
+  Timer stage;
+  Topology topo;
+  switch (job.topology) {
+    case BatchTopology::kNnMerge:
+      topo = NnMergeTopology(job.set.sinks, job.set.source);
+      break;
+    case BatchTopology::kMst:
+      topo = MstBinaryTopology(job.set.sinks, job.set.source);
+      break;
+    case BatchTopology::kBipartition:
+      topo = BipartitionTopology(job.set.sinks, job.set.source);
+      break;
+  }
+  const Status topo_ok =
+      ValidateTopology(topo, static_cast<int>(job.set.sinks.size()));
+  out.seconds.topo = stage.Seconds();
+  if (!topo_ok.ok()) {
+    out = Fail(JobOutcome::kError, topo_ok);
+    out.seconds.total = total.Seconds();
+    return out;
+  }
+  if (past_deadline()) {
+    out = Fail(JobOutcome::kTimedOut,
+               Status::Internal("deadline exceeded after topology stage"));
+    out.seconds.total = total.Seconds();
+    return out;
+  }
+
+  EbfProblem problem;
+  problem.topo = &topo;
+  problem.sinks = job.set.sinks;
+  problem.source = job.set.source;
+  const double upper = job.upper >= kUnboundedAbove ? kLpInf
+                                                    : job.upper * radius;
+  problem.bounds.assign(job.set.sinks.size(),
+                        DelayBounds{job.lower * radius, upper});
+
+  stage.Restart();
+  const EbfSolveResult solved = SolveEbf(problem, job.options);
+  out.seconds.solve = stage.Seconds();
+  if (!solved.ok()) {
+    const JobOutcome outcome = solved.status.code() == StatusCode::kInfeasible
+                                   ? JobOutcome::kInfeasible
+                                   : JobOutcome::kError;
+    const StageSeconds seconds = out.seconds;
+    out = Fail(outcome, solved.status);
+    out.seconds = seconds;
+    out.seconds.total = total.Seconds();
+    return out;
+  }
+  if (past_deadline()) {
+    const StageSeconds seconds = out.seconds;
+    out = Fail(JobOutcome::kTimedOut,
+               Status::Internal("deadline exceeded after solve stage"));
+    out.seconds = seconds;
+    out.seconds.total = total.Seconds();
+    return out;
+  }
+
+  stage.Restart();
+  auto embedding = EmbedTree(topo, job.set.sinks, job.set.source,
+                             solved.edge_len, job.rule);
+  if (embedding.ok()) {
+    const auto report =
+        VerifyEmbedding(topo, job.set.sinks, job.set.source, solved.edge_len,
+                        embedding->location, problem.bounds);
+    if (!report.ok()) {
+      embedding = report.status;
+    }
+  }
+  out.seconds.embed = stage.Seconds();
+  if (!embedding.ok()) {
+    const StageSeconds seconds = out.seconds;
+    out = Fail(JobOutcome::kError, embedding.status());
+    out.seconds = seconds;
+    out.seconds.total = total.Seconds();
+    return out;
+  }
+
+  out.outcome = JobOutcome::kOk;
+  out.status = Status::Ok();
+  out.cost = solved.cost;
+  out.min_delay = radius > 0.0 ? solved.stats.min_delay / radius : 0.0;
+  out.max_delay = radius > 0.0 ? solved.stats.max_delay / radius : 0.0;
+  out.lp_rows = solved.lp_rows;
+  out.edge_len = solved.edge_len;
+  out.location = std::move(embedding->location);
+  out.seconds.total = total.Seconds();
+  return out;
+}
+
+BatchResult SolveBatch(std::span<const BatchJob> jobs,
+                       const BatchOptions& options) {
+  BatchResult out;
+  const int n = static_cast<int>(jobs.size());
+  out.results.resize(jobs.size());
+  Timer wall;
+  ParallelFor(n, options.workers, [&](int i) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      out.results[static_cast<std::size_t>(i)] =
+          Fail(JobOutcome::kTimedOut, Status::Internal("batch cancelled"));
+      return;
+    }
+    out.results[static_cast<std::size_t>(i)] =
+        SolveOneJob(jobs[static_cast<std::size_t>(i)]);
+  });
+  out.stats.wall_seconds = wall.Seconds();
+  out.stats.num_jobs = n;
+  for (const BatchJobResult& result : out.results) {
+    out.stats.job_seconds += result.seconds.total;
+    switch (result.outcome) {
+      case JobOutcome::kOk:
+        ++out.stats.num_ok;
+        break;
+      case JobOutcome::kInfeasible:
+        ++out.stats.num_infeasible;
+        break;
+      case JobOutcome::kError:
+        ++out.stats.num_error;
+        break;
+      case JobOutcome::kTimedOut:
+        ++out.stats.num_timed_out;
+        break;
+    }
+  }
+  if (out.stats.wall_seconds > 0.0) {
+    out.stats.jobs_per_second = n / out.stats.wall_seconds;
+  }
+  return out;
+}
+
+}  // namespace lubt

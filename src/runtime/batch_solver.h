@@ -1,0 +1,114 @@
+// Concurrent batch solving of independent LUBT jobs.
+//
+// A BatchJob is one complete net: a sink set, a topology choice, a delay
+// window in radius units, and solver options. SolveBatch runs the full
+// topology → EBF → LP → embed pipeline for every job on a ThreadPool and
+// returns results in submission order regardless of worker count.
+//
+// Determinism contract: each job runs entirely on one worker thread with
+// no shared mutable state (see DESIGN.md §10), so a batch's results —
+// costs, edge lengths, placements, statuses — are bit-identical across
+// worker counts. Only the stage/wall timings vary between runs.
+//
+// Timeouts are cooperative: the deadline is checked at stage boundaries
+// (after topology construction, after the LP solve), never mid-solve, so a
+// timed-out job may overshoot its budget by up to one stage. Cancellation
+// via BatchOptions::cancel skips jobs that have not started yet; running
+// jobs finish their current stage chain.
+
+#ifndef LUBT_RUNTIME_BATCH_SOLVER_H_
+#define LUBT_RUNTIME_BATCH_SOLVER_H_
+
+#include <atomic>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ebf/solver.h"
+#include "embed/placer.h"
+#include "io/sink_set.h"
+
+namespace lubt {
+
+/// Topology generator applied to a job's sink set.
+enum class BatchTopology { kNnMerge, kMst, kBipartition };
+
+const char* BatchTopologyName(BatchTopology topology);
+
+/// One independent LUBT job. Bounds are in radius units (radius = source to
+/// farthest sink): upper >= ~1e17 means unbounded (plain Steiner objective).
+struct BatchJob {
+  std::string name;
+  SinkSet set;
+  BatchTopology topology = BatchTopology::kNnMerge;
+  double lower = 0.0;
+  double upper = kLpInf;
+  EbfSolveOptions options;
+  PlacementRule rule = PlacementRule::kClosestToParent;
+  /// 0 = unlimited. Checked cooperatively at stage boundaries.
+  double timeout_seconds = 0.0;
+};
+
+/// Terminal state of one job.
+enum class JobOutcome { kOk, kInfeasible, kError, kTimedOut };
+
+const char* JobOutcomeName(JobOutcome outcome);
+
+/// Wall-clock seconds spent per pipeline stage of one job.
+struct StageSeconds {
+  double topo = 0.0;
+  double solve = 0.0;
+  double embed = 0.0;
+  double total = 0.0;
+};
+
+/// Result of one job, in the submission slot of the job that produced it.
+struct BatchJobResult {
+  JobOutcome outcome = JobOutcome::kError;
+  Status status;                 ///< Ok for kOk; the diagnosis otherwise
+  double cost = 0.0;             ///< total wirelength (kOk only)
+  double min_delay = 0.0;        ///< achieved, in radius units (kOk only)
+  double max_delay = 0.0;        ///< achieved, in radius units (kOk only)
+  int lp_rows = 0;
+  std::vector<double> edge_len;  ///< by node id (kOk only)
+  std::vector<Point> location;   ///< by node id (kOk only)
+  StageSeconds seconds;
+
+  bool ok() const { return outcome == JobOutcome::kOk; }
+};
+
+/// Aggregate throughput statistics of one SolveBatch call.
+struct BatchStats {
+  int num_jobs = 0;
+  int num_ok = 0;
+  int num_infeasible = 0;
+  int num_error = 0;
+  int num_timed_out = 0;
+  double wall_seconds = 0.0;      ///< end-to-end batch wall clock
+  double job_seconds = 0.0;       ///< sum of per-job totals (CPU-ish)
+  double jobs_per_second = 0.0;   ///< num_jobs / wall_seconds
+};
+
+struct BatchResult {
+  std::vector<BatchJobResult> results;  ///< submission order
+  BatchStats stats;
+};
+
+struct BatchOptions {
+  /// Worker threads; 1 = run inline on the calling thread.
+  int workers = 1;
+  /// Optional cancellation flag: once it reads true, jobs that have not
+  /// started are reported kTimedOut without running.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Run one job's full pipeline on the calling thread.
+BatchJobResult SolveOneJob(const BatchJob& job);
+
+/// Solve every job; results land in submission order.
+BatchResult SolveBatch(std::span<const BatchJob> jobs,
+                       const BatchOptions& options = {});
+
+}  // namespace lubt
+
+#endif  // LUBT_RUNTIME_BATCH_SOLVER_H_

@@ -1,0 +1,68 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lubt {
+
+ThreadPool::ThreadPool(int num_workers) {
+  const int n = std::max(num_workers, 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_available_.wait(lock,
+                         [this] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutting down and fully drained
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    job();
+    lock.lock();
+    if (--in_flight_ == 0) all_done_.notify_all();
+  }
+}
+
+void ParallelFor(int n, int workers, const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  const int effective = std::min(std::max(workers, 1), n);
+  if (effective == 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(effective);
+  for (int i = 0; i < n; ++i) {
+    pool.Submit([&body, i] { body(i); });
+  }
+  pool.Wait();
+}
+
+}  // namespace lubt

@@ -1,0 +1,65 @@
+// Fixed-size worker pool with an MPMC job queue.
+//
+// The pool is the concurrency primitive of the runtime subsystem: a fixed
+// set of worker threads drains a mutex-protected deque of type-erased jobs.
+// Shutdown is graceful — the destructor finishes every job already
+// submitted before joining the workers — and Wait() gives submitters a
+// barrier without tearing the pool down, so one pool can serve several
+// submission rounds.
+//
+// Jobs must not throw (the library reports failures through Status); an
+// escaping exception terminates the process. Jobs may Submit() further
+// jobs, but must not destroy the pool they run on.
+
+#ifndef LUBT_RUNTIME_THREAD_POOL_H_
+#define LUBT_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lubt {
+
+/// Fixed-size thread pool. `num_workers` is clamped to at least 1.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_workers);
+
+  /// Drains every job already submitted, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one job. Callable from any thread, including workers.
+  void Submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished running.
+  void Wait();
+
+  int NumWorkers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  int in_flight_ = 0;   // submitted but not yet finished; guarded by mu_
+  bool shutting_down_ = false;  // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Run body(0) .. body(n-1) on up to `workers` pool threads and return once
+/// all calls finished. With workers <= 1 (or n == 1) the calls run inline,
+/// in index order — the deterministic serial baseline. The body must be
+/// safe to invoke concurrently for distinct indices.
+void ParallelFor(int n, int workers, const std::function<void(int)>& body);
+
+}  // namespace lubt
+
+#endif  // LUBT_RUNTIME_THREAD_POOL_H_

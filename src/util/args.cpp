@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace lubt {
 
@@ -65,6 +66,34 @@ bool ArgParser::GetBool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Result<int> ArgParser::GetIntFlag(const std::string& name, int fallback,
+                                  int min_value, int max_value) const {
+  long value = fallback;
+  const auto it = values_.find(name);
+  if (it != values_.end()) {
+    char* end = nullptr;
+    value = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                     it->second + "'");
+    }
+  }
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(
+        "--" + name + " must be in [" + std::to_string(min_value) + ", " +
+        std::to_string(max_value) + "], got " + std::to_string(value));
+  }
+  return static_cast<int>(value);
+}
+
+Result<int> ArgParser::GetJobsFlag(int fallback) const {
+  Result<int> requested = GetIntFlag("jobs", fallback, 0, 4096);
+  if (!requested.ok()) return requested;
+  if (*requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 }  // namespace lubt

@@ -32,6 +32,18 @@ class ArgParser {
   int GetInt(const std::string& name, int fallback) const;
   bool GetBool(const std::string& name, bool fallback) const;
 
+  /// Validated integer flag: the value (or `fallback` when absent) must be a
+  /// well-formed integer in [min_value, max_value]; otherwise a diagnostic
+  /// InvalidArgument names the flag. Replaces per-tool hand-rolled range
+  /// checks.
+  Result<int> GetIntFlag(const std::string& name, int fallback, int min_value,
+                         int max_value = 1 << 30) const;
+
+  /// The shared `--jobs` flag of every multi-threaded driver: worker count
+  /// >= 1, where 0 (and the default when absent) means one worker per
+  /// hardware thread.
+  Result<int> GetJobsFlag(int fallback = 1) const;
+
   const std::vector<std::string>& Positional() const { return positional_; }
 
  private:

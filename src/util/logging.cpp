@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "util/timer.h"
 
@@ -41,9 +42,13 @@ LogLevel GetLogLevel() {
 namespace internal {
 
 void LogLine(LogLevel level, const std::string& message) {
+  // One line per call even under concurrent workers: the whole fprintf runs
+  // under a process-wide mutex so interleaved solves cannot shear lines.
+  static std::mutex mu;
   const char* tag = level == LogLevel::kDebug ? "D" : "I";
-  std::fprintf(stderr, "[%s %9.3fs] %s\n", tag, ProcessTimer().Seconds(),
-               message.c_str());
+  const double seconds = ProcessTimer().Seconds();
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s %9.3fs] %s\n", tag, seconds, message.c_str());
 }
 
 }  // namespace internal

@@ -8,7 +8,9 @@
 #include "cts/metrics.h"
 #include "ebf/solver.h"
 #include "embed/placer.h"
+#include "geom/bbox.h"
 #include "io/benchmarks.h"
+#include "runtime/batch_solver.h"
 
 namespace lubt {
 namespace {
@@ -58,6 +60,68 @@ TEST_P(DeterminismTest, RepeatRunsAreBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Bounds, DeterminismTest,
                          ::testing::Values(0.0, 0.1, 1.0));
+
+// The runtime's contract: a batch's results — statuses, costs, edge
+// lengths, placements, ordering — are bit-identical at any worker count,
+// because each job runs wholly on one thread with no shared mutable state.
+TEST(BatchDeterminismTest, ResultsAreWorkerCountInvariant) {
+  const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 12; ++i) {
+    BatchJob job;
+    const std::uint64_t seed = static_cast<std::uint64_t>(100 + i);
+    const int sinks = 8 + 2 * i;
+    job.set = (i % 3 == 0) ? ClusteredSinkSet(sinks, 3, die, seed, true)
+                           : RandomSinkSet(sinks, die, seed, true);
+    job.topology = (i % 2 == 0) ? BatchTopology::kNnMerge
+                                : BatchTopology::kMst;
+    switch (i % 4) {
+      case 0:  // comfortable window
+        job.lower = 0.9;
+        job.upper = 1.3;
+        break;
+      case 1:  // Steiner-only
+        job.lower = 0.0;
+        job.upper = kLpInf;
+        break;
+      case 2:  // tight-ish window
+        job.lower = 0.95;
+        job.upper = 1.25;
+        break;
+      case 3:  // impossible window: outcome must also be invariant
+        job.lower = 0.0;
+        job.upper = 0.4;
+        break;
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  const BatchResult serial = SolveBatch(jobs, BatchOptions{.workers = 1});
+  const BatchResult threaded = SolveBatch(jobs, BatchOptions{.workers = 8});
+  ASSERT_EQ(serial.results.size(), jobs.size());
+  ASSERT_EQ(threaded.results.size(), jobs.size());
+  EXPECT_EQ(serial.stats.num_error, 0);
+  // The impossible windows (upper below the farthest sink) must be
+  // *reported* infeasible; the rest must solve.
+  EXPECT_EQ(serial.stats.num_infeasible, 3);
+  EXPECT_EQ(serial.stats.num_ok, 9);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJobResult& a = serial.results[i];
+    const BatchJobResult& b = threaded.results[i];
+    EXPECT_EQ(a.outcome, b.outcome) << "job " << i;
+    EXPECT_EQ(a.status.code(), b.status.code()) << "job " << i;
+    EXPECT_EQ(a.cost, b.cost) << "job " << i;
+    EXPECT_EQ(a.lp_rows, b.lp_rows) << "job " << i;
+    ASSERT_EQ(a.edge_len.size(), b.edge_len.size()) << "job " << i;
+    for (std::size_t k = 0; k < a.edge_len.size(); ++k) {
+      EXPECT_EQ(a.edge_len[k], b.edge_len[k]) << "job " << i << " edge " << k;
+    }
+    ASSERT_EQ(a.location.size(), b.location.size()) << "job " << i;
+    for (std::size_t k = 0; k < a.location.size(); ++k) {
+      EXPECT_EQ(a.location[k], b.location[k]) << "job " << i << " node " << k;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace lubt

@@ -1,0 +1,194 @@
+// Runtime subsystem: thread-pool lifecycle and BatchSolver semantics —
+// submission-order results, per-job outcome isolation, cooperative
+// timeout, and cancellation. The batch determinism contract (identical
+// results across worker counts) lives in determinism_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "io/benchmarks.h"
+#include "runtime/batch_solver.h"
+#include "runtime/thread_pool.h"
+
+namespace lubt {
+namespace {
+
+TEST(ThreadPoolTest, ConstructAndDestructWithoutWork) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.NumWorkers(), 4);
+}
+
+TEST(ThreadPoolTest, WorkerCountIsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumWorkers(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryJobExactlyOnce) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 256; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 256);
+}
+
+TEST(ThreadPoolTest, MoreJobsThanWorkers) {
+  // 2 workers, 64 jobs: each index must be recorded exactly once.
+  std::vector<int> hits(64, 0);
+  std::mutex mu;
+  ThreadPool pool(2);
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&hits, &mu, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      ++hits[static_cast<std::size_t>(i)];
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossRounds) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelForTest, CoversEachIndexExactlyOnce) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(100, 8, [&hits](int i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, SingleWorkerRunsInIndexOrder) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&order](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoOp) {
+  ParallelFor(0, 4, [](int) { FAIL() << "body must not run"; });
+}
+
+BatchJob MakeJob(int sinks, std::uint64_t seed, double lower, double upper) {
+  BatchJob job;
+  job.set = RandomSinkSet(sinks, BBox({0.0, 0.0}, {1000.0, 1000.0}), seed,
+                          /*with_source=*/true);
+  job.lower = lower;
+  job.upper = upper;
+  return job;
+}
+
+TEST(BatchSolverTest, EmptyBatch) {
+  const BatchResult batch = SolveBatch({}, BatchOptions{.workers = 4});
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.stats.num_jobs, 0);
+  EXPECT_EQ(batch.stats.num_ok, 0);
+}
+
+TEST(BatchSolverTest, ResultsStayInSubmissionOrder) {
+  // Distinct sink counts make each job's result identifiable: edge_len is
+  // indexed by node id, so its size is a fingerprint of the instance.
+  std::vector<BatchJob> jobs;
+  for (int sinks : {6, 9, 12, 15, 18, 21}) {
+    jobs.push_back(MakeJob(sinks, static_cast<std::uint64_t>(sinks), 0.9,
+                           1.3));
+  }
+  const BatchResult batch = SolveBatch(jobs, BatchOptions{.workers = 4});
+  ASSERT_EQ(batch.results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(batch.results[i].outcome, JobOutcome::kOk)
+        << batch.results[i].status.ToString();
+    const BatchJobResult serial = SolveOneJob(jobs[i]);
+    EXPECT_EQ(batch.results[i].cost, serial.cost) << "job " << i;
+    EXPECT_EQ(batch.results[i].edge_len, serial.edge_len) << "job " << i;
+  }
+  EXPECT_EQ(batch.stats.num_ok, static_cast<int>(jobs.size()));
+}
+
+TEST(BatchSolverTest, ErrorJobIsIsolatedFromItsNeighbours) {
+  std::vector<BatchJob> jobs;
+  jobs.push_back(MakeJob(10, 1, 0.9, 1.3));
+  jobs.push_back(MakeJob(10, 2, /*lower=*/1.5, /*upper=*/1.2));  // malformed
+  jobs.push_back(MakeJob(10, 3, 0.9, 1.3));
+  const BatchResult batch = SolveBatch(jobs, BatchOptions{.workers = 2});
+  ASSERT_EQ(batch.results.size(), 3u);
+  EXPECT_EQ(batch.results[0].outcome, JobOutcome::kOk);
+  EXPECT_EQ(batch.results[1].outcome, JobOutcome::kError);
+  EXPECT_FALSE(batch.results[1].status.ok());
+  EXPECT_EQ(batch.results[2].outcome, JobOutcome::kOk);
+  EXPECT_EQ(batch.stats.num_error, 1);
+  EXPECT_EQ(batch.stats.num_ok, 2);
+}
+
+TEST(BatchSolverTest, InfeasibleWindowIsReportedNotMisSolved) {
+  // Upper bound below the farthest sink's distance: impossible by the
+  // Steiner rows, must surface as kInfeasible (not error, not ok).
+  std::vector<BatchJob> jobs{MakeJob(12, 5, 0.0, 0.45)};
+  const BatchResult batch = SolveBatch(jobs);
+  ASSERT_EQ(batch.results.size(), 1u);
+  EXPECT_EQ(batch.results[0].outcome, JobOutcome::kInfeasible);
+  EXPECT_EQ(batch.results[0].status.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(batch.stats.num_infeasible, 1);
+}
+
+TEST(BatchSolverTest, TimeoutIsReportedAtStageBoundary) {
+  BatchJob job = MakeJob(24, 6, 0.9, 1.3);
+  job.timeout_seconds = 1e-12;  // elapses before the first boundary check
+  const BatchResult batch = SolveBatch({&job, 1});
+  ASSERT_EQ(batch.results.size(), 1u);
+  EXPECT_EQ(batch.results[0].outcome, JobOutcome::kTimedOut);
+  EXPECT_EQ(batch.stats.num_timed_out, 1);
+}
+
+TEST(BatchSolverTest, CancelledBatchSkipsUnstartedJobs) {
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(MakeJob(10, static_cast<std::uint64_t>(10 + i), 0.9, 1.3));
+  }
+  std::atomic<bool> cancel{true};  // set before the batch even starts
+  const BatchResult batch =
+      SolveBatch(jobs, BatchOptions{.workers = 2, .cancel = &cancel});
+  ASSERT_EQ(batch.results.size(), jobs.size());
+  for (const BatchJobResult& result : batch.results) {
+    EXPECT_EQ(result.outcome, JobOutcome::kTimedOut);
+  }
+  EXPECT_EQ(batch.stats.num_timed_out, static_cast<int>(jobs.size()));
+}
+
+TEST(BatchSolverTest, OutcomeAndTopologyNamesAreStable) {
+  EXPECT_STREQ(JobOutcomeName(JobOutcome::kOk), "ok");
+  EXPECT_STREQ(JobOutcomeName(JobOutcome::kInfeasible), "infeasible");
+  EXPECT_STREQ(JobOutcomeName(JobOutcome::kError), "error");
+  EXPECT_STREQ(JobOutcomeName(JobOutcome::kTimedOut), "timed-out");
+  EXPECT_STREQ(BatchTopologyName(BatchTopology::kNnMerge), "nn");
+  EXPECT_STREQ(BatchTopologyName(BatchTopology::kMst), "mst");
+  EXPECT_STREQ(BatchTopologyName(BatchTopology::kBipartition), "bipartition");
+}
+
+}  // namespace
+}  // namespace lubt

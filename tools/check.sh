@@ -22,15 +22,16 @@ SELF_CHECK_SEEDS="${SELF_CHECK_SEEDS:-40}"
 # Sanitizer runtime policy: abort on the first finding so ctest sees it.
 export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="halt_on_error=1:abort_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1:abort_on_error=1:second_deadlock_stack=1"
 
 if [[ $# -gt 0 ]]; then
   presets=("$@")
 else
-  presets=(default asan ubsan)
+  presets=(default asan ubsan tsan)
   if command -v clang-tidy > /dev/null 2>&1; then
     presets+=(tidy)
   else
-    echo "check.sh: clang-tidy not found; skipping the tidy preset" >&2
+    echo "SKIPPED (clang-tidy not installed): tidy preset"
   fi
 fi
 
@@ -51,7 +52,15 @@ for preset in "${presets[@]}"; do
     continue
   fi
   echo "==== [$preset] ctest ===="
-  if ! ctest --preset "$preset" > "/tmp/lubt-check-$preset-test.log" 2>&1; then
+  # tsan is 5-15x slower, so its gate is the concurrency-relevant slice:
+  # the runtime subsystem tests, batch determinism, and the concurrent
+  # tool drivers — everything that actually multithreads.
+  ctest_args=()
+  if [[ "$preset" == "tsan" ]]; then
+    ctest_args=(-R "runtime|Batch|Determinism|self_check|lubt_batch")
+  fi
+  if ! ctest --preset "$preset" "${ctest_args[@]}" \
+       > "/tmp/lubt-check-$preset-test.log" 2>&1; then
     # Re-print the failing tests with their output.
     grep -E "Failed|Timeout|\*\*\*" "/tmp/lubt-check-$preset-test.log" | head -30
     failed+=("$preset (ctest)")
@@ -60,11 +69,14 @@ for preset in "${presets[@]}"; do
   tail -3 "/tmp/lubt-check-$preset-test.log" | sed "s/^/[$preset] /"
 
   # Sanitizer presets additionally run a wider randomized sweep than the
-  # quick slice registered under ctest.
+  # quick slice registered under ctest. tsan runs it in parallel so the
+  # sweep exercises genuinely concurrent solves.
   if [[ "$preset" == "asan" || "$preset" == "ubsan" || "$preset" == "tsan" ]]; then
-    echo "==== [$preset] self_check --seeds $SELF_CHECK_SEEDS ===="
+    sweep_jobs=1
+    [[ "$preset" == "tsan" ]] && sweep_jobs=4
+    echo "==== [$preset] self_check --seeds $SELF_CHECK_SEEDS --jobs $sweep_jobs ===="
     if ! "./build-$preset/tools/self_check" --seeds "$SELF_CHECK_SEEDS" \
-         --quiet; then
+         --jobs "$sweep_jobs" --quiet; then
       failed+=("$preset (self_check)")
       continue
     fi

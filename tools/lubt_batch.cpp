@@ -1,0 +1,292 @@
+// lubt_batch — solve many independent LUBT jobs concurrently.
+//
+// A deployment solves a tree per net over thousands of nets; this driver is
+// that workload in miniature. Jobs come from a manifest file (one job per
+// line) or a seeded generator, run on a worker pool via SolveBatch, and are
+// reported in submission order with per-stage timings plus aggregate
+// throughput.
+//
+// Manifest format: '#' comments; otherwise one job per line as
+// whitespace-separated key=value tokens:
+//
+//   sinks=40 seed=7 clustered=0      random instance (die 1000x1000)
+//   bench=prim1 scale=0.2            or: synthetic benchmark stand-in
+//   topo=nn|mst|bipartition          topology generator (default nn)
+//   lower=0.9 upper=1.2              delay window in radius units
+//                                    (upper=inf for Steiner-only)
+//   engine=ipm|simplex strategy=lazy|full|reduced
+//   timeout=SECONDS                  cooperative per-job deadline
+//   name=NET7 expect=ok|infeasible   optional label / outcome assertion
+//
+// Examples:
+//   lubt_batch --gen 64 --seed 1 --jobs 4
+//   lubt_batch --manifest examples/batch_demo.manifest --jobs 0   # 0 = auto
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "io/benchmarks.h"
+#include "io/csv.h"
+#include "runtime/batch_solver.h"
+#include "util/args.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace lubt;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: lubt_batch [flags]
+
+jobs (one of):
+  --manifest PATH      job-per-line manifest (see header comment for keys)
+  --gen N              generate N random jobs from --seed
+
+options:
+  --jobs N             worker threads (default 1; 0 = hardware concurrency)
+  --seed S             generator seed for --gen (default 1)
+  --min-sinks M        smallest generated instance (default 12)
+  --max-sinks M        largest generated instance (default 32)
+  --csv PATH           also write the per-job table as CSV
+  --quiet              only print the summary line
+)";
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+struct ManifestJob {
+  BatchJob job;
+  /// "" = any non-error outcome accepted; else the JobOutcomeName to match.
+  std::string expect;
+};
+
+Result<ManifestJob> ParseManifestLine(const std::string& line, int line_no) {
+  ManifestJob out;
+  BatchJob& job = out.job;
+  int sinks = 0;
+  std::uint64_t seed = 1;
+  bool clustered = false;
+  std::string bench;
+  double scale = 1.0;
+  std::istringstream tokens(line);
+  std::string token;
+  const std::string where = "manifest line " + std::to_string(line_no) + ": ";
+  while (tokens >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(where + "token '" + token +
+                                     "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "name") {
+      job.name = value;
+    } else if (key == "sinks") {
+      sinks = std::atoi(value.c_str());
+    } else if (key == "seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (key == "clustered") {
+      clustered = value == "1" || value == "true";
+    } else if (key == "bench") {
+      bench = value;
+    } else if (key == "scale") {
+      scale = std::atof(value.c_str());
+    } else if (key == "topo") {
+      if (value == "nn") job.topology = BatchTopology::kNnMerge;
+      else if (value == "mst") job.topology = BatchTopology::kMst;
+      else if (value == "bipartition")
+        job.topology = BatchTopology::kBipartition;
+      else
+        return Status::InvalidArgument(where + "unknown topo '" + value + "'");
+    } else if (key == "lower") {
+      job.lower = std::atof(value.c_str());
+    } else if (key == "upper") {
+      job.upper = value == "inf" ? kLpInf : std::atof(value.c_str());
+    } else if (key == "engine") {
+      if (value == "ipm") job.options.lp.engine = LpEngine::kInteriorPoint;
+      else if (value == "simplex") job.options.lp.engine = LpEngine::kSimplex;
+      else
+        return Status::InvalidArgument(where + "unknown engine '" + value +
+                                       "'");
+    } else if (key == "strategy") {
+      if (value == "lazy") job.options.strategy = EbfStrategy::kLazy;
+      else if (value == "full") job.options.strategy = EbfStrategy::kFullRows;
+      else if (value == "reduced")
+        job.options.strategy = EbfStrategy::kReducedRows;
+      else
+        return Status::InvalidArgument(where + "unknown strategy '" + value +
+                                       "'");
+    } else if (key == "timeout") {
+      job.timeout_seconds = std::atof(value.c_str());
+    } else if (key == "expect") {
+      if (value != "ok" && value != "infeasible") {
+        return Status::InvalidArgument(where + "expect must be ok|infeasible");
+      }
+      out.expect = value;
+    } else {
+      return Status::InvalidArgument(where + "unknown key '" + key + "'");
+    }
+  }
+  if (!bench.empty()) {
+    BenchmarkId id;
+    if (bench == "prim1") id = BenchmarkId::kPrim1;
+    else if (bench == "prim2") id = BenchmarkId::kPrim2;
+    else if (bench == "r1") id = BenchmarkId::kR1;
+    else if (bench == "r3") id = BenchmarkId::kR3;
+    else
+      return Status::InvalidArgument(where + "unknown bench '" + bench + "'");
+    job.set = MakeBenchmark(id, scale);
+  } else if (sinks > 0) {
+    const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+    job.set = clustered
+                  ? ClusteredSinkSet(sinks, 4, die, seed, /*with_source=*/true)
+                  : RandomSinkSet(sinks, die, seed, /*with_source=*/true);
+  } else {
+    return Status::InvalidArgument(where + "needs sinks=N or bench=NAME");
+  }
+  if (job.name.empty()) job.name = job.set.name;
+  return out;
+}
+
+Result<std::vector<ManifestJob>> LoadManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open manifest '" + path + "'");
+  std::vector<ManifestJob> jobs;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<ManifestJob> job = ParseManifestLine(line, line_no);
+    if (!job.ok()) return job.status();
+    jobs.push_back(std::move(*job));
+  }
+  if (jobs.empty()) {
+    return Status::InvalidArgument("manifest '" + path + "' has no jobs");
+  }
+  return jobs;
+}
+
+// Seeded batch: feasible windows (upper >= 1 always admits a tree, since
+// snaking can only lengthen paths and every path must cover its distance).
+std::vector<ManifestJob> GenerateJobs(int count, std::uint64_t seed,
+                                      int min_sinks, int max_sinks) {
+  std::vector<ManifestJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+  for (int i = 0; i < count; ++i) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(i));
+    ManifestJob mj;
+    BatchJob& job = mj.job;
+    const int sinks = rng.UniformInt(min_sinks, max_sinks);
+    const std::uint64_t instance_seed = rng.Next();
+    job.set = rng.Bernoulli(0.3)
+                  ? ClusteredSinkSet(sinks, 4, die, instance_seed, true)
+                  : RandomSinkSet(sinks, die, instance_seed, true);
+    job.name = "gen" + std::to_string(i);
+    job.topology =
+        rng.Bernoulli(0.3) ? BatchTopology::kMst : BatchTopology::kNnMerge;
+    job.upper = rng.Uniform(1.05, 1.6);
+    job.lower = rng.Uniform(0.0, 0.95);
+    mj.expect = "ok";
+    jobs.push_back(std::move(mj));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(
+      argc, argv,
+      {"manifest", "gen", "jobs", "seed", "min-sinks", "max-sinks", "csv",
+       "quiet", "help"});
+  if (!parsed.ok()) return Fail(parsed.status().message());
+  const ArgParser& args = *parsed;
+  if (args.Has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  const Result<int> workers = args.GetJobsFlag(1);
+  if (!workers.ok()) return Fail(workers.status().message());
+  const Result<int> min_sinks = args.GetIntFlag("min-sinks", 12, 2);
+  const Result<int> max_sinks = args.GetIntFlag("max-sinks", 32, 2);
+  const Result<int> seed = args.GetIntFlag("seed", 1, 0);
+  if (!min_sinks.ok()) return Fail(min_sinks.status().message());
+  if (!max_sinks.ok()) return Fail(max_sinks.status().message());
+  if (!seed.ok()) return Fail(seed.status().message());
+  const bool quiet = args.GetBool("quiet", false);
+
+  std::vector<ManifestJob> manifest;
+  if (args.Has("manifest")) {
+    auto loaded = LoadManifest(args.GetString("manifest", ""));
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    manifest = std::move(*loaded);
+  } else if (args.Has("gen")) {
+    const Result<int> count = args.GetIntFlag("gen", 8, 1, 100000);
+    if (!count.ok()) return Fail(count.status().message());
+    if (*max_sinks < *min_sinks) return Fail("--max-sinks below --min-sinks");
+    manifest = GenerateJobs(*count, static_cast<std::uint64_t>(*seed),
+                            *min_sinks, *max_sinks);
+  } else {
+    return Fail("no jobs given (--manifest or --gen)");
+  }
+
+  std::vector<BatchJob> jobs;
+  jobs.reserve(manifest.size());
+  for (const ManifestJob& mj : manifest) jobs.push_back(mj.job);
+
+  const BatchResult batch = SolveBatch(jobs, BatchOptions{.workers = *workers});
+
+  TextTable table({"job", "sinks", "topo", "window", "outcome", "cost",
+                   "rows", "topo s", "solve s", "embed s"});
+  bool all_ok = true;
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const BatchJob& job = jobs[i];
+    const BatchJobResult& r = batch.results[i];
+    const std::string window =
+        "[" + FormatDouble(job.lower, 2) + ", " +
+        (job.upper >= kLpInf ? std::string("inf") : FormatDouble(job.upper, 2)) +
+        "]";
+    table.AddRow({job.name, std::to_string(job.set.sinks.size()),
+                  BatchTopologyName(job.topology), window,
+                  JobOutcomeName(r.outcome),
+                  r.ok() ? FormatCost(r.cost) : "-", std::to_string(r.lp_rows),
+                  FormatDouble(r.seconds.topo, 3),
+                  FormatDouble(r.seconds.solve, 3),
+                  FormatDouble(r.seconds.embed, 3)});
+    const std::string& expect = manifest[i].expect;
+    if (!expect.empty() && expect != JobOutcomeName(r.outcome)) {
+      std::fprintf(stderr, "MISMATCH %s: expected %s, got %s (%s)\n",
+                   job.name.c_str(), expect.c_str(), JobOutcomeName(r.outcome),
+                   r.status.ToString().c_str());
+      all_ok = false;
+    } else if (r.outcome == JobOutcome::kError) {
+      std::fprintf(stderr, "ERROR %s: %s\n", job.name.c_str(),
+                   r.status.ToString().c_str());
+      all_ok = false;
+    }
+  }
+  if (!quiet) std::printf("%s", table.ToString().c_str());
+  if (args.Has("csv")) {
+    const Status csv = WriteCsv(table, args.GetString("csv", ""));
+    if (!csv.ok()) {
+      std::fprintf(stderr, "CSV write failed: %s\n", csv.ToString().c_str());
+    }
+  }
+  const BatchStats& s = batch.stats;
+  std::printf(
+      "batch: %d jobs on %d workers in %.3fs — %.2f jobs/s "
+      "(ok %d, infeasible %d, error %d, timed-out %d; job-seconds %.3f)\n",
+      s.num_jobs, *workers, s.wall_seconds, s.jobs_per_second, s.num_ok,
+      s.num_infeasible, s.num_error, s.num_timed_out, s.job_seconds);
+  return all_ok ? 0 : 1;
+}

@@ -92,10 +92,12 @@ int main(int argc, char** argv) {
     if (!loaded.ok()) return Fail(loaded.status().ToString());
     set = std::move(*loaded);
   } else if (args.Has("random")) {
-    const int m = args.GetInt("random", 50);
-    if (m <= 0) return Fail("--random needs a positive count");
-    set = RandomSinkSet(m, BBox({0, 0}, {1000, 1000}),
-                        static_cast<std::uint64_t>(args.GetInt("seed", 1)),
+    const Result<int> m = args.GetIntFlag("random", 50, 1);
+    if (!m.ok()) return Fail(m.status().message());
+    const Result<int> seed = args.GetIntFlag("seed", 1, 0);
+    if (!seed.ok()) return Fail(seed.status().message());
+    set = RandomSinkSet(*m, BBox({0, 0}, {1000, 1000}),
+                        static_cast<std::uint64_t>(*seed),
                         /*with_source=*/true);
   } else if (args.Has("benchmark")) {
     const std::string name = args.GetString("benchmark", "");
@@ -145,7 +147,9 @@ int main(int argc, char** argv) {
   }
 
   // --- Optional refinement. ---
-  const int refine_passes = args.GetInt("refine", 0);
+  const Result<int> refine = args.GetIntFlag("refine", 0, 0);
+  if (!refine.ok()) return Fail(refine.status().message());
+  const int refine_passes = *refine;
   if (refine_passes > 0) {
     RefineOptions ropt;
     ropt.max_passes = refine_passes;

@@ -17,9 +17,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "check/invariants.h"
 #include "cts/bounded_skew_dme.h"
+#include "runtime/thread_pool.h"
 #include "cts/metrics.h"
 #include "ebf/solver.h"
 #include "embed/placer.h"
@@ -196,7 +198,8 @@ std::string RunCase(const CaseConfig& c, bool quiet) {
 int Run(int argc, const char* const* argv) {
   Result<ArgParser> args = ArgParser::Parse(
       argc, argv,
-      {"seeds", "start-seed", "min-sinks", "max-sinks", "quiet", "help"});
+      {"seeds", "start-seed", "min-sinks", "max-sinks", "jobs", "quiet",
+       "help"});
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return 2;
@@ -208,31 +211,54 @@ int Run(int argc, const char* const* argv) {
         "  --start-seed S  first seed (default 1)\n"
         "  --min-sinks M   smallest instance (default 4)\n"
         "  --max-sinks M   largest instance (default 40)\n"
+        "  --jobs N        run cases on N worker threads (0 = hardware)\n"
         "  --quiet         only print failures and the summary\n");
     return 0;
   }
-  const int seeds = args->GetInt("seeds", 8);
-  const int start = args->GetInt("start-seed", 1);
-  const int min_sinks = args->GetInt("min-sinks", 4);
-  const int max_sinks = args->GetInt("max-sinks", 40);
+  const Result<int> seeds = args->GetIntFlag("seeds", 8, 1);
+  const Result<int> start = args->GetIntFlag("start-seed", 1, 0);
+  const Result<int> min_sinks = args->GetIntFlag("min-sinks", 4, 2);
+  const Result<int> max_sinks = args->GetIntFlag("max-sinks", 40, 2);
+  const Result<int> jobs = args->GetJobsFlag(1);
   const bool quiet = args->GetBool("quiet", false);
-  if (seeds <= 0 || min_sinks < 2 || max_sinks < min_sinks) {
-    std::fprintf(stderr, "invalid sweep parameters\n");
+  for (const Result<int>* flag : {&seeds, &start, &min_sinks, &max_sinks,
+                                  &jobs}) {
+    if (!flag->ok()) {
+      std::fprintf(stderr, "%s\n", flag->status().ToString().c_str());
+      return 2;
+    }
+  }
+  if (*max_sinks < *min_sinks) {
+    std::fprintf(stderr, "--max-sinks below --min-sinks\n");
     return 2;
   }
 
-  int failures = 0;
-  for (int s = 0; s < seeds; ++s) {
-    const CaseConfig c = DrawCase(static_cast<std::uint64_t>(start + s),
-                                  min_sinks, max_sinks);
-    const std::string error = RunCase(c, quiet);
-    if (!error.empty()) {
-      ++failures;
-      std::fprintf(stderr, "FAIL %s\n     %s\n", Describe(c).c_str(),
-                   error.c_str());
-    }
+  // With --jobs > 1 the cases run concurrently on the runtime's pool — the
+  // designated tsan workload for the whole pipeline. Per-case chatter is
+  // suppressed and errors are collected per slot, so output stays in seed
+  // order regardless of scheduling.
+  std::vector<CaseConfig> cases;
+  cases.reserve(static_cast<std::size_t>(*seeds));
+  for (int s = 0; s < *seeds; ++s) {
+    cases.push_back(DrawCase(static_cast<std::uint64_t>(*start + s),
+                             *min_sinks, *max_sinks));
   }
-  std::printf("self_check: %d/%d cases passed\n", seeds - failures, seeds);
+  std::vector<std::string> errors(cases.size());
+  const bool parallel = *jobs > 1;
+  ParallelFor(*seeds, *jobs, [&](int s) {
+    errors[static_cast<std::size_t>(s)] =
+        RunCase(cases[static_cast<std::size_t>(s)], quiet || parallel);
+  });
+
+  int failures = 0;
+  for (std::size_t s = 0; s < cases.size(); ++s) {
+    if (errors[s].empty()) continue;
+    ++failures;
+    std::fprintf(stderr, "FAIL %s\n     %s\n", Describe(cases[s]).c_str(),
+                 errors[s].c_str());
+  }
+  std::printf("self_check: %d/%d cases passed (%d worker%s)\n",
+              *seeds - failures, *seeds, *jobs, *jobs == 1 ? "" : "s");
   return failures == 0 ? 0 : 1;
 }
 
