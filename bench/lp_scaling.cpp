@@ -1,0 +1,234 @@
+// LP engine scaling curve: dense vs sparse normal equations, cold vs
+// warm-started lazy rounds, on EBF instances of growing size.
+//
+// For each sink count the same instance (topology + delay window) is solved
+// four ways — {dense, sparse} normal equations x {cold, warm} lazy rounds —
+// and the wall time, total interior-point iterations, lazy rounds and
+// objective are reported. The objectives must agree to 1e-6 relative across
+// all four variants; disagreement is a hard error (exit 1), which makes the
+// bench double as a correctness gate.
+//
+// Modes:
+//   (default)      sizes 64..512, written to BENCH_lp.json — the scaling
+//                  curve quoted in EXPERIMENTS.md. Sizes are explicit (this
+//                  is an engine benchmark, not a paper table), so
+//                  LUBT_BENCH_SCALE is deliberately ignored.
+//   --smoke        two small fixed instances, agreement checks only; fast
+//                  enough for tools/check.sh and the sanitizer presets.
+//
+// Flags: --smoke, --seed S (default 7), --json PATH (default BENCH_lp.json;
+// empty string disables the file).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cts/metrics.h"
+#include "ebf/solver.h"
+#include "geom/bbox.h"
+#include "io/benchmarks.h"
+#include "topo/nn_merge.h"
+#include "util/args.h"
+#include "util/table.h"
+
+using namespace lubt;
+
+namespace {
+
+struct VariantResult {
+  std::string name;
+  bool sparse = false;
+  bool warm = false;
+  Status status;
+  double seconds = 0.0;
+  double objective = 0.0;
+  int lp_iterations = 0;
+  int lazy_rounds = 0;
+  int symbolic_reuses = 0;
+  int warm_rounds = 0;
+  int lp_rows = 0;
+  int lp_cols = 0;
+};
+
+struct SizeResult {
+  int sinks = 0;
+  std::vector<VariantResult> variants;
+};
+
+VariantResult RunVariant(const EbfProblem& prob, bool sparse, bool warm) {
+  VariantResult out;
+  out.sparse = sparse;
+  out.warm = warm;
+  out.name = std::string(sparse ? "sparse" : "dense") + "+" +
+             (warm ? "warm" : "cold");
+  EbfSolveOptions opt;
+  opt.strategy = EbfStrategy::kLazy;
+  opt.lp.engine = LpEngine::kInteriorPoint;
+  opt.lp.normal_eq = sparse ? IpmNormalEq::kSparse : IpmNormalEq::kDense;
+  opt.lp.warm_start_lazy_rounds = warm;
+  // The zero-skew shortcut would bypass the LP entirely; the ranged windows
+  // below never trigger it, but keep the intent explicit.
+  opt.use_zero_skew_fast_path = false;
+  const EbfSolveResult r = SolveEbf(prob, opt);
+  out.status = r.status;
+  out.seconds = r.seconds;
+  out.objective = r.objective;
+  out.lp_iterations = r.lazy_stats.lp_iterations;
+  out.lazy_rounds = r.lazy_rounds;
+  out.symbolic_reuses = r.lazy_stats.symbolic_reuses;
+  out.warm_rounds = r.lazy_stats.warm_rounds;
+  out.lp_rows = r.lp_rows;
+  return out;
+}
+
+// Solve one instance all four ways; returns false on any failure or
+// objective disagreement.
+bool RunSize(int sinks, std::uint64_t seed, SizeResult* out) {
+  SinkSet set = RandomSinkSet(sinks, BBox({0.0, 0.0}, {1000.0, 1000.0}), seed,
+                              /*with_source=*/true);
+  const double radius = Radius(set.sinks, set.source);
+  Topology topo = NnMergeTopology(set.sinks, set.source);
+  EbfProblem prob;
+  prob.topo = &topo;
+  prob.sinks = set.sinks;
+  prob.source = set.source;
+  prob.bounds.assign(set.sinks.size(),
+                     DelayBounds{0.9 * radius, 1.2 * radius});
+
+  out->sinks = sinks;
+  bool ok = true;
+  for (const bool sparse : {false, true}) {
+    for (const bool warm : {false, true}) {
+      VariantResult v = RunVariant(prob, sparse, warm);
+      v.lp_cols = topo.NumEdges();
+      if (!v.status.ok()) {
+        std::fprintf(stderr, "FAIL %d sinks %s: %s\n", sinks, v.name.c_str(),
+                     v.status.ToString().c_str());
+        ok = false;
+      }
+      out->variants.push_back(std::move(v));
+    }
+  }
+  if (!ok) return false;
+
+  const double ref = out->variants.front().objective;
+  for (const VariantResult& v : out->variants) {
+    if (std::abs(v.objective - ref) > 1e-6 * (1.0 + std::abs(ref))) {
+      std::fprintf(stderr,
+                   "FAIL %d sinks: %s objective %.12g disagrees with %s "
+                   "%.12g\n",
+                   sinks, v.name.c_str(), v.objective,
+                   out->variants.front().name.c_str(), ref);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void WriteJson(const std::string& path, const std::vector<SizeResult>& all) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"lp_scaling\",\n  \"sizes\": [\n");
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    const SizeResult& sr = all[s];
+    std::fprintf(f, "    {\n      \"sinks\": %d,\n      \"variants\": [\n",
+                 sr.sinks);
+    for (std::size_t v = 0; v < sr.variants.size(); ++v) {
+      const VariantResult& r = sr.variants[v];
+      std::fprintf(
+          f,
+          "        {\"engine\": \"%s\", \"sparse_normal\": %s, "
+          "\"warm_lazy_rounds\": %s, \"seconds\": %.6f, "
+          "\"lp_iterations\": %d, \"lazy_rounds\": %d, "
+          "\"symbolic_reuses\": %d, \"warm_rounds\": %d, "
+          "\"lp_rows\": %d, \"lp_cols\": %d, \"objective\": %.12g}%s\n",
+          r.name.c_str(), r.sparse ? "true" : "false",
+          r.warm ? "true" : "false", r.seconds, r.lp_iterations,
+          r.lazy_rounds, r.symbolic_reuses, r.warm_rounds, r.lp_rows,
+          r.lp_cols, r.objective, v + 1 < sr.variants.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", s + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(results also written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(argc, argv, {"smoke", "seed", "json", "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  if (parsed->Has("help")) {
+    std::printf(
+        "lp_scaling: dense/sparse x cold/warm LP engine scaling curve\n"
+        "  --smoke      small fixed instances, agreement gate only\n"
+        "  --seed S     instance seed (default 7)\n"
+        "  --json PATH  output file (default BENCH_lp.json; '' disables)\n");
+    return 0;
+  }
+  const bool smoke = parsed->Has("smoke");
+  const Result<int> seed = parsed->GetIntFlag("seed", 7, 0);
+  if (!seed.ok()) {
+    std::fprintf(stderr, "%s\n", seed.status().ToString().c_str());
+    return 2;
+  }
+  const std::string json =
+      parsed->GetString("json", smoke ? "" : "BENCH_lp.json");
+
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{48, 80} : std::vector<int>{64, 128, 256, 512};
+
+  std::vector<SizeResult> all;
+  bool ok = true;
+  TextTable table({"sinks", "variant", "seconds", "iters", "rounds",
+                   "warm_rounds", "sym_reuses", "rows"});
+  for (const int sinks : sizes) {
+    SizeResult sr;
+    if (!RunSize(sinks, static_cast<std::uint64_t>(*seed), &sr)) ok = false;
+    for (const VariantResult& v : sr.variants) {
+      table.AddRow({std::to_string(sr.sinks), v.name,
+                    FormatDouble(v.seconds, 4),
+                    std::to_string(v.lp_iterations),
+                    std::to_string(v.lazy_rounds),
+                    std::to_string(v.warm_rounds),
+                    std::to_string(v.symbolic_reuses),
+                    std::to_string(v.lp_rows)});
+    }
+    all.push_back(std::move(sr));
+  }
+
+  std::printf("\n=== LP scaling: normal equations x warm start ===\n%s",
+              table.ToString().c_str());
+  WriteJson(json, all);
+
+  if (!smoke && ok) {
+    // Headline numbers: the tentpole claim is sparse+warm vs dense+cold.
+    const SizeResult& biggest = all.back();
+    double dense_cold = 0.0;
+    double sparse_warm = 0.0;
+    for (const VariantResult& v : biggest.variants) {
+      if (!v.sparse && !v.warm) dense_cold = v.seconds;
+      if (v.sparse && v.warm) sparse_warm = v.seconds;
+    }
+    if (sparse_warm > 0.0) {
+      std::printf("%d sinks: dense+cold %.3fs, sparse+warm %.3fs (%.1fx)\n",
+                  biggest.sinks, dense_cold, sparse_warm,
+                  dense_cold / sparse_warm);
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "lp_scaling: FAILED\n");
+    return 1;
+  }
+  std::printf("lp_scaling: OK\n");
+  return 0;
+}

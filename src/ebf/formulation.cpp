@@ -127,6 +127,20 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
   EbfFormulation f(problem, scale);
   LpModel& model = f.model_;
 
+  // Row counts are known (or tightly bounded) up front per policy: reserve
+  // once instead of growing through Theta(m^2) push_backs under kAll.
+  {
+    const std::size_t m = problem.sinks.size();
+    std::size_t rows = problem.zero_length_edges.size() + m;
+    if (policy == SteinerRowPolicy::kAll) {
+      rows += m * (m - 1) / 2;
+    } else if (policy == SteinerRowPolicy::kSeed) {
+      // At most one seed row per internal node.
+      rows += static_cast<std::size_t>(topo.NumNodes()) - m;
+    }
+    model.ReserveRows(rows);
+  }
+
   // Objective: (weighted) total edge length.
   for (int col = 0; col < f.indexer_.NumEdges(); ++col) {
     const NodeId v = f.indexer_.NodeOf(col);
@@ -293,21 +307,18 @@ long long EbfFormulation::NumPotentialSteinerRows() const {
 std::vector<SparseRow> EbfFormulation::FindViolatedSteinerRows(
     std::span<const double> x, double tol, int max_rows) const {
   const Topology& topo = *problem_->topo;
-  // Per-node edge lengths in LP units.
-  std::vector<double> edge_len(static_cast<std::size_t>(topo.NumNodes()), 0.0);
+  // Per-node edge lengths in LP units (scratch reused across rounds).
+  std::vector<double>& edge_len = edge_len_scratch_;
+  edge_len.assign(static_cast<std::size_t>(topo.NumNodes()), 0.0);
   for (int col = 0; col < indexer_.NumEdges(); ++col) {
     edge_len[static_cast<std::size_t>(indexer_.NodeOf(col))] =
         x[static_cast<std::size_t>(col)];
   }
-  const std::vector<double> root_dist = paths_.RootDistances(edge_len);
+  paths_.RootDistancesInto(edge_len, root_dist_scratch_);
+  const std::vector<double>& root_dist = root_dist_scratch_;
 
-  struct Violation {
-    NodeId a;
-    NodeId b;
-    double dist_lp;
-    double amount;
-  };
-  std::vector<Violation> found;
+  std::vector<Violation>& found = violation_scratch_;
+  found.clear();
   for (std::size_t i = 0; i < problem_->sinks.size(); ++i) {
     for (std::size_t j = i + 1; j < problem_->sinks.size(); ++j) {
       const NodeId a = sink_nodes_[i];

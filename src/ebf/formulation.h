@@ -117,6 +117,20 @@ class EbfFormulation {
   double scale_;
   int num_steiner_rows_ = 0;
   std::vector<NodeId> sink_nodes_;  // by sink index
+
+  // Scratch reused across FindViolatedSteinerRows calls (once per lazy
+  // round). Mutable-under-const is safe for the same reason as
+  // LpModel::Compiled(): concurrent solves each own their formulation
+  // (runtime contract, DESIGN.md section 10).
+  struct Violation {
+    NodeId a;
+    NodeId b;
+    double dist_lp;
+    double amount;
+  };
+  mutable std::vector<double> edge_len_scratch_;
+  mutable std::vector<double> root_dist_scratch_;
+  mutable std::vector<Violation> violation_scratch_;
 };
 
 }  // namespace lubt

@@ -154,6 +154,7 @@ EbfSolveResult SolveEbf(const EbfProblem& problem,
     lp = SolveWithLazyRows(formulation.MutableModel(), oracle, options.lp,
                            options.max_lazy_rounds, &stats);
     result.lazy_rounds = stats.rounds;
+    result.lazy_stats = stats;
   } else if (options.use_presolve) {
     PresolveStats stats;
     const LpModel reduced = Presolve(formulation.Model(), &stats);

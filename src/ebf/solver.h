@@ -50,6 +50,9 @@ struct EbfSolveResult {
   int lp_rows = 0;         ///< rows in the final LP
   int lp_iterations = 0;
   int lazy_rounds = 0;
+  /// Full lazy-solve statistics (warm rounds, symbolic reuses, ...);
+  /// populated only by the kLazy strategy.
+  LazySolveStats lazy_stats;
   double seconds = 0.0;
 
   bool ok() const { return status.ok(); }

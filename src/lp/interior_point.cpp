@@ -5,41 +5,11 @@
 #include <vector>
 
 #include "check/dcheck.h"
+#include "lp/sparse_chol.h"
 #include "util/logging.h"
 
 namespace lubt {
 namespace {
-
-// A in row-major sparse form with every row meaning  a' x >= b.
-struct GeForm {
-  std::vector<SparseRow> rows;  // lo field holds b; hi unused
-  int num_cols = 0;
-};
-
-GeForm BuildGeForm(const LpModel& model) {
-  GeForm ge;
-  ge.num_cols = model.NumCols();
-  // Rows are equilibrated to unit L2 norm: EBF delay rows over deep
-  // topologies carry hundreds of unit entries while Steiner rows carry a
-  // handful, and the norm mismatch stalls the interior-point iteration.
-  // Scaling a row rescales only its dual, which we do not report.
-  auto push_scaled = [&ge](const SparseRow& row, double sign, double rhs) {
-    double norm2 = 0.0;
-    for (double v : row.value) norm2 += v * v;
-    const double s = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 1.0;
-    SparseRow r;
-    r.index = row.index;
-    r.value.reserve(row.value.size());
-    for (double v : row.value) r.value.push_back(sign * v * s);
-    r.lo = sign * rhs * s;
-    ge.rows.push_back(std::move(r));
-  };
-  for (const SparseRow& row : model.Rows()) {
-    if (std::isfinite(row.lo)) push_scaled(row, 1.0, row.lo);
-    if (std::isfinite(row.hi)) push_scaled(row, -1.0, row.hi);
-  }
-  return ge;
-}
 
 double InfNorm(std::span<const double> v) {
   double m = 0.0;
@@ -47,38 +17,72 @@ double InfNorm(std::span<const double> v) {
   return m;
 }
 
-// Dense lower-triangular Cholesky with diagonal regularization fallback.
-// Returns false if the matrix could not be factored even with regularization.
-class Cholesky {
+// Dense lower-triangular Cholesky, factored in place over the assembled
+// normal matrix (the upper triangle keeps the mirrored input values, which
+// is what lets the regularization fallback restart from the saved diagonal
+// plus the mirror instead of recopying a pristine n x n buffer).
+class DenseNormalFactor {
  public:
-  explicit Cholesky(int n) : n_(n), l_(static_cast<std::size_t>(n) * n) {}
+  void Reset(int n) {
+    n_ = n;
+    a_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+    saved_diag_.resize(static_cast<std::size_t>(n));
+  }
 
-  bool Factor(const std::vector<double>& m) {
+  /// Assembly target; fill both triangles (mirrored), then call Factor.
+  std::vector<double>& matrix() { return a_; }
+
+  /// Factor in place with escalating diagonal regularization. Returns false
+  /// if the matrix could not be factored even with regularization.
+  bool Factor() {
+    for (int i = 0; i < n_; ++i) {
+      saved_diag_[static_cast<std::size_t>(i)] = a_[Idx(i, i)];
+    }
+    attempts_ = 0;
     double reg = 0.0;
     for (int attempt = 0; attempt < 4; ++attempt) {
-      if (TryFactor(m, reg)) return true;
-      double trace = 0.0;
-      for (int i = 0; i < n_; ++i) trace += m[Idx(i, i)];
-      const double base = std::max(trace / n_, 1.0) * 1e-12;
-      reg = reg == 0.0 ? base : reg * 1e4;
+      if (attempt > 0) {
+        // Restore the destroyed lower triangle from the untouched upper
+        // mirror and the saved diagonal, then bump the regularization.
+        for (int r = 0; r < n_; ++r) {
+          for (int c = 0; c < r; ++c) a_[Idx(r, c)] = a_[Idx(c, r)];
+        }
+        double trace = 0.0;
+        for (int i = 0; i < n_; ++i) {
+          trace += saved_diag_[static_cast<std::size_t>(i)];
+        }
+        const double base = std::max(trace / n_, 1.0) * 1e-12;
+        reg = reg == 0.0 ? base : reg * 1e4;
+        for (int i = 0; i < n_; ++i) {
+          a_[Idx(i, i)] = saved_diag_[static_cast<std::size_t>(i)] + reg;
+        }
+      }
+      if (TryFactorInPlace()) {
+        attempts_ = attempt;
+        return true;
+      }
     }
+    attempts_ = 4;
     return false;
   }
+
+  /// Diagonal-regularization retries spent by the last Factor call.
+  int attempts() const { return attempts_; }
 
   // Solve L L' x = b in place.
   void Solve(std::vector<double>& b) const {
     for (int i = 0; i < n_; ++i) {
       double s = b[static_cast<std::size_t>(i)];
-      const double* li = &l_[Idx(i, 0)];
+      const double* li = &a_[Idx(i, 0)];
       for (int k = 0; k < i; ++k) s -= li[k] * b[static_cast<std::size_t>(k)];
       b[static_cast<std::size_t>(i)] = s / li[i];
     }
     for (int i = n_ - 1; i >= 0; --i) {
       double s = b[static_cast<std::size_t>(i)];
       for (int k = i + 1; k < n_; ++k) {
-        s -= l_[Idx(k, i)] * b[static_cast<std::size_t>(k)];
+        s -= a_[Idx(k, i)] * b[static_cast<std::size_t>(k)];
       }
-      b[static_cast<std::size_t>(i)] = s / l_[Idx(i, i)];
+      b[static_cast<std::size_t>(i)] = s / a_[Idx(i, i)];
     }
   }
 
@@ -88,57 +92,68 @@ class Cholesky {
            static_cast<std::size_t>(c);
   }
 
-  bool TryFactor(const std::vector<double>& m, double reg) {
+  bool TryFactorInPlace() {
     for (int j = 0; j < n_; ++j) {
-      double d = m[Idx(j, j)] + reg;
-      const double* lj = &l_[Idx(j, 0)];
+      double d = a_[Idx(j, j)];
+      const double* lj = &a_[Idx(j, 0)];
       for (int k = 0; k < j; ++k) d -= lj[k] * lj[k];
       if (!(d > 0.0) || !std::isfinite(d)) return false;
       const double ljj = std::sqrt(d);
-      l_[Idx(j, j)] = ljj;
+      a_[Idx(j, j)] = ljj;
       const double inv = 1.0 / ljj;
       for (int i = j + 1; i < n_; ++i) {
-        double s = m[Idx(i, j)];
-        const double* li = &l_[Idx(i, 0)];
+        double s = a_[Idx(i, j)];
+        const double* li = &a_[Idx(i, 0)];
         for (int k = 0; k < j; ++k) s -= li[k] * lj[k];
-        l_[Idx(i, j)] = s * inv;
+        a_[Idx(i, j)] = s * inv;
       }
     }
     return true;
   }
 
-  int n_;
-  std::vector<double> l_;
+  int n_ = 0;
+  std::vector<double> a_;
+  std::vector<double> saved_diag_;
+  int attempts_ = 0;
 };
 
 class MehrotraSolver {
  public:
-  MehrotraSolver(const GeForm& ge, std::span<const double> cost,
-                 const LpSolverOptions& options)
-      : ge_(ge),
+  MehrotraSolver(const CompiledLpModel& a, std::span<const double> cost,
+                 const LpSolverOptions& options, SparseNormalFactor* sparse,
+                 bool use_sparse, bool symbolic_reused)
+      : a_(a),
         c_(cost.begin(), cost.end()),
-        n_(ge.num_cols),
-        m_(static_cast<int>(ge.rows.size())),
+        n_(a.num_cols),
+        m_(a.num_rows),
         tol_(options.tolerance),
-        max_iter_(options.max_iterations > 0 ? options.max_iterations : 200) {
-    b_.reserve(static_cast<std::size_t>(m_));
-    for (const SparseRow& row : ge_.rows) b_.push_back(row.lo);
+        max_iter_(options.max_iterations > 0 ? options.max_iterations : 200),
+        sparse_(sparse),
+        use_sparse_(use_sparse),
+        symbolic_reused_(symbolic_reused) {
+    b_ = a_.rhs;
     bnorm_ = 1.0 + InfNorm(b_);
     cnorm_ = 1.0 + InfNorm(c_);
+    warm_ = options.warm_start;
   }
 
   LpSolution Run() {
     LpSolution out;
+    out.sparse_normal = use_sparse_;
+    out.symbolic_reused = symbolic_reused_;
     InitPoint();
+    out.warm_started = warm_started_;
 
-    Cholesky chol(n_);
-    std::vector<double> normal(static_cast<std::size_t>(n_) *
-                               static_cast<std::size_t>(n_));
+    DenseNormalFactor dense;
+    if (!use_sparse_) dense.Reset(n_);
+    row_weight_.assign(static_cast<std::size_t>(m_), 0.0);
+    col_diag_.assign(static_cast<std::size_t>(n_), 0.0);
 
     // Best (most converged) iterate seen; returned if full tolerance is out
     // of floating-point reach for a large degenerate model.
     double best_metric = kBigMetric;
     std::vector<double> best_x;
+    std::vector<double> best_y;
     // A point this converged is accepted when the iteration breaks down.
     const double acceptable = std::max(2e-6, tol_ * 10.0);
 
@@ -163,17 +178,20 @@ class MehrotraSolver {
       if (rel_p < tol_ && rel_d < tol_ && rel_gap < tol_) {
         out.status = Status::Ok();
         out.x = x_;
+        out.ge_dual = y_;
         return out;
       }
       const double metric = std::max({rel_p, rel_d, rel_gap});
       if (metric < best_metric) {
         best_metric = metric;
         best_x = x_;
+        best_y = y_;
       } else if (metric > 100.0 * best_metric && best_metric < acceptable) {
         // Numerical breakdown after effective convergence (common for very
         // degenerate vertices): return the best point.
         out.status = Status::Ok();
         out.x = std::move(best_x);
+        out.ge_dual = std::move(best_y);
         return out;
       }
       // Divergence heuristics for infeasible / unbounded problems.
@@ -188,14 +206,32 @@ class MehrotraSolver {
 
       // Assemble and factor the normal matrix
       //   M = A' diag(y/w) A + diag(z/x).
-      BuildNormalMatrix(normal);
-      if (!chol.Factor(normal)) {
+      for (int i = 0; i < m_; ++i) {
+        row_weight_[static_cast<std::size_t>(i)] =
+            Clamp(y_[static_cast<std::size_t>(i)] /
+                  w_[static_cast<std::size_t>(i)]);
+      }
+      for (int j = 0; j < n_; ++j) {
+        col_diag_[static_cast<std::size_t>(j)] =
+            Clamp(z_[static_cast<std::size_t>(j)] /
+                  x_[static_cast<std::size_t>(j)]);
+      }
+      bool factored;
+      if (use_sparse_) {
+        factored = sparse_->Factor(a_, row_weight_, col_diag_);
+        out.regularizations += sparse_->attempts();
+      } else {
+        BuildNormalMatrix(dense.matrix());
+        factored = dense.Factor();
+        out.regularizations += dense.attempts();
+      }
+      if (!factored) {
         out.status = Status::NumericalFailure("Cholesky factorization failed");
         return out;
       }
 
       // Predictor (affine) direction: sigma = 0.
-      SolveNewton(chol, /*sigma_mu=*/0.0, /*corrector=*/false);
+      SolveNewton(dense, /*sigma_mu=*/0.0, /*corrector=*/false);
       const double ap_aff = std::min(1.0, StepLength(x_, dx_, w_, dw_));
       const double ad_aff = std::min(1.0, StepLength(z_, dz_, y_, dy_));
       double mu_aff = 0.0;
@@ -211,7 +247,7 @@ class MehrotraSolver {
 
       // Corrector direction reuses the factorization.
       dx_aff_ = dx_; dw_aff_ = dw_; dy_aff_ = dy_; dz_aff_ = dz_;
-      SolveNewton(chol, sigma * mu, /*corrector=*/true);
+      SolveNewton(dense, sigma * mu, /*corrector=*/true);
 
       const double tau = std::min(0.99995, std::max(0.995, 1.0 - 0.1 * mu));
       const double ap = std::min(1.0, tau * StepLength(x_, dx_, w_, dw_));
@@ -234,6 +270,7 @@ class MehrotraSolver {
     if (best_metric < acceptable) {
       out.status = Status::Ok();
       out.x = std::move(best_x);
+      out.ge_dual = std::move(best_y);
       return out;
     }
     ComputeResiduals();
@@ -265,17 +302,74 @@ class MehrotraSolver {
     }
     y_.assign(static_cast<std::size_t>(m_), 1.0);
     w_.assign(static_cast<std::size_t>(m_), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const double act = ge_.rows[static_cast<std::size_t>(i)].Activity(x_);
-      w_[static_cast<std::size_t>(i)] =
-          std::max(act - b_[static_cast<std::size_t>(i)], 0.1 * scale);
-    }
     dx_.assign(static_cast<std::size_t>(n_), 0.0);
     dz_.assign(static_cast<std::size_t>(n_), 0.0);
     dy_.assign(static_cast<std::size_t>(m_), 0.0);
     dw_.assign(static_cast<std::size_t>(m_), 0.0);
     rp_.assign(static_cast<std::size_t>(m_), 0.0);
     rd_.assign(static_cast<std::size_t>(n_), 0.0);
+    g1_.assign(static_cast<std::size_t>(n_), 0.0);
+    g2_.assign(static_cast<std::size_t>(m_), 0.0);
+    rhs_.assign(static_cast<std::size_t>(n_), 0.0);
+    rxz_buf_.assign(static_cast<std::size_t>(n_), 0.0);
+    rwy_buf_.assign(static_cast<std::size_t>(m_), 0.0);
+
+    if (warm_ != nullptr &&
+        warm_->x.size() == static_cast<std::size_t>(n_) &&
+        warm_->ge_dual.size() <= static_cast<std::size_t>(m_)) {
+      warm_started_ = true;
+      // Interpolate between the cold start and the supplied (possibly
+      // boundary) point. A hard clamp to a small epsilon leaves the iterate
+      // with complementarity products orders of magnitude below the
+      // residuals of freshly appended rows; the boundary then caps every
+      // step length and the iteration crawls. Blending keeps the iterate
+      // near the previous optimum while retaining enough centrality for
+      // full-length Newton steps.
+      const double lam = 0.98;
+      for (int j = 0; j < n_; ++j) {
+        x_[static_cast<std::size_t>(j)] =
+            lam * std::max(warm_->x[static_cast<std::size_t>(j)], 0.0) +
+            (1.0 - lam) * scale;
+      }
+      // Dual prefix from the previous solve; rows beyond it (appended since)
+      // keep the cold value.
+      for (std::size_t i = 0; i < warm_->ge_dual.size(); ++i) {
+        y_[i] = lam * std::max(warm_->ge_dual[i], 0.0) + (1.0 - lam) * 1.0;
+      }
+      // g1_ used as scratch for A'y here; InitPoint zeroed it above and the
+      // Newton solve overwrites it anyway.
+      for (int i = 0; i < m_; ++i) {
+        const double yi = y_[static_cast<std::size_t>(i)];
+        const std::int64_t end = a_.row_ptr[static_cast<std::size_t>(i) + 1];
+        for (std::int64_t p = a_.row_ptr[static_cast<std::size_t>(i)];
+             p < end; ++p) {
+          g1_[static_cast<std::size_t>(
+              a_.col[static_cast<std::size_t>(p)])] +=
+              yi * a_.val[static_cast<std::size_t>(p)];
+        }
+      }
+      for (int j = 0; j < n_; ++j) {
+        const double cj = c_[static_cast<std::size_t>(j)];
+        z_[static_cast<std::size_t>(j)] =
+            lam * std::max(cj - g1_[static_cast<std::size_t>(j)], 0.0) +
+            (1.0 - lam) * std::max(1.0, std::abs(cj));
+      }
+      for (int i = 0; i < m_; ++i) {
+        const double act = a_.RowActivity(i, x_);
+        const double gap = act - b_[static_cast<std::size_t>(i)];
+        // Violated rows (typically the ones appended since the previous
+        // solve) get slack comparable to their violation, so the first
+        // steps toward them are not pinned by the w > 0 boundary.
+        w_[static_cast<std::size_t>(i)] =
+            std::max({gap, (1.0 - lam) * 0.1 * scale, -gap});
+      }
+      return;
+    }
+    for (int i = 0; i < m_; ++i) {
+      const double act = a_.RowActivity(i, x_);
+      w_[static_cast<std::size_t>(i)] =
+          std::max(act - b_[static_cast<std::size_t>(i)], 0.1 * scale);
+    }
   }
 
   double Mu() const {
@@ -290,17 +384,18 @@ class MehrotraSolver {
           c_[static_cast<std::size_t>(j)] - z_[static_cast<std::size_t>(j)];
     }
     for (int i = 0; i < m_; ++i) {
-      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
       const double yi = y_[static_cast<std::size_t>(i)];
-      for (std::size_t k = 0; k < row.index.size(); ++k) {
-        rd_[static_cast<std::size_t>(row.index[k])] -= yi * row.value[k];
+      const std::int64_t end = a_.row_ptr[static_cast<std::size_t>(i) + 1];
+      for (std::int64_t p = a_.row_ptr[static_cast<std::size_t>(i)]; p < end;
+           ++p) {
+        rd_[static_cast<std::size_t>(a_.col[static_cast<std::size_t>(p)])] -=
+            yi * a_.val[static_cast<std::size_t>(p)];
       }
     }
     // rp = b - Ax + w.
     for (int i = 0; i < m_; ++i) {
-      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
       rp_[static_cast<std::size_t>(i)] = b_[static_cast<std::size_t>(i)] -
-                                         row.Activity(x_) +
+                                         a_.RowActivity(i, x_) +
                                          w_[static_cast<std::size_t>(i)];
     }
   }
@@ -312,25 +407,24 @@ class MehrotraSolver {
              static_cast<std::size_t>(c);
     };
     for (int j = 0; j < n_; ++j) {
-      const double d = Clamp(z_[static_cast<std::size_t>(j)] /
-                             x_[static_cast<std::size_t>(j)]);
-      normal[idx(j, j)] = d;
+      normal[idx(j, j)] = col_diag_[static_cast<std::size_t>(j)];
     }
     for (int i = 0; i < m_; ++i) {
-      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
-      const double s = Clamp(y_[static_cast<std::size_t>(i)] /
-                             w_[static_cast<std::size_t>(i)]);
-      for (std::size_t a = 0; a < row.index.size(); ++a) {
-        const double sa = s * row.value[a];
-        const int ja = row.index[a];
-        for (std::size_t bk = 0; bk <= a; ++bk) {
-          const int jb = row.index[bk];
-          // row.index ascending => jb <= ja: fill lower triangle.
-          normal[idx(ja, jb)] += sa * row.value[bk];
+      const double s = row_weight_[static_cast<std::size_t>(i)];
+      const std::int64_t begin = a_.row_ptr[static_cast<std::size_t>(i)];
+      const std::int64_t end = a_.row_ptr[static_cast<std::size_t>(i) + 1];
+      for (std::int64_t pa = begin; pa < end; ++pa) {
+        const double sa = s * a_.val[static_cast<std::size_t>(pa)];
+        const int ja = a_.col[static_cast<std::size_t>(pa)];
+        for (std::int64_t pb = begin; pb <= pa; ++pb) {
+          const int jb = a_.col[static_cast<std::size_t>(pb)];
+          // columns ascend => jb <= ja: fill lower triangle.
+          normal[idx(ja, jb)] += sa * a_.val[static_cast<std::size_t>(pb)];
         }
       }
     }
-    // Mirror to the upper triangle for the straightforward factor loop.
+    // Mirror to the upper triangle; the factor restores its lower triangle
+    // from this mirror when the regularization fallback retries.
     for (int r = 0; r < n_; ++r) {
       for (int c = r + 1; c < n_; ++c) normal[idx(r, c)] = normal[idx(c, r)];
     }
@@ -343,12 +437,9 @@ class MehrotraSolver {
   // Solve one Newton system. For the predictor (corrector=false):
   //   r_xz = -XZe, r_wy = -WYe.
   // For the corrector: r_xz = sigma_mu e - XZe - dXaff dZaff e, etc.
-  void SolveNewton(const Cholesky& chol, double sigma_mu, bool corrector) {
+  void SolveNewton(const DenseNormalFactor& dense, double sigma_mu,
+                   bool corrector) {
     // g1 = rd - X^-1 r_xz ;  g2 = rp + Y^-1 r_wy.
-    std::vector<double> g1(static_cast<std::size_t>(n_));
-    std::vector<double> g2(static_cast<std::size_t>(m_));
-    rxz_buf_.resize(static_cast<std::size_t>(n_));
-    rwy_buf_.resize(static_cast<std::size_t>(m_));
     for (int j = 0; j < n_; ++j) {
       double rxz = -x_[static_cast<std::size_t>(j)] *
                    z_[static_cast<std::size_t>(j)];
@@ -356,7 +447,7 @@ class MehrotraSolver {
         rxz += sigma_mu - dx_aff_[static_cast<std::size_t>(j)] *
                               dz_aff_[static_cast<std::size_t>(j)];
       }
-      g1[static_cast<std::size_t>(j)] =
+      g1_[static_cast<std::size_t>(j)] =
           rd_[static_cast<std::size_t>(j)] -
           rxz / x_[static_cast<std::size_t>(j)];
       // Stash per-column rxz for the dz recovery below.
@@ -370,37 +461,39 @@ class MehrotraSolver {
                               dy_aff_[static_cast<std::size_t>(i)];
       }
       rwy_buf_[static_cast<std::size_t>(i)] = rwy;
-      g2[static_cast<std::size_t>(i)] =
+      g2_[static_cast<std::size_t>(i)] =
           rp_[static_cast<std::size_t>(i)] +
           rwy / y_[static_cast<std::size_t>(i)];
     }
 
     // rhs = A' Dw^-1 g2 - g1, with Dw^-1 = diag(y/w).
-    std::vector<double> rhs(static_cast<std::size_t>(n_));
     for (int j = 0; j < n_; ++j) {
-      rhs[static_cast<std::size_t>(j)] = -g1[static_cast<std::size_t>(j)];
+      rhs_[static_cast<std::size_t>(j)] = -g1_[static_cast<std::size_t>(j)];
     }
     for (int i = 0; i < m_; ++i) {
-      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
-      const double s = Clamp(y_[static_cast<std::size_t>(i)] /
-                             w_[static_cast<std::size_t>(i)]) *
-                       g2[static_cast<std::size_t>(i)];
-      for (std::size_t k = 0; k < row.index.size(); ++k) {
-        rhs[static_cast<std::size_t>(row.index[k])] += s * row.value[k];
+      const double s = row_weight_[static_cast<std::size_t>(i)] *
+                       g2_[static_cast<std::size_t>(i)];
+      const std::int64_t end = a_.row_ptr[static_cast<std::size_t>(i) + 1];
+      for (std::int64_t p = a_.row_ptr[static_cast<std::size_t>(i)]; p < end;
+           ++p) {
+        rhs_[static_cast<std::size_t>(a_.col[static_cast<std::size_t>(p)])] +=
+            s * a_.val[static_cast<std::size_t>(p)];
       }
     }
 
-    chol.Solve(rhs);
-    dx_ = rhs;
+    if (use_sparse_) {
+      sparse_->Solve(rhs_);
+    } else {
+      dense.Solve(rhs_);
+    }
+    dx_ = rhs_;
 
     // dy = Dw^-1 (g2 - A dx);  dw = Y^-1 (rwy - W dy);  dz = X^-1 (rxz - Z dx).
     for (int i = 0; i < m_; ++i) {
-      const SparseRow& row = ge_.rows[static_cast<std::size_t>(i)];
-      const double adx = row.Activity(dx_);
-      const double s = Clamp(y_[static_cast<std::size_t>(i)] /
-                             w_[static_cast<std::size_t>(i)]);
+      const double adx = a_.RowActivity(i, dx_);
+      const double s = row_weight_[static_cast<std::size_t>(i)];
       dy_[static_cast<std::size_t>(i)] =
-          s * (g2[static_cast<std::size_t>(i)] - adx);
+          s * (g2_[static_cast<std::size_t>(i)] - adx);
       dw_[static_cast<std::size_t>(i)] =
           (rwy_buf_[static_cast<std::size_t>(i)] -
            w_[static_cast<std::size_t>(i)] * dy_[static_cast<std::size_t>(i)]) /
@@ -429,7 +522,7 @@ class MehrotraSolver {
     return alpha;
   }
 
-  const GeForm& ge_;
+  const CompiledLpModel& a_;
   std::vector<double> c_;
   int n_;
   int m_;
@@ -437,21 +530,28 @@ class MehrotraSolver {
   int max_iter_;
   double bnorm_ = 1.0;
   double cnorm_ = 1.0;
+  SparseNormalFactor* sparse_ = nullptr;
+  bool use_sparse_ = false;
+  bool symbolic_reused_ = false;
+  const LpWarmStart* warm_ = nullptr;
+  bool warm_started_ = false;
 
   std::vector<double> b_;
   std::vector<double> x_, z_, y_, w_;
   std::vector<double> dx_, dz_, dy_, dw_;
   std::vector<double> dx_aff_, dz_aff_, dy_aff_, dw_aff_;
   std::vector<double> rp_, rd_;
+  std::vector<double> g1_, g2_, rhs_;
   std::vector<double> rxz_buf_, rwy_buf_;
+  std::vector<double> row_weight_, col_diag_;
 };
 
 }  // namespace
 
 LpSolution SolveWithInteriorPoint(const LpModel& model,
                                   const LpSolverOptions& options) {
-  const GeForm ge = BuildGeForm(model);
-  if (ge.rows.empty()) {
+  const CompiledLpModel& a = model.Compiled();
+  if (a.num_rows == 0) {
     LpSolution out;
     for (int c = 0; c < model.NumCols(); ++c) {
       if (model.Objective()[static_cast<std::size_t>(c)] < 0.0) {
@@ -463,7 +563,40 @@ LpSolution SolveWithInteriorPoint(const LpModel& model,
     out.status = Status::Ok();
     return out;
   }
-  MehrotraSolver solver(ge, model.Objective(), options);
+
+  // Pick the normal-equations path. kAuto keeps small models on the
+  // historical dense path bit for bit, and falls back to dense whenever the
+  // pattern is too filled for sparse bookkeeping to win.
+  SparseNormalFactor local_factor;
+  SparseNormalFactor* factor = nullptr;
+  bool use_sparse = false;
+  bool symbolic_reused = false;
+  const bool consider_sparse =
+      options.normal_eq == IpmNormalEq::kSparse ||
+      (options.normal_eq == IpmNormalEq::kAuto &&
+       a.num_cols >= options.sparse_min_cols);
+  if (consider_sparse) {
+    factor = options.ipm_context != nullptr ? &options.ipm_context->normal
+                                            : &local_factor;
+    if (factor->TryExtend(a)) {
+      symbolic_reused = true;
+      if (options.ipm_context != nullptr) {
+        ++options.ipm_context->symbolic_reuses;
+      }
+    } else {
+      factor->Analyze(a);
+      if (options.ipm_context != nullptr) ++options.ipm_context->analyses;
+    }
+    use_sparse = options.normal_eq == IpmNormalEq::kSparse ||
+                 factor->PatternDensity() <= options.sparse_density_threshold;
+    LUBT_LOG_DEBUG << "ipm normal equations: n=" << a.num_cols
+                   << " density=" << factor->PatternDensity()
+                   << " fill=" << factor->FillNnz()
+                   << (use_sparse ? " -> sparse" : " -> dense")
+                   << (symbolic_reused ? " (symbolic reused)" : "");
+  }
+  MehrotraSolver solver(a, model.Objective(), options, factor, use_sparse,
+                        use_sparse && symbolic_reused);
   return solver.Run();
 }
 

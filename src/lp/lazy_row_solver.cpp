@@ -1,5 +1,8 @@
 #include "lp/lazy_row_solver.h"
 
+#include <utility>
+
+#include "lp/interior_point.h"
 #include "util/logging.h"
 
 namespace lubt {
@@ -9,16 +12,60 @@ LpSolution SolveWithLazyRows(LpModel& model, const RowOracle& oracle,
                              LazySolveStats* stats) {
   LazySolveStats local;
   LpSolution solution;
+
+  // Per-solve interior-point state threaded across rounds: the previous
+  // round's iterate seeds the next round, and the sparse symbolic analysis
+  // survives row appends (the model only grows). A caller-provided context
+  // is reused; otherwise rounds share this stack-local one.
+  const bool thread_rounds = options.engine == LpEngine::kInteriorPoint &&
+                             options.warm_start_lazy_rounds;
+  IpmContext local_context;
+  LpWarmStart warm;
+  LpSolverOptions round_options = options;
+  if (thread_rounds && round_options.ipm_context == nullptr) {
+    round_options.ipm_context = &local_context;
+  }
+
   for (int round = 0; round < max_rounds; ++round) {
     ++local.rounds;
-    solution = SolveLp(model, options);
+    round_options.warm_start =
+        thread_rounds && !warm.x.empty() ? &warm : nullptr;
+    solution = SolveLp(model, round_options);
     local.lp_iterations += solution.iterations;
+    if (!solution.ok() && round_options.warm_start != nullptr) {
+      // A warm point carried across appended rows can (rarely) start the
+      // iteration in a bad region; retry the round cold before giving up.
+      LUBT_LOG_DEBUG << "lazy round " << round
+                     << ": warm solve failed (" << solution.status.message()
+                     << "), retrying cold";
+      round_options.warm_start = nullptr;
+      solution = SolveLp(model, round_options);
+      local.lp_iterations += solution.iterations;
+    } else if (solution.warm_started) {
+      ++local.warm_rounds;
+    }
+    if (solution.symbolic_reused) ++local.symbolic_reuses;
+    local.regularizations += solution.regularizations;
     if (!solution.ok()) break;
 
     std::vector<SparseRow> violated = oracle(solution.x);
     LUBT_LOG_DEBUG << "lazy round " << round << ": obj=" << solution.objective
                    << " violated=" << violated.size();
     if (violated.empty()) break;
+    if (thread_rounds) {
+      // Warm-start the next round only when the model grows modestly: after
+      // a large append the previous iterate carries little information about
+      // the new optimum and a cold start converges faster.
+      if (violated.size() * 4 <=
+          static_cast<std::size_t>(model.NumRows()) + violated.size()) {
+        warm.x = solution.x;
+        warm.ge_dual = solution.ge_dual;
+      } else {
+        warm.x.clear();
+        warm.ge_dual.clear();
+      }
+    }
+    model.ReserveRows(model.Rows().size() + violated.size());
     for (SparseRow& row : violated) {
       model.AddRow(std::move(row));
       ++local.rows_added;

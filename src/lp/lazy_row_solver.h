@@ -30,10 +30,21 @@ struct LazySolveStats {
   int rows_added = 0;       ///< rows appended by the oracle over all rounds
   int final_rows = 0;       ///< rows in the last relaxation
   int lp_iterations = 0;    ///< engine iterations over all rounds
+  int warm_rounds = 0;      ///< rounds started from the previous iterate
+  int symbolic_reuses = 0;  ///< rounds that reused the symbolic analysis
+  int regularizations = 0;  ///< Cholesky regularization retries, all rounds
 };
 
 /// Solve min c'x s.t. all rows of `model` plus all rows the oracle can emit.
 /// `model` is mutated: violated rows are appended to it.
+///
+/// With the interior-point engine (and `options.warm_start_lazy_rounds`,
+/// the default), each round after the first starts from the previous
+/// round's primal/dual iterate and reuses the sparse symbolic analysis when
+/// the appended rows fit the analyzed pattern — rows are only ever
+/// appended, so the ge-row order of earlier rounds is a stable prefix and
+/// the dual prefix transfers directly. A warm round that fails numerically
+/// is retried cold before giving up.
 LpSolution SolveWithLazyRows(LpModel& model, const RowOracle& oracle,
                              const LpSolverOptions& options = {},
                              int max_rounds = 50,

@@ -19,6 +19,18 @@ double SparseRow::Activity(std::span<const double> x) const {
   return acc;
 }
 
+double CompiledLpModel::RowActivity(int ge_row,
+                                    std::span<const double> x) const {
+  double acc = 0.0;
+  const std::int64_t end = row_ptr[static_cast<std::size_t>(ge_row) + 1];
+  for (std::int64_t p = row_ptr[static_cast<std::size_t>(ge_row)]; p < end;
+       ++p) {
+    acc += val[static_cast<std::size_t>(p)] *
+           x[static_cast<std::size_t>(col[static_cast<std::size_t>(p)])];
+  }
+  return acc;
+}
+
 LpModel::LpModel(int num_cols) {
   LUBT_ASSERT(num_cols > 0);
   objective_.assign(static_cast<std::size_t>(num_cols), 0.0);
@@ -29,6 +41,8 @@ void LpModel::SetObjective(int col, double coef) {
   LUBT_ASSERT(std::isfinite(coef));
   objective_[static_cast<std::size_t>(col)] = coef;
 }
+
+void LpModel::ReserveRows(std::size_t num_rows) { rows_.reserve(num_rows); }
 
 int LpModel::AddRow(SparseRow row) {
   LUBT_ASSERT(row.index.size() == row.value.size());
@@ -41,6 +55,7 @@ int LpModel::AddRow(SparseRow row) {
     if (k > 0) LUBT_ASSERT(row.index[k] > row.index[k - 1]);
   }
   rows_.push_back(std::move(row));
+  ++version_;
   return NumRows() - 1;
 }
 
@@ -56,6 +71,10 @@ int LpModel::AddRow(std::span<const std::int32_t> index,
 
 SparseRow& LpModel::MutableRow(int r) {
   LUBT_ASSERT(r >= 0 && r < NumRows());
+  // The caller may mutate through the handle after this returns, so the
+  // compiled cache is invalidated pessimistically at access time; holding
+  // the reference across a Compiled() call re-validates stale data.
+  ++version_;
   return rows_[static_cast<std::size_t>(r)];
 }
 
@@ -65,6 +84,60 @@ void LpModel::SetRowBounds(int r, double lo, double hi) {
   LUBT_ASSERT(std::isfinite(lo) || std::isfinite(hi));
   rows_[static_cast<std::size_t>(r)].lo = lo;
   rows_[static_cast<std::size_t>(r)].hi = hi;
+  ++version_;
+}
+
+const CompiledLpModel& LpModel::Compiled() const {
+  if (compiled_version_ == version_) return compiled_;
+  CompiledLpModel& c = compiled_;
+  c.num_cols = NumCols();
+  c.row_ptr.assign(1, 0);
+  c.col.clear();
+  c.val.clear();
+  c.rhs.clear();
+
+  // Fold every finite bound into an equilibrated >=-row; the arithmetic
+  // (norm accumulation order, scale application) matches the historical
+  // per-solve GeForm build bit for bit.
+  auto push_scaled = [&c](const SparseRow& row, double sign, double rhs) {
+    double norm2 = 0.0;
+    for (double v : row.value) norm2 += v * v;
+    const double s = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 1.0;
+    c.col.insert(c.col.end(), row.index.begin(), row.index.end());
+    for (double v : row.value) c.val.push_back(sign * v * s);
+    c.rhs.push_back(sign * rhs * s);
+    c.row_ptr.push_back(static_cast<std::int64_t>(c.col.size()));
+  };
+  for (const SparseRow& row : rows_) {
+    if (std::isfinite(row.lo)) push_scaled(row, 1.0, row.lo);
+    if (std::isfinite(row.hi)) push_scaled(row, -1.0, row.hi);
+  }
+  c.num_rows = static_cast<int>(c.rhs.size());
+
+  // CSC transpose by counting sort over columns.
+  const std::size_t nnz = c.col.size();
+  c.col_ptr.assign(static_cast<std::size_t>(c.num_cols) + 1, 0);
+  for (const std::int32_t j : c.col) {
+    ++c.col_ptr[static_cast<std::size_t>(j) + 1];
+  }
+  for (std::size_t j = 0; j < static_cast<std::size_t>(c.num_cols); ++j) {
+    c.col_ptr[j + 1] += c.col_ptr[j];
+  }
+  c.row.resize(nnz);
+  c.cval.resize(nnz);
+  std::vector<std::int64_t> cursor(c.col_ptr.begin(), c.col_ptr.end() - 1);
+  for (int i = 0; i < c.num_rows; ++i) {
+    for (std::int64_t p = c.row_ptr[static_cast<std::size_t>(i)];
+         p < c.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const std::size_t j =
+          static_cast<std::size_t>(c.col[static_cast<std::size_t>(p)]);
+      const std::size_t q = static_cast<std::size_t>(cursor[j]++);
+      c.row[q] = i;
+      c.cval[q] = c.val[static_cast<std::size_t>(p)];
+    }
+  }
+  compiled_version_ = version_;
+  return compiled_;
 }
 
 double LpModel::ObjectiveValue(std::span<const double> x) const {

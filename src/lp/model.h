@@ -25,6 +25,8 @@
 
 namespace lubt {
 
+class IpmContext;  // interior_point.h: reusable cache across related solves
+
 /// Infinity marker for absent row bounds.
 inline constexpr double kLpInf = std::numeric_limits<double>::infinity();
 
@@ -37,6 +39,39 @@ struct SparseRow {
 
   /// a' x for a dense point.
   double Activity(std::span<const double> x) const;
+};
+
+/// Compiled constraint view shared by the solver engines.
+///
+/// Every model row `lo <= a'x <= hi` is folded into >=-form ("ge") rows:
+/// `a'x >= lo` when lo is finite, then `-a'x >= -hi` when hi is finite, in
+/// that order, walking model rows in order. The order is therefore stable
+/// under row appends: a model grown by AddRow compiles to the previous ge
+/// rows followed by the new ones, which is what lets warm-started lazy
+/// solves carry dual values across rounds.
+///
+/// Rows are equilibrated to unit L2 norm (EBF delay rows over deep
+/// topologies carry hundreds of unit entries while Steiner rows carry a
+/// handful, and the norm mismatch stalls the interior-point iteration).
+/// Scaling a row only rescales its dual, and `ge_dual` values are always
+/// exchanged in this scaled space.
+struct CompiledLpModel {
+  int num_cols = 0;
+  int num_rows = 0;  ///< ge rows, not model rows
+
+  // CSR over ge rows: entries of row i are [row_ptr[i], row_ptr[i+1]).
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::int32_t> col;
+  std::vector<double> val;
+  std::vector<double> rhs;  ///< b in a'x >= b, equilibrated
+
+  // CSC transpose (cached column supports), same entries column-major.
+  std::vector<std::int64_t> col_ptr;
+  std::vector<std::int32_t> row;
+  std::vector<double> cval;
+
+  /// a' x of one ge row for a dense point.
+  double RowActivity(int ge_row, std::span<const double> x) const;
 };
 
 /// An LP: min c' x subject to row bounds, x >= 0.
@@ -53,6 +88,10 @@ class LpModel {
 
   /// Dense objective accessor.
   std::span<const double> Objective() const { return objective_; }
+
+  /// Reserve storage for `num_rows` total rows (callers that know their row
+  /// counts, e.g. the EBF formulation, avoid push_back reallocation churn).
+  void ReserveRows(std::size_t num_rows);
 
   /// Add a row; returns its index. Indices must be valid columns, sorted,
   /// and unique; at least one of lo/hi must be finite.
@@ -81,9 +120,21 @@ class LpModel {
   /// Largest violation of any row bound or column non-negativity at x.
   double MaxInfeasibility(std::span<const double> x) const;
 
+  /// The compiled CSR/CSC view, built lazily and cached until the model is
+  /// mutated (AddRow, SetRowBounds, MutableRow all invalidate it). Engines
+  /// iterate this instead of walking std::vector<SparseRow> per iteration.
+  /// The cache makes a first call on a given model state non-reentrant:
+  /// concurrent solves must each own their model (runtime contract,
+  /// DESIGN.md section 10 — BatchSolver builds one model per job).
+  const CompiledLpModel& Compiled() const;
+
  private:
   std::vector<double> objective_;
   std::vector<SparseRow> rows_;
+
+  std::uint64_t version_ = 1;  // bumped by every mutation
+  mutable std::uint64_t compiled_version_ = 0;
+  mutable CompiledLpModel compiled_;
 };
 
 /// Which algorithm solves the model.
@@ -94,11 +145,48 @@ enum class LpEngine {
 
 const char* LpEngineName(LpEngine engine);
 
+/// Which normal-equations path the interior-point engine factors.
+enum class IpmNormalEq {
+  kAuto,    ///< sparse when the model is large and the pattern sparse enough
+  kDense,   ///< always the dense Cholesky (bit-stable reference path)
+  kSparse,  ///< always the sparse symbolic/numeric Cholesky
+};
+
+/// Optional starting point for the interior-point engine. The engine shifts
+/// it to a strictly interior point, so any non-negative primal guess is
+/// legal; near-optimal guesses (the previous lazy round's iterate) cut the
+/// iteration count. `ge_dual` holds duals for a prefix of the compiled
+/// ge-form rows (CompiledLpModel order); rows beyond the prefix start from
+/// the cold default. A warm start whose `x` size does not match the model
+/// is ignored.
+struct LpWarmStart {
+  std::vector<double> x;        ///< primal point, size NumCols()
+  std::vector<double> ge_dual;  ///< dual prefix in compiled ge-row order
+};
+
 /// Solver knobs; defaults are good for EBF instances.
 struct LpSolverOptions {
   LpEngine engine = LpEngine::kInteriorPoint;
   int max_iterations = 0;   ///< 0 = engine default
   double tolerance = 1e-8;  ///< relative optimality / feasibility target
+
+  /// Interior point: which normal-equations factorization to run.
+  IpmNormalEq normal_eq = IpmNormalEq::kAuto;
+  /// kAuto stays dense below this column count (small models and unit tests
+  /// keep bit-identical results on the historical dense path).
+  int sparse_min_cols = 64;
+  /// kAuto stays dense when nnz(tril(A'A)) exceeds this fraction of a full
+  /// lower triangle (sparse bookkeeping loses to BLAS-free dense loops).
+  double sparse_density_threshold = 0.25;
+  /// Interior point: optional warm start (see LpWarmStart).
+  const LpWarmStart* warm_start = nullptr;
+  /// Interior point: reusable cache holding the symbolic factorization.
+  /// Valid only across solves of the same model grown monotonically by row
+  /// appends (the lazy-row regime); pass nullptr everywhere else.
+  IpmContext* ipm_context = nullptr;
+  /// SolveWithLazyRows: thread each round's iterate into the next round as
+  /// a warm start (interior point only).
+  bool warm_start_lazy_rounds = true;
 };
 
 /// Outcome of a solve.
@@ -108,6 +196,13 @@ struct LpSolution {
   double objective = 0.0;    ///< c' x at the returned point
   int iterations = 0;        ///< engine iterations spent
   double seconds = 0.0;      ///< wall-clock solve time
+  int regularizations = 0;   ///< Cholesky diagonal-regularization retries
+  bool warm_started = false;   ///< engine consumed options.warm_start
+  bool sparse_normal = false;  ///< sparse normal-equations path ran
+  bool symbolic_reused = false;  ///< reused a cached symbolic factorization
+  /// Interior point: ge-form duals at the returned point (CompiledLpModel
+  /// row order), for warm-starting a follow-up solve. Empty for simplex.
+  std::vector<double> ge_dual;
 
   bool ok() const { return status.ok(); }
 };

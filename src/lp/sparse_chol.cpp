@@ -1,0 +1,414 @@
+#include "lp/sparse_chol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "check/dcheck.h"
+
+namespace lubt {
+
+std::vector<std::int32_t> MinDegreeOrder(const CompiledLpModel& a) {
+  const int n = a.num_cols;
+  // Quotient-graph minimum degree on the clique cover: the initial cliques
+  // are the row supports, eliminating a vertex merges its cliques into one.
+  std::vector<std::vector<std::int32_t>> cliques;
+  cliques.reserve(static_cast<std::size_t>(a.num_rows));
+  std::vector<std::vector<std::int32_t>> member(static_cast<std::size_t>(n));
+  for (int i = 0; i < a.num_rows; ++i) {
+    const std::int64_t begin = a.row_ptr[static_cast<std::size_t>(i)];
+    const std::int64_t end = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    if (end - begin < 2) continue;  // singleton rows add no adjacency
+    const std::int32_t id = static_cast<std::int32_t>(cliques.size());
+    cliques.emplace_back(a.col.begin() + begin, a.col.begin() + end);
+    for (std::int64_t p = begin; p < end; ++p) {
+      member[static_cast<std::size_t>(a.col[static_cast<std::size_t>(p)])]
+          .push_back(id);
+    }
+  }
+  std::vector<char> clique_alive(cliques.size(), 1);
+  std::vector<char> eliminated(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> mark(static_cast<std::size_t>(n), -1);
+  std::int32_t mark_gen = 0;
+
+  // Current degree of v; optionally collects the (live) neighbourhood.
+  auto degree = [&](std::int32_t v, std::vector<std::int32_t>* out) {
+    ++mark_gen;
+    mark[static_cast<std::size_t>(v)] = mark_gen;
+    int deg = 0;
+    std::vector<std::int32_t>& ids = member[static_cast<std::size_t>(v)];
+    std::size_t keep = 0;
+    for (const std::int32_t id : ids) {
+      if (!clique_alive[static_cast<std::size_t>(id)]) continue;
+      ids[keep++] = id;  // prune dead cliques in place
+      for (const std::int32_t u : cliques[static_cast<std::size_t>(id)]) {
+        if (eliminated[static_cast<std::size_t>(u)] ||
+            mark[static_cast<std::size_t>(u)] == mark_gen) {
+          continue;
+        }
+        mark[static_cast<std::size_t>(u)] = mark_gen;
+        ++deg;
+        if (out != nullptr) out->push_back(u);
+      }
+    }
+    ids.resize(keep);
+    return deg;
+  };
+
+  using Key = std::pair<std::int32_t, std::int32_t>;  // (degree, vertex)
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> heap;
+  for (std::int32_t v = 0; v < n; ++v) heap.push({degree(v, nullptr), v});
+
+  std::vector<std::int32_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> hood;
+  while (!heap.empty()) {
+    const auto [deg, v] = heap.top();
+    heap.pop();
+    if (eliminated[static_cast<std::size_t>(v)]) continue;
+    hood.clear();
+    const std::int32_t now = degree(v, &hood);
+    if (now != deg) {  // stale key: reinsert with the current degree
+      heap.push({now, v});
+      continue;
+    }
+    eliminated[static_cast<std::size_t>(v)] = 1;
+    order.push_back(v);
+    for (const std::int32_t id : member[static_cast<std::size_t>(v)]) {
+      clique_alive[static_cast<std::size_t>(id)] = 0;
+    }
+    if (hood.size() >= 2) {
+      const std::int32_t id = static_cast<std::int32_t>(cliques.size());
+      cliques.push_back(hood);
+      clique_alive.push_back(1);
+      for (const std::int32_t u : hood) {
+        member[static_cast<std::size_t>(u)].push_back(id);
+      }
+    }
+    // Stale heap keys of the neighbourhood self-correct on pop.
+  }
+  LUBT_ASSERT(static_cast<int>(order.size()) == n);
+  return order;
+}
+
+void SparseNormalFactor::Analyze(const CompiledLpModel& a) {
+  n_ = a.num_cols;
+  attempts_ = 0;
+  perm_ = MinDegreeOrder(a);
+  inv_perm_.assign(static_cast<std::size_t>(n_), 0);
+  for (int k = 0; k < n_; ++k) {
+    inv_perm_[static_cast<std::size_t>(perm_[static_cast<std::size_t>(k)])] =
+        k;
+  }
+
+  // Pattern of the permuted normal matrix as sorted unique upper-triangle
+  // keys (column-major; the full diagonal is always present because every
+  // Newton system adds diag(z/x) > 0).
+  std::vector<std::int64_t> keys;
+  std::int64_t pair_count = 0;
+  for (int i = 0; i < a.num_rows; ++i) {
+    const std::int64_t len = a.row_ptr[static_cast<std::size_t>(i) + 1] -
+                             a.row_ptr[static_cast<std::size_t>(i)];
+    pair_count += len * (len + 1) / 2;
+  }
+  keys.reserve(static_cast<std::size_t>(pair_count) +
+               static_cast<std::size_t>(n_));
+  const std::int64_t nn = n_;
+  for (std::int64_t j = 0; j < nn; ++j) keys.push_back(j * nn + j);
+  for (int i = 0; i < a.num_rows; ++i) {
+    const std::int64_t begin = a.row_ptr[static_cast<std::size_t>(i)];
+    const std::int64_t end = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    for (std::int64_t pa = begin; pa < end; ++pa) {
+      const std::int64_t ca =
+          inv_perm_[static_cast<std::size_t>(a.col[static_cast<std::size_t>(pa)])];
+      for (std::int64_t pb = begin; pb <= pa; ++pb) {
+        const std::int64_t cb = inv_perm_[static_cast<std::size_t>(
+            a.col[static_cast<std::size_t>(pb)])];
+        const std::int64_t r = std::min(ca, cb);
+        const std::int64_t c = std::max(ca, cb);
+        keys.push_back(c * nn + r);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  up_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  up_row_.resize(keys.size());
+  for (std::size_t p = 0; p < keys.size(); ++p) {
+    const std::int64_t c = keys[p] / nn;
+    up_row_[p] = static_cast<std::int32_t>(keys[p] % nn);
+    ++up_ptr_[static_cast<std::size_t>(c) + 1];
+  }
+  for (int j = 0; j < n_; ++j) {
+    up_ptr_[static_cast<std::size_t>(j) + 1] +=
+        up_ptr_[static_cast<std::size_t>(j)];
+  }
+  up_val_.assign(keys.size(), 0.0);
+  diag_pos_.assign(static_cast<std::size_t>(n_), 0);
+  for (int j = 0; j < n_; ++j) {
+    const std::size_t pj =
+        static_cast<std::size_t>(inv_perm_[static_cast<std::size_t>(j)]);
+    // Rows ascend and max(row) == column, so the diagonal sits last.
+    const std::int64_t pos = up_ptr_[pj + 1] - 1;
+    LUBT_ASSERT(up_row_[static_cast<std::size_t>(pos)] ==
+                static_cast<std::int32_t>(pj));
+    diag_pos_[static_cast<std::size_t>(j)] = pos;
+  }
+
+  scatter_ptr_.assign(1, 0);
+  scatter_pos_.clear();
+  analyzed_rows_ = 0;
+  analyzed_nnz_ = 0;
+  const bool ok = AppendScatter(a, 0);
+  LUBT_ASSERT(ok);  // every pair was just inserted into the pattern
+  (void)ok;
+  BuildSymbolic();
+}
+
+std::int64_t SparseNormalFactor::FindEntry(std::int32_t r,
+                                           std::int32_t c) const {
+  const auto begin = up_row_.begin() + up_ptr_[static_cast<std::size_t>(c)];
+  const auto end = up_row_.begin() + up_ptr_[static_cast<std::size_t>(c) + 1];
+  const auto it = std::lower_bound(begin, end, r);
+  if (it == end || *it != r) return -1;
+  return it - up_row_.begin();
+}
+
+bool SparseNormalFactor::AppendScatter(const CompiledLpModel& a,
+                                       int first_row) {
+  const std::size_t ptr_size = scatter_ptr_.size();
+  const std::size_t pos_size = scatter_pos_.size();
+  for (int i = first_row; i < a.num_rows; ++i) {
+    const std::int64_t begin = a.row_ptr[static_cast<std::size_t>(i)];
+    const std::int64_t end = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    for (std::int64_t pa = begin; pa < end; ++pa) {
+      const std::int32_t ca =
+          inv_perm_[static_cast<std::size_t>(a.col[static_cast<std::size_t>(pa)])];
+      for (std::int64_t pb = begin; pb <= pa; ++pb) {
+        const std::int32_t cb = inv_perm_[static_cast<std::size_t>(
+            a.col[static_cast<std::size_t>(pb)])];
+        const std::int64_t pos =
+            FindEntry(std::min(ca, cb), std::max(ca, cb));
+        if (pos < 0) {  // outside the analyzed pattern: roll back
+          scatter_ptr_.resize(ptr_size);
+          scatter_pos_.resize(pos_size);
+          return false;
+        }
+        scatter_pos_.push_back(pos);
+      }
+    }
+    scatter_ptr_.push_back(static_cast<std::int64_t>(scatter_pos_.size()));
+  }
+  analyzed_rows_ = a.num_rows;
+  analyzed_nnz_ = a.row_ptr[static_cast<std::size_t>(a.num_rows)];
+  return true;
+}
+
+bool SparseNormalFactor::TryExtend(const CompiledLpModel& a) {
+  if (!analyzed() || a.num_cols != n_) return false;
+  if (a.num_rows < analyzed_rows_) return false;
+  // The analyzed prefix must be unchanged; nnz agreement is the cheap
+  // proxy (the append-only contract is the caller's responsibility).
+  if (a.row_ptr[static_cast<std::size_t>(analyzed_rows_)] != analyzed_nnz_) {
+    return false;
+  }
+  if (a.num_rows == analyzed_rows_) return true;
+  return AppendScatter(a, analyzed_rows_);
+}
+
+void SparseNormalFactor::BuildSymbolic() {
+  // Elimination tree (Liu's algorithm with path compression).
+  etree_.assign(static_cast<std::size_t>(n_), -1);
+  std::vector<std::int32_t> ancestor(static_cast<std::size_t>(n_), -1);
+  for (int k = 0; k < n_; ++k) {
+    for (std::int64_t p = up_ptr_[static_cast<std::size_t>(k)];
+         p < up_ptr_[static_cast<std::size_t>(k) + 1]; ++p) {
+      std::int32_t i = up_row_[static_cast<std::size_t>(p)];
+      while (i != -1 && i < k) {
+        const std::int32_t next = ancestor[static_cast<std::size_t>(i)];
+        ancestor[static_cast<std::size_t>(i)] = k;
+        if (next == -1) etree_[static_cast<std::size_t>(i)] = k;
+        i = next;
+      }
+    }
+  }
+
+  stamp_.assign(static_cast<std::size_t>(n_), -1);
+  stack_.assign(static_cast<std::size_t>(n_), 0);
+  // Column counts of L via ereach: entry (k, i) lands in column i.
+  std::vector<std::int64_t> count(static_cast<std::size_t>(n_), 1);  // diag
+  for (int k = 0; k < n_; ++k) {
+    const int top = Ereach(k);
+    for (int t = top; t < n_; ++t) {
+      ++count[static_cast<std::size_t>(stack_[static_cast<std::size_t>(t)])];
+    }
+  }
+  l_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (int j = 0; j < n_; ++j) {
+    l_ptr_[static_cast<std::size_t>(j) + 1] =
+        l_ptr_[static_cast<std::size_t>(j)] +
+        count[static_cast<std::size_t>(j)];
+  }
+  l_row_.assign(static_cast<std::size_t>(l_ptr_.back()), 0);
+  l_val_.assign(static_cast<std::size_t>(l_ptr_.back()), 0.0);
+  cursor_.assign(static_cast<std::size_t>(n_), 0);
+  work_.assign(static_cast<std::size_t>(n_), 0.0);
+  solve_buf_.assign(static_cast<std::size_t>(n_), 0.0);
+}
+
+int SparseNormalFactor::Ereach(int k) {
+  // Pattern of row k of L: nodes reachable from the scattered rows of
+  // permuted-A column k by climbing the etree until hitting k (every such
+  // row has k as an etree ancestor). Topological order, stack_[top..n).
+  int top = n_;
+  stamp_[static_cast<std::size_t>(k)] = k;
+  for (std::int64_t p = up_ptr_[static_cast<std::size_t>(k)];
+       p < up_ptr_[static_cast<std::size_t>(k) + 1]; ++p) {
+    std::int32_t i = up_row_[static_cast<std::size_t>(p)];
+    if (i >= k) continue;
+    int len = 0;
+    while (i != -1 && stamp_[static_cast<std::size_t>(i)] != k) {
+      LUBT_DCHECK(i < k);
+      stack_[static_cast<std::size_t>(len++)] = i;
+      stamp_[static_cast<std::size_t>(i)] = k;
+      i = etree_[static_cast<std::size_t>(i)];
+    }
+    while (len > 0) {
+      stack_[static_cast<std::size_t>(--top)] =
+          stack_[static_cast<std::size_t>(--len)];
+    }
+  }
+  return top;
+}
+
+bool SparseNormalFactor::Factor(const CompiledLpModel& a,
+                                std::span<const double> row_weight,
+                                std::span<const double> diag) {
+  LUBT_ASSERT(analyzed() && a.num_cols == n_ && a.num_rows == analyzed_rows_);
+  LUBT_ASSERT(row_weight.size() == static_cast<std::size_t>(a.num_rows));
+  LUBT_ASSERT(diag.size() == static_cast<std::size_t>(n_));
+
+  // Assemble M into the fixed pattern through the precomputed positions.
+  std::fill(up_val_.begin(), up_val_.end(), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    up_val_[static_cast<std::size_t>(diag_pos_[static_cast<std::size_t>(j)])] +=
+        diag[static_cast<std::size_t>(j)];
+  }
+  std::int64_t c = 0;
+  for (int i = 0; i < a.num_rows; ++i) {
+    const double w = row_weight[static_cast<std::size_t>(i)];
+    const std::int64_t begin = a.row_ptr[static_cast<std::size_t>(i)];
+    const std::int64_t end = a.row_ptr[static_cast<std::size_t>(i) + 1];
+    for (std::int64_t pa = begin; pa < end; ++pa) {
+      const double wa = w * a.val[static_cast<std::size_t>(pa)];
+      for (std::int64_t pb = begin; pb <= pa; ++pb) {
+        up_val_[static_cast<std::size_t>(
+            scatter_pos_[static_cast<std::size_t>(c++)])] +=
+            wa * a.val[static_cast<std::size_t>(pb)];
+      }
+    }
+  }
+  LUBT_DCHECK(c == scatter_ptr_.back());
+
+  // Escalating diagonal regularization, mirroring the dense fallback.
+  attempts_ = 0;
+  double reg = 0.0;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    if (FactorAttempt(reg)) return true;
+    double trace = 0.0;
+    for (int k = 0; k < n_; ++k) {
+      trace += up_val_[static_cast<std::size_t>(
+          up_ptr_[static_cast<std::size_t>(k) + 1] - 1)];
+    }
+    const double base = std::max(trace / n_, 1.0) * 1e-12;
+    reg = reg == 0.0 ? base : reg * 1e4;
+    attempts_ = attempt + 1;
+  }
+  return false;
+}
+
+bool SparseNormalFactor::FactorAttempt(double reg) {
+  std::fill(stamp_.begin(), stamp_.end(), -1);
+  std::copy(l_ptr_.begin(), l_ptr_.end() - 1, cursor_.begin());
+  // work_ is all-zero here and is restored to all-zero on every exit path.
+  for (int k = 0; k < n_; ++k) {
+    double d = reg;
+    for (std::int64_t p = up_ptr_[static_cast<std::size_t>(k)];
+         p < up_ptr_[static_cast<std::size_t>(k) + 1]; ++p) {
+      const std::int32_t i = up_row_[static_cast<std::size_t>(p)];
+      if (i == k) {
+        d += up_val_[static_cast<std::size_t>(p)];
+      } else {
+        work_[static_cast<std::size_t>(i)] =
+            up_val_[static_cast<std::size_t>(p)];
+      }
+    }
+    const int top = Ereach(k);
+    for (int t = top; t < n_; ++t) {
+      const std::int32_t i = stack_[static_cast<std::size_t>(t)];
+      const double lki =
+          work_[static_cast<std::size_t>(i)] /
+          l_val_[static_cast<std::size_t>(l_ptr_[static_cast<std::size_t>(i)])];
+      work_[static_cast<std::size_t>(i)] = 0.0;
+      for (std::int64_t p = l_ptr_[static_cast<std::size_t>(i)] + 1;
+           p < cursor_[static_cast<std::size_t>(i)]; ++p) {
+        work_[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(p)])] -=
+            l_val_[static_cast<std::size_t>(p)] * lki;
+      }
+      d -= lki * lki;
+      const std::int64_t q = cursor_[static_cast<std::size_t>(i)]++;
+      l_row_[static_cast<std::size_t>(q)] = k;
+      l_val_[static_cast<std::size_t>(q)] = lki;
+    }
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const std::int64_t q = cursor_[static_cast<std::size_t>(k)]++;
+    l_row_[static_cast<std::size_t>(q)] = k;
+    l_val_[static_cast<std::size_t>(q)] = std::sqrt(d);
+  }
+  return true;
+}
+
+void SparseNormalFactor::Solve(std::span<double> b) const {
+  LUBT_ASSERT(b.size() == static_cast<std::size_t>(n_));
+  std::vector<double>& y = solve_buf_;
+  for (int k = 0; k < n_; ++k) {
+    y[static_cast<std::size_t>(k)] =
+        b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(k)])];
+  }
+  for (int j = 0; j < n_; ++j) {  // L y = P b
+    const double yj =
+        y[static_cast<std::size_t>(j)] /
+        l_val_[static_cast<std::size_t>(l_ptr_[static_cast<std::size_t>(j)])];
+    y[static_cast<std::size_t>(j)] = yj;
+    for (std::int64_t p = l_ptr_[static_cast<std::size_t>(j)] + 1;
+         p < l_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
+      y[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(p)])] -=
+          l_val_[static_cast<std::size_t>(p)] * yj;
+    }
+  }
+  for (int j = n_ - 1; j >= 0; --j) {  // L' x = y
+    double s = y[static_cast<std::size_t>(j)];
+    for (std::int64_t p = l_ptr_[static_cast<std::size_t>(j)] + 1;
+         p < l_ptr_[static_cast<std::size_t>(j) + 1]; ++p) {
+      s -= l_val_[static_cast<std::size_t>(p)] *
+           y[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(j)] =
+        s /
+        l_val_[static_cast<std::size_t>(l_ptr_[static_cast<std::size_t>(j)])];
+  }
+  for (int k = 0; k < n_; ++k) {
+    b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(k)])] =
+        y[static_cast<std::size_t>(k)];
+  }
+}
+
+double SparseNormalFactor::PatternDensity() const {
+  if (n_ == 0) return 1.0;
+  const double total = 0.5 * static_cast<double>(n_) *
+                       (static_cast<double>(n_) + 1.0);
+  return static_cast<double>(up_row_.size()) / total;
+}
+
+}  // namespace lubt

@@ -1,0 +1,139 @@
+// Sparse Cholesky for the interior-point normal equations.
+//
+// Every Newton step of the interior-point engine factors
+//
+//     M = A' diag(s) A + diag(d)
+//
+// where A is the compiled ge-form constraint matrix and only s, d change
+// across iterations. M's sparsity pattern is therefore fixed for a given A:
+// the graph of A'A is exactly the union of the row-support cliques (two
+// columns are adjacent iff some row touches both — for EBF, iff two tree
+// edges share a constraint path). That structure is exploited three ways:
+//
+//  1. the fill-reducing ordering runs minimum degree directly on the clique
+//     cover (no explicit pairwise graph needed), which on EBF's tree-path
+//     cliques behaves like nested dissection on the tree;
+//  2. the symbolic factorization (ordering, elimination tree, nnz(L)) is
+//     computed once and reused by every numeric refactorization;
+//  3. assembly scatters each row's coefficient products through precomputed
+//     value positions, so a Newton iteration costs O(sum_i nnz(row_i)^2 +
+//     flops(L)) instead of O(n^2 + n^3/6).
+//
+// Because lazy row generation only appends rows, a grown model often adds
+// no new pattern entries (Steiner paths overlap heavily); TryExtend detects
+// that case and keeps the symbolic analysis, which is what makes the
+// symbolic work amortize across lazy rounds.
+
+#ifndef LUBT_LP_SPARSE_CHOL_H_
+#define LUBT_LP_SPARSE_CHOL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace lubt {
+
+/// Fill-reducing elimination order by exact minimum degree on the clique
+/// cover given by the ge-row column supports. Returns `order` with
+/// order[k] = column eliminated k-th. Deterministic (ties break on the
+/// smallest column index).
+std::vector<std::int32_t> MinDegreeOrder(const CompiledLpModel& a);
+
+/// The sparse normal-equations factor. Lifecycle:
+///
+///   SparseNormalFactor f;
+///   f.Analyze(a);                     // or f.TryExtend(a) after appends
+///   while (newton) {
+///     f.Factor(a, row_weight, diag);  // assemble + refactor numerically
+///     f.Solve(rhs);
+///   }
+class SparseNormalFactor {
+ public:
+  /// One-time symbolic analysis for `a`: ordering, pattern of M, scatter
+  /// positions, elimination tree and L's column structure.
+  void Analyze(const CompiledLpModel& a);
+
+  /// Reuse the existing analysis for a model grown from the analyzed one by
+  /// row appends. Succeeds (and registers the new rows' scatter positions)
+  /// when every appended row's column pairs already lie inside the analyzed
+  /// pattern; otherwise leaves the analysis untouched and returns false, in
+  /// which case the caller must Analyze() again. Also returns false when no
+  /// analysis exists or `a` is not a grown version of the analyzed model.
+  bool TryExtend(const CompiledLpModel& a);
+
+  /// Assemble M = A' diag(row_weight) A + diag(diag) and factor it, retrying
+  /// with escalating diagonal regularization like the dense path. Returns
+  /// false if the matrix could not be factored even with regularization.
+  bool Factor(const CompiledLpModel& a, std::span<const double> row_weight,
+              std::span<const double> diag);
+
+  /// Diagonal-regularization retries spent by the last Factor call.
+  int attempts() const { return attempts_; }
+
+  /// Solve M x = b in place using the last successful Factor.
+  void Solve(std::span<double> b) const;
+
+  bool analyzed() const { return n_ > 0; }
+  int analyzed_rows() const { return analyzed_rows_; }
+  /// nnz of the lower triangle of M (diagonal included).
+  std::int64_t PatternNnz() const {
+    return analyzed() ? static_cast<std::int64_t>(up_row_.size()) : 0;
+  }
+  /// PatternNnz over the full lower-triangle size, in [0, 1].
+  double PatternDensity() const;
+  /// nnz of the Cholesky factor L (diagonal included).
+  std::int64_t FillNnz() const {
+    return analyzed() && !l_ptr_.empty() ? l_ptr_.back() : 0;
+  }
+
+ private:
+  // Append scatter positions for rows [first_row, a.num_rows). Returns false
+  // (and truncates any partial append) if a pair falls outside the pattern.
+  bool AppendScatter(const CompiledLpModel& a, int first_row);
+  // Position of (r, c) with r <= c in the permuted upper CSC pattern, or -1.
+  std::int64_t FindEntry(std::int32_t r, std::int32_t c) const;
+  void BuildSymbolic();
+  bool FactorAttempt(double reg);
+  // Pattern of row k of L into stack_[return .. n); uses stamp_ marks.
+  int Ereach(int k);
+
+  int n_ = 0;
+  int analyzed_rows_ = 0;
+  std::int64_t analyzed_nnz_ = 0;
+
+  std::vector<std::int32_t> perm_;      // perm_[k] = original column at k
+  std::vector<std::int32_t> inv_perm_;  // inv_perm_[orig] = position
+
+  // Pattern of permuted M, upper-triangular CSC (entry rows <= column,
+  // sorted ascending; the diagonal is always present and last per column).
+  std::vector<std::int64_t> up_ptr_;
+  std::vector<std::int32_t> up_row_;
+  std::vector<double> up_val_;          // assembled values
+  std::vector<std::int64_t> diag_pos_;  // per ORIGINAL column
+
+  // Scatter positions into up_val_, per ge row, aligned with the pair
+  // enumeration (a, b) for a = 0..len-1, b = 0..a over the row's entries.
+  std::vector<std::int64_t> scatter_ptr_;
+  std::vector<std::int64_t> scatter_pos_;
+
+  // Symbolic L (CSC, first entry of each column is its diagonal).
+  std::vector<std::int32_t> etree_;
+  std::vector<std::int64_t> l_ptr_;
+  std::vector<std::int32_t> l_row_;
+  std::vector<double> l_val_;
+
+  // Workspaces for ereach / numeric factorization / solves.
+  std::vector<std::int32_t> stamp_;
+  std::vector<std::int32_t> stack_;
+  std::vector<std::int64_t> cursor_;
+  std::vector<double> work_;
+  mutable std::vector<double> solve_buf_;
+
+  int attempts_ = 0;
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_LP_SPARSE_CHOL_H_

@@ -77,7 +77,14 @@ double PathQuery::PathLength(NodeId a, NodeId b,
 
 std::vector<double> PathQuery::RootDistances(
     std::span<const double> edge_len) const {
-  std::vector<double> dist(static_cast<std::size_t>(topo_.NumNodes()), 0.0);
+  std::vector<double> dist;
+  RootDistancesInto(edge_len, dist);
+  return dist;
+}
+
+void PathQuery::RootDistancesInto(std::span<const double> edge_len,
+                                  std::vector<double>& dist) const {
+  dist.assign(static_cast<std::size_t>(topo_.NumNodes()), 0.0);
   for (const NodeId v : topo_.PreOrder()) {
     const NodeId p = topo_.Parent(v);
     if (p != kInvalidNode) {
@@ -86,7 +93,6 @@ std::vector<double> PathQuery::RootDistances(
           edge_len[static_cast<std::size_t>(v)];
     }
   }
-  return dist;
 }
 
 }  // namespace lubt

@@ -40,6 +40,11 @@ class PathQuery {
   /// (= delay under the linear model). Indexed by node id.
   std::vector<double> RootDistances(std::span<const double> edge_len) const;
 
+  /// RootDistances into a caller-owned buffer (resized to NumNodes), for
+  /// hot loops that query once per LP round and want no allocation.
+  void RootDistancesInto(std::span<const double> edge_len,
+                         std::vector<double>& dist) const;
+
  private:
   const Topology& topo_;
   int log_ = 1;

@@ -507,5 +507,37 @@ TEST(SpecialCasesTest, PresolveDoesNotChangeTheOptimum) {
   EXPECT_NEAR(plain.cost, pre.cost, 1e-6 * (1.0 + plain.cost));
 }
 
+TEST(LazyWarmStartTest, WarmRoundsMatchColdOnRandomInstances) {
+  // Warm-started lazy rounds (the default) must land on the cold objective
+  // and must not spend more total interior-point iterations.
+  for (const std::uint64_t seed : {7u, 21u, 63u}) {
+    SinkSet set = RandomSinkSet(40, BBox({0, 0}, {1000, 1000}), seed, true);
+    const double R = Radius(set.sinks, set.source);
+    Topology topo = NnMergeTopology(set.sinks, set.source);
+    EbfProblem prob;
+    prob.topo = &topo;
+    prob.sinks = set.sinks;
+    prob.source = set.source;
+    prob.bounds.assign(set.sinks.size(), DelayBounds{0.9 * R, 1.2 * R});
+
+    EbfSolveOptions opt;
+    opt.strategy = EbfStrategy::kLazy;
+    opt.lp.engine = LpEngine::kInteriorPoint;
+    const EbfSolveResult warm = SolveEbf(prob, opt);
+    opt.lp.warm_start_lazy_rounds = false;
+    const EbfSolveResult cold = SolveEbf(prob, opt);
+    ASSERT_TRUE(warm.ok()) << "seed " << seed << ": " << warm.status;
+    ASSERT_TRUE(cold.ok()) << "seed " << seed << ": " << cold.status;
+    EXPECT_NEAR(warm.cost, cold.cost, 1e-5 * (1.0 + cold.cost))
+        << "seed " << seed;
+    EXPECT_EQ(cold.lazy_stats.warm_rounds, 0) << "seed " << seed;
+    if (warm.lazy_rounds > 1) {
+      EXPECT_GT(warm.lazy_stats.warm_rounds, 0) << "seed " << seed;
+      EXPECT_LE(warm.lazy_stats.lp_iterations, cold.lazy_stats.lp_iterations)
+          << "seed " << seed;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lubt

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "lp/interior_point.h"
 #include "lp/lazy_row_solver.h"
 #include "lp/model.h"
 #include "lp/presolve.h"
@@ -304,6 +305,181 @@ TEST(LazyRowTest, EmptyOracleIsOneShot) {
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(stats.rounds, 1);
   EXPECT_EQ(stats.rows_added, 0);
+}
+
+// ---- Sparse normal equations & warm starts ---------------------------------
+
+// Sparse feasible model: every row touches a short contiguous column window
+// (band structure, like EBF path rows), feasible around x0 > 0.
+LpModel RandomBandedModel(Rng& rng, int n, int rows) {
+  LpModel m(n);
+  for (int c = 0; c < n; ++c) m.SetObjective(c, rng.Uniform(0.2, 2.0));
+  std::vector<double> x0(static_cast<std::size_t>(n));
+  for (double& v : x0) v = rng.Uniform(0.5, 2.0);
+  for (int r = 0; r < rows; ++r) {
+    const int width = 2 + static_cast<int>(rng.UniformInt(5));
+    const int start = static_cast<int>(rng.UniformInt(
+        static_cast<std::uint64_t>(n - width)));
+    std::vector<std::int32_t> idx;
+    std::vector<double> val;
+    double act = 0.0;
+    for (int c = start; c < start + width; ++c) {
+      idx.push_back(c);
+      const double a = rng.Uniform(0.2, 1.5);
+      val.push_back(a);
+      act += a * x0[static_cast<std::size_t>(c)];
+    }
+    m.AddRow(idx, val, act * rng.Uniform(0.3, 0.95), kLpInf);
+  }
+  return m;
+}
+
+LpSolverOptions IpmWith(IpmNormalEq ne) {
+  LpSolverOptions o;
+  o.engine = LpEngine::kInteriorPoint;
+  o.normal_eq = ne;
+  return o;
+}
+
+class SparseNormalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseNormalTest, SparseMatchesDenseOnBandedModels) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const int n = 64 + static_cast<int>(rng.UniformInt(64));
+  LpModel m = RandomBandedModel(rng, n, 3 * n);
+  const LpSolution dense = SolveLp(m, IpmWith(IpmNormalEq::kDense));
+  const LpSolution sparse = SolveLp(m, IpmWith(IpmNormalEq::kSparse));
+  ASSERT_TRUE(dense.ok()) << dense.status;
+  ASSERT_TRUE(sparse.ok()) << sparse.status;
+  EXPECT_FALSE(dense.sparse_normal);
+  EXPECT_TRUE(sparse.sparse_normal);
+  EXPECT_NEAR(dense.objective, sparse.objective,
+              1e-6 * (1.0 + std::abs(dense.objective)));
+  EXPECT_LE(m.MaxInfeasibility(dense.x), 1e-6);
+  EXPECT_LE(m.MaxInfeasibility(sparse.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseNormalTest, ::testing::Range(1, 9));
+
+TEST(SparseNormalTest, AutoPicksDenseForSmallAndSparseForBanded) {
+  const LpSolution small = SolveLp(TinyModel(), IpmWith(IpmNormalEq::kAuto));
+  ASSERT_TRUE(small.ok()) << small.status;
+  EXPECT_FALSE(small.sparse_normal);
+
+  Rng rng(17);
+  LpModel banded = RandomBandedModel(rng, 128, 256);
+  const LpSolution big = SolveLp(banded, IpmWith(IpmNormalEq::kAuto));
+  ASSERT_TRUE(big.ok()) << big.status;
+  EXPECT_TRUE(big.sparse_normal);
+}
+
+TEST(WarmStartTest, WarmResolveMatchesColdAndSavesIterations) {
+  Rng rng(23);
+  LpModel m = RandomBandedModel(rng, 96, 300);
+  const LpSolution cold = SolveLp(m, IpmWith(IpmNormalEq::kAuto));
+  ASSERT_TRUE(cold.ok()) << cold.status;
+  ASSERT_EQ(cold.ge_dual.size(), m.Compiled().rhs.size());
+
+  LpWarmStart warm;
+  warm.x = cold.x;
+  warm.ge_dual = cold.ge_dual;
+  LpSolverOptions o = IpmWith(IpmNormalEq::kAuto);
+  o.warm_start = &warm;
+  const LpSolution hot = SolveLp(m, o);
+  ASSERT_TRUE(hot.ok()) << hot.status;
+  EXPECT_TRUE(hot.warm_started);
+  EXPECT_NEAR(hot.objective, cold.objective,
+              1e-6 * (1.0 + std::abs(cold.objective)));
+  EXPECT_LT(hot.iterations, cold.iterations);
+}
+
+TEST(WarmStartTest, SizeMismatchedWarmStartIsIgnored) {
+  LpModel m = TinyModel();
+  LpWarmStart warm;
+  warm.x = {1.0};  // wrong size: model has 2 columns
+  LpSolverOptions o = IpmWith(IpmNormalEq::kAuto);
+  o.warm_start = &warm;
+  const LpSolution s = SolveLp(m, o);
+  ASSERT_TRUE(s.ok()) << s.status;
+  EXPECT_FALSE(s.warm_started);
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+}
+
+TEST(SymbolicReuseTest, AppendedRowsInsidePatternReuseTheAnalysis) {
+  Rng rng(31);
+  LpModel m = RandomBandedModel(rng, 80, 240);
+  IpmContext ctx;
+  LpSolverOptions o = IpmWith(IpmNormalEq::kSparse);
+  o.ipm_context = &ctx;
+  const LpSolution first = SolveLp(m, o);
+  ASSERT_TRUE(first.ok()) << first.status;
+  EXPECT_FALSE(first.symbolic_reused);
+  EXPECT_EQ(ctx.analyses, 1);
+
+  // Append a redundant copy of an existing row (same support => same
+  // pattern): the symbolic analysis must survive.
+  SparseRow dup = m.Row(0);
+  dup.lo *= 0.5;
+  m.AddRow(std::move(dup));
+  const LpSolution second = SolveLp(m, o);
+  ASSERT_TRUE(second.ok()) << second.status;
+  EXPECT_TRUE(second.symbolic_reused);
+  EXPECT_EQ(ctx.analyses, 1);
+  EXPECT_EQ(ctx.symbolic_reuses, 1);
+  EXPECT_NEAR(second.objective, first.objective,
+              1e-6 * (1.0 + std::abs(first.objective)));
+
+  // A row pairing the two extreme columns falls outside the banded pattern:
+  // the engine must re-analyze, not crash or mis-solve.
+  std::vector<std::int32_t> idx{0, 79};
+  std::vector<double> val{1.0, 1.0};
+  m.AddRow(idx, val, 0.1, kLpInf);
+  const LpSolution third = SolveLp(m, o);
+  ASSERT_TRUE(third.ok()) << third.status;
+  EXPECT_FALSE(third.symbolic_reused);
+  EXPECT_EQ(ctx.analyses, 2);
+}
+
+TEST(LazyRowTest, WarmLazyRoundsMatchColdOnInteriorPoint) {
+  // Full problem: banded rows; the lazy model starts with a prefix and the
+  // oracle separates the rest. Run once warm (default) and once cold.
+  Rng rng(41);
+  const int n = 96;
+  LpModel full = RandomBandedModel(rng, n, 4 * n);
+  const int seed_rows = full.NumRows() / 8;
+
+  const RowOracle oracle = [&](std::span<const double> x) {
+    std::vector<SparseRow> out;
+    for (const SparseRow& row : full.Rows()) {
+      if (row.Activity(x) < row.lo - 1e-9) out.push_back(row);
+    }
+    return out;
+  };
+
+  LpSolution sol[2];
+  LazySolveStats stats[2];
+  for (const bool warm : {false, true}) {
+    LpModel lazy(n);
+    for (int c = 0; c < n; ++c) {
+      lazy.SetObjective(c, full.Objective()[static_cast<std::size_t>(c)]);
+    }
+    for (int r = 0; r < seed_rows; ++r) lazy.AddRow(full.Row(r));
+    LpSolverOptions o = IpmWith(IpmNormalEq::kAuto);
+    o.warm_start_lazy_rounds = warm;
+    sol[warm ? 1 : 0] =
+        SolveWithLazyRows(lazy, oracle, o, 50, &stats[warm ? 1 : 0]);
+    ASSERT_TRUE(sol[warm ? 1 : 0].ok()) << sol[warm ? 1 : 0].status;
+  }
+  EXPECT_EQ(stats[0].warm_rounds, 0);
+  EXPECT_NEAR(sol[0].objective, sol[1].objective,
+              1e-6 * (1.0 + std::abs(sol[0].objective)));
+  if (stats[1].rounds > 1) {
+    EXPECT_GT(stats[1].warm_rounds, 0);
+    // Warm rounds start next to the previous optimum: the total iteration
+    // count across rounds must not regress versus cold starts.
+    EXPECT_LE(stats[1].lp_iterations, stats[0].lp_iterations);
+  }
+  EXPECT_LE(full.MaxInfeasibility(sol[1].x), 1e-6);
 }
 
 // ---- Model sanity ------------------------------------------------------------

@@ -81,6 +81,21 @@ for preset in "${presets[@]}"; do
       continue
     fi
   fi
+
+  # LP engine agreement gate: the smoke run solves fixed instances under all
+  # four normal-equation x warm-start variants and fails on any objective
+  # disagreement. Skipped for tsan (single-threaded LP code, and the slow
+  # tsan build is reserved for the concurrency slice above).
+  if [[ "$preset" == "default" || "$preset" == "asan" || "$preset" == "ubsan" ]]; then
+    echo "==== [$preset] lp_scaling --smoke ===="
+    if ! "./build-$preset/bench/lp_scaling" --smoke \
+         > "/tmp/lubt-check-$preset-lp-smoke.log" 2>&1; then
+      tail -20 "/tmp/lubt-check-$preset-lp-smoke.log"
+      failed+=("$preset (lp_scaling)")
+      continue
+    fi
+    tail -1 "/tmp/lubt-check-$preset-lp-smoke.log" | sed "s/^/[$preset] /"
+  fi
 done
 
 echo
