@@ -1,0 +1,330 @@
+// Separation-oracle scaling curve: octant-screened branch-and-bound vs the
+// all-pairs brute-force scan, measured on the *real* iterates of a lazy
+// solve, plus the grid vs scan nearest-neighbour topology build.
+//
+// For each sink count one instance is built and lazily solved once with a
+// wrapper oracle that, every round, runs the octant oracle (serial and at
+// --jobs workers) AND the brute-force reference on the identical LP point,
+// times each, and demands the returned row sequences be bitwise identical
+// (supports, coefficients, bounds, order). Any disagreement is a hard error
+// (exit 1): the bench doubles as the oracle's correctness gate. End-to-end
+// SolveEbf wall time is then measured per separation mode (no cross-timing
+// interference), and NnMergeTopology is timed grid vs scan with a
+// node-for-node equality check.
+//
+// Modes:
+//   (default)      sizes 128..2048, written to BENCH_sep.json — the curve
+//                  quoted in EXPERIMENTS.md. The headline gate requires the
+//                  octant oracle to be >= 5x faster than brute force at
+//                  >= 1024 sinks. LUBT_BENCH_SCALE is deliberately ignored
+//                  (engine benchmark, not a paper table).
+//   --smoke        two small fixed instances, agreement gates only; fast
+//                  enough for tools/check.sh and the sanitizer presets.
+//
+// Flags: --smoke, --seed S (default 7), --jobs N (default 4), --json PATH
+// (default BENCH_sep.json; empty string disables the file).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cts/metrics.h"
+#include "ebf/formulation.h"
+#include "ebf/solver.h"
+#include "geom/bbox.h"
+#include "io/benchmarks.h"
+#include "lp/lazy_row_solver.h"
+#include "topo/nn_merge.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace lubt;
+
+namespace {
+
+struct SizeResult {
+  int sinks = 0;
+  // Separation phase (accumulated over all lazy rounds, identical iterates).
+  int sep_calls = 0;
+  int rows_found = 0;
+  double sep_octant_seconds = 0.0;
+  double sep_octant_jobs_seconds = 0.0;
+  double sep_brute_seconds = 0.0;
+  bool rows_agree = true;
+  // End-to-end solves, one per mode.
+  double e2e_octant_seconds = 0.0;
+  double e2e_brute_seconds = 0.0;
+  double e2e_octant_objective = 0.0;
+  double e2e_brute_objective = 0.0;
+  bool objectives_agree = true;
+  // Topology construction.
+  double topo_grid_seconds = 0.0;
+  double topo_scan_seconds = 0.0;
+  bool topo_agree = true;
+
+  double SepSpeedup() const {
+    return sep_octant_seconds > 0.0 ? sep_brute_seconds / sep_octant_seconds
+                                    : 0.0;
+  }
+};
+
+bool SameRows(const std::vector<SparseRow>& a,
+              const std::vector<SparseRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r].index != b[r].index || a[r].value != b[r].value ||
+        a[r].lo != b[r].lo || a[r].hi != b[r].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SameTopology(const Topology& a, const Topology& b) {
+  if (a.NumNodes() != b.NumNodes() || a.Root() != b.Root() ||
+      a.Mode() != b.Mode()) {
+    return false;
+  }
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    const TopoNode& na = a.Node(v);
+    const TopoNode& nb = b.Node(v);
+    if (na.parent != nb.parent || na.left != nb.left ||
+        na.right != nb.right || na.sink != nb.sink) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RunSize(int sinks, std::uint64_t seed, int jobs, SizeResult* out) {
+  const SinkSet set = RandomSinkSet(
+      sinks, BBox({0.0, 0.0}, {1000.0, 1000.0}), seed, /*with_source=*/true);
+  const double radius = Radius(set.sinks, set.source);
+
+  out->sinks = sinks;
+
+  // Topology: grid vs scan, timed, node-for-node equal.
+  Timer topo_timer;
+  const Topology topo =
+      NnMergeTopology(set.sinks, set.source, NnMergeAccel::kGrid);
+  out->topo_grid_seconds = topo_timer.Seconds();
+  topo_timer.Restart();
+  const Topology topo_scan =
+      NnMergeTopology(set.sinks, set.source, NnMergeAccel::kScan);
+  out->topo_scan_seconds = topo_timer.Seconds();
+  if (!SameTopology(topo, topo_scan)) {
+    std::fprintf(stderr, "FAIL %d sinks: grid topology != scan topology\n",
+                 sinks);
+    out->topo_agree = false;
+  }
+
+  EbfProblem prob;
+  prob.topo = &topo;
+  prob.sinks = set.sinks;
+  prob.source = set.source;
+  prob.bounds.assign(set.sinks.size(), DelayBounds{0.9 * radius, 1.2 * radius});
+
+  const EbfSolveOptions defaults;  // tol / row cap / round cap knobs
+
+  // One lazy solve through a wrapper oracle that runs all three separation
+  // variants on the identical iterate and gates on exact agreement.
+  {
+    Result<EbfFormulation> built =
+        EbfFormulation::Build(prob, SteinerRowPolicy::kSeed);
+    if (!built.ok()) {
+      std::fprintf(stderr, "FAIL %d sinks: %s\n", sinks,
+                   built.status().ToString().c_str());
+      return false;
+    }
+    EbfFormulation& f = *built;
+    const RowOracle oracle = [&](std::span<const double> x) {
+      Timer t;
+      auto serial = f.FindViolatedSteinerRows(
+          x, defaults.separation_tol, defaults.max_rows_per_round,
+          {SeparationMode::kOctant, 1});
+      out->sep_octant_seconds += t.Seconds();
+      t.Restart();
+      const auto threaded = f.FindViolatedSteinerRows(
+          x, defaults.separation_tol, defaults.max_rows_per_round,
+          {SeparationMode::kOctant, jobs});
+      out->sep_octant_jobs_seconds += t.Seconds();
+      t.Restart();
+      const auto brute = f.FindViolatedSteinerRows(
+          x, defaults.separation_tol, defaults.max_rows_per_round,
+          {SeparationMode::kBruteForce, 1});
+      out->sep_brute_seconds += t.Seconds();
+      if (!SameRows(serial, brute) || !SameRows(serial, threaded)) {
+        std::fprintf(stderr,
+                     "FAIL %d sinks: oracle row sets disagree in round %d\n",
+                     sinks, out->sep_calls);
+        out->rows_agree = false;
+      }
+      ++out->sep_calls;
+      out->rows_found += static_cast<int>(serial.size());
+      return serial;
+    };
+    LazySolveStats stats;
+    const LpSolution lp =
+        SolveWithLazyRows(f.MutableModel(), oracle, defaults.lp,
+                          defaults.max_lazy_rounds, &stats);
+    if (!lp.ok()) {
+      std::fprintf(stderr, "FAIL %d sinks: lazy solve: %s\n", sinks,
+                   lp.status.ToString().c_str());
+      return false;
+    }
+  }
+
+  // End-to-end wall time per mode, free of cross-timing interference.
+  for (const SeparationMode mode :
+       {SeparationMode::kOctant, SeparationMode::kBruteForce}) {
+    EbfSolveOptions opt;
+    opt.separation = mode;
+    opt.separation_jobs = 1;
+    opt.use_zero_skew_fast_path = false;
+    const EbfSolveResult r = SolveEbf(prob, opt);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAIL %d sinks e2e %s: %s\n", sinks,
+                   SeparationModeName(mode), r.status.ToString().c_str());
+      return false;
+    }
+    if (mode == SeparationMode::kOctant) {
+      out->e2e_octant_seconds = r.seconds;
+      out->e2e_octant_objective = r.objective;
+    } else {
+      out->e2e_brute_seconds = r.seconds;
+      out->e2e_brute_objective = r.objective;
+    }
+  }
+  const double ref = out->e2e_octant_objective;
+  if (std::abs(out->e2e_brute_objective - ref) >
+      1e-6 * (1.0 + std::abs(ref))) {
+    std::fprintf(stderr,
+                 "FAIL %d sinks: e2e objectives disagree (%.12g vs %.12g)\n",
+                 sinks, ref, out->e2e_brute_objective);
+    out->objectives_agree = false;
+  }
+  return out->rows_agree && out->objectives_agree && out->topo_agree;
+}
+
+void WriteJson(const std::string& path, int jobs,
+               const std::vector<SizeResult>& all) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"separation_scaling\",\n");
+  std::fprintf(f, "  \"jobs\": %d,\n  \"sizes\": [\n", jobs);
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    const SizeResult& r = all[s];
+    std::fprintf(
+        f,
+        "    {\"sinks\": %d, \"sep_calls\": %d, \"rows_found\": %d,\n"
+        "     \"sep_octant_seconds\": %.6f, "
+        "\"sep_octant_jobs_seconds\": %.6f, "
+        "\"sep_brute_seconds\": %.6f, \"sep_speedup\": %.2f,\n"
+        "     \"e2e_octant_seconds\": %.6f, \"e2e_brute_seconds\": %.6f, "
+        "\"objective\": %.12g,\n"
+        "     \"topo_grid_seconds\": %.6f, \"topo_scan_seconds\": %.6f, "
+        "\"rows_agree\": %s, \"topo_agree\": %s}%s\n",
+        r.sinks, r.sep_calls, r.rows_found, r.sep_octant_seconds,
+        r.sep_octant_jobs_seconds, r.sep_brute_seconds, r.SepSpeedup(),
+        r.e2e_octant_seconds, r.e2e_brute_seconds, r.e2e_octant_objective,
+        r.topo_grid_seconds, r.topo_scan_seconds,
+        r.rows_agree ? "true" : "false", r.topo_agree ? "true" : "false",
+        s + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(results also written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed =
+      ArgParser::Parse(argc, argv, {"smoke", "seed", "jobs", "json", "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  if (parsed->Has("help")) {
+    std::printf(
+        "separation_scaling: octant vs brute-force oracle + grid vs scan "
+        "topology\n"
+        "  --smoke      small fixed instances, agreement gates only\n"
+        "  --seed S     instance seed (default 7)\n"
+        "  --jobs N     octant oracle worker threads (default 4)\n"
+        "  --json PATH  output file (default BENCH_sep.json; '' disables)\n");
+    return 0;
+  }
+  const bool smoke = parsed->Has("smoke");
+  const Result<int> seed = parsed->GetIntFlag("seed", 7, 0);
+  const Result<int> jobs = parsed->GetIntFlag("jobs", 4, 1);
+  if (!seed.ok() || !jobs.ok()) {
+    std::fprintf(stderr, "bad --seed/--jobs\n");
+    return 2;
+  }
+  const std::string json =
+      parsed->GetString("json", smoke ? "" : "BENCH_sep.json");
+
+  const std::vector<int> sizes = smoke
+                                     ? std::vector<int>{48, 96}
+                                     : std::vector<int>{128, 256, 512, 1024,
+                                                        2048};
+
+  std::vector<SizeResult> all;
+  bool ok = true;
+  TextTable table({"sinks", "rounds", "rows", "sep_oct(s)", "sep_par(s)",
+                   "sep_brute(s)", "speedup", "e2e_oct(s)", "e2e_brute(s)",
+                   "topo_grid(s)", "topo_scan(s)"});
+  for (const int sinks : sizes) {
+    SizeResult sr;
+    if (!RunSize(sinks, static_cast<std::uint64_t>(*seed), *jobs, &sr)) {
+      ok = false;
+    }
+    table.AddRow({std::to_string(sr.sinks), std::to_string(sr.sep_calls),
+                  std::to_string(sr.rows_found),
+                  FormatDouble(sr.sep_octant_seconds, 4),
+                  FormatDouble(sr.sep_octant_jobs_seconds, 4),
+                  FormatDouble(sr.sep_brute_seconds, 4),
+                  FormatDouble(sr.SepSpeedup(), 1),
+                  FormatDouble(sr.e2e_octant_seconds, 3),
+                  FormatDouble(sr.e2e_brute_seconds, 3),
+                  FormatDouble(sr.topo_grid_seconds, 4),
+                  FormatDouble(sr.topo_scan_seconds, 4)});
+    all.push_back(std::move(sr));
+  }
+
+  std::printf("\n=== Separation oracle + topology scaling ===\n%s",
+              table.ToString().c_str());
+  WriteJson(json, *jobs, all);
+
+  if (!smoke) {
+    // Headline + hard gate: octant must beat brute force by >= 5x on the
+    // separation phase at every size >= 1024.
+    for (const SizeResult& r : all) {
+      if (r.sinks < 1024) continue;
+      std::printf(
+          "%d sinks: separation %.4fs octant vs %.4fs brute (%.1fx), "
+          "e2e %.3fs vs %.3fs\n",
+          r.sinks, r.sep_octant_seconds, r.sep_brute_seconds, r.SepSpeedup(),
+          r.e2e_octant_seconds, r.e2e_brute_seconds);
+      if (r.SepSpeedup() < 5.0) {
+        std::fprintf(stderr,
+                     "FAIL %d sinks: separation speedup %.2fx < 5x gate\n",
+                     r.sinks, r.SepSpeedup());
+        ok = false;
+      }
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "separation_scaling: FAILED\n");
+    return 1;
+  }
+  std::printf("separation_scaling: OK\n");
+  return 0;
+}

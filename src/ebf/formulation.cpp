@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <utility>
 
 #include "cts/metrics.h"
+#include "runtime/thread_pool.h"
 #include "topo/validate.h"
 
 namespace lubt {
+
+const char* SeparationModeName(SeparationMode mode) {
+  switch (mode) {
+    case SeparationMode::kOctant:
+      return "octant";
+    case SeparationMode::kBruteForce:
+      return "brute-force";
+  }
+  return "unknown";
+}
 
 Status ValidateEbfProblem(const EbfProblem& problem) {
   if (problem.topo == nullptr) {
@@ -114,7 +127,26 @@ struct Extremes {
   }
 };
 
+// The octant screen bound and the exact per-pair violation are the same
+// quantity computed through different floating-point expressions, so the
+// screen keeps this much slack: a subtree pair is pruned only when its bound
+// is at least kScreenSlack below the tolerance, and every surviving leaf
+// pair is re-tested with the brute-force arithmetic. Magnitudes are O(1) in
+// radius-normalized units, so 1e-9 dominates the few-ulp expression
+// difference by orders of magnitude while costing no measurable descent.
+constexpr double kScreenSlack = 1e-9;
+
 }  // namespace
+
+// Strict total order: strongest violation first, node-id pair as the exact
+// tiebreak. Total (no two violations share a normalized pair), so top-k
+// selection and full sorts agree between both separation modes and across
+// worker counts.
+bool EbfFormulation::StrongerViolation(const Violation& x, const Violation& y) {
+  if (x.amount != y.amount) return x.amount > y.amount;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
 
 Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
                                              SteinerRowPolicy policy) {
@@ -158,9 +190,11 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
                  std::span<const double>(&one, 1), -kLpInf, 0.0);
   }
 
-  // Sink node lookup by sink index.
+  // Sink node lookup by sink index; the post order is kept for the
+  // separation oracle's bottom-up aggregate pass.
+  f.post_order_ = topo.PostOrder();
   f.sink_nodes_.assign(problem.sinks.size(), kInvalidNode);
-  for (const NodeId v : topo.PostOrder()) {
+  for (const NodeId v : f.post_order_) {
     if (topo.IsSinkNode(v)) {
       f.sink_nodes_[static_cast<std::size_t>(topo.SinkIndex(v))] = v;
     }
@@ -180,7 +214,8 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
           ManhattanDist(*problem.source, problem.sinks[s]) / scale;
       lo = std::max(lo, dist);
     }
-    const std::vector<NodeId> edges = f.paths_.PathEdges(leaf, root);
+    f.paths_.PathEdgesInto(leaf, root, f.path_edges_scratch_);
+    const std::vector<NodeId>& edges = f.path_edges_scratch_;
     // Regularize (near-)equality windows: exactly-tight rows (l = u, the
     // zero-skew case) are painfully degenerate for interior-point methods.
     // Widening by 1e-9 in radius units changes the optimum by a negligible
@@ -200,7 +235,7 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
   }
 
   // Steiner rows.
-  const std::vector<NodeId> post = topo.PostOrder();
+  const std::vector<NodeId>& post = f.post_order_;
   if (policy == SteinerRowPolicy::kSeed) {
     // One farthest cross pair per binary internal node, found exactly from
     // per-subtree extreme sinks in diagonal coordinates.
@@ -295,8 +330,10 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
 
 SparseRow EbfFormulation::MakeSteinerRow(NodeId a, NodeId b,
                                          double rhs_lp) const {
-  const std::vector<NodeId> edges = paths_.PathEdges(a, b);
-  return RowOverEdges(indexer_, edges, rhs_lp, kLpInf);
+  // The path-edge buffer is reused across every row generated in a round
+  // (the returned SparseRow owns its own storage either way).
+  paths_.PathEdgesInto(a, b, path_edges_scratch_);
+  return RowOverEdges(indexer_, path_edges_scratch_, rhs_lp, kLpInf);
 }
 
 long long EbfFormulation::NumPotentialSteinerRows() const {
@@ -304,8 +341,146 @@ long long EbfFormulation::NumPotentialSteinerRows() const {
   return m * (m - 1) / 2;
 }
 
+void EbfFormulation::BruteForceViolations(std::span<const double> root_dist,
+                                          double tol,
+                                          std::vector<Violation>* found) const {
+  for (std::size_t i = 0; i < problem_->sinks.size(); ++i) {
+    for (std::size_t j = i + 1; j < problem_->sinks.size(); ++j) {
+      NodeId a = sink_nodes_[i];
+      NodeId b = sink_nodes_[j];
+      if (a > b) std::swap(a, b);  // normalized pair id, as the oracle emits
+      const NodeId anc = paths_.Lca(a, b);
+      const double pl = root_dist[static_cast<std::size_t>(a)] +
+                        root_dist[static_cast<std::size_t>(b)] -
+                        2.0 * root_dist[static_cast<std::size_t>(anc)];
+      const double dist_lp =
+          ManhattanDist(problem_->sinks[i], problem_->sinks[j]) / scale_;
+      const double violation = dist_lp - pl;
+      if (violation > tol) {
+        found->push_back({a, b, dist_lp, violation});
+      }
+    }
+  }
+}
+
+void EbfFormulation::EnumerateBucket(NodeId bucket,
+                                     std::span<const double> root_dist,
+                                     double tol,
+                                     std::vector<Violation>* out) const {
+  const Topology& topo = *problem_->topo;
+  const std::vector<OctantMax>& agg = octant_scratch_;
+  const double two_rd = 2.0 * root_dist[static_cast<std::size_t>(bucket)];
+  const TopoNode& top = topo.Node(bucket);
+
+  // Branch-and-bound over (left-subtree, right-subtree) node pairs: a pair
+  // of subtrees descends only while some contained sink pair can still beat
+  // the tolerance, so pruned branches cost O(1) and each reported pair costs
+  // O(depth). The bound is exact at singleton/singleton level; the final
+  // test nevertheless re-runs the brute-force arithmetic so both modes emit
+  // bitwise-identical violations.
+  std::vector<std::pair<NodeId, NodeId>> stack;
+  stack.emplace_back(top.left, top.right);
+  while (!stack.empty()) {
+    const auto [a, b] = stack.back();
+    stack.pop_back();
+    const double bound =
+        OctantMax::CrossBound(agg[static_cast<std::size_t>(a)],
+                              agg[static_cast<std::size_t>(b)]) +
+        two_rd;
+    if (!(bound > tol - kScreenSlack)) continue;
+    const TopoNode& na = topo.Node(a);
+    const TopoNode& nb = topo.Node(b);
+    const bool leaf_a = na.left == kInvalidNode && na.right == kInvalidNode;
+    const bool leaf_b = nb.left == kInvalidNode && nb.right == kInvalidNode;
+    if (leaf_a && leaf_b) {
+      NodeId u = a;
+      NodeId v = b;
+      if (u > v) std::swap(u, v);
+      const std::size_t i =
+          static_cast<std::size_t>(topo.SinkIndex(u));
+      const std::size_t j =
+          static_cast<std::size_t>(topo.SinkIndex(v));
+      const double pl = root_dist[static_cast<std::size_t>(u)] +
+                        root_dist[static_cast<std::size_t>(v)] - two_rd;
+      const double dist_lp =
+          ManhattanDist(problem_->sinks[i], problem_->sinks[j]) / scale_;
+      const double violation = dist_lp - pl;
+      if (violation > tol) {
+        out->push_back({u, v, dist_lp, violation});
+      }
+      continue;
+    }
+    if (!leaf_a) {
+      if (na.left != kInvalidNode) stack.emplace_back(na.left, b);
+      if (na.right != kInvalidNode) stack.emplace_back(na.right, b);
+    } else {
+      if (nb.left != kInvalidNode) stack.emplace_back(a, nb.left);
+      if (nb.right != kInvalidNode) stack.emplace_back(a, nb.right);
+    }
+  }
+}
+
+void EbfFormulation::OctantViolations(std::span<const double> root_dist,
+                                      double tol, int jobs,
+                                      std::vector<Violation>* found) const {
+  const Topology& topo = *problem_->topo;
+  const std::size_t n = static_cast<std::size_t>(topo.NumNodes());
+
+  // Bottom-up octant aggregates: agg[v] holds, per sign combination s, the
+  // max of s.(p/scale) - rootdist over the sinks below v. Small subtrees
+  // merge into large in one post-order sweep, O(1) per node.
+  std::vector<OctantMax>& agg = octant_scratch_;
+  agg.assign(n, OctantMax{});
+  for (const NodeId v : post_order_) {
+    OctantMax& e = agg[static_cast<std::size_t>(v)];
+    if (topo.IsSinkNode(v)) {
+      const Point& p =
+          problem_->sinks[static_cast<std::size_t>(topo.SinkIndex(v))];
+      e.Include(Point{p.x / scale_, p.y / scale_},
+                -root_dist[static_cast<std::size_t>(v)]);
+      continue;
+    }
+    const TopoNode& node = topo.Node(v);
+    if (node.left != kInvalidNode) {
+      e.Merge(agg[static_cast<std::size_t>(node.left)]);
+    }
+    if (node.right != kInvalidNode) {
+      e.Merge(agg[static_cast<std::size_t>(node.right)]);
+    }
+  }
+
+  // O(n) screen: pairs with LCA = v can violate only when the octant cross
+  // bound over (left, right) plus 2 rootdist(v) clears the tolerance.
+  std::vector<NodeId>& buckets = bucket_scratch_;
+  buckets.clear();
+  for (const NodeId v : post_order_) {
+    const TopoNode& node = topo.Node(v);
+    if (node.left == kInvalidNode || node.right == kInvalidNode) continue;
+    const double bound =
+        OctantMax::CrossBound(agg[static_cast<std::size_t>(node.left)],
+                              agg[static_cast<std::size_t>(node.right)]) +
+        2.0 * root_dist[static_cast<std::size_t>(v)];
+    if (bound > tol - kScreenSlack) buckets.push_back(v);
+  }
+
+  // Enumerate surviving buckets, optionally on the runtime's pool. Buckets
+  // write to disjoint slots and the merge below walks slots in bucket
+  // order, so the result is identical at any worker count.
+  std::vector<std::vector<Violation>>& outs = bucket_out_scratch_;
+  if (outs.size() < buckets.size()) outs.resize(buckets.size());
+  ParallelFor(static_cast<int>(buckets.size()), jobs, [&](int i) {
+    outs[static_cast<std::size_t>(i)].clear();
+    EnumerateBucket(buckets[static_cast<std::size_t>(i)], root_dist, tol,
+                    &outs[static_cast<std::size_t>(i)]);
+  });
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    found->insert(found->end(), outs[i].begin(), outs[i].end());
+  }
+}
+
 std::vector<SparseRow> EbfFormulation::FindViolatedSteinerRows(
-    std::span<const double> x, double tol, int max_rows) const {
+    std::span<const double> x, double tol, int max_rows,
+    const SeparationOptions& sep) const {
   const Topology& topo = *problem_->topo;
   // Per-node edge lengths in LP units (scratch reused across rounds).
   std::vector<double>& edge_len = edge_len_scratch_;
@@ -319,29 +494,22 @@ std::vector<SparseRow> EbfFormulation::FindViolatedSteinerRows(
 
   std::vector<Violation>& found = violation_scratch_;
   found.clear();
-  for (std::size_t i = 0; i < problem_->sinks.size(); ++i) {
-    for (std::size_t j = i + 1; j < problem_->sinks.size(); ++j) {
-      const NodeId a = sink_nodes_[i];
-      const NodeId b = sink_nodes_[j];
-      const NodeId anc = paths_.Lca(a, b);
-      const double pl = root_dist[static_cast<std::size_t>(a)] +
-                        root_dist[static_cast<std::size_t>(b)] -
-                        2.0 * root_dist[static_cast<std::size_t>(anc)];
-      const double dist_lp =
-          ManhattanDist(problem_->sinks[i], problem_->sinks[j]) / scale_;
-      const double violation = dist_lp - pl;
-      if (violation > tol) {
-        found.push_back({a, b, dist_lp, violation});
-      }
-    }
+  if (sep.mode == SeparationMode::kBruteForce) {
+    BruteForceViolations(root_dist, tol, &found);
+  } else {
+    OctantViolations(root_dist, tol, sep.jobs, &found);
   }
-  std::sort(found.begin(), found.end(),
-            [](const Violation& x1, const Violation& x2) {
-              return x1.amount > x2.amount;
-            });
-  if (static_cast<int>(found.size()) > max_rows) {
+
+  // Keep the strongest max_rows violations: selection in O(V), then order
+  // just the survivors — O(V + k log k) instead of sorting all V.
+  if (max_rows >= 0 && static_cast<int>(found.size()) > max_rows) {
+    std::nth_element(found.begin(),
+                     found.begin() + static_cast<std::ptrdiff_t>(max_rows),
+                     found.end(), StrongerViolation);
     found.resize(static_cast<std::size_t>(max_rows));
   }
+  std::sort(found.begin(), found.end(), StrongerViolation);
+
   std::vector<SparseRow> rows;
   rows.reserve(found.size());
   for (const Violation& v : found) {

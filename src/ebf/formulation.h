@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "geom/octant.h"
 #include "geom/point.h"
 #include "lp/model.h"
 #include "topo/path_query.h"
@@ -75,6 +76,24 @@ enum class SteinerRowPolicy {
   kSeed,     ///< one farthest cross pair per internal node (for lazy solving)
 };
 
+/// How FindViolatedSteinerRows searches for violated pairs. Both modes
+/// return the exact same rows in the exact same order (the bench and the
+/// randomized tests gate on bitwise agreement).
+enum class SeparationMode {
+  kOctant,      ///< LCA-bucketed octant screen + branch-and-bound (default)
+  kBruteForce,  ///< all-pairs scan; O(m^2) cross-check reference
+};
+
+const char* SeparationModeName(SeparationMode mode);
+
+/// Knobs for one separation call.
+struct SeparationOptions {
+  SeparationMode mode = SeparationMode::kOctant;
+  /// Worker threads for bucket enumeration (kOctant only). Results are
+  /// bitwise identical at any worker count.
+  int jobs = 1;
+};
+
 /// The built LP plus the machinery to separate missing Steiner rows.
 class EbfFormulation {
  public:
@@ -96,10 +115,14 @@ class EbfFormulation {
   long long NumPotentialSteinerRows() const;
 
   /// Separation oracle: Steiner rows of the full problem violated by `x`
-  /// (LP units), strongest violations first, at most `max_rows`.
-  std::vector<SparseRow> FindViolatedSteinerRows(std::span<const double> x,
-                                                 double tol,
-                                                 int max_rows) const;
+  /// (LP units), strongest violations first (ties broken by node-id pair),
+  /// at most `max_rows`. The default octant mode screens the m(m-1)/2 pair
+  /// space in O(n) per round — one O(1) bound per LCA bucket — and pays for
+  /// descent only where violations exist; kBruteForce is the all-pairs
+  /// reference and returns the bitwise-identical row sequence.
+  std::vector<SparseRow> FindViolatedSteinerRows(
+      std::span<const double> x, double tol, int max_rows,
+      const SeparationOptions& sep = {}) const;
 
   /// Convert an LP point to per-node edge lengths in layout units
   /// (root entry = 0).
@@ -110,6 +133,24 @@ class EbfFormulation {
 
   SparseRow MakeSteinerRow(NodeId a, NodeId b, double rhs_lp) const;
 
+  struct Violation {
+    NodeId a;
+    NodeId b;
+    double dist_lp;
+    double amount;
+  };
+
+  static bool StrongerViolation(const Violation& x, const Violation& y);
+
+  // The two separation search strategies; both append the identical
+  // violated-pair set (node-id-normalized, unordered) to `found`.
+  void BruteForceViolations(std::span<const double> root_dist, double tol,
+                            std::vector<Violation>* found) const;
+  void OctantViolations(std::span<const double> root_dist, double tol,
+                        int jobs, std::vector<Violation>* found) const;
+  void EnumerateBucket(NodeId bucket, std::span<const double> root_dist,
+                       double tol, std::vector<Violation>* out) const;
+
   const EbfProblem* problem_;
   EdgeIndexer indexer_;
   PathQuery paths_;
@@ -117,20 +158,20 @@ class EbfFormulation {
   double scale_;
   int num_steiner_rows_ = 0;
   std::vector<NodeId> sink_nodes_;  // by sink index
+  std::vector<NodeId> post_order_;  // cached topo.PostOrder()
 
   // Scratch reused across FindViolatedSteinerRows calls (once per lazy
   // round). Mutable-under-const is safe for the same reason as
   // LpModel::Compiled(): concurrent solves each own their formulation
-  // (runtime contract, DESIGN.md section 10).
-  struct Violation {
-    NodeId a;
-    NodeId b;
-    double dist_lp;
-    double amount;
-  };
+  // (runtime contract, DESIGN.md section 10). Parallel bucket enumeration
+  // writes only to per-bucket outputs, never to these members.
   mutable std::vector<double> edge_len_scratch_;
   mutable std::vector<double> root_dist_scratch_;
   mutable std::vector<Violation> violation_scratch_;
+  mutable std::vector<OctantMax> octant_scratch_;       // per node id
+  mutable std::vector<NodeId> bucket_scratch_;          // screened LCAs
+  mutable std::vector<std::vector<Violation>> bucket_out_scratch_;
+  mutable std::vector<NodeId> path_edges_scratch_;      // row building
 };
 
 }  // namespace lubt

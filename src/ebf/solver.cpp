@@ -147,9 +147,10 @@ EbfSolveResult SolveEbf(const EbfProblem& problem,
   LpSolution lp;
   if (options.strategy == EbfStrategy::kLazy) {
     LazySolveStats stats;
+    const SeparationOptions sep{options.separation, options.separation_jobs};
     const RowOracle oracle = [&](std::span<const double> x) {
       return formulation.FindViolatedSteinerRows(
-          x, options.separation_tol, options.max_rows_per_round);
+          x, options.separation_tol, options.max_rows_per_round, sep);
     };
     lp = SolveWithLazyRows(formulation.MutableModel(), oracle, options.lp,
                            options.max_lazy_rounds, &stats);

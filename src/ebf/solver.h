@@ -30,6 +30,13 @@ struct EbfSolveOptions {
   int max_rows_per_round = 4000;
   /// Separation tolerance in radius-normalized units.
   double separation_tol = 1e-7;
+  /// How the lazy strategy finds violated Steiner rows. kOctant is the
+  /// output-sensitive oracle; kBruteForce keeps the all-pairs scan as a
+  /// cross-check path (identical rows, identical order).
+  SeparationMode separation = SeparationMode::kOctant;
+  /// Worker threads for the octant oracle's bucket enumeration (results are
+  /// worker-count invariant; 1 = inline).
+  int separation_jobs = 1;
   /// Dispatch l_i = u_i = c instances to the direct zero-skew solve
   /// (Section 4.6: the constraints collapse to equalities and no
   /// optimization is necessary). The LP path is kept for cross-checking.

@@ -1,0 +1,80 @@
+// Octant aggregates for exact farthest-pair bounds under the L1 metric.
+//
+// Manhattan distance decomposes over the four sign combinations
+//
+//     dist(p, q) = max over s in {+1,-1}^2 of  s.(p - q)
+//                = max over s of  (s.p) + (-s.q),
+//
+// so the maximum of dist(p, q) + f(p) + g(q) over p in P, q in Q — the shape
+// of every Steiner-row violation query, with f/g the negated root distances —
+// equals max over s of [max_P (s.p + f)] + [max_Q (-s.q + g)]. Maintaining
+// the four per-octant maxima per set makes that cross bound O(1) and the
+// maxima merge bottom-up over a topology in O(1) per node, which is what
+// turns the all-pairs separation scan into an output-sensitive oracle
+// (ebf/formulation.cpp). The bound is *exact* (not an estimate) whenever
+// both sets are singletons.
+
+#ifndef LUBT_GEOM_OCTANT_H_
+#define LUBT_GEOM_OCTANT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.h"
+
+namespace lubt {
+
+/// Per-octant maxima of s.p + offset over a point set, one slot per sign
+/// combination s in {(+,+), (+,-), (-,+), (-,-)}.
+struct OctantMax {
+  static constexpr int kOctants = 4;
+
+  double m[kOctants] = {
+      -std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity()};
+
+  /// s.p for octant k; the order above makes Opposite(k) == 3 - k.
+  static double Key(int k, const Point& p) {
+    switch (k) {
+      case 0: return p.x + p.y;
+      case 1: return p.x - p.y;
+      case 2: return p.y - p.x;
+      default: return -p.x - p.y;
+    }
+  }
+
+  /// Index of the negated sign combination.
+  static constexpr int Opposite(int k) { return kOctants - 1 - k; }
+
+  /// Fold one point with an additive offset into the maxima.
+  void Include(const Point& p, double offset) {
+    for (int k = 0; k < kOctants; ++k) {
+      m[k] = std::max(m[k], Key(k, p) + offset);
+    }
+  }
+
+  /// Pointwise max with another aggregate (set union).
+  void Merge(const OctantMax& o) {
+    for (int k = 0; k < kOctants; ++k) m[k] = std::max(m[k], o.m[k]);
+  }
+
+  bool Empty() const {
+    return m[0] == -std::numeric_limits<double>::infinity();
+  }
+
+  /// max over p in A, q in B of dist(p, q) + offset_A(p) + offset_B(q).
+  /// -inf when either side is empty.
+  static double CrossBound(const OctantMax& a, const OctantMax& b) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (int k = 0; k < kOctants; ++k) {
+      best = std::max(best, a.m[k] + b.m[Opposite(k)]);
+    }
+    return best;
+  }
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_GEOM_OCTANT_H_

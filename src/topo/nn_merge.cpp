@@ -1,5 +1,8 @@
 #include "topo/nn_merge.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <limits>
 #include <vector>
 
@@ -9,20 +12,30 @@
 namespace lubt {
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 struct Cluster {
   NodeId node = kInvalidNode;
   Trr region;
   bool active = false;
   // Cached nearest active neighbour (may be stale; refreshed lazily).
   int nn = -1;
-  double nn_dist = std::numeric_limits<double>::infinity();
+  double nn_dist = kInf;
+  // Grid bookkeeping (kGrid only): cell index, region center in diagonal
+  // coordinates, and the larger per-axis half-extent.
+  int cell = -1;
+  double cu = 0.0;
+  double cv = 0.0;
+  double half = 0.0;
 };
 
 // Recompute the nearest active neighbour of cluster c by full scan.
-void RefreshNn(std::vector<Cluster>& clusters, int c) {
+// Ascending j with strict improvement == the lexicographic (distance, index)
+// minimum; the grid backend reproduces exactly this order.
+void RefreshNnScan(std::vector<Cluster>& clusters, int c) {
   Cluster& self = clusters[static_cast<std::size_t>(c)];
   self.nn = -1;
-  self.nn_dist = std::numeric_limits<double>::infinity();
+  self.nn_dist = kInf;
   for (int j = 0; j < static_cast<int>(clusters.size()); ++j) {
     if (j == c || !clusters[static_cast<std::size_t>(j)].active) continue;
     const double d =
@@ -34,12 +47,184 @@ void RefreshNn(std::vector<Cluster>& clusters, int c) {
   }
 }
 
+// Uniform grid over diagonal coordinates holding exactly the active
+// clusters. Nearest queries expand Chebyshev cell rings around the query's
+// cell; a ring at index r >= 1 can only hold clusters whose region is at
+// L1 distance > (r-1)*cell - half(self) - max_half from the query region
+// (cell indexing is monotone in each axis even under clamping, and
+// TrrDist(a, b) >= Linf(centers) - half(a) - half(b)), so expansion stops
+// as soon as that lower bound strictly exceeds the best candidate. Ties at
+// equal distance fall to the smallest cluster index, bitwise matching the
+// scan backend.
+class ClusterGrid {
+ public:
+  void Init(std::span<const Point> sinks) {
+    double ulo = kInf, uhi = -kInf, vlo = kInf, vhi = -kInf;
+    for (const Point& p : sinks) {
+      const double u = p.x + p.y;
+      const double v = p.y - p.x;
+      ulo = std::min(ulo, u);
+      uhi = std::max(uhi, u);
+      vlo = std::min(vlo, v);
+      vhi = std::max(vhi, v);
+    }
+    g_ = std::max(
+        1, static_cast<int>(std::ceil(std::sqrt(
+               static_cast<double>(sinks.size())))));
+    const double span = std::max(uhi - ulo, vhi - vlo);
+    cell_ = span > 0.0 ? span / g_ : 1.0;
+    u0_ = ulo;
+    v0_ = vlo;
+    cells_.assign(static_cast<std::size_t>(g_) * g_, {});
+  }
+
+  void Insert(std::vector<Cluster>& clusters, int idx) {
+    Cluster& cl = clusters[static_cast<std::size_t>(idx)];
+    cl.cu = cl.region.U().Center();
+    cl.cv = cl.region.V().Center();
+    cl.half =
+        0.5 * std::max(cl.region.U().Length(), cl.region.V().Length());
+    // Monotone over everything ever inserted — a conservative bound keeps
+    // the ring lower bound valid without per-removal recomputation.
+    max_half_ = std::max(max_half_, cl.half);
+    cl.cell = Axis(cl.cu, u0_) * g_ + Axis(cl.cv, v0_);
+    cells_[static_cast<std::size_t>(cl.cell)].push_back(idx);
+  }
+
+  void Remove(std::vector<Cluster>& clusters, int idx) {
+    Cluster& cl = clusters[static_cast<std::size_t>(idx)];
+    std::vector<int>& bucket = cells_[static_cast<std::size_t>(cl.cell)];
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      if (bucket[k] == idx) {
+        bucket[k] = bucket.back();
+        bucket.pop_back();
+        break;
+      }
+    }
+    cl.cell = -1;
+  }
+
+  // Grid-backed equivalent of RefreshNnScan.
+  void Refresh(std::vector<Cluster>& clusters, int c) const {
+    Cluster& self = clusters[static_cast<std::size_t>(c)];
+    self.nn = -1;
+    self.nn_dist = kInf;
+    const int iu = self.cell / g_;
+    const int iv = self.cell % g_;
+    const int rmax = MaxRing(iu, iv);
+    for (int r = 0; r <= rmax; ++r) {
+      if (self.nn >= 0 &&
+          RingLowerBound(r, self.half) > self.nn_dist) {
+        break;
+      }
+      VisitRing(iu, iv, r, [&](const std::vector<int>& bucket) {
+        for (const int j : bucket) {
+          if (j == c) continue;
+          const double d = TrrDist(
+              self.region, clusters[static_cast<std::size_t>(j)].region);
+          if (d < self.nn_dist || (d == self.nn_dist && j < self.nn)) {
+            self.nn_dist = d;
+            self.nn = j;
+          }
+        }
+      });
+    }
+  }
+
+  // One-sided newcomer update: offer cluster `nid` as a nearer neighbour to
+  // every active cluster whose cached distance it beats. Any cluster with an
+  // improvable cache has nn_dist <= dmax (the selection pass's maximum), so
+  // rings whose lower bound exceeds dmax cannot produce an update.
+  void OfferNewcomer(std::vector<Cluster>& clusters, int nid,
+                     double dmax) const {
+    const Cluster& next = clusters[static_cast<std::size_t>(nid)];
+    const int iu = next.cell / g_;
+    const int iv = next.cell % g_;
+    const int rmax = MaxRing(iu, iv);
+    for (int r = 0; r <= rmax; ++r) {
+      if (RingLowerBound(r, next.half) > dmax) break;
+      VisitRing(iu, iv, r, [&](const std::vector<int>& bucket) {
+        for (const int j : bucket) {
+          if (j == nid) continue;
+          Cluster& cl = clusters[static_cast<std::size_t>(j)];
+          const double d = TrrDist(cl.region, next.region);
+          if (d < cl.nn_dist) {
+            cl.nn_dist = d;
+            cl.nn = nid;
+          }
+        }
+      });
+    }
+  }
+
+ private:
+  int Axis(double coord, double origin) const {
+    const double t = std::floor((coord - origin) / cell_);
+    if (t <= 0.0) return 0;
+    if (t >= static_cast<double>(g_ - 1)) return g_ - 1;
+    return static_cast<int>(t);
+  }
+
+  int MaxRing(int iu, int iv) const {
+    return std::max(std::max(iu, g_ - 1 - iu), std::max(iv, g_ - 1 - iv));
+  }
+
+  // Conservative lower bound on the distance from the query region to any
+  // region whose center lies in a ring-r cell. The 1e-9 slack absorbs the
+  // (relative ~1e-16) rounding of the cell-index computation; it only makes
+  // the search visit at most one extra ring.
+  double RingLowerBound(int r, double self_half) const {
+    const double lb = (r - 1) * cell_ - self_half - max_half_;
+    return lb - 1e-9 * (1.0 + std::abs(lb));
+  }
+
+  template <typename Fn>
+  void VisitRing(int iu, int iv, int r, Fn&& fn) const {
+    if (r == 0) {
+      fn(cells_[static_cast<std::size_t>(iu) * g_ + iv]);
+      return;
+    }
+    const int xlo = std::max(0, iu - r);
+    const int xhi = std::min(g_ - 1, iu + r);
+    if (iv - r >= 0) {
+      for (int x = xlo; x <= xhi; ++x) {
+        fn(cells_[static_cast<std::size_t>(x) * g_ + (iv - r)]);
+      }
+    }
+    if (iv + r <= g_ - 1) {
+      for (int x = xlo; x <= xhi; ++x) {
+        fn(cells_[static_cast<std::size_t>(x) * g_ + (iv + r)]);
+      }
+    }
+    const int ylo = std::max(0, iv - r + 1);
+    const int yhi = std::min(g_ - 1, iv + r - 1);
+    for (int y = ylo; y <= yhi; ++y) {
+      if (iu - r >= 0) fn(cells_[static_cast<std::size_t>(iu - r) * g_ + y]);
+      if (iu + r <= g_ - 1) {
+        fn(cells_[static_cast<std::size_t>(iu + r) * g_ + y]);
+      }
+    }
+  }
+
+  int g_ = 1;
+  double cell_ = 1.0;
+  double u0_ = 0.0;
+  double v0_ = 0.0;
+  double max_half_ = 0.0;
+  std::vector<std::vector<int>> cells_;
+};
+
 }  // namespace
 
 Topology NnMergeTopology(std::span<const Point> sinks,
-                         const std::optional<Point>& source) {
+                         const std::optional<Point>& source,
+                         NnMergeAccel accel) {
   LUBT_ASSERT(!sinks.empty());
+  const bool use_grid = accel == NnMergeAccel::kGrid;
   Topology topo;
+
+  ClusterGrid grid;
+  if (use_grid) grid.Init(sinks);
 
   std::vector<Cluster> clusters;
   clusters.reserve(2 * sinks.size());
@@ -49,25 +234,40 @@ Topology NnMergeTopology(std::span<const Point> sinks,
     c.region = Trr::FromPoint(sinks[s]);
     c.active = true;
     clusters.push_back(c);
+    if (use_grid) {
+      grid.Insert(clusters, static_cast<int>(clusters.size()) - 1);
+    }
   }
 
+  const auto refresh = [&](int c) {
+    if (use_grid) {
+      grid.Refresh(clusters, c);
+    } else {
+      RefreshNnScan(clusters, c);
+    }
+  };
+
   int active_count = static_cast<int>(clusters.size());
-  for (int c = 0; c < active_count; ++c) RefreshNn(clusters, c);
+  for (int c = 0; c < active_count; ++c) refresh(c);
 
   while (active_count > 1) {
     // Pick the cluster with the smallest cached nn distance whose cached
-    // target is still active; refresh stale entries on the fly.
+    // target is still active; refresh stale entries on the fly. dmax (the
+    // largest cached distance among active clusters) caps how far the
+    // newcomer update below can possibly reach.
     int best = -1;
+    double dmax = 0.0;
     for (int c = 0; c < static_cast<int>(clusters.size()); ++c) {
       Cluster& cl = clusters[static_cast<std::size_t>(c)];
       if (!cl.active) continue;
       if (cl.nn < 0 || !clusters[static_cast<std::size_t>(cl.nn)].active) {
-        RefreshNn(clusters, c);
+        refresh(c);
       }
       if (best < 0 ||
           cl.nn_dist < clusters[static_cast<std::size_t>(best)].nn_dist) {
         best = c;
       }
+      dmax = std::max(dmax, cl.nn_dist);
     }
     const int a = best;
     const int b = clusters[static_cast<std::size_t>(a)].nn;
@@ -91,15 +291,25 @@ Topology NnMergeTopology(std::span<const Point> sinks,
     clusters[static_cast<std::size_t>(b)].active = false;
     clusters.push_back(next);
     const int nid = static_cast<int>(clusters.size()) - 1;
-    RefreshNn(clusters, nid);
-    // Let existing clusters see the newcomer (cheap one-sided update).
-    for (int c = 0; c < nid; ++c) {
-      Cluster& cl = clusters[static_cast<std::size_t>(c)];
-      if (!cl.active) continue;
-      const double dc = TrrDist(cl.region, next.region);
-      if (dc < cl.nn_dist) {
-        cl.nn_dist = dc;
-        cl.nn = nid;
+    if (use_grid) {
+      grid.Remove(clusters, a);
+      grid.Remove(clusters, b);
+      grid.Insert(clusters, nid);
+    }
+    refresh(nid);
+    // Let existing clusters see the newcomer (one-sided update; the grid
+    // backend prunes rings past dmax, the scan backend visits everyone).
+    if (use_grid) {
+      grid.OfferNewcomer(clusters, nid, dmax);
+    } else {
+      for (int c = 0; c < nid; ++c) {
+        Cluster& cl = clusters[static_cast<std::size_t>(c)];
+        if (!cl.active) continue;
+        const double dc = TrrDist(cl.region, next.region);
+        if (dc < cl.nn_dist) {
+          cl.nn_dist = dc;
+          cl.nn = nid;
+        }
       }
     }
     --active_count;

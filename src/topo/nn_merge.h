@@ -7,6 +7,13 @@
 // LUBT feasibility for any bounds). Cluster regions are maintained exactly
 // as in DME: merging two regions at L1 distance d yields the intersection of
 // the regions inflated by d/2 each.
+//
+// Two search backends produce the *identical* topology (node ids, children
+// order, everything): the historical all-pairs rescan, and a uniform grid
+// over diagonal coordinates that answers nearest-region queries by expanding
+// cell rings, pruning a ring as soon as its distance lower bound exceeds the
+// best candidate. kGrid is the default; kScan is kept as the brute-force
+// cross-check reference (tests/topo_test.cpp gates on exact agreement).
 
 #ifndef LUBT_TOPO_NN_MERGE_H_
 #define LUBT_TOPO_NN_MERGE_H_
@@ -19,11 +26,16 @@
 
 namespace lubt {
 
+/// Which nearest-neighbour search backs the merge loop. Both produce the
+/// same tree; kScan is the O(n^2)-rescan reference.
+enum class NnMergeAccel { kGrid, kScan };
+
 /// Build a nearest-neighbour-merge topology over `sinks`.
 /// With a `source`, the tree gets a fixed-source unary root; otherwise the
 /// top merge node is a free-source root. Requires at least one sink.
 Topology NnMergeTopology(std::span<const Point> sinks,
-                         const std::optional<Point>& source);
+                         const std::optional<Point>& source,
+                         NnMergeAccel accel = NnMergeAccel::kGrid);
 
 }  // namespace lubt
 

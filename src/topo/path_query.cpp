@@ -1,6 +1,7 @@
 #include "topo/path_query.h"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace lubt {
 
@@ -53,13 +54,19 @@ NodeId PathQuery::Lca(NodeId a, NodeId b) const {
 }
 
 std::vector<NodeId> PathQuery::PathEdges(NodeId a, NodeId b) const {
-  const NodeId anc = Lca(a, b);
   std::vector<NodeId> edges;
-  for (NodeId v = a; v != anc; v = topo_.Parent(v)) edges.push_back(v);
-  std::vector<NodeId> down;
-  for (NodeId v = b; v != anc; v = topo_.Parent(v)) down.push_back(v);
-  edges.insert(edges.end(), down.rbegin(), down.rend());
+  PathEdgesInto(a, b, edges);
   return edges;
+}
+
+void PathQuery::PathEdgesInto(NodeId a, NodeId b,
+                              std::vector<NodeId>& out) const {
+  out.clear();
+  const NodeId anc = Lca(a, b);
+  for (NodeId v = a; v != anc; v = topo_.Parent(v)) out.push_back(v);
+  const auto mid = static_cast<std::ptrdiff_t>(out.size());
+  for (NodeId v = b; v != anc; v = topo_.Parent(v)) out.push_back(v);
+  std::reverse(out.begin() + mid, out.end());
 }
 
 double PathQuery::PathLength(NodeId a, NodeId b,

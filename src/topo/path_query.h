@@ -32,6 +32,10 @@ class PathQuery {
   /// from a to the LCA then descending to b (order: a-side first).
   std::vector<NodeId> PathEdges(NodeId a, NodeId b) const;
 
+  /// PathEdges into a caller-owned buffer (cleared first), for callers that
+  /// build many rows per round and want one allocation for the whole round.
+  void PathEdgesInto(NodeId a, NodeId b, std::vector<NodeId>& out) const;
+
   /// Sum of edge lengths on the a..b path; `edge_len` is indexed by node id
   /// (the root's entry is ignored).
   double PathLength(NodeId a, NodeId b, std::span<const double> edge_len) const;

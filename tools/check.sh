@@ -82,19 +82,25 @@ for preset in "${presets[@]}"; do
     fi
   fi
 
-  # LP engine agreement gate: the smoke run solves fixed instances under all
-  # four normal-equation x warm-start variants and fails on any objective
-  # disagreement. Skipped for tsan (single-threaded LP code, and the slow
-  # tsan build is reserved for the concurrency slice above).
+  # Engine agreement gates: lp_scaling --smoke solves fixed instances under
+  # all four normal-equation x warm-start variants and fails on any
+  # objective disagreement; separation_scaling --smoke additionally demands
+  # the octant separation oracle return bitwise-identical rows to the
+  # brute-force scan (serial and threaded) and the grid NN-merge match the
+  # scan backend node for node. Skipped for tsan (single-threaded here; the
+  # slow tsan build is reserved for the concurrency slice above, whose
+  # self_check sweep already drives the octant oracle with --jobs workers).
   if [[ "$preset" == "default" || "$preset" == "asan" || "$preset" == "ubsan" ]]; then
-    echo "==== [$preset] lp_scaling --smoke ===="
-    if ! "./build-$preset/bench/lp_scaling" --smoke \
-         > "/tmp/lubt-check-$preset-lp-smoke.log" 2>&1; then
-      tail -20 "/tmp/lubt-check-$preset-lp-smoke.log"
-      failed+=("$preset (lp_scaling)")
-      continue
-    fi
-    tail -1 "/tmp/lubt-check-$preset-lp-smoke.log" | sed "s/^/[$preset] /"
+    for smoke in lp_scaling separation_scaling; do
+      echo "==== [$preset] $smoke --smoke ===="
+      if ! "./build-$preset/bench/$smoke" --smoke \
+           > "/tmp/lubt-check-$preset-$smoke-smoke.log" 2>&1; then
+        tail -20 "/tmp/lubt-check-$preset-$smoke-smoke.log"
+        failed+=("$preset ($smoke)")
+        continue 2
+      fi
+      tail -1 "/tmp/lubt-check-$preset-$smoke-smoke.log" | sed "s/^/[$preset] /"
+    done
   fi
 done
 

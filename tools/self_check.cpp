@@ -64,6 +64,7 @@ struct CaseConfig {
   bool clustered = false;
   bool with_source = false;
   bool mst_topology = false;
+  bool scan_topology = false;  // NN-merge backend when !mst_topology
   BoundsRegime regime = BoundsRegime::kAchievedWindow;
   EbfSolveOptions options;
 };
@@ -73,10 +74,13 @@ std::string Describe(const CaseConfig& c) {
                     std::to_string(c.num_sinks);
   out += c.clustered ? " clustered" : " uniform";
   out += c.with_source ? " fixed-source" : " free-source";
-  out += c.mst_topology ? " mst" : " nn-merge";
+  out += c.mst_topology ? " mst" : (c.scan_topology ? " nn-scan" : " nn-grid");
   out += std::string(" ") + RegimeName(c.regime);
   out += std::string(" ") + LpEngineName(c.options.lp.engine);
   out += std::string(" ") + EbfStrategyName(c.options.strategy);
+  if (c.options.strategy == EbfStrategy::kLazy) {
+    out += std::string(" sep=") + SeparationModeName(c.options.separation);
+  }
   return out;
 }
 
@@ -113,6 +117,12 @@ CaseConfig DrawCase(std::uint64_t seed, int min_sinks, int max_sinks) {
     c.options.strategy = EbfStrategy::kLazy;
   }
   c.options.use_zero_skew_fast_path = rng.Bernoulli(0.7);
+  // Mostly the octant oracle (the default), with a brute-force slice so the
+  // sanitizers keep covering the reference path too. Same split for the
+  // NN-merge backend.
+  c.options.separation = rng.Bernoulli(0.2) ? SeparationMode::kBruteForce
+                                            : SeparationMode::kOctant;
+  c.scan_topology = rng.Bernoulli(0.25);
   return c;
 }
 
@@ -123,9 +133,12 @@ std::string RunCase(const CaseConfig& c, bool quiet) {
       c.clustered ? ClusteredSinkSet(c.num_sinks, 4, die, c.seed, c.with_source)
                   : RandomSinkSet(c.num_sinks, die, c.seed, c.with_source);
 
-  const Topology topo = c.mst_topology
-                            ? MstBinaryTopology(set.sinks, set.source)
-                            : NnMergeTopology(set.sinks, set.source);
+  const Topology topo =
+      c.mst_topology
+          ? MstBinaryTopology(set.sinks, set.source)
+          : NnMergeTopology(set.sinks, set.source,
+                            c.scan_topology ? NnMergeAccel::kScan
+                                            : NnMergeAccel::kGrid);
   const Status topo_ok =
       ValidateTopology(topo, static_cast<int>(set.sinks.size()));
   if (!topo_ok.ok()) return "ValidateTopology: " + topo_ok.ToString();
@@ -242,6 +255,10 @@ int Run(int argc, const char* const* argv) {
   for (int s = 0; s < *seeds; ++s) {
     cases.push_back(DrawCase(static_cast<std::uint64_t>(*start + s),
                              *min_sinks, *max_sinks));
+    // Parallel sweeps also parallelize each case's separation, so the tsan
+    // lane exercises the octant oracle's bucket fan-out under concurrent
+    // solves. Results are worker-count invariant by contract.
+    cases.back().options.separation_jobs = *jobs;
   }
   std::vector<std::string> errors(cases.size());
   const bool parallel = *jobs > 1;
