@@ -170,6 +170,26 @@ inline std::vector<RowResult> ComputeRows(
   return out;
 }
 
+/// Open a BENCH_*.json file and emit the uniform header every scaling bench
+/// shares — {"bench": NAME, "mode": MODE, ...} — so downstream tooling can
+/// parse lp_scaling / separation_scaling / eco_scaling output without
+/// per-bench sniffing. MODE is "full" or "smoke". Returns nullptr (with a
+/// diagnostic) when the path is empty or unwritable; the caller writes the
+/// remaining keys, closes the object, and fclose()s.
+inline std::FILE* OpenBenchJson(const std::string& path,
+                                const std::string& bench,
+                                const std::string& mode) {
+  if (path.empty()) return nullptr;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return nullptr;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n",
+               bench.c_str(), mode.c_str());
+  return f;
+}
+
 /// Print the table and also drop a CSV next to the binary's cwd.
 inline void EmitTable(const TextTable& table, const std::string& title,
                       const std::string& csv_name) {

@@ -1,0 +1,296 @@
+// ECO re-solve scaling curve: incremental EcoSession edits vs cold
+// from-scratch solves of the identical edited instance.
+//
+// For each sink count one instance is built, solved once inside an
+// EcoSession, and then a fixed deterministic stream of single-sink edits
+// (small moves and per-sink window changes) plus a couple of structural
+// edits (add/remove) is applied. Every edit is solved twice: incrementally
+// by the session and cold via ColdReferenceSolve on the session's edited
+// instance. The two costs must agree to 1e-5 relative — disagreement is a
+// hard error (exit 1), so the bench doubles as the incremental ≡ cold
+// equivalence gate at sizes the unit tests cannot afford.
+//
+// Modes:
+//   (default)      sizes 128..512, written to BENCH_eco.json — the speedup
+//                  curve quoted in EXPERIMENTS.md. The headline gate
+//                  requires the incremental path to be >= 5x faster than
+//                  cold over the single-sink edit stream at >= 512 sinks.
+//                  LUBT_BENCH_SCALE is deliberately ignored (engine
+//                  benchmark, not a paper table).
+//   --smoke        two small fixed instances, agreement gates only; fast
+//                  enough for tools/check.sh and the sanitizer presets.
+//
+// Flags: --smoke, --seed S (default 7), --edits N single-sink edits per
+// size (default 8), --json PATH (default BENCH_eco.json; '' disables).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "eco/eco_session.h"
+#include "geom/bbox.h"
+#include "topo/nn_merge.h"
+#include "util/args.h"
+#include "util/rng.h"
+
+using namespace lubt;
+
+namespace {
+
+struct SizeResult {
+  int sinks = 0;
+  double initial_seconds = 0.0;
+  // Gated single-sink stream (moves + bound edits).
+  int single_edits = 0;
+  double inc_seconds = 0.0;
+  double cold_seconds = 0.0;
+  // Ungated structural extras (one add + one remove), for breadth.
+  int structural_edits = 0;
+  double structural_inc_seconds = 0.0;
+  double structural_cold_seconds = 0.0;
+  // Tier histogram over the whole stream.
+  int noop = 0;
+  int rhs_warm = 0;
+  int structural = 0;
+  int rows_added = 0;
+  bool costs_agree = true;
+
+  double Speedup() const {
+    return inc_seconds > 0.0 ? cold_seconds / inc_seconds : 0.0;
+  }
+};
+
+void CountTier(EcoTier tier, SizeResult* out) {
+  switch (tier) {
+    case EcoTier::kNoOp:
+      ++out->noop;
+      break;
+    case EcoTier::kRhsWarm:
+      ++out->rhs_warm;
+      break;
+    case EcoTier::kStructural:
+    case EcoTier::kColdRebuild:
+      ++out->structural;
+      break;
+    case EcoTier::kInitial:
+      break;
+  }
+}
+
+// Apply one edit incrementally and cold, accumulate both timings, and gate
+// on cost agreement. Returns false on any failure.
+bool CheckedApply(EcoSession& session, const EcoEdit& edit, int sinks,
+                  double* inc_seconds, double* cold_seconds,
+                  SizeResult* out) {
+  const auto info = session.Apply(edit);
+  if (!info.ok() || !info->ok()) {
+    std::fprintf(stderr, "FAIL %d sinks: eco %s edit: %s\n", sinks,
+                 EcoEditKindName(edit.kind),
+                 (info.ok() ? info->status : info.status()).ToString().c_str());
+    return false;
+  }
+  *inc_seconds += info->seconds;
+  CountTier(info->tier, out);
+  out->rows_added += info->rows_added;
+
+  Timer cold_timer;
+  const EbfSolveResult cold = ColdReferenceSolve(session);
+  *cold_seconds += cold_timer.Seconds();
+  if (!cold.ok()) {
+    std::fprintf(stderr, "FAIL %d sinks: cold reference: %s\n", sinks,
+                 cold.status.ToString().c_str());
+    return false;
+  }
+  if (std::abs(info->cost - cold.cost) >
+      1e-5 * (1.0 + std::abs(cold.cost))) {
+    std::fprintf(stderr,
+                 "FAIL %d sinks: eco %s cost %.12g vs cold %.12g\n", sinks,
+                 EcoEditKindName(edit.kind), info->cost, cold.cost);
+    out->costs_agree = false;
+    return false;
+  }
+  return true;
+}
+
+bool RunSize(int sinks, std::uint64_t seed, int num_edits, SizeResult* out) {
+  const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+  const SinkSet set = RandomSinkSet(sinks, die, seed, /*with_source=*/true);
+  const double radius = Radius(set.sinks, set.source);
+  Topology topo = NnMergeTopology(set.sinks, set.source);
+
+  out->sinks = sinks;
+  std::vector<DelayBounds> bounds(set.sinks.size(),
+                                  DelayBounds{0.9 * radius, 1.2 * radius});
+  auto created =
+      EcoSession::Create(set, std::move(bounds), std::move(topo), {});
+  if (!created.ok() || !(*created)->Last().ok()) {
+    std::fprintf(stderr, "FAIL %d sinks: initial solve: %s\n", sinks,
+                 (created.ok() ? (*created)->Last().status : created.status())
+                     .ToString()
+                     .c_str());
+    return false;
+  }
+  EcoSession& session = **created;
+  out->initial_seconds = session.Last().seconds;
+
+  // Single-sink stream: alternating small moves and window edits on a
+  // deterministic sequence of sinks — the localized-change regime the
+  // incremental engine is built for, and the subject of the 5x gate.
+  Rng rng(seed * 0xec0ec0ec0ULL + 11);
+  for (int k = 0; k < num_edits; ++k) {
+    const std::int32_t sink = rng.UniformInt(0, session.NumSinks() - 1);
+    EcoEdit edit;
+    if (k % 2 == 0) {
+      edit.kind = EcoEditKind::kMoveSink;
+      edit.sink = sink;
+      const Point& p = session.Set().sinks[static_cast<std::size_t>(sink)];
+      const double dx = rng.Uniform(-0.02, 0.02) * radius;
+      const double dy = rng.Uniform(-0.02, 0.02) * radius;
+      edit.point = {std::min(die.Hi().x, std::max(die.Lo().x, p.x + dx)),
+                    std::min(die.Hi().y, std::max(die.Lo().y, p.y + dy))};
+    } else {
+      edit.kind = EcoEditKind::kSetBounds;
+      edit.sink = sink;
+      edit.lo = rng.Uniform(0.85, 0.95) * radius;
+      edit.hi = rng.Uniform(1.15, 1.25) * radius;
+    }
+    if (!CheckedApply(session, edit, sinks, &out->inc_seconds,
+                      &out->cold_seconds, out)) {
+      return false;
+    }
+    ++out->single_edits;
+  }
+
+  // Structural extras: one add and one remove, timed separately (outside
+  // the single-sink gate — they rebuild the formulation by design).
+  for (const int which : {0, 1}) {
+    EcoEdit edit;
+    if (which == 0) {
+      edit.kind = EcoEditKind::kAddSink;
+      edit.point = {rng.Uniform(die.Lo().x, die.Hi().x),
+                    rng.Uniform(die.Lo().y, die.Hi().y)};
+      edit.lo = 0.9 * radius;
+      edit.hi = 1.3 * radius;
+    } else {
+      edit.kind = EcoEditKind::kRemoveSink;
+      edit.sink = rng.UniformInt(0, session.NumSinks() - 1);
+    }
+    if (!CheckedApply(session, edit, sinks, &out->structural_inc_seconds,
+                      &out->structural_cold_seconds, out)) {
+      return false;
+    }
+    ++out->structural_edits;
+  }
+  return true;
+}
+
+void WriteJson(const std::string& path, const std::string& mode,
+               const std::vector<SizeResult>& all) {
+  std::FILE* f = lubt::bench::OpenBenchJson(path, "eco_scaling", mode);
+  if (f == nullptr) return;
+  std::fprintf(f, "  \"sizes\": [\n");
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    const SizeResult& r = all[s];
+    std::fprintf(
+        f,
+        "    {\"sinks\": %d, \"initial_seconds\": %.6f,\n"
+        "     \"single_edits\": %d, \"inc_seconds\": %.6f, "
+        "\"cold_seconds\": %.6f, \"speedup\": %.2f,\n"
+        "     \"structural_edits\": %d, "
+        "\"structural_inc_seconds\": %.6f, "
+        "\"structural_cold_seconds\": %.6f,\n"
+        "     \"tier_noop\": %d, \"tier_rhs_warm\": %d, "
+        "\"tier_structural\": %d, \"rows_added\": %d, "
+        "\"costs_agree\": %s}%s\n",
+        r.sinks, r.initial_seconds, r.single_edits, r.inc_seconds,
+        r.cold_seconds, r.Speedup(), r.structural_edits,
+        r.structural_inc_seconds, r.structural_cold_seconds, r.noop,
+        r.rhs_warm, r.structural, r.rows_added,
+        r.costs_agree ? "true" : "false", s + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(results also written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(argc, argv,
+                                 {"smoke", "seed", "edits", "json", "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  if (parsed->Has("help")) {
+    std::printf(
+        "eco_scaling: incremental ECO re-solve vs cold solve scaling\n"
+        "  --smoke      small fixed instances, agreement gates only\n"
+        "  --seed S     instance seed (default 7)\n"
+        "  --edits N    single-sink edits per size (default 8)\n"
+        "  --json PATH  output file (default BENCH_eco.json; '' disables)\n");
+    return 0;
+  }
+  const bool smoke = parsed->Has("smoke");
+  const Result<int> seed = parsed->GetIntFlag("seed", 7, 0);
+  const Result<int> edits = parsed->GetIntFlag("edits", 8, 1);
+  if (!seed.ok() || !edits.ok()) {
+    std::fprintf(stderr, "bad --seed/--edits\n");
+    return 2;
+  }
+  const std::string json =
+      parsed->GetString("json", smoke ? "" : "BENCH_eco.json");
+
+  const std::vector<int> sizes = smoke ? std::vector<int>{48, 96}
+                                       : std::vector<int>{128, 256, 512};
+
+  std::vector<SizeResult> all;
+  bool ok = true;
+  TextTable table({"sinks", "init(s)", "edits", "inc(s)", "cold(s)",
+                   "speedup", "noop", "rhs", "struct", "rows+"});
+  for (const int sinks : sizes) {
+    SizeResult sr;
+    if (!RunSize(sinks, static_cast<std::uint64_t>(*seed), *edits, &sr)) {
+      ok = false;
+    }
+    table.AddRow({std::to_string(sr.sinks),
+                  FormatDouble(sr.initial_seconds, 3),
+                  std::to_string(sr.single_edits),
+                  FormatDouble(sr.inc_seconds, 4),
+                  FormatDouble(sr.cold_seconds, 4),
+                  FormatDouble(sr.Speedup(), 1), std::to_string(sr.noop),
+                  std::to_string(sr.rhs_warm), std::to_string(sr.structural),
+                  std::to_string(sr.rows_added)});
+    all.push_back(sr);
+  }
+
+  std::printf("\n=== ECO incremental vs cold scaling ===\n%s",
+              table.ToString().c_str());
+  WriteJson(json, smoke ? "smoke" : "full", all);
+
+  if (!smoke) {
+    // Headline + hard gate: the incremental path must beat cold re-solves
+    // by >= 5x over the single-sink stream at every size >= 512.
+    for (const SizeResult& r : all) {
+      if (r.sinks < 512) continue;
+      std::printf(
+          "%d sinks: %d single-sink edits, %.4fs incremental vs %.4fs cold "
+          "(%.1fx)\n",
+          r.sinks, r.single_edits, r.inc_seconds, r.cold_seconds,
+          r.Speedup());
+      if (r.Speedup() < 5.0) {
+        std::fprintf(stderr, "FAIL %d sinks: eco speedup %.2fx < 5x gate\n",
+                     r.sinks, r.Speedup());
+        ok = false;
+      }
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "eco_scaling: FAILED\n");
+    return 1;
+  }
+  std::printf("eco_scaling: OK\n");
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
 #include "cts/metrics.h"
 #include "ebf/solver.h"
 #include "geom/bbox.h"
@@ -126,14 +127,11 @@ bool RunSize(int sinks, std::uint64_t seed, SizeResult* out) {
   return ok;
 }
 
-void WriteJson(const std::string& path, const std::vector<SizeResult>& all) {
-  if (path.empty()) return;
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"lp_scaling\",\n  \"sizes\": [\n");
+void WriteJson(const std::string& path, const std::string& mode,
+               const std::vector<SizeResult>& all) {
+  std::FILE* f = bench::OpenBenchJson(path, "lp_scaling", mode);
+  if (f == nullptr) return;
+  std::fprintf(f, "  \"sizes\": [\n");
   for (std::size_t s = 0; s < all.size(); ++s) {
     const SizeResult& sr = all[s];
     std::fprintf(f, "    {\n      \"sinks\": %d,\n      \"variants\": [\n",
@@ -208,7 +206,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n=== LP scaling: normal equations x warm start ===\n%s",
               table.ToString().c_str());
-  WriteJson(json, all);
+  WriteJson(json, smoke ? "smoke" : "full", all);
 
   if (!smoke && ok) {
     // Headline numbers: the tentpole claim is sparse+warm vs dense+cold.

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
 #include "cts/metrics.h"
 #include "ebf/formulation.h"
 #include "ebf/solver.h"
@@ -208,15 +209,10 @@ bool RunSize(int sinks, std::uint64_t seed, int jobs, SizeResult* out) {
   return out->rows_agree && out->objectives_agree && out->topo_agree;
 }
 
-void WriteJson(const std::string& path, int jobs,
+void WriteJson(const std::string& path, const std::string& mode, int jobs,
                const std::vector<SizeResult>& all) {
-  if (path.empty()) return;
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"separation_scaling\",\n");
+  std::FILE* f = bench::OpenBenchJson(path, "separation_scaling", mode);
+  if (f == nullptr) return;
   std::fprintf(f, "  \"jobs\": %d,\n  \"sizes\": [\n", jobs);
   for (std::size_t s = 0; s < all.size(); ++s) {
     const SizeResult& r = all[s];
@@ -301,7 +297,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n=== Separation oracle + topology scaling ===\n%s",
               table.ToString().c_str());
-  WriteJson(json, *jobs, all);
+  WriteJson(json, smoke ? "smoke" : "full", *jobs, all);
 
   if (!smoke) {
     // Headline + hard gate: octant must beat brute force by >= 5x on the

@@ -200,38 +200,23 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
     }
   }
 
-  // Delay rows, one ranged row per sink. Fixed-source instances fold the
-  // (source, sink) Steiner row into the lower bound.
+  // Delay rows, one ranged row per sink (folding, regularization, and the
+  // infeasible-window encoding all live in DelayWindowLp so incremental
+  // callers refresh bounds through the exact same arithmetic).
   const NodeId root = topo.Root();
   for (std::size_t s = 0; s < problem.sinks.size(); ++s) {
     const NodeId leaf = f.sink_nodes_[s];
-    double lo = problem.bounds[s].lo / scale;
-    double hi = std::isfinite(problem.bounds[s].hi)
-                    ? problem.bounds[s].hi / scale
-                    : kLpInf;
-    if (problem.source.has_value()) {
-      const double dist =
-          ManhattanDist(*problem.source, problem.sinks[s]) / scale;
-      lo = std::max(lo, dist);
-    }
+    const LpWindow w = f.DelayWindowLp(static_cast<std::int32_t>(s));
     f.paths_.PathEdgesInto(leaf, root, f.path_edges_scratch_);
     const std::vector<NodeId>& edges = f.path_edges_scratch_;
-    // Regularize (near-)equality windows: exactly-tight rows (l = u, the
-    // zero-skew case) are painfully degenerate for interior-point methods.
-    // Widening by 1e-9 in radius units changes the optimum by a negligible
-    // amount while keeping the LP well-centered.
-    constexpr double kMinWindow = 1e-9;
-    if (std::isfinite(hi) && hi - lo < kMinWindow && lo <= hi) {
-      lo = std::max(0.0, hi - kMinWindow);
-    }
-    if (lo > hi) {
+    if (w.lo > w.hi) {
       // Geometrically infeasible bounds (violates Equation 3): encode as two
       // contradictory single-sided rows so the solver reports infeasibility.
-      model.AddRow(RowOverEdges(f.indexer_, edges, lo, kLpInf));
-      model.AddRow(RowOverEdges(f.indexer_, edges, -kLpInf, hi));
+      model.AddRow(RowOverEdges(f.indexer_, edges, w.lo, kLpInf));
+      model.AddRow(RowOverEdges(f.indexer_, edges, -kLpInf, w.hi));
       continue;
     }
-    model.AddRow(RowOverEdges(f.indexer_, edges, lo, hi));
+    model.AddRow(RowOverEdges(f.indexer_, edges, w.lo, w.hi));
   }
 
   // Steiner rows.
@@ -273,11 +258,14 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
       }
       const NodeId sa = pairs[bestc][0];
       const NodeId sb = pairs[bestc][1];
-      const double dist = ManhattanDist(
-          problem.sinks[static_cast<std::size_t>(topo.SinkIndex(sa))],
-          problem.sinks[static_cast<std::size_t>(topo.SinkIndex(sb))]);
+      const std::int32_t si = topo.SinkIndex(sa);
+      const std::int32_t sj = topo.SinkIndex(sb);
+      const double dist =
+          ManhattanDist(problem.sinks[static_cast<std::size_t>(si)],
+                        problem.sinks[static_cast<std::size_t>(sj)]);
       if (dist <= 0.0) continue;
       model.AddRow(f.MakeSteinerRow(sa, sb, dist / scale));
+      f.steiner_pairs_.push_back({std::min(si, sj), std::max(si, sj)});
       ++f.num_steiner_rows_;
     }
     return f;
@@ -322,10 +310,45 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
         }
       }
       model.AddRow(f.MakeSteinerRow(a, b, dist / scale));
+      f.steiner_pairs_.push_back({static_cast<std::int32_t>(i),
+                                  static_cast<std::int32_t>(j)});
       ++f.num_steiner_rows_;
     }
   }
   return f;
+}
+
+EbfFormulation::LpWindow EbfFormulation::DelayWindowLp(std::int32_t s) const {
+  const EbfProblem& problem = *problem_;
+  const std::size_t i = static_cast<std::size_t>(s);
+  double lo = problem.bounds[i].lo / scale_;
+  double hi = std::isfinite(problem.bounds[i].hi) ? problem.bounds[i].hi / scale_
+                                                  : kLpInf;
+  if (problem.source.has_value()) {
+    lo = std::max(lo, ManhattanDist(*problem.source, problem.sinks[i]) / scale_);
+  }
+  // Regularize (near-)equality windows: exactly-tight rows (l = u, the
+  // zero-skew case) are painfully degenerate for interior-point methods.
+  // Widening by 1e-9 in radius units changes the optimum by a negligible
+  // amount while keeping the LP well-centered.
+  constexpr double kMinWindow = 1e-9;
+  if (std::isfinite(hi) && hi - lo < kMinWindow && lo <= hi) {
+    lo = std::max(0.0, hi - kMinWindow);
+  }
+  return {lo, hi};
+}
+
+double EbfFormulation::SteinerRhsLp(std::int32_t i, std::int32_t j) const {
+  return ManhattanDist(problem_->sinks[static_cast<std::size_t>(i)],
+                       problem_->sinks[static_cast<std::size_t>(j)]) /
+         scale_;
+}
+
+SparseRow EbfFormulation::SteinerRowForSinks(std::int32_t i,
+                                             std::int32_t j) const {
+  return MakeSteinerRow(sink_nodes_[static_cast<std::size_t>(i)],
+                        sink_nodes_[static_cast<std::size_t>(j)],
+                        SteinerRhsLp(i, j));
 }
 
 SparseRow EbfFormulation::MakeSteinerRow(NodeId a, NodeId b,
@@ -343,9 +366,11 @@ long long EbfFormulation::NumPotentialSteinerRows() const {
 
 void EbfFormulation::BruteForceViolations(std::span<const double> root_dist,
                                           double tol,
+                                          std::span<const std::uint8_t> dirty,
                                           std::vector<Violation>* found) const {
   for (std::size_t i = 0; i < problem_->sinks.size(); ++i) {
     for (std::size_t j = i + 1; j < problem_->sinks.size(); ++j) {
+      if (!dirty.empty() && dirty[i] == 0 && dirty[j] == 0) continue;
       NodeId a = sink_nodes_[i];
       NodeId b = sink_nodes_[j];
       if (a > b) std::swap(a, b);  // normalized pair id, as the oracle emits
@@ -366,9 +391,12 @@ void EbfFormulation::BruteForceViolations(std::span<const double> root_dist,
 void EbfFormulation::EnumerateBucket(NodeId bucket,
                                      std::span<const double> root_dist,
                                      double tol,
+                                     std::span<const std::uint8_t> dirty,
                                      std::vector<Violation>* out) const {
   const Topology& topo = *problem_->topo;
   const std::vector<OctantMax>& agg = octant_scratch_;
+  const std::vector<OctantMax>& dagg = octant_dirty_scratch_;
+  const bool dirty_only = !dirty.empty();
   const double two_rd = 2.0 * root_dist[static_cast<std::size_t>(bucket)];
   const TopoNode& top = topo.Node(bucket);
 
@@ -377,15 +405,21 @@ void EbfFormulation::EnumerateBucket(NodeId bucket,
   // the tolerance, so pruned branches cost O(1) and each reported pair costs
   // O(depth). The bound is exact at singleton/singleton level; the final
   // test nevertheless re-runs the brute-force arithmetic so both modes emit
-  // bitwise-identical violations.
+  // bitwise-identical violations. In dirty mode the bound only covers pairs
+  // with a dirty endpoint, so clean-x-clean branches prune immediately.
   std::vector<std::pair<NodeId, NodeId>> stack;
   stack.emplace_back(top.left, top.right);
   while (!stack.empty()) {
     const auto [a, b] = stack.back();
     stack.pop_back();
     const double bound =
-        OctantMax::CrossBound(agg[static_cast<std::size_t>(a)],
-                              agg[static_cast<std::size_t>(b)]) +
+        (dirty_only
+             ? OctantMax::CrossBoundDirty(agg[static_cast<std::size_t>(a)],
+                                          dagg[static_cast<std::size_t>(a)],
+                                          agg[static_cast<std::size_t>(b)],
+                                          dagg[static_cast<std::size_t>(b)])
+             : OctantMax::CrossBound(agg[static_cast<std::size_t>(a)],
+                                     agg[static_cast<std::size_t>(b)])) +
         two_rd;
     if (!(bound > tol - kScreenSlack)) continue;
     const TopoNode& na = topo.Node(a);
@@ -400,6 +434,7 @@ void EbfFormulation::EnumerateBucket(NodeId bucket,
           static_cast<std::size_t>(topo.SinkIndex(u));
       const std::size_t j =
           static_cast<std::size_t>(topo.SinkIndex(v));
+      if (dirty_only && dirty[i] == 0 && dirty[j] == 0) continue;
       const double pl = root_dist[static_cast<std::size_t>(u)] +
                         root_dist[static_cast<std::size_t>(v)] - two_rd;
       const double dist_lp =
@@ -422,30 +457,41 @@ void EbfFormulation::EnumerateBucket(NodeId bucket,
 
 void EbfFormulation::OctantViolations(std::span<const double> root_dist,
                                       double tol, int jobs,
+                                      std::span<const std::uint8_t> dirty,
                                       std::vector<Violation>* found) const {
   const Topology& topo = *problem_->topo;
   const std::size_t n = static_cast<std::size_t>(topo.NumNodes());
+  const bool dirty_only = !dirty.empty();
 
   // Bottom-up octant aggregates: agg[v] holds, per sign combination s, the
   // max of s.(p/scale) - rootdist over the sinks below v. Small subtrees
-  // merge into large in one post-order sweep, O(1) per node.
+  // merge into large in one post-order sweep, O(1) per node. Dirty mode
+  // maintains a second aggregate over the flagged sinks only, feeding the
+  // restricted CrossBoundDirty screen.
   std::vector<OctantMax>& agg = octant_scratch_;
+  std::vector<OctantMax>& dagg = octant_dirty_scratch_;
   agg.assign(n, OctantMax{});
+  if (dirty_only) dagg.assign(n, OctantMax{});
   for (const NodeId v : post_order_) {
     OctantMax& e = agg[static_cast<std::size_t>(v)];
     if (topo.IsSinkNode(v)) {
-      const Point& p =
-          problem_->sinks[static_cast<std::size_t>(topo.SinkIndex(v))];
+      const std::size_t s = static_cast<std::size_t>(topo.SinkIndex(v));
+      const Point& p = problem_->sinks[s];
       e.Include(Point{p.x / scale_, p.y / scale_},
                 -root_dist[static_cast<std::size_t>(v)]);
+      if (dirty_only && dirty[s] != 0) {
+        dagg[static_cast<std::size_t>(v)] = e;
+      }
       continue;
     }
     const TopoNode& node = topo.Node(v);
-    if (node.left != kInvalidNode) {
-      e.Merge(agg[static_cast<std::size_t>(node.left)]);
-    }
-    if (node.right != kInvalidNode) {
-      e.Merge(agg[static_cast<std::size_t>(node.right)]);
+    for (const NodeId child : {node.left, node.right}) {
+      if (child == kInvalidNode) continue;
+      e.Merge(agg[static_cast<std::size_t>(child)]);
+      if (dirty_only) {
+        dagg[static_cast<std::size_t>(v)].Merge(
+            dagg[static_cast<std::size_t>(child)]);
+      }
     }
   }
 
@@ -456,9 +502,12 @@ void EbfFormulation::OctantViolations(std::span<const double> root_dist,
   for (const NodeId v : post_order_) {
     const TopoNode& node = topo.Node(v);
     if (node.left == kInvalidNode || node.right == kInvalidNode) continue;
+    const std::size_t l = static_cast<std::size_t>(node.left);
+    const std::size_t r = static_cast<std::size_t>(node.right);
     const double bound =
-        OctantMax::CrossBound(agg[static_cast<std::size_t>(node.left)],
-                              agg[static_cast<std::size_t>(node.right)]) +
+        (dirty_only ? OctantMax::CrossBoundDirty(agg[l], dagg[l], agg[r],
+                                                 dagg[r])
+                    : OctantMax::CrossBound(agg[l], agg[r])) +
         2.0 * root_dist[static_cast<std::size_t>(v)];
     if (bound > tol - kScreenSlack) buckets.push_back(v);
   }
@@ -471,16 +520,17 @@ void EbfFormulation::OctantViolations(std::span<const double> root_dist,
   ParallelFor(static_cast<int>(buckets.size()), jobs, [&](int i) {
     outs[static_cast<std::size_t>(i)].clear();
     EnumerateBucket(buckets[static_cast<std::size_t>(i)], root_dist, tol,
-                    &outs[static_cast<std::size_t>(i)]);
+                    dirty, &outs[static_cast<std::size_t>(i)]);
   });
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     found->insert(found->end(), outs[i].begin(), outs[i].end());
   }
 }
 
-std::vector<SparseRow> EbfFormulation::FindViolatedSteinerRows(
+std::vector<SparseRow> EbfFormulation::SeparateImpl(
     std::span<const double> x, double tol, int max_rows,
-    const SeparationOptions& sep) const {
+    const SeparationOptions& sep, std::span<const std::uint8_t> dirty,
+    std::vector<std::array<std::int32_t, 2>>* pairs_out) const {
   const Topology& topo = *problem_->topo;
   // Per-node edge lengths in LP units (scratch reused across rounds).
   std::vector<double>& edge_len = edge_len_scratch_;
@@ -495,9 +545,9 @@ std::vector<SparseRow> EbfFormulation::FindViolatedSteinerRows(
   std::vector<Violation>& found = violation_scratch_;
   found.clear();
   if (sep.mode == SeparationMode::kBruteForce) {
-    BruteForceViolations(root_dist, tol, &found);
+    BruteForceViolations(root_dist, tol, dirty, &found);
   } else {
-    OctantViolations(root_dist, tol, sep.jobs, &found);
+    OctantViolations(root_dist, tol, sep.jobs, dirty, &found);
   }
 
   // Keep the strongest max_rows violations: selection in O(V), then order
@@ -512,10 +562,34 @@ std::vector<SparseRow> EbfFormulation::FindViolatedSteinerRows(
 
   std::vector<SparseRow> rows;
   rows.reserve(found.size());
+  if (pairs_out != nullptr) {
+    pairs_out->clear();
+    pairs_out->reserve(found.size());
+  }
   for (const Violation& v : found) {
     rows.push_back(MakeSteinerRow(v.a, v.b, v.dist_lp));
+    if (pairs_out != nullptr) {
+      const std::int32_t si = topo.SinkIndex(v.a);
+      const std::int32_t sj = topo.SinkIndex(v.b);
+      pairs_out->push_back({std::min(si, sj), std::max(si, sj)});
+    }
   }
   return rows;
+}
+
+std::vector<SparseRow> EbfFormulation::FindViolatedSteinerRows(
+    std::span<const double> x, double tol, int max_rows,
+    const SeparationOptions& sep,
+    std::vector<std::array<std::int32_t, 2>>* pairs_out) const {
+  return SeparateImpl(x, tol, max_rows, sep, {}, pairs_out);
+}
+
+std::vector<SparseRow> EbfFormulation::FindViolatedSteinerRowsDirty(
+    std::span<const double> x, double tol, int max_rows,
+    const SeparationOptions& sep, std::span<const std::uint8_t> dirty_sink,
+    std::vector<std::array<std::int32_t, 2>>* pairs_out) const {
+  LUBT_ASSERT(dirty_sink.size() == sink_nodes_.size());
+  return SeparateImpl(x, tol, max_rows, sep, dirty_sink, pairs_out);
 }
 
 std::vector<double> EbfFormulation::EdgeLengths(

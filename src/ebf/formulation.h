@@ -18,6 +18,8 @@
 #ifndef LUBT_EBF_FORMULATION_H_
 #define LUBT_EBF_FORMULATION_H_
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -114,15 +116,59 @@ class EbfFormulation {
   /// Number of Steiner rows a kAll build would contain.
   long long NumPotentialSteinerRows() const;
 
+  int NumSinks() const { return static_cast<int>(sink_nodes_.size()); }
+  /// Leaf node of sink `s`.
+  NodeId SinkNode(std::int32_t s) const {
+    return sink_nodes_[static_cast<std::size_t>(s)];
+  }
+
+  /// Sink-index pairs (normalized min first) of the initial Steiner rows,
+  /// aligned with the model's Steiner-row order. Together with the
+  /// `pairs_out` argument of the separation entry points this lets an
+  /// incremental caller (eco/eco_session.cpp) keep a registry of which sink
+  /// pair defines every Steiner row in the model.
+  const std::vector<std::array<std::int32_t, 2>>& SteinerRowPairs() const {
+    return steiner_pairs_;
+  }
+
+  /// The delay window of sink `s` in LP units exactly as Build writes it:
+  /// source-distance fold into the lower bound, then near-equality
+  /// regularization. May return lo > hi when the folded window is
+  /// geometrically empty (Build then encodes two contradictory rows).
+  struct LpWindow {
+    double lo;
+    double hi;
+  };
+  LpWindow DelayWindowLp(std::int32_t s) const;
+
+  /// The Steiner row of sink pair (i, j) at the sinks' current coordinates
+  /// (RHS = dist / Scale()), exactly as the separation oracle would emit it.
+  SparseRow SteinerRowForSinks(std::int32_t i, std::int32_t j) const;
+  double SteinerRhsLp(std::int32_t i, std::int32_t j) const;
+
   /// Separation oracle: Steiner rows of the full problem violated by `x`
   /// (LP units), strongest violations first (ties broken by node-id pair),
   /// at most `max_rows`. The default octant mode screens the m(m-1)/2 pair
   /// space in O(n) per round — one O(1) bound per LCA bucket — and pays for
   /// descent only where violations exist; kBruteForce is the all-pairs
-  /// reference and returns the bitwise-identical row sequence.
+  /// reference and returns the bitwise-identical row sequence. When
+  /// `pairs_out` is given it receives the defining sink pair of each
+  /// returned row (normalized min first, aligned with the return value).
   std::vector<SparseRow> FindViolatedSteinerRows(
       std::span<const double> x, double tol, int max_rows,
-      const SeparationOptions& sep = {}) const;
+      const SeparationOptions& sep = {},
+      std::vector<std::array<std::int32_t, 2>>* pairs_out = nullptr) const;
+
+  /// Dirty-restricted separation: like FindViolatedSteinerRows but only over
+  /// pairs with at least one endpoint in `dirty_sink` (one flag per sink
+  /// index). The octant mode carries a second, dirty-only aggregate per
+  /// subtree and screens buckets with OctantMax::CrossBoundDirty, so clean
+  /// regions of the tree are pruned in O(1) — the ECO engine's fast
+  /// re-separation path after a localized edit. Both modes agree bitwise.
+  std::vector<SparseRow> FindViolatedSteinerRowsDirty(
+      std::span<const double> x, double tol, int max_rows,
+      const SeparationOptions& sep, std::span<const std::uint8_t> dirty_sink,
+      std::vector<std::array<std::int32_t, 2>>* pairs_out = nullptr) const;
 
   /// Convert an LP point to per-node edge lengths in layout units
   /// (root entry = 0).
@@ -143,13 +189,22 @@ class EbfFormulation {
   static bool StrongerViolation(const Violation& x, const Violation& y);
 
   // The two separation search strategies; both append the identical
-  // violated-pair set (node-id-normalized, unordered) to `found`.
+  // violated-pair set (node-id-normalized, unordered) to `found`. An empty
+  // `dirty` span means every pair is in scope; otherwise only pairs with a
+  // flagged endpoint are searched.
   void BruteForceViolations(std::span<const double> root_dist, double tol,
+                            std::span<const std::uint8_t> dirty,
                             std::vector<Violation>* found) const;
   void OctantViolations(std::span<const double> root_dist, double tol,
-                        int jobs, std::vector<Violation>* found) const;
+                        int jobs, std::span<const std::uint8_t> dirty,
+                        std::vector<Violation>* found) const;
   void EnumerateBucket(NodeId bucket, std::span<const double> root_dist,
-                       double tol, std::vector<Violation>* out) const;
+                       double tol, std::span<const std::uint8_t> dirty,
+                       std::vector<Violation>* out) const;
+  std::vector<SparseRow> SeparateImpl(
+      std::span<const double> x, double tol, int max_rows,
+      const SeparationOptions& sep, std::span<const std::uint8_t> dirty,
+      std::vector<std::array<std::int32_t, 2>>* pairs_out) const;
 
   const EbfProblem* problem_;
   EdgeIndexer indexer_;
@@ -159,6 +214,8 @@ class EbfFormulation {
   int num_steiner_rows_ = 0;
   std::vector<NodeId> sink_nodes_;  // by sink index
   std::vector<NodeId> post_order_;  // cached topo.PostOrder()
+  // Defining sink pair of each initial Steiner row, in model row order.
+  std::vector<std::array<std::int32_t, 2>> steiner_pairs_;
 
   // Scratch reused across FindViolatedSteinerRows calls (once per lazy
   // round). Mutable-under-const is safe for the same reason as
@@ -169,6 +226,7 @@ class EbfFormulation {
   mutable std::vector<double> root_dist_scratch_;
   mutable std::vector<Violation> violation_scratch_;
   mutable std::vector<OctantMax> octant_scratch_;       // per node id
+  mutable std::vector<OctantMax> octant_dirty_scratch_;  // dirty sinks only
   mutable std::vector<NodeId> bucket_scratch_;          // screened LCAs
   mutable std::vector<std::vector<Violation>> bucket_out_scratch_;
   mutable std::vector<NodeId> path_edges_scratch_;      // row building

@@ -1,0 +1,234 @@
+// Incremental ECO engine: warm-started re-solves of one LUBT instance under
+// a stream of typed edits (eco/edit_script.h).
+//
+// An EcoSession owns a solved instance — sink set, delay windows, topology,
+// the accumulated LP relaxation, and the interior-point context — and
+// re-solves after each edit with maximal reuse (DESIGN.md section 13):
+//
+//  * the topology is kept and repaired locally: AddSink splices a new leaf
+//    next to the nearest existing sink (NN re-attach via topo/nn_merge),
+//    RemoveSink splices the leaf and its parent out; moves and bound edits
+//    keep it untouched;
+//  * every lazy Steiner row whose defining sink pair is untouched by the
+//    edit is kept; rows touched by a move get their RHS refreshed in place
+//    (exact — the row's support never changes while the topology stands);
+//  * re-separation first targets the edit's dirty region — pairs with an
+//    edited endpoint, screened through the octant oracle's dirty aggregates
+//    (OctantMax::CrossBoundDirty) — and then certifies optimality with full
+//    output-sensitive separation passes, so convergence is never declared
+//    from a partial view of the pair space;
+//  * the interior point warm-starts from the previous primal/dual iterate
+//    and reuses the sparse symbolic factorization (IpmContext) whenever the
+//    compiled row pattern is unchanged, which is every RHS-only edit.
+//
+// Correctness contract: after every edit the session's solution matches a
+// cold SolveEbf of the edited instance (on the session's repaired topology)
+// within LP tolerance. RHS-only edits whose refreshed rows stay strictly
+// slack — the active set provably unchanged — take the no-op tier and leave
+// the stored solution bitwise untouched. tests/eco_test.cpp enforces both
+// with a randomized edit-stream oracle.
+//
+// Scope: unit edge weights and no zero-length (degree-4 split) edges — the
+// repair moves assume every leaf is an ordinary binary-tree sink.
+
+#ifndef LUBT_ECO_ECO_SESSION_H_
+#define LUBT_ECO_ECO_SESSION_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "ebf/solver.h"
+#include "eco/edit_script.h"
+#include "io/sink_set.h"
+#include "io/tree_io.h"
+#include "lp/interior_point.h"
+
+namespace lubt {
+
+/// Which reuse tier served one edit, cheapest first.
+enum class EcoTier {
+  kInitial,     ///< session-creation cold solve
+  kNoOp,        ///< active set provably preserved; solution reused bitwise
+  kRhsWarm,     ///< bounds refreshed in place + warm-started re-solve
+  kStructural,  ///< local topology repair + row re-materialization
+  kColdRebuild, ///< full rebuild (recovering from an infeasible-window state)
+};
+
+const char* EcoTierName(EcoTier tier);
+
+/// Outcome of one edit (or of session creation).
+struct EcoSolveInfo {
+  Status status;          ///< Ok, or Infeasible for empty feasible regions
+  EcoTier tier = EcoTier::kInitial;
+  double cost = 0.0;      ///< total wirelength, layout units
+  double objective = 0.0; ///< == cost (unit weights)
+  TreeStats stats;        ///< delays of the solved tree
+  int lp_rows = 0;        ///< rows in the session model after the edit
+  int lp_iterations = 0;
+  int lazy_rounds = 0;    ///< LP solves spent on this edit
+  int rows_added = 0;     ///< Steiner rows appended by separation
+  int rows_refreshed = 0; ///< rows whose bounds/RHS were updated in place
+  int cold_retries = 0;   ///< warm solves that failed and re-ran cold
+  bool warm_started = false;
+  bool symbolic_reused = false;
+  double seconds = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Session knobs. The LP engine is always the interior point (simplex
+/// cannot consume warm starts) and the row strategy is always lazy.
+struct EcoOptions {
+  EbfSolveOptions solve;  ///< strategy/engine fields are overridden
+};
+
+/// A solved instance that absorbs edits. Non-copyable and non-movable: the
+/// internal formulation holds pointers into the session's own storage.
+class EcoSession {
+ public:
+  /// Build a session over `set` (sinks + optional source), per-sink windows
+  /// in layout units, and a topology whose leaves are `set`'s sinks, then
+  /// run the initial cold solve. Fails only on malformed input; an
+  /// infeasible initial instance yields a session whose Last().status is
+  /// kInfeasible (later edits may restore feasibility).
+  static Result<std::unique_ptr<EcoSession>> Create(SinkSet set,
+                                                    std::vector<DelayBounds> bounds,
+                                                    Topology topo,
+                                                    EcoOptions options = {});
+
+  EcoSession(const EcoSession&) = delete;
+  EcoSession& operator=(const EcoSession&) = delete;
+
+  /// Apply one edit (layout units) and re-solve. Fails without mutating the
+  /// instance on malformed edits: bad sink index, NaN/negative windows,
+  /// windows with lo > hi, or removing below the topology minimum (2 sinks
+  /// free-source, 1 fixed-source). LP infeasibility is not an error — it is
+  /// reported through the returned info's status, and the session keeps
+  /// accepting edits.
+  Result<EcoSolveInfo> Apply(const EcoEdit& edit);
+
+  /// Apply a whole stream; stops at the first malformed edit.
+  Result<std::vector<EcoSolveInfo>> ApplyAll(std::span<const EcoEdit> edits);
+
+  const SinkSet& Set() const { return set_; }
+  const Topology& Topo() const { return topo_; }
+  std::span<const DelayBounds> Bounds() const { return problem_.bounds; }
+  /// The current instance; spans and pointers borrow session storage.
+  const EbfProblem& Problem() const { return problem_; }
+  const EcoOptions& Options() const { return opt_; }
+  int NumSinks() const { return static_cast<int>(set_.sinks.size()); }
+  /// Radius of the instance the session was created over (the unit the
+  /// CLI/batch drivers use for script windows).
+  double InitialRadius() const { return initial_radius_; }
+
+  /// Creation/last-edit outcome.
+  const EcoSolveInfo& Last() const { return last_; }
+  /// True when the stored solution corresponds to the current instance.
+  bool Feasible() const { return lp_valid_; }
+  /// Edge lengths by node id in layout units (last feasible solve; empty
+  /// before one exists).
+  std::span<const double> EdgeLengths() const { return edge_len_; }
+  int NumLpRows() const;
+
+  /// The solved tree (topology + lengths, no embedding) for persistence.
+  TreeSolution Solution() const;
+
+ private:
+  EcoSession() = default;
+
+  // One key per normalized sink pair, for pool dedup.
+  static std::int64_t PairKey(std::int32_t i, std::int32_t j) {
+    return (static_cast<std::int64_t>(i) << 32) | static_cast<std::int64_t>(j);
+  }
+
+  // Model row of sink s's delay row (the model has no zero-length rows, so
+  // delay rows occupy [0, m) and Steiner row k sits at m + k).
+  int DelayRow(std::int32_t s) const { return s; }
+  int SteinerRow(std::size_t pool_index) const {
+    return NumSinks() + static_cast<int>(pool_index);
+  }
+
+  // True when some sink's folded window is empty (lo > hi after the source
+  // fold), i.e. the instance is geometrically infeasible. Computed in
+  // layout units so it is scale-free.
+  bool AnyEmptyFoldedWindow() const;
+
+  // Write sink s's refreshed window into its delay row; tracks the ge-row
+  // signature (hi-finiteness) and drops the stored duals + symbolic
+  // analysis when the compiled pattern flips.
+  void PushDelayWindow(std::int32_t s, EcoSolveInfo* info);
+
+  // Tier-0 test: every row in `rows` (model indices) strictly slack at the
+  // stored point under both its current and its pending bounds.
+  bool RowsStrictlySlack(std::span<const int> rows,
+                         std::span<const double> pending_lo,
+                         std::span<const double> pending_hi) const;
+
+  // The session's lazy loop: solve, separate (dirty-first when `dirty` is
+  // non-empty, then always certify with full passes), append, repeat.
+  Status RunLazyLoop(const std::vector<double>* warm_x,
+                     const std::vector<double>* warm_dual,
+                     std::span<const std::uint8_t> dirty, EcoSolveInfo* info);
+
+  // Full rebuild of formulation + model from the current instance,
+  // re-materializing the Steiner pool against the (possibly repaired)
+  // topology, then a re-solve warm-started from `warm_x` (LP units of the
+  // *new* scale; nullptr = cold).
+  Status RebuildAndSolve(const std::vector<double>* warm_x,
+                         EcoSolveInfo* info);
+
+  // Topology repair for add/remove. Rebuilds the arena compactly (the
+  // children-precede-parents id invariant does not survive in-place
+  // surgery) and fills `warm_edge_len` — a warm edge-length guess in layout
+  // units indexed by *new* node id (all zeros when no stored solution
+  // exists to project from).
+  void RepairTopologyAdd(NodeId attach_leaf, std::int32_t new_sink,
+                         std::vector<double>* warm_edge_len);
+  void RepairTopologyRemove(std::int32_t removed_sink,
+                            std::vector<double>* warm_edge_len);
+
+  Status ApplyRhsEdit(const EcoEdit& edit, EcoSolveInfo* info);
+  Status ApplyStructuralEdit(const EcoEdit& edit, EcoSolveInfo* info);
+
+  void FinishSolve(const LpSolution& sol, EcoSolveInfo* info);
+
+  SinkSet set_;
+  Topology topo_;
+  EcoOptions opt_;
+  double initial_radius_ = 1.0;
+  EbfProblem problem_;  // sinks span -> set_.sinks; topo -> &topo_
+  std::optional<EbfFormulation> form_;
+  IpmContext ipm_;
+
+  std::vector<double> lp_x_;     // last primal iterate, LP units
+  std::vector<double> lp_dual_;  // last ge duals (compiled order)
+  bool lp_valid_ = false;        // solution matches the current instance
+  bool needs_rebuild_ = false;   // formulation unusable (empty-window state)
+  std::vector<double> edge_len_; // layout units, by node id
+  EcoSolveInfo last_;
+
+  // Steiner row registry: pool_[k] is the defining sink pair of model row
+  // SteinerRow(k); pair_seen_ dedupes appends.
+  std::vector<std::array<std::int32_t, 2>> pool_;
+  std::unordered_set<std::int64_t> pair_seen_;
+  // Per sink: delay row compiled with a finite upper bound (ge signature).
+  std::vector<std::uint8_t> ge_has_hi_;
+
+  // Scratch reused across edits.
+  std::vector<std::uint8_t> dirty_scratch_;
+  std::vector<std::array<std::int32_t, 2>> pairs_scratch_;
+};
+
+/// Cold reference: a from-scratch SolveEbf of the session's current
+/// instance on the session's (repaired) topology with the session's solve
+/// options — what the oracle tests compare every incremental solve against.
+EbfSolveResult ColdReferenceSolve(const EcoSession& session);
+
+}  // namespace lubt
+
+#endif  // LUBT_ECO_ECO_SESSION_H_

@@ -1,0 +1,160 @@
+#include "eco/edit_script.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace lubt {
+
+namespace {
+
+Status LineError(int line_no, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 what);
+}
+
+// Reads a window value; "inf" (any case handled by stream failure fallback)
+// maps to kLpInf so scripts can open a window upward.
+bool ReadBound(std::istream& in, double* out) {
+  std::string tok;
+  if (!(in >> tok)) return false;
+  if (tok == "inf" || tok == "Inf" || tok == "INF") {
+    *out = kLpInf;
+    return true;
+  }
+  std::istringstream ts(tok);
+  return static_cast<bool>(ts >> *out) && ts.eof();
+}
+
+}  // namespace
+
+const char* EcoEditKindName(EcoEditKind kind) {
+  switch (kind) {
+    case EcoEditKind::kMoveSink:
+      return "move";
+    case EcoEditKind::kAddSink:
+      return "add";
+    case EcoEditKind::kRemoveSink:
+      return "remove";
+    case EcoEditKind::kSetBounds:
+      return "bounds";
+    case EcoEditKind::kShiftWindow:
+      return "shift";
+  }
+  return "unknown";
+}
+
+Result<std::vector<EcoEdit>> ParseEditScript(const std::string& text) {
+  std::vector<EcoEdit> edits;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    EcoEdit e;
+    if (kind == "move") {
+      e.kind = EcoEditKind::kMoveSink;
+      if (!(ls >> e.sink >> e.point.x >> e.point.y)) {
+        return LineError(line_no, "move requires SINK X Y");
+      }
+    } else if (kind == "add") {
+      e.kind = EcoEditKind::kAddSink;
+      if (!(ls >> e.point.x >> e.point.y) || !ReadBound(ls, &e.lo) ||
+          !ReadBound(ls, &e.hi)) {
+        return LineError(line_no, "add requires X Y LO HI");
+      }
+    } else if (kind == "remove") {
+      e.kind = EcoEditKind::kRemoveSink;
+      if (!(ls >> e.sink)) {
+        return LineError(line_no, "remove requires SINK");
+      }
+    } else if (kind == "bounds") {
+      e.kind = EcoEditKind::kSetBounds;
+      if (!(ls >> e.sink) || !ReadBound(ls, &e.lo) || !ReadBound(ls, &e.hi)) {
+        return LineError(line_no, "bounds requires SINK LO HI");
+      }
+    } else if (kind == "shift") {
+      e.kind = EcoEditKind::kShiftWindow;
+      if (!(ls >> e.lo >> e.hi)) {
+        return LineError(line_no, "shift requires DLO DHI");
+      }
+    } else {
+      return LineError(line_no, "unknown edit '" + kind + "'");
+    }
+    std::string trailing;
+    if (ls >> trailing) {
+      return LineError(line_no, "trailing token '" + trailing + "'");
+    }
+    edits.push_back(e);
+  }
+  return edits;
+}
+
+std::string FormatEditScript(std::span<const EcoEdit> edits) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const EcoEdit& e : edits) {
+    os << EcoEditKindName(e.kind);
+    switch (e.kind) {
+      case EcoEditKind::kMoveSink:
+        os << ' ' << e.sink << ' ' << e.point.x << ' ' << e.point.y;
+        break;
+      case EcoEditKind::kAddSink:
+        os << ' ' << e.point.x << ' ' << e.point.y << ' ' << e.lo << ' ';
+        if (std::isinf(e.hi)) {
+          os << "inf";
+        } else {
+          os << e.hi;
+        }
+        break;
+      case EcoEditKind::kRemoveSink:
+        os << ' ' << e.sink;
+        break;
+      case EcoEditKind::kSetBounds:
+        os << ' ' << e.sink << ' ' << e.lo << ' ';
+        if (std::isinf(e.hi)) {
+          os << "inf";
+        } else {
+          os << e.hi;
+        }
+        break;
+      case EcoEditKind::kShiftWindow:
+        os << ' ' << e.lo << ' ' << e.hi;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Result<std::vector<EcoEdit>> LoadEditScript(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseEditScript(buffer.str());
+}
+
+EcoEdit ScaleEditWindows(EcoEdit edit, double radius) {
+  switch (edit.kind) {
+    case EcoEditKind::kAddSink:
+    case EcoEditKind::kSetBounds:
+    case EcoEditKind::kShiftWindow:
+      edit.lo *= radius;
+      if (std::isfinite(edit.hi)) edit.hi *= radius;
+      break;
+    case EcoEditKind::kMoveSink:
+    case EcoEditKind::kRemoveSink:
+      break;
+  }
+  return edit;
+}
+
+}  // namespace lubt

@@ -1,0 +1,72 @@
+// ECO edit scripts: a typed stream of instance edits for EcoSession.
+//
+// Text format (one edit per line, '#' comments):
+//   move SINK X Y          relocate sink SINK to layout point (X, Y)
+//   add X Y LO HI          append a sink at (X, Y) with delay window [LO, HI]
+//   remove SINK            delete sink SINK (larger indices shift down by one)
+//   bounds SINK LO HI      replace sink SINK's delay window with [LO, HI]
+//   shift DLO DHI          add DLO / DHI to every sink's lower / upper bound
+//
+// Coordinates are layout units. Window values are dimensionless until a
+// consumer scales them — the CLI/batch drivers treat them as radius units of
+// the *initial* instance (radius = source-to-farthest-sink at session
+// creation, matching lubt_cli --lower/--upper) and multiply through
+// ScaleEditWindows before handing edits to the session, which always works
+// in layout units. `inf` is accepted for HI.
+
+#ifndef LUBT_ECO_EDIT_SCRIPT_H_
+#define LUBT_ECO_EDIT_SCRIPT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "lp/model.h"
+#include "util/status.h"
+
+namespace lubt {
+
+/// The edit vocabulary EcoSession understands.
+enum class EcoEditKind {
+  kMoveSink,     ///< relocate one sink; topology kept, RHS refreshed
+  kAddSink,      ///< append a sink; NN re-attach topology repair
+  kRemoveSink,   ///< delete one sink; leaf splice-out topology repair
+  kSetBounds,    ///< replace one sink's delay window; pure RHS edit
+  kShiftWindow,  ///< shift every sink's delay window; pure RHS edit
+};
+
+const char* EcoEditKindName(EcoEditKind kind);
+
+/// One typed edit. Field use by kind:
+///   kMoveSink:    sink, point
+///   kAddSink:     point, lo, hi
+///   kRemoveSink:  sink
+///   kSetBounds:   sink, lo, hi
+///   kShiftWindow: lo (delta on lower), hi (delta on upper; may be negative)
+struct EcoEdit {
+  EcoEditKind kind = EcoEditKind::kSetBounds;
+  std::int32_t sink = -1;
+  Point point{0.0, 0.0};
+  double lo = 0.0;
+  double hi = kLpInf;
+};
+
+/// Parse the text format; fails on malformed lines with a line diagnostic.
+Result<std::vector<EcoEdit>> ParseEditScript(const std::string& text);
+
+/// Serialize to the text format (round-trips through ParseEditScript).
+std::string FormatEditScript(std::span<const EcoEdit> edits);
+
+/// Load a script from a file path.
+Result<std::vector<EcoEdit>> LoadEditScript(const std::string& path);
+
+/// Multiply the window fields (lo/hi, including shift deltas) by `radius`,
+/// converting a script written in radius units into the layout units
+/// EcoSession consumes. Coordinates are untouched.
+EcoEdit ScaleEditWindows(EcoEdit edit, double radius);
+
+}  // namespace lubt
+
+#endif  // LUBT_ECO_EDIT_SCRIPT_H_

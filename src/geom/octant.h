@@ -73,6 +73,20 @@ struct OctantMax {
     }
     return best;
   }
+
+  /// CrossBound restricted to pairs with at least one point in a marked
+  /// ("dirty") subset: each side carries two aggregates, one over all its
+  /// points and one over the dirty points only, and
+  ///   max(CrossBound(dirty_A, all_B), CrossBound(all_A, dirty_B))
+  /// bounds every pair with >= 1 dirty endpoint. This is the screen the ECO
+  /// engine uses to re-separate only the region an edit touched
+  /// (eco/eco_session.cpp) without losing the exactness of CrossBound.
+  static double CrossBoundDirty(const OctantMax& a_all,
+                                const OctantMax& a_dirty,
+                                const OctantMax& b_all,
+                                const OctantMax& b_dirty) {
+    return std::max(CrossBound(a_dirty, b_all), CrossBound(a_all, b_dirty));
+  }
 };
 
 }  // namespace lubt

@@ -5,6 +5,21 @@
 
 namespace lubt {
 
+int SinkSet::AddSink(const Point& p) {
+  sinks.push_back(p);
+  return static_cast<int>(sinks.size()) - 1;
+}
+
+Status SinkSet::RemoveSink(int index) {
+  if (index < 0 || index >= static_cast<int>(sinks.size())) {
+    return Status::InvalidArgument("sink index " + std::to_string(index) +
+                                   " out of range (have " +
+                                   std::to_string(sinks.size()) + " sinks)");
+  }
+  sinks.erase(sinks.begin() + index);
+  return Status::Ok();
+}
+
 Result<SinkSet> ParseSinkSet(const std::string& text) {
   SinkSet set;
   std::istringstream in(text);

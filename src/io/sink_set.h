@@ -22,6 +22,14 @@ struct SinkSet {
   std::string name;
   std::vector<Point> sinks;
   std::optional<Point> source;
+
+  /// Append a sink and return its index. Existing indices are unchanged —
+  /// AddSink never reorders.
+  int AddSink(const Point& p);
+  /// Remove sink `index`: every sink with a larger index shifts down by one,
+  /// preserving relative order (ECO edit streams rely on exactly this
+  /// renumbering). Fails on an out-of-range index.
+  Status RemoveSink(int index);
 };
 
 /// Parse the text format; fails on malformed lines or zero sinks.

@@ -1,8 +1,10 @@
 #include "runtime/batch_solver.h"
 
+#include <cmath>
 #include <utility>
 
 #include "cts/metrics.h"
+#include "eco/eco_session.h"
 #include "embed/verifier.h"
 #include "runtime/thread_pool.h"
 #include "topo/bipartition.h"
@@ -22,6 +24,34 @@ BatchJobResult Fail(JobOutcome outcome, Status status) {
   out.outcome = outcome;
   out.status = std::move(status);
   return out;
+}
+
+double RadiusUnitsToLayout(double bound, double radius) {
+  return bound >= kUnboundedAbove ? kLpInf : bound * radius;
+}
+
+// The per-sink delay windows of one job in layout units: the uniform
+// [lower, upper] window, then any per-sink overrides.
+Result<std::vector<DelayBounds>> JobBounds(const BatchJob& job,
+                                           double radius) {
+  const double upper = RadiusUnitsToLayout(job.upper, radius);
+  std::vector<DelayBounds> bounds(job.set.sinks.size(),
+                                  DelayBounds{job.lower * radius, upper});
+  for (const BoundOverride& o : job.bound_overrides) {
+    if (o.sink < 0 || o.sink >= static_cast<std::int32_t>(bounds.size())) {
+      return Status::InvalidArgument(
+          "bound override sink " + std::to_string(o.sink) +
+          " out of range (have " + std::to_string(bounds.size()) + " sinks)");
+    }
+    if (!(o.lower <= o.upper)) {
+      return Status::InvalidArgument(
+          "bound override for sink " + std::to_string(o.sink) +
+          " has lower above upper");
+    }
+    bounds[static_cast<std::size_t>(o.sink)] =
+        DelayBounds{o.lower * radius, RadiusUnitsToLayout(o.upper, radius)};
+  }
+  return bounds;
 }
 
 }  // namespace
@@ -98,28 +128,110 @@ BatchJobResult SolveOneJob(const BatchJob& job) {
     return out;
   }
 
-  EbfProblem problem;
-  problem.topo = &topo;
-  problem.sinks = job.set.sinks;
-  problem.source = job.set.source;
-  const double upper = job.upper >= kUnboundedAbove ? kLpInf
-                                                    : job.upper * radius;
-  problem.bounds.assign(job.set.sinks.size(),
-                        DelayBounds{job.lower * radius, upper});
-
-  stage.Restart();
-  const EbfSolveResult solved = SolveEbf(problem, job.options);
-  out.seconds.solve = stage.Seconds();
-  if (!solved.ok()) {
-    const JobOutcome outcome = solved.status.code() == StatusCode::kInfeasible
-                                   ? JobOutcome::kInfeasible
-                                   : JobOutcome::kError;
+  Result<std::vector<DelayBounds>> bounds = JobBounds(job, radius);
+  if (!bounds.ok()) {
     const StageSeconds seconds = out.seconds;
-    out = Fail(outcome, solved.status);
+    out = Fail(JobOutcome::kError, bounds.status());
     out.seconds = seconds;
     out.seconds.total = total.Seconds();
     return out;
   }
+
+  // The eco path hands the instance to an EcoSession and streams the job's
+  // edits through it; the plain path is one cold solve. Both leave the
+  // final topology / sinks / windows / lengths / stats in the same locals
+  // so the embed stage below is shared.
+  std::vector<DelayBounds> bounds_vec = std::move(bounds).value();
+  std::unique_ptr<EcoSession> session;
+  std::vector<double> edge_len;
+  TreeStats stats;
+  int lp_rows = 0;
+  stage.Restart();
+  if (job.eco_edits.empty()) {
+    EbfProblem problem;
+    problem.topo = &topo;
+    problem.sinks = job.set.sinks;
+    problem.source = job.set.source;
+    problem.bounds = bounds_vec;
+    EbfSolveResult solved = SolveEbf(problem, job.options);
+    out.seconds.solve = stage.Seconds();
+    if (!solved.ok()) {
+      const JobOutcome outcome =
+          solved.status.code() == StatusCode::kInfeasible
+              ? JobOutcome::kInfeasible
+              : JobOutcome::kError;
+      const StageSeconds seconds = out.seconds;
+      out = Fail(outcome, solved.status);
+      out.seconds = seconds;
+      out.seconds.total = total.Seconds();
+      return out;
+    }
+    edge_len = std::move(solved.edge_len);
+    stats = solved.stats;
+    lp_rows = solved.lp_rows;
+  } else {
+    EcoOptions eco_options;
+    eco_options.solve = job.options;
+    Result<std::unique_ptr<EcoSession>> created = EcoSession::Create(
+        job.set, std::move(bounds_vec), std::move(topo), eco_options);
+    if (!created.ok()) {
+      out.seconds.solve = stage.Seconds();
+      const StageSeconds seconds = out.seconds;
+      out = Fail(JobOutcome::kError, created.status());
+      out.seconds = seconds;
+      out.seconds.total = total.Seconds();
+      return out;
+    }
+    session = std::move(created).value();
+    int applied = 0;
+    Status bad_edit = Status::Ok();
+    for (const EcoEdit& edit : job.eco_edits) {
+      if (past_deadline()) {
+        out.seconds.solve = stage.Seconds();
+        const StageSeconds seconds = out.seconds;
+        out = Fail(JobOutcome::kTimedOut,
+                   Status::Internal("deadline exceeded after " +
+                                    std::to_string(applied) + " eco edits"));
+        out.seconds = seconds;
+        out.seconds.total = total.Seconds();
+        return out;
+      }
+      const Result<EcoSolveInfo> info =
+          session->Apply(ScaleEditWindows(edit, radius));
+      if (!info.ok()) {
+        bad_edit = info.status();
+        break;
+      }
+      ++applied;
+    }
+    out.seconds.solve = stage.Seconds();
+    const Status final_status =
+        bad_edit.ok() ? session->Last().status : bad_edit;
+    if (!final_status.ok()) {
+      const JobOutcome outcome =
+          final_status.code() == StatusCode::kInfeasible && bad_edit.ok()
+              ? JobOutcome::kInfeasible
+              : JobOutcome::kError;
+      const StageSeconds seconds = out.seconds;
+      out = Fail(outcome, final_status);
+      out.seconds = seconds;
+      out.seconds.total = total.Seconds();
+      return out;
+    }
+    edge_len.assign(session->EdgeLengths().begin(),
+                    session->EdgeLengths().end());
+    stats = session->Last().stats;
+    lp_rows = session->NumLpRows();
+  }
+
+  // Edits may have changed the sinks, windows, and topology: embed against
+  // the session's view of the instance when one exists.
+  const Topology& final_topo = session ? session->Topo() : topo;
+  std::span<const Point> final_sinks =
+      session ? std::span<const Point>(session->Set().sinks)
+              : std::span<const Point>(job.set.sinks);
+  std::span<const DelayBounds> final_bounds =
+      session ? session->Bounds() : std::span<const DelayBounds>(bounds_vec);
   if (past_deadline()) {
     const StageSeconds seconds = out.seconds;
     out = Fail(JobOutcome::kTimedOut,
@@ -130,12 +242,12 @@ BatchJobResult SolveOneJob(const BatchJob& job) {
   }
 
   stage.Restart();
-  auto embedding = EmbedTree(topo, job.set.sinks, job.set.source,
-                             solved.edge_len, job.rule);
+  auto embedding =
+      EmbedTree(final_topo, final_sinks, job.set.source, edge_len, job.rule);
   if (embedding.ok()) {
     const auto report =
-        VerifyEmbedding(topo, job.set.sinks, job.set.source, solved.edge_len,
-                        embedding->location, problem.bounds);
+        VerifyEmbedding(final_topo, final_sinks, job.set.source, edge_len,
+                        embedding->location, final_bounds);
     if (!report.ok()) {
       embedding = report.status;
     }
@@ -151,11 +263,11 @@ BatchJobResult SolveOneJob(const BatchJob& job) {
 
   out.outcome = JobOutcome::kOk;
   out.status = Status::Ok();
-  out.cost = solved.cost;
-  out.min_delay = radius > 0.0 ? solved.stats.min_delay / radius : 0.0;
-  out.max_delay = radius > 0.0 ? solved.stats.max_delay / radius : 0.0;
-  out.lp_rows = solved.lp_rows;
-  out.edge_len = solved.edge_len;
+  out.cost = stats.cost;
+  out.min_delay = radius > 0.0 ? stats.min_delay / radius : 0.0;
+  out.max_delay = radius > 0.0 ? stats.max_delay / radius : 0.0;
+  out.lp_rows = lp_rows;
+  out.edge_len = std::move(edge_len);
   out.location = std::move(embedding->location);
   out.seconds.total = total.Seconds();
   return out;

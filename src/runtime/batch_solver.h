@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ebf/solver.h"
+#include "eco/edit_script.h"
 #include "embed/placer.h"
 #include "io/sink_set.h"
 
@@ -35,6 +36,14 @@ enum class BatchTopology { kNnMerge, kMst, kBipartition };
 
 const char* BatchTopologyName(BatchTopology topology);
 
+/// Replaces one sink's delay window (radius units, overriding the job's
+/// uniform lower/upper) before the solve.
+struct BoundOverride {
+  std::int32_t sink = -1;
+  double lower = 0.0;
+  double upper = kLpInf;
+};
+
 /// One independent LUBT job. Bounds are in radius units (radius = source to
 /// farthest sink): upper >= ~1e17 means unbounded (plain Steiner objective).
 struct BatchJob {
@@ -43,6 +52,13 @@ struct BatchJob {
   BatchTopology topology = BatchTopology::kNnMerge;
   double lower = 0.0;
   double upper = kLpInf;
+  /// Per-sink window overrides applied on top of lower/upper.
+  std::vector<BoundOverride> bound_overrides;
+  /// When non-empty the job runs as an ECO session: initial solve on the
+  /// generated topology, then each edit applied incrementally (windows in
+  /// radius units of the initial instance). The reported tree is the state
+  /// after the last edit; the deadline is also checked between edits.
+  std::vector<EcoEdit> eco_edits;
   EbfSolveOptions options;
   PlacementRule rule = PlacementRule::kClosestToParent;
   /// 0 = unlimited. Checked cooperatively at stage boundaries.

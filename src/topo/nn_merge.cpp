@@ -334,4 +334,23 @@ Topology NnMergeTopology(std::span<const Point> sinks,
   return topo;
 }
 
+NodeId NearestSinkNode(const Topology& topo, std::span<const Point> sinks,
+                       const Point& p, std::int32_t exclude_sink) {
+  NodeId best = kInvalidNode;
+  double best_dist = std::numeric_limits<double>::infinity();
+  std::int32_t best_sink = -1;
+  for (NodeId v = 0; v < topo.NumNodes(); ++v) {
+    if (!topo.IsSinkNode(v)) continue;
+    const std::int32_t s = topo.SinkIndex(v);
+    if (s == exclude_sink) continue;
+    const double d = ManhattanDist(sinks[static_cast<std::size_t>(s)], p);
+    if (d < best_dist || (d == best_dist && s < best_sink)) {
+      best_dist = d;
+      best = v;
+      best_sink = s;
+    }
+  }
+  return best;
+}
+
 }  // namespace lubt

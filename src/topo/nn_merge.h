@@ -37,6 +37,14 @@ Topology NnMergeTopology(std::span<const Point> sinks,
                          const std::optional<Point>& source,
                          NnMergeAccel accel = NnMergeAccel::kGrid);
 
+/// Leaf node of `topo` whose sink lies nearest to `p` in L1, ties broken by
+/// the smaller sink index; kInvalidNode when there is no eligible sink.
+/// `sinks` is indexed by sink index; `exclude_sink` (if >= 0) is skipped.
+/// O(m) scan — this backs the ECO engine's NN re-attach repair, where the
+/// query point is a single edited sink, not a merge loop.
+NodeId NearestSinkNode(const Topology& topo, std::span<const Point> sinks,
+                       const Point& p, std::int32_t exclude_sink = -1);
+
 }  // namespace lubt
 
 #endif  // LUBT_TOPO_NN_MERGE_H_

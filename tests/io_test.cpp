@@ -76,6 +76,47 @@ TEST(SinkSetTest, LoadMissingFile) {
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
+// ECO edit streams renumber sinks through AddSink/RemoveSink and depend on
+// exactly this contract: append never reorders, removal shifts larger
+// indices down by one with relative order preserved.
+TEST(SinkSetTest, AddSinkAppendsWithoutReordering) {
+  SinkSet set;
+  set.sinks = {{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_EQ(set.AddSink({9, 9}), 3);
+  EXPECT_EQ(set.AddSink({8, 8}), 4);
+  ASSERT_EQ(set.sinks.size(), 5u);
+  EXPECT_EQ(set.sinks[0], (Point{0, 0}));
+  EXPECT_EQ(set.sinks[2], (Point{2, 2}));
+  EXPECT_EQ(set.sinks[3], (Point{9, 9}));
+  EXPECT_EQ(set.sinks[4], (Point{8, 8}));
+}
+
+TEST(SinkSetTest, RemoveSinkShiftsLargerIndicesDown) {
+  SinkSet set;
+  set.sinks = {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  ASSERT_TRUE(set.RemoveSink(1).ok());
+  ASSERT_EQ(set.sinks.size(), 4u);
+  // Former sinks 2..4 are now 1..3, in unchanged relative order.
+  EXPECT_EQ(set.sinks[0], (Point{0, 0}));
+  EXPECT_EQ(set.sinks[1], (Point{2, 2}));
+  EXPECT_EQ(set.sinks[2], (Point{3, 3}));
+  EXPECT_EQ(set.sinks[3], (Point{4, 4}));
+  // Ends work too.
+  ASSERT_TRUE(set.RemoveSink(3).ok());
+  ASSERT_TRUE(set.RemoveSink(0).ok());
+  ASSERT_EQ(set.sinks.size(), 2u);
+  EXPECT_EQ(set.sinks[0], (Point{2, 2}));
+  EXPECT_EQ(set.sinks[1], (Point{3, 3}));
+}
+
+TEST(SinkSetTest, RemoveSinkRejectsOutOfRange) {
+  SinkSet set;
+  set.sinks = {{0, 0}, {1, 1}};
+  EXPECT_FALSE(set.RemoveSink(-1).ok());
+  EXPECT_FALSE(set.RemoveSink(2).ok());
+  EXPECT_EQ(set.sinks.size(), 2u);
+}
+
 // ---- Benchmarks -------------------------------------------------------------
 
 TEST(BenchmarkTest, CardinalitiesMatchThePaper) {

@@ -9,8 +9,10 @@
 #   tools/check.sh asan ubsan  # just the named presets
 #
 # Environment:
-#   JOBS=N             build parallelism (default: nproc)
-#   SELF_CHECK_SEEDS=N extra randomized sweep size per sanitizer (default 40)
+#   JOBS=N               build parallelism (default: nproc)
+#   SELF_CHECK_SEEDS=N   extra randomized sweep size per sanitizer (default 40)
+#   SELF_CHECK_ECO_OPS=N random ECO edits per sweep case, each cross-checked
+#                        against a cold re-solve (default 3)
 
 set -u -o pipefail
 
@@ -18,6 +20,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 SELF_CHECK_SEEDS="${SELF_CHECK_SEEDS:-40}"
+SELF_CHECK_ECO_OPS="${SELF_CHECK_ECO_OPS:-3}"
 
 # Sanitizer runtime policy: abort on the first finding so ctest sees it.
 export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1:strict_string_checks=1"
@@ -57,7 +60,7 @@ for preset in "${presets[@]}"; do
   # tool drivers — everything that actually multithreads.
   ctest_args=()
   if [[ "$preset" == "tsan" ]]; then
-    ctest_args=(-R "runtime|Batch|Determinism|self_check|lubt_batch")
+    ctest_args=(-R "runtime|Batch|Determinism|self_check|lubt_batch|Eco")
   fi
   if ! ctest --preset "$preset" "${ctest_args[@]}" \
        > "/tmp/lubt-check-$preset-test.log" 2>&1; then
@@ -74,9 +77,9 @@ for preset in "${presets[@]}"; do
   if [[ "$preset" == "asan" || "$preset" == "ubsan" || "$preset" == "tsan" ]]; then
     sweep_jobs=1
     [[ "$preset" == "tsan" ]] && sweep_jobs=4
-    echo "==== [$preset] self_check --seeds $SELF_CHECK_SEEDS --jobs $sweep_jobs ===="
+    echo "==== [$preset] self_check --seeds $SELF_CHECK_SEEDS --eco-ops $SELF_CHECK_ECO_OPS --jobs $sweep_jobs ===="
     if ! "./build-$preset/tools/self_check" --seeds "$SELF_CHECK_SEEDS" \
-         --jobs "$sweep_jobs" --quiet; then
+         --eco-ops "$SELF_CHECK_ECO_OPS" --jobs "$sweep_jobs" --quiet; then
       failed+=("$preset (self_check)")
       continue
     fi
@@ -87,11 +90,14 @@ for preset in "${presets[@]}"; do
   # objective disagreement; separation_scaling --smoke additionally demands
   # the octant separation oracle return bitwise-identical rows to the
   # brute-force scan (serial and threaded) and the grid NN-merge match the
-  # scan backend node for node. Skipped for tsan (single-threaded here; the
-  # slow tsan build is reserved for the concurrency slice above, whose
-  # self_check sweep already drives the octant oracle with --jobs workers).
+  # scan backend node for node; eco_scaling --smoke replays fixed edit
+  # streams and fails unless every incremental re-solve matches a cold
+  # solve of the edited instance. Skipped for tsan (single-threaded here;
+  # the slow tsan build is reserved for the concurrency slice above, whose
+  # self_check sweep already drives the octant oracle and the eco engine
+  # with --jobs workers).
   if [[ "$preset" == "default" || "$preset" == "asan" || "$preset" == "ubsan" ]]; then
-    for smoke in lp_scaling separation_scaling; do
+    for smoke in lp_scaling separation_scaling eco_scaling; do
       echo "==== [$preset] $smoke --smoke ===="
       if ! "./build-$preset/bench/$smoke" --smoke \
            > "/tmp/lubt-check-$preset-$smoke-smoke.log" 2>&1; then

@@ -15,12 +15,20 @@
 //   lower=0.9 upper=1.2              delay window in radius units
 //                                    (upper=inf for Steiner-only)
 //   engine=ipm|simplex strategy=lazy|full|reduced
+//   bound=SINK:LO:HI                 per-sink window override (radius units,
+//                                    repeatable; HI may be inf)
+//   edits=PATH                       ECO edit script (eco/edit_script.h
+//                                    format, windows in radius units) applied
+//                                    incrementally after the initial solve;
+//                                    relative PATH resolves against the
+//                                    manifest's directory
 //   timeout=SECONDS                  cooperative per-job deadline
 //   name=NET7 expect=ok|infeasible   optional label / outcome assertion
 //
 // Examples:
 //   lubt_batch --gen 64 --seed 1 --jobs 4
 //   lubt_batch --manifest examples/batch_demo.manifest --jobs 0   # 0 = auto
+//   lubt_batch --manifest examples/eco_demo.manifest
 
 #include <cstdio>
 #include <fstream>
@@ -66,7 +74,26 @@ struct ManifestJob {
   std::string expect;
 };
 
-Result<ManifestJob> ParseManifestLine(const std::string& line, int line_no) {
+// "SINK:LO:HI" with HI optionally "inf".
+Result<BoundOverride> ParseBoundOverride(const std::string& value,
+                                         const std::string& where) {
+  const std::size_t c1 = value.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                 : value.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    return Status::InvalidArgument(where + "bound must be SINK:LO:HI, got '" +
+                                   value + "'");
+  }
+  BoundOverride o;
+  o.sink = std::atoi(value.substr(0, c1).c_str());
+  o.lower = std::atof(value.substr(c1 + 1, c2 - c1 - 1).c_str());
+  const std::string hi = value.substr(c2 + 1);
+  o.upper = hi == "inf" ? kLpInf : std::atof(hi.c_str());
+  return o;
+}
+
+Result<ManifestJob> ParseManifestLine(const std::string& line, int line_no,
+                                      const std::string& manifest_dir) {
   ManifestJob out;
   BatchJob& job = out.job;
   int sinks = 0;
@@ -122,6 +149,20 @@ Result<ManifestJob> ParseManifestLine(const std::string& line, int line_no) {
       else
         return Status::InvalidArgument(where + "unknown strategy '" + value +
                                        "'");
+    } else if (key == "bound") {
+      Result<BoundOverride> o = ParseBoundOverride(value, where);
+      if (!o.ok()) return o.status();
+      job.bound_overrides.push_back(*o);
+    } else if (key == "edits") {
+      std::string path = value;
+      if (!path.empty() && path[0] != '/' && !manifest_dir.empty()) {
+        path = manifest_dir + "/" + path;
+      }
+      Result<std::vector<EcoEdit>> edits = LoadEditScript(path);
+      if (!edits.ok()) {
+        return Status::InvalidArgument(where + edits.status().ToString());
+      }
+      job.eco_edits = std::move(*edits);
     } else if (key == "timeout") {
       job.timeout_seconds = std::atof(value.c_str());
     } else if (key == "expect") {
@@ -157,6 +198,9 @@ Result<ManifestJob> ParseManifestLine(const std::string& line, int line_no) {
 Result<std::vector<ManifestJob>> LoadManifest(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open manifest '" + path + "'");
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string() : path.substr(0, slash);
   std::vector<ManifestJob> jobs;
   std::string line;
   int line_no = 0;
@@ -165,7 +209,7 @@ Result<std::vector<ManifestJob>> LoadManifest(const std::string& path) {
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    Result<ManifestJob> job = ParseManifestLine(line, line_no);
+    Result<ManifestJob> job = ParseManifestLine(line, line_no, dir);
     if (!job.ok()) return job.status();
     jobs.push_back(std::move(*job));
   }

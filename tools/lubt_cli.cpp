@@ -22,6 +22,7 @@
 #include "cts/linear_delay.h"
 #include "cts/metrics.h"
 #include "ebf/solver.h"
+#include "eco/eco_session.h"
 #include "embed/placer.h"
 #include "embed/verifier.h"
 #include "embed/wire_realizer.h"
@@ -58,6 +59,10 @@ options:
   --engine E           ipm (default) | simplex
   --strategy S         lazy (default) | full | reduced
   --refine N           N topology refinement passes before solving
+  --eco PATH           after the initial solve, stream the ECO edit script at
+                       PATH through an incremental session (move/add/remove/
+                       bounds/shift; windows in radius units) and report the
+                       edited tree
   --seed N             seed for --random (default 1)
   --svg PATH           write the embedded layout as SVG
   --dot PATH           write the topology as Graphviz DOT
@@ -76,8 +81,8 @@ int main(int argc, char** argv) {
   auto parsed = ArgParser::Parse(
       argc, argv,
       {"input", "random", "benchmark", "scale", "lower", "upper", "skew",
-       "topology", "engine", "strategy", "refine", "seed", "svg", "dot",
-       "save", "quiet", "help"});
+       "topology", "engine", "strategy", "refine", "eco", "seed", "svg",
+       "dot", "save", "quiet", "help"});
   if (!parsed.ok()) return Fail(parsed.status().message());
   const ArgParser& args = *parsed;
   if (args.Has("help")) {
@@ -180,34 +185,84 @@ int main(int argc, char** argv) {
   else if (strategy == "lazy") opt.strategy = EbfStrategy::kLazy;
   else return Fail("unknown strategy '" + strategy + "'");
 
-  const EbfSolveResult solved = SolveEbf(problem, opt);
-  if (!solved.ok()) {
-    std::fprintf(stderr, "solve failed: %s\n",
-                 solved.status.ToString().c_str());
-    return 1;
+  std::vector<double> edge_len;
+  if (args.Has("eco")) {
+    // Incremental flow: initial solve inside an EcoSession, then stream the
+    // edit script through it; embed/verify/export run on the edited tree.
+    auto edits = LoadEditScript(args.GetString("eco", ""));
+    if (!edits.ok()) return Fail(edits.status().ToString());
+    EcoOptions eco_opt;
+    eco_opt.solve = opt;
+    auto created = EcoSession::Create(set, std::move(problem.bounds),
+                                      std::move(topo), eco_opt);
+    if (!created.ok()) return Fail(created.status().ToString());
+    EcoSession& session = **created;
+    const EcoSolveInfo& init = session.Last();
+    std::printf("eco initial: %s, cost %.2f, %d rows, %.3fs\n",
+                init.ok() ? "ok" : init.status.ToString().c_str(), init.cost,
+                init.lp_rows, init.seconds);
+    for (std::size_t i = 0; i < edits->size(); ++i) {
+      const EcoEdit& edit = (*edits)[i];
+      const auto info = session.Apply(ScaleEditWindows(edit, radius));
+      if (!info.ok()) {
+        std::fprintf(stderr, "eco edit %zu (%s) rejected: %s\n", i + 1,
+                     EcoEditKindName(edit.kind),
+                     info.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "eco edit %zu %-6s: tier=%-12s %s cost %.2f, %d rows (+%d), "
+          "%d rounds, %.3fs\n",
+          i + 1, EcoEditKindName(edit.kind), EcoTierName(info->tier),
+          info->ok() ? "ok" : info->status.ToString().c_str(), info->cost,
+          info->lp_rows, info->rows_added, info->lazy_rounds, info->seconds);
+    }
+    if (!session.Last().ok()) {
+      std::fprintf(stderr, "eco final state: %s\n",
+                   session.Last().status.ToString().c_str());
+      return 1;
+    }
+    const TreeStats& stats = session.Last().stats;
+    std::printf("LUBT (eco): cost %.2f, window [%.3f, %.3f] x R, %d rows\n",
+                session.Last().cost, stats.min_delay / radius,
+                stats.max_delay / radius, session.NumLpRows());
+    // Adopt the edited instance for the stages below.
+    topo = session.Topo();
+    set = session.Set();
+    problem.bounds.assign(session.Bounds().begin(), session.Bounds().end());
+    edge_len.assign(session.EdgeLengths().begin(),
+                    session.EdgeLengths().end());
+  } else {
+    EbfSolveResult solved = SolveEbf(problem, opt);
+    if (!solved.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   solved.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("LUBT: cost %.2f, window [%.3f, %.3f] x R, %d rows, %.3fs\n",
+                solved.cost, solved.stats.min_delay / radius,
+                solved.stats.max_delay / radius, solved.lp_rows,
+                solved.seconds);
+    edge_len = std::move(solved.edge_len);
   }
-  std::printf("LUBT: cost %.2f, window [%.3f, %.3f] x R, %d rows, %.3fs\n",
-              solved.cost, solved.stats.min_delay / radius,
-              solved.stats.max_delay / radius, solved.lp_rows,
-              solved.seconds);
 
   // --- Embed + verify. ---
   const auto embedding =
-      EmbedTree(topo, set.sinks, set.source, solved.edge_len);
+      EmbedTree(topo, set.sinks, set.source, edge_len);
   if (!embedding.ok()) {
     std::fprintf(stderr, "embedding failed: %s\n",
                  embedding.status().ToString().c_str());
     return 1;
   }
   const auto report =
-      VerifyEmbedding(topo, set.sinks, set.source, solved.edge_len,
+      VerifyEmbedding(topo, set.sinks, set.source, edge_len,
                       embedding->location, problem.bounds);
   std::printf("verification: %s (wire %.2f, physical %.2f, snaking %.2f)\n",
               report.status.ToString().c_str(), report.total_wirelength,
               report.total_physical, report.total_slack);
 
   if (!args.GetBool("quiet", false)) {
-    const auto delays = LinearSinkDelays(topo, solved.edge_len);
+    const auto delays = LinearSinkDelays(topo, edge_len);
     std::printf("sink delays (radius units):");
     for (const double d : delays) std::printf(" %.3f", d / radius);
     std::printf("\n");
@@ -216,20 +271,20 @@ int main(int argc, char** argv) {
   // --- Exports. ---
   if (args.Has("dot")) {
     const Status s = WriteTextFile(args.GetString("dot", ""),
-                                   TopologyToDot(topo, solved.edge_len));
+                                   TopologyToDot(topo, edge_len));
     std::printf("dot: %s\n", s.ToString().c_str());
   }
   if (args.Has("save")) {
     TreeSolution solution;
     solution.topo = topo;
-    solution.edge_len = solved.edge_len;
+    solution.edge_len = edge_len;
     solution.locations = embedding->location;
     const Status s = StoreTreeSolution(solution, args.GetString("save", ""));
     std::printf("save: %s\n", s.ToString().c_str());
   }
   if (args.Has("svg")) {
     const auto wires =
-        RealizeWires(topo, solved.edge_len, embedding->location,
+        RealizeWires(topo, edge_len, embedding->location,
                      /*fold_pitch=*/radius * 0.01);
     const Status s = WriteTextFile(
         args.GetString("svg", ""),

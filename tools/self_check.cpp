@@ -24,6 +24,7 @@
 #include "runtime/thread_pool.h"
 #include "cts/metrics.h"
 #include "ebf/solver.h"
+#include "eco/eco_session.h"
 #include "embed/placer.h"
 #include "geom/bbox.h"
 #include "io/benchmarks.h"
@@ -67,6 +68,9 @@ struct CaseConfig {
   bool scan_topology = false;  // NN-merge backend when !mst_topology
   BoundsRegime regime = BoundsRegime::kAchievedWindow;
   EbfSolveOptions options;
+  /// When > 0, follow the cold solve with this many random ECO edits, each
+  /// cross-checked against a cold solve of the edited instance.
+  int eco_ops = 0;
 };
 
 std::string Describe(const CaseConfig& c) {
@@ -126,6 +130,108 @@ CaseConfig DrawCase(std::uint64_t seed, int min_sinks, int max_sinks) {
   return c;
 }
 
+// One random edit for the ECO stream. Edits are drawn so they are always
+// well-formed (never rejected by Apply); they may still make the instance
+// infeasible, which the session must then *report*, matching the cold side.
+EcoEdit DrawEcoEdit(Rng& rng, const EcoSession& session, const BBox& die,
+                    double radius) {
+  const int m = session.NumSinks();
+  const int min_sinks =
+      session.Topo().Mode() == RootMode::kFreeSource ? 2 : 1;
+  EcoEdit e;
+  const double kind_draw = rng.Uniform();
+  if (kind_draw < 0.35) {
+    e.kind = EcoEditKind::kMoveSink;
+    e.sink = rng.UniformInt(0, m - 1);
+    e.point = {rng.Uniform(die.Lo().x, die.Hi().x),
+               rng.Uniform(die.Lo().y, die.Hi().y)};
+  } else if (kind_draw < 0.60) {
+    e.kind = EcoEditKind::kSetBounds;
+    e.sink = rng.UniformInt(0, m - 1);
+    e.lo = rng.Uniform(0.0, 0.8) * radius;
+    e.hi = rng.Bernoulli(0.2) ? kLpInf
+                              : e.lo + rng.Uniform(0.1, 1.2) * radius;
+  } else if (kind_draw < 0.70) {
+    e.kind = EcoEditKind::kShiftWindow;
+    e.lo = rng.Uniform(-0.1, 0.1) * radius;
+    e.hi = e.lo + rng.Uniform(0.0, 0.2) * radius;
+    // A shift that would invert some window is rejected as malformed; fall
+    // back to a pure relaxation, which is always valid.
+    for (const DelayBounds& b : session.Bounds()) {
+      if (!std::isfinite(b.hi)) continue;
+      if (std::max(0.0, b.lo + e.lo) > b.hi + e.hi) {
+        e.lo = 0.0;
+        e.hi = 0.05 * radius;
+        break;
+      }
+    }
+  } else if (kind_draw < 0.85 || m - 1 < min_sinks) {
+    e.kind = EcoEditKind::kAddSink;
+    e.point = {rng.Uniform(die.Lo().x, die.Hi().x),
+               rng.Uniform(die.Lo().y, die.Hi().y)};
+    e.lo = 0.0;
+    e.hi = rng.Bernoulli(0.3) ? kLpInf : rng.Uniform(0.8, 1.6) * radius;
+  } else {
+    e.kind = EcoEditKind::kRemoveSink;
+    e.sink = rng.UniformInt(0, m - 1);
+  }
+  return e;
+}
+
+// Streams `c.eco_ops` random edits through an EcoSession seeded with the
+// case's instance and cross-checks every incremental solve against
+// ColdReferenceSolve — the incremental ≡ cold contract under sanitizers.
+std::string RunEcoStream(const CaseConfig& c, const SinkSet& set,
+                         const Topology& topo,
+                         const std::vector<DelayBounds>& bounds,
+                         const BBox& die) {
+  EcoOptions opt;
+  opt.solve = c.options;
+  auto created = EcoSession::Create(set, bounds, topo, opt);
+  if (!created.ok()) {
+    return "EcoSession::Create: " + created.status().ToString();
+  }
+  EcoSession& session = **created;
+  const double radius = session.InitialRadius();
+  Rng rng(c.seed * 0x51f15eed00d5eedULL + 7);
+  for (int op = 0; op < c.eco_ops; ++op) {
+    const EcoEdit edit = DrawEcoEdit(rng, session, die, radius);
+    const std::string where = "eco op " + std::to_string(op + 1) + " (" +
+                              EcoEditKindName(edit.kind) + ", tier ";
+    auto info = session.Apply(edit);
+    if (!info.ok()) {
+      return "eco apply " + std::string(EcoEditKindName(edit.kind)) + ": " +
+             info.status().ToString();
+    }
+    const std::string ctx = where + EcoTierName(info->tier) + ")";
+    const EbfSolveResult cold = ColdReferenceSolve(session);
+    if (info->ok() != cold.ok()) {
+      return ctx + ": incremental " + info->status.ToString() +
+             " but cold " + cold.status.ToString();
+    }
+    if (!info->ok()) {
+      if (info->status.code() != StatusCode::kInfeasible ||
+          cold.status.code() != StatusCode::kInfeasible) {
+        return ctx + ": non-infeasible failure (incremental " +
+               info->status.ToString() + ", cold " + cold.status.ToString() +
+               ")";
+      }
+      continue;
+    }
+    const double tol = 1e-5 * std::max(1.0, std::abs(cold.cost));
+    if (std::abs(info->cost - cold.cost) > tol) {
+      return ctx + ": cost " + std::to_string(info->cost) + " vs cold " +
+             std::to_string(cold.cost);
+    }
+    const Status lengths_ok =
+        ValidateEdgeLengths(session.Problem(), session.EdgeLengths());
+    if (!lengths_ok.ok()) {
+      return ctx + ": ValidateEdgeLengths: " + lengths_ok.ToString();
+    }
+  }
+  return "";
+}
+
 // Returns an error description, or the empty string when the case passes.
 std::string RunCase(const CaseConfig& c, bool quiet) {
   const BBox die({0.0, 0.0}, {1000.0, 1000.0});
@@ -181,6 +287,12 @@ std::string RunCase(const CaseConfig& c, bool quiet) {
     if (solved.status.code() != StatusCode::kInfeasible) {
       return "infeasible window misreported as " + solved.status.ToString();
     }
+    if (c.eco_ops > 0) {
+      // Infeasible start: the session must report kInfeasible too, and
+      // edits may later restore feasibility (the cold-rebuild tier).
+      const std::string eco = RunEcoStream(c, set, topo, prob.bounds, die);
+      if (!eco.empty()) return eco;
+    }
     if (!quiet) std::printf("ok   %s rejected as infeasible\n", Describe(c).c_str());
     return "";
   }
@@ -201,6 +313,11 @@ std::string RunCase(const CaseConfig& c, bool quiet) {
       ValidateEmbedding(prob, solved.edge_len, embedding->location);
   if (!embed_ok.ok()) return "ValidateEmbedding: " + embed_ok.ToString();
 
+  if (c.eco_ops > 0) {
+    const std::string eco = RunEcoStream(c, set, topo, prob.bounds, die);
+    if (!eco.empty()) return eco;
+  }
+
   if (!quiet) {
     std::printf("ok   %s cost=%.1f rows=%d\n", Describe(c).c_str(),
                 solved.cost, solved.lp_rows);
@@ -211,8 +328,8 @@ std::string RunCase(const CaseConfig& c, bool quiet) {
 int Run(int argc, const char* const* argv) {
   Result<ArgParser> args = ArgParser::Parse(
       argc, argv,
-      {"seeds", "start-seed", "min-sinks", "max-sinks", "jobs", "quiet",
-       "help"});
+      {"seeds", "start-seed", "min-sinks", "max-sinks", "jobs", "eco-ops",
+       "quiet", "help"});
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return 2;
@@ -225,6 +342,9 @@ int Run(int argc, const char* const* argv) {
         "  --min-sinks M   smallest instance (default 4)\n"
         "  --max-sinks M   largest instance (default 40)\n"
         "  --jobs N        run cases on N worker threads (0 = hardware)\n"
+        "  --eco-ops N     per case, stream N random ECO edits through an\n"
+        "                  EcoSession and cross-check each against a cold\n"
+        "                  solve (default 0 = off)\n"
         "  --quiet         only print failures and the summary\n");
     return 0;
   }
@@ -233,9 +353,10 @@ int Run(int argc, const char* const* argv) {
   const Result<int> min_sinks = args->GetIntFlag("min-sinks", 4, 2);
   const Result<int> max_sinks = args->GetIntFlag("max-sinks", 40, 2);
   const Result<int> jobs = args->GetJobsFlag(1);
+  const Result<int> eco_ops = args->GetIntFlag("eco-ops", 0, 0);
   const bool quiet = args->GetBool("quiet", false);
   for (const Result<int>* flag : {&seeds, &start, &min_sinks, &max_sinks,
-                                  &jobs}) {
+                                  &jobs, &eco_ops}) {
     if (!flag->ok()) {
       std::fprintf(stderr, "%s\n", flag->status().ToString().c_str());
       return 2;
@@ -259,6 +380,7 @@ int Run(int argc, const char* const* argv) {
     // lane exercises the octant oracle's bucket fan-out under concurrent
     // solves. Results are worker-count invariant by contract.
     cases.back().options.separation_jobs = *jobs;
+    cases.back().eco_ops = *eco_ops;
   }
   std::vector<std::string> errors(cases.size());
   const bool parallel = *jobs > 1;
