@@ -1,0 +1,92 @@
+// Annotated mutex primitives for the thread-safety analysis.
+//
+// std::mutex / std::lock_guard carry no thread-safety attributes, so clang's
+// -Wthread-safety cannot see through them: a field declared
+// LUBT_GUARDED_BY(mu_) would warn on every access even under a correctly
+// held std::lock_guard. These thin wrappers re-export the standard
+// primitives with the annotations attached, which is all the analysis
+// needs. They add no state and no overhead beyond the underlying std types.
+//
+// Project code uses these instead of the raw std types (lubt_lint's
+// `bare-mutex` rule enforces it everywhere outside this header):
+//
+//   Mutex mu_;
+//   int jobs_ LUBT_GUARDED_BY(mu_) = 0;
+//
+//   void Add() LUBT_EXCLUDES(mu_) {
+//     MutexLock lock(mu_);
+//     ++jobs_;
+//   }
+//
+// CondVar pairs with Mutex the way std::condition_variable pairs with
+// std::mutex; Wait() requires the mutex held and re-holds it on return, so
+// the usual `while (!predicate) cv.Wait(mu);` loop analyzes cleanly.
+
+#ifndef LUBT_CHECK_MUTEX_H_
+#define LUBT_CHECK_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "check/thread_annotations.h"
+
+namespace lubt {
+
+/// std::mutex with capability annotations. Lock/Unlock (or the MutexLock
+/// RAII below) instead of std::lock_guard so the analysis tracks the hold.
+class LUBT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LUBT_ACQUIRE() { mu_.lock(); }
+  void Unlock() LUBT_RELEASE() { mu_.unlock(); }
+  bool TryLock() LUBT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over an annotated Mutex; the scoped-capability attribute tells
+/// the analysis the capability is held for exactly this scope.
+class LUBT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LUBT_ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() LUBT_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable over an annotated Mutex. Wait() atomically releases
+/// and re-acquires `mu`, so from the analysis' point of view the capability
+/// is held continuously across the call — which is exactly the contract a
+/// predicate loop relies on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold `mu`; it is held again when Wait returns.
+  void Wait(Mutex& mu) LUBT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller keeps ownership of the re-acquired mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_CHECK_MUTEX_H_

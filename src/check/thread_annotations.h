@@ -1,0 +1,72 @@
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// The concurrency contracts of this codebase — which mutex guards which
+// field, which functions must (or must not) hold a lock — were previously
+// enforced only dynamically, by tsan sweeps that sample a sliver of the
+// schedule space. These macros turn the locking discipline into compile-time
+// proof: under clang with -Wthread-safety (the `thread-safety` CMake preset,
+// gated in tools/check.sh), an unguarded access to an annotated field or an
+// unbalanced acquire/release is a hard build error.
+//
+// Under any other compiler (gcc builds everywhere else) every macro expands
+// to nothing, so annotated code stays portable. The annotated `Mutex` /
+// `MutexLock` / `CondVar` wrappers that give these attributes something to
+// bind to live in check/mutex.h; project code uses those wrappers instead of
+// raw std::mutex (enforced by lubt_lint's `bare-mutex` rule).
+//
+// Vocabulary (mirrors the clang documentation / abseil's macro set):
+//   LUBT_CAPABILITY(name)     class is a lockable capability ("mutex")
+//   LUBT_SCOPED_CAPABILITY    RAII class that acquires in ctor, releases in dtor
+//   LUBT_GUARDED_BY(mu)       field may only be touched while holding mu
+//   LUBT_PT_GUARDED_BY(mu)    pointee may only be touched while holding mu
+//   LUBT_REQUIRES(mu)         caller must hold mu to call this function
+//   LUBT_ACQUIRE(mu...)       function acquires mu and does not release it
+//   LUBT_RELEASE(mu...)       function releases mu
+//   LUBT_TRY_ACQUIRE(b, mu)   function acquires mu iff it returns b
+//   LUBT_EXCLUDES(mu...)      caller must NOT hold mu (non-reentrant entry)
+//   LUBT_ASSERT_CAPABILITY(mu) runtime-asserts mu is held (trusts the caller)
+//   LUBT_RETURN_CAPABILITY(mu) function returns a reference to mu
+//   LUBT_NO_THREAD_SAFETY_ANALYSIS  opt this function out; every use must
+//                             carry a comment stating the invariant that
+//                             makes the unanalyzed access safe
+
+#ifndef LUBT_CHECK_THREAD_ANNOTATIONS_H_
+#define LUBT_CHECK_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define LUBT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LUBT_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+#define LUBT_CAPABILITY(x) LUBT_THREAD_ANNOTATION_(capability(x))
+
+#define LUBT_SCOPED_CAPABILITY LUBT_THREAD_ANNOTATION_(scoped_lockable)
+
+#define LUBT_GUARDED_BY(x) LUBT_THREAD_ANNOTATION_(guarded_by(x))
+
+#define LUBT_PT_GUARDED_BY(x) LUBT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define LUBT_REQUIRES(...) \
+  LUBT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define LUBT_ACQUIRE(...) \
+  LUBT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define LUBT_RELEASE(...) \
+  LUBT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define LUBT_TRY_ACQUIRE(...) \
+  LUBT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define LUBT_EXCLUDES(...) LUBT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define LUBT_ASSERT_CAPABILITY(x) \
+  LUBT_THREAD_ANNOTATION_(assert_capability(x))
+
+#define LUBT_RETURN_CAPABILITY(x) LUBT_THREAD_ANNOTATION_(lock_returned(x))
+
+#define LUBT_NO_THREAD_SAFETY_ANALYSIS \
+  LUBT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // LUBT_CHECK_THREAD_ANNOTATIONS_H_

@@ -179,6 +179,10 @@ EbfSolveResult SolveEbf(const EbfProblem& problem,
   result.stats = ComputeTreeStats(*problem.topo, result.edge_len);
   result.cost = result.stats.cost;
   result.objective = lp.objective * formulation.Scale();
+  // Boundary gate (lubt_lint finite-boundary): the cost and objective leave
+  // the subsystem here; PostcheckEdgeLengths covers the per-edge vector.
+  LUBT_DCHECK_FINITE(result.cost);
+  LUBT_DCHECK_FINITE(result.objective);
   result.status = Status::Ok();
   PostcheckEdgeLengths(problem, &result);
   result.seconds = timer.Seconds();

@@ -30,6 +30,16 @@
 //
 // Scope: unit edge weights and no zero-length (degree-4 split) edges — the
 // repair moves assume every leaf is an ordinary binary-tree sink.
+//
+// Threading: an EcoSession is thread-confined, not thread-safe. All mutable
+// solved state — the primal/dual iterates (lp_x_, lp_dual_), the solved-
+// state flag (lp_valid_), and the infeasible-window park flag
+// (needs_rebuild_) — is read and written without locks on the assumption
+// that exactly one thread drives the session between external
+// synchronization points. BatchSolver honours this by giving each job (and
+// thus each session) to a single worker for its whole lifetime; a future
+// lubt_server sharing sessions across requests must wrap each session in an
+// annotated Mutex (check/mutex.h) rather than lock inside this class.
 
 #ifndef LUBT_ECO_ECO_SESSION_H_
 #define LUBT_ECO_ECO_SESSION_H_

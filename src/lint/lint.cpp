@@ -1,0 +1,242 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace lubt::lint {
+namespace {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!cur.empty() && cur != ".") parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty() && cur != ".") parts.push_back(cur);
+  return parts;
+}
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      lines.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+// Path components relative to the nearest source root, so path-aware rules
+// behave identically whether the linter was handed "src/lp", an absolute
+// path, or "tools/../src" (as the ctest invocation does).
+std::vector<std::string> RelParts(const std::vector<std::string>& parts) {
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    if (parts[i] == "src") {
+      return {parts.begin() + static_cast<std::ptrdiff_t>(i) + 1, parts.end()};
+    }
+  }
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    if (parts[i] == "bench" || parts[i] == "tools" || parts[i] == "tests" ||
+        parts[i] == "examples") {
+      return {parts.begin() + static_cast<std::ptrdiff_t>(i), parts.end()};
+    }
+  }
+  return parts.empty() ? parts
+                       : std::vector<std::string>{parts.back()};
+}
+
+// line -> rules waived there. A suppression covers its own line and the one
+// below it, so both trailing comments and a dedicated comment line above the
+// offending statement work.
+std::map<int, std::set<std::string>> ParseSuppressions(
+    const TokenStream& stream) {
+  std::map<int, std::set<std::string>> out;
+  for (const Comment& comment : stream.comments) {
+    const std::size_t tag = comment.text.find("lubt-lint:");
+    if (tag == std::string::npos) continue;
+    const std::size_t open = comment.text.find("allow(", tag);
+    if (open == std::string::npos) continue;
+    const std::size_t close = comment.text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string names =
+        comment.text.substr(open + 6, close - open - 6);
+    std::string cur;
+    std::set<std::string>& rules = out[comment.line];
+    for (const char c : names + ",") {
+      if (c == ',' || c == ' ') {
+        if (!cur.empty()) rules.insert(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+bool IsSuppressed(const std::map<int, std::set<std::string>>& waivers,
+                  const Finding& finding) {
+  for (const int line : {finding.line, finding.line - 1}) {
+    const auto it = waivers.find(line);
+    if (it != waivers.end() && it->second.count(finding.rule) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void JsonEscape(const std::string& in, std::string* out) {
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+bool HasSourceExtension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+}  // namespace
+
+std::vector<Finding> LintText(std::string_view path, std::string_view text) {
+  const TokenStream stream = Tokenize(text);
+  const std::vector<std::string> lines = SplitLines(text);
+
+  FileContext ctx;
+  ctx.path = std::string(path);
+  ctx.parts = SplitPath(ctx.path);
+  ctx.rel = RelParts(ctx.parts);
+  const std::string name = ctx.parts.empty() ? ctx.path : ctx.parts.back();
+  ctx.is_header = name.size() > 2 && (name.ends_with(".h") ||
+                                      name.ends_with(".hpp"));
+  ctx.lines = &lines;
+  ctx.stream = &stream;
+
+  std::vector<Finding> findings;
+  for (const Rule& rule : Rules()) {
+    rule.run(ctx, &findings);
+  }
+
+  const auto waivers = ParseSuppressions(stream);
+  std::erase_if(findings, [&](const Finding& finding) {
+    return IsSuppressed(waivers, finding);
+  });
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+Result<std::vector<Finding>> LintFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintText(path, buffer.str());
+}
+
+Result<std::vector<Finding>> LintPaths(const std::vector<std::string>& paths,
+                                       int* files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && HasSourceExtension(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+      if (ec) {
+        return Status::NotFound("cannot walk " + path + ": " + ec.message());
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      return Status::NotFound("no such file or directory: " + path);
+    }
+  }
+  // Directory iteration order is unspecified; sort so reports (and any
+  // future per-file caps) are reproducible — the linter obeys its own
+  // nondeterminism rule.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    Result<std::vector<Finding>> one = LintFile(file);
+    if (!one.ok()) return one.status();
+    findings.insert(findings.end(), one.value().begin(), one.value().end());
+  }
+  if (files_scanned != nullptr) {
+    *files_scanned = static_cast<int>(files.size());
+  }
+  return findings;
+}
+
+std::string FormatText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += finding.file + ":" + std::to_string(finding.line) + ": [" +
+           finding.rule + "] " + finding.message + "\n";
+  }
+  return out;
+}
+
+std::string FormatJson(const std::vector<Finding>& findings) {
+  std::string out = "{\"version\":1,\"count\":" +
+                    std::to_string(findings.size()) + ",\"findings\":[";
+  bool first = true;
+  for (const Finding& finding : findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"rule\":\"";
+    JsonEscape(finding.rule, &out);
+    out += "\",\"file\":\"";
+    JsonEscape(finding.file, &out);
+    out += "\",\"line\":" + std::to_string(finding.line) + ",\"message\":\"";
+    JsonEscape(finding.message, &out);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lubt::lint

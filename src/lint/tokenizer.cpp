@@ -1,0 +1,245 @@
+#include "lint/tokenizer.h"
+
+#include <cctype>
+
+namespace lubt::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Two-character operators emitted as one token. Only operators some rule
+/// cares about need to be here, but keeping the common set means rules can
+/// rely on `==` never appearing as two `=` tokens.
+bool IsTwoCharOp(char a, char b) {
+  switch (a) {
+    case ':':
+      return b == ':';
+    case '=':
+    case '!':
+    case '<':
+    case '>':
+    case '+':
+    case '&':
+    case '|':
+      return b == '=' || b == a;
+    case '-':
+      return b == '=' || b == '-' || b == '>';
+    case '*':
+    case '/':
+    case '%':
+    case '^':
+      return b == '=';
+    default:
+      return false;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  TokenStream Run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '/' && Peek(1) == '/') {
+        LineComment();
+      } else if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+      } else if (c == '"') {
+        StringLiteral();
+      } else if (c == '\'') {
+        CharLiteral();
+      } else if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        Number();
+      } else if (IsIdentStart(c)) {
+        Identifier();
+      } else {
+        Punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(Token::Kind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void LineComment() {
+    const int line = line_;
+    pos_ += 2;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        Comment{std::string(text_.substr(start, pos_ - start)), line});
+  }
+
+  void BlockComment() {
+    const int line = line_;
+    pos_ += 2;
+    const std::size_t start = pos_;
+    std::size_t end = text_.size();
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '*' && Peek(1) == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    out_.comments.push_back(
+        Comment{std::string(text_.substr(start, end - start)), line});
+  }
+
+  void StringLiteral() {
+    const int line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;  // unterminated; keep line counts honest
+      ++pos_;
+      if (c == '"') break;
+    }
+    Emit(Token::Kind::kString, "\"\"", line);
+  }
+
+  // Raw string literal, entered with pos_ on the '"' that follows an
+  // R-suffixed prefix: R"delim( ... )delim".
+  void RawStringLiteral() {
+    const int line = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') {
+      delim.push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < text_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = text_.find(closer, pos_);
+    for (std::size_t i = pos_; i < std::min(end, text_.size()); ++i) {
+      if (text_[i] == '\n') ++line_;
+    }
+    pos_ = end == std::string_view::npos ? text_.size() : end + closer.size();
+    Emit(Token::Kind::kString, "\"\"", line);
+  }
+
+  void CharLiteral() {
+    const int line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '\'' || c == '\n') break;
+    }
+    Emit(Token::Kind::kChar, "''", line);
+  }
+
+  // pp-number: digits, letters, dots, and exponent signs. This single rule
+  // accepts every C++ numeric literal (including hex floats and digit
+  // separators) without needing to understand them.
+  void Number() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = text_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(Token::Kind::kNumber, std::string(text_.substr(start, pos_ - start)),
+         line);
+  }
+
+  void Identifier() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    std::string name(text_.substr(start, pos_ - start));
+    // Raw-string prefix: R"..., LR"..., u8R"... — the literal swallows
+    // everything to its closing delimiter.
+    if (!name.empty() && name.back() == 'R' && Peek(0) == '"' &&
+        (name == "R" || name == "LR" || name == "uR" || name == "UR" ||
+         name == "u8R")) {
+      RawStringLiteral();
+      return;
+    }
+    // Ordinary string prefixes (u8"", L"") — treat as one string literal.
+    if (Peek(0) == '"' &&
+        (name == "u8" || name == "u" || name == "U" || name == "L")) {
+      StringLiteral();
+      return;
+    }
+    Emit(Token::Kind::kIdent, std::move(name), line);
+  }
+
+  void Punct() {
+    const int line = line_;
+    const char a = text_[pos_];
+    if (pos_ + 1 < text_.size() && IsTwoCharOp(a, text_[pos_ + 1])) {
+      Emit(Token::Kind::kPunct, std::string{a, text_[pos_ + 1]}, line);
+      pos_ += 2;
+      return;
+    }
+    Emit(Token::Kind::kPunct, std::string(1, a), line);
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  TokenStream out_;
+};
+
+}  // namespace
+
+TokenStream Tokenize(std::string_view text) { return Lexer(text).Run(); }
+
+bool IsFloatLiteral(std::string_view text) {
+  if (text.empty() || text[0] == '\'') return false;
+  const bool hex =
+      text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X');
+  for (std::size_t i = hex ? 2 : 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '.') return true;
+    if (!hex && (c == 'e' || c == 'E')) return true;
+    if (hex && (c == 'p' || c == 'P')) return true;
+  }
+  return false;
+}
+
+}  // namespace lubt::lint

@@ -1,0 +1,61 @@
+// C++ tokenizer for lubt_lint's per-rule scanners.
+//
+// This is deliberately not a compiler frontend: the lint rules
+// (lint/rules.cpp) are token-pattern scanners over one translation unit at a
+// time, with no preprocessing, no type information and no libclang
+// dependency — the same trade the cpplint/golangci generation of project
+// linters makes. The tokenizer therefore only has to get the lexical layer
+// right: comments and string/character literals must never leak their
+// contents into the token stream (a banned identifier inside a diagnostic
+// string is not a finding), line numbers must be exact so findings and
+// `// lubt-lint: allow(...)` suppressions anchor correctly, and the handful
+// of multi-character operators the rules match on (`::`, `==`, `!=`, `->`)
+// must come out as single tokens.
+
+#ifndef LUBT_LINT_TOKENIZER_H_
+#define LUBT_LINT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lubt::lint {
+
+/// One lexical token. String and character literals keep their kind but drop
+/// their contents so rules cannot accidentally match inside them.
+struct Token {
+  enum class Kind {
+    kIdent,    ///< identifiers and keywords
+    kNumber,   ///< pp-number: integer and floating literals
+    kPunct,    ///< operators and punctuation (multi-char ops are one token)
+    kString,   ///< string literal, contents dropped
+    kChar,     ///< character literal, contents dropped
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+/// One comment, preserved verbatim for suppression parsing.
+struct Comment {
+  std::string text;  ///< without the // or /* */ delimiters
+  int line = 0;      ///< 1-based line where the comment starts
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lex `text` (one source file). Never fails: unterminated literals or
+/// comments are closed at end of input, matching how a permissive scanner
+/// should treat code the real compiler will reject anyway.
+TokenStream Tokenize(std::string_view text);
+
+/// True if a kNumber token spells a floating-point literal (has a decimal
+/// point, a decimal exponent, or a hex-float exponent).
+bool IsFloatLiteral(std::string_view text);
+
+}  // namespace lubt::lint
+
+#endif  // LUBT_LINT_TOKENIZER_H_

@@ -190,6 +190,9 @@ LpSolution SolveLp(const LpModel& model, const LpSolverOptions& options) {
   solution.seconds = timer.Seconds();
   if (solution.ok()) {
     solution.objective = model.ObjectiveValue(solution.x);
+    // Boundary gate (lubt_lint finite-boundary): a NaN/Inf objective must
+    // die here, not propagate into wirelength tables downstream.
+    LUBT_DCHECK_FINITE(solution.objective);
 #if LUBT_DCHECK_IS_ON
     // Postcondition: a claimed-optimal point must actually be feasible.
     // Tolerance is the engine target made absolute against the model's

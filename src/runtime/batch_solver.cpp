@@ -279,6 +279,12 @@ BatchResult SolveBatch(std::span<const BatchJob> jobs,
   const int n = static_cast<int>(jobs.size());
   out.results.resize(jobs.size());
   Timer wall;
+  // Lock-free by design, not by accident (audited for the thread-safety
+  // pass): worker i writes only results[i] — the vector is pre-sized, so
+  // slots never move — and reads only jobs[i] plus the cancel atomic.
+  // ParallelFor joins its pool before returning, which publishes every slot
+  // to this thread (happens-before via thread join); the stats accumulation
+  // below therefore runs strictly after all worker writes, single-threaded.
   ParallelFor(n, options.workers, [&](int i) {
     if (options.cancel != nullptr &&
         options.cancel->load(std::memory_order_relaxed)) {

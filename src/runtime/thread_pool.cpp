@@ -15,39 +15,43 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(job));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    work_available_.wait(lock,
-                         [this] { return shutting_down_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // shutting down and fully drained
+    mu_.Lock();
+    while (!shutting_down_ && queue_.empty()) work_available_.Wait(mu_);
+    if (queue_.empty()) {  // shutting down and fully drained
+      mu_.Unlock();
+      return;
+    }
     std::function<void()> job = std::move(queue_.front());
     queue_.pop_front();
-    lock.unlock();
+    mu_.Unlock();
     job();
-    lock.lock();
-    if (--in_flight_ == 0) all_done_.notify_all();
+    mu_.Lock();
+    const bool drained = --in_flight_ == 0;
+    mu_.Unlock();
+    if (drained) all_done_.NotifyAll();
   }
 }
 

@@ -7,6 +7,12 @@
 // barrier without tearing the pool down, so one pool can serve several
 // submission rounds.
 //
+// The locking discipline is annotated for clang's -Wthread-safety (the
+// `thread-safety` preset): every queue/counter/flag access must hold `mu_`,
+// and the public entry points must NOT hold it (they lock internally), so a
+// job submitting from inside a worker cannot self-deadlock by re-entering
+// with the pool lock held.
+//
 // Jobs must not throw (the library reports failures through Status); an
 // escaping exception terminates the process. Jobs may Submit() further
 // jobs, but must not destroy the pool they run on.
@@ -14,12 +20,13 @@
 #ifndef LUBT_RUNTIME_THREAD_POOL_H_
 #define LUBT_RUNTIME_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "check/mutex.h"
+#include "check/thread_annotations.h"
 
 namespace lubt {
 
@@ -29,28 +36,29 @@ class ThreadPool {
   explicit ThreadPool(int num_workers);
 
   /// Drains every job already submitted, then joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() LUBT_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue one job. Callable from any thread, including workers.
-  void Submit(std::function<void()> job);
+  void Submit(std::function<void()> job) LUBT_EXCLUDES(mu_);
 
   /// Block until every submitted job has finished running.
-  void Wait();
+  void Wait() LUBT_EXCLUDES(mu_);
 
   int NumWorkers() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() LUBT_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  int in_flight_ = 0;   // submitted but not yet finished; guarded by mu_
-  bool shutting_down_ = false;  // guarded by mu_
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ LUBT_GUARDED_BY(mu_);
+  /// Submitted but not yet finished.
+  int in_flight_ LUBT_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ LUBT_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

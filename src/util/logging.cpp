@@ -3,8 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
+#include "check/mutex.h"
 #include "util/timer.h"
 
 namespace lubt {
@@ -44,10 +44,13 @@ namespace internal {
 void LogLine(LogLevel level, const std::string& message) {
   // One line per call even under concurrent workers: the whole fprintf runs
   // under a process-wide mutex so interleaved solves cannot shear lines.
-  static std::mutex mu;
+  // What the lock guards is the stderr stream itself — external state the
+  // annotations cannot name — so the discipline here is simply "the whole
+  // body holds the lock".
+  static Mutex mu;
   const char* tag = level == LogLevel::kDebug ? "D" : "I";
   const double seconds = ProcessTimer().Seconds();
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   std::fprintf(stderr, "[%s %9.3fs] %s\n", tag, seconds, message.c_str());
 }
 

@@ -5,7 +5,9 @@
 # failure), clang-tidy diagnostic, or test failure.
 #
 # Usage:
-#   tools/check.sh             # default + asan + ubsan (+ tidy if available)
+#   tools/check.sh             # default + asan + ubsan + tsan
+#                              # (+ tidy / thread-safety when clang is
+#                              # installed; SKIPPED lines otherwise)
 #   tools/check.sh asan ubsan  # just the named presets
 #
 # Environment:
@@ -35,6 +37,13 @@ else
     presets+=(tidy)
   else
     echo "SKIPPED (clang-tidy not installed): tidy preset"
+  fi
+  # Clang's -Wthread-safety analysis needs the annotated build compiled by
+  # clang itself; gcc accepts the attributes as no-ops but runs no analysis.
+  if command -v clang++ > /dev/null 2>&1; then
+    presets+=(thread-safety)
+  else
+    echo "SKIPPED (clang not installed): thread-safety preset"
   fi
 fi
 
@@ -96,6 +105,19 @@ for preset in "${presets[@]}"; do
   # the slow tsan build is reserved for the concurrency slice above, whose
   # self_check sweep already drives the octant oracle and the eco engine
   # with --jobs workers).
+  # Static contract gate: lubt_lint must report zero findings over the
+  # real tree (unchecked Result access, nondeterminism sources, unordered
+  # iteration, float ==, missing finite-boundary checks, include hygiene).
+  # Same invocation as the lubt_lint_tree ctest; repeated here so a direct
+  # `check.sh default` run prints the findings on the console.
+  if [[ "$preset" == "default" ]]; then
+    echo "==== [$preset] lubt_lint src tools bench ===="
+    if ! "./build-$preset/tools/lubt_lint" src tools bench; then
+      failed+=("$preset (lubt_lint)")
+      continue
+    fi
+  fi
+
   if [[ "$preset" == "default" || "$preset" == "asan" || "$preset" == "ubsan" ]]; then
     for smoke in lp_scaling separation_scaling eco_scaling; do
       echo "==== [$preset] $smoke --smoke ===="

@@ -1,0 +1,83 @@
+// lubt_lint — determinism/contract checker for the LUBT tree.
+//
+// Usage:
+//   lubt_lint [--format=text|json] <path>...   lint files / directories
+//   lubt_lint --list-rules                     print the rule catalog
+//
+// Exit status: 0 when every scanned file is clean, 1 when there are
+// findings, 2 on usage or I/O errors — so both check.sh and ctest can gate
+// on "zero findings" directly.
+//
+// The rules live in src/lint/rules.cpp; suppressions are written in the
+// source as `// lubt-lint: allow(<rule>)` on (or directly above) the line.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/args.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  using lubt::ArgParser;
+  using lubt::Result;
+  lubt::Result<ArgParser> parsed = ArgParser::Parse(
+      argc, argv, {"format", "list-rules", "quiet", "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "lubt_lint: %s\n", parsed.status().message().c_str());
+    return 2;
+  }
+  const ArgParser& args = parsed.value();
+
+  if (args.GetBool("help", false)) {
+    std::printf(
+        "usage: lubt_lint [--format=text|json] [--quiet] <path>...\n"
+        "       lubt_lint --list-rules\n");
+    return 0;
+  }
+
+  if (args.GetBool("list-rules", false)) {
+    for (const lubt::lint::Rule& rule : lubt::lint::Rules()) {
+      std::printf("%-20s %s\n", rule.name, rule.summary);
+    }
+    return 0;
+  }
+
+  const std::string format = args.GetString("format", "text");
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "lubt_lint: unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (args.Positional().empty()) {
+    std::fprintf(stderr,
+                 "lubt_lint: no paths given (try: lubt_lint src tools "
+                 "bench)\n");
+    return 2;
+  }
+
+  int files_scanned = 0;
+  const Result<std::vector<lubt::lint::Finding>> findings =
+      lubt::lint::LintPaths(args.Positional(), &files_scanned);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "lubt_lint: %s\n",
+                 findings.status().message().c_str());
+    return 2;
+  }
+
+  if (format == "json") {
+    std::printf("%s\n", lubt::lint::FormatJson(findings.value()).c_str());
+  } else {
+    std::fputs(lubt::lint::FormatText(findings.value()).c_str(), stdout);
+    if (!args.GetBool("quiet", false)) {
+      std::printf("lubt_lint: %zu finding(s) in %d file(s)\n",
+                  findings.value().size(), files_scanned);
+    }
+  }
+  return findings.value().empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
