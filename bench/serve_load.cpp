@@ -1,0 +1,467 @@
+// lubt_server load bench: sustained concurrent ECO traffic against a real
+// socket server, with the session cache forced into evict/restore cycles.
+//
+// One in-process Server (unix socket) + Dispatcher; C client threads each
+// own a disjoint slice of S named sessions. Every client opens its
+// sessions, then drives rounds of alternating eco_edit / query requests
+// round-robin across its slice — with the cache's resident budget set
+// BELOW the session count, the round-robin access order is an LRU worst
+// case, so a large fraction of touches checkpoint one session to disk and
+// restore another. The bench therefore exercises the full production path:
+// framing, strand dispatch, LRU spill, bitwise restore, incremental
+// re-solve.
+//
+// Gates (both modes, exit 1 on violation):
+//   - every response has ok=true with solver status OK;
+//   - final stats report evictions > 0 AND restores > 0 — i.e. the
+//     latencies below were measured across genuine spill/restore cycles,
+//     not a cache large enough to hold everything.
+//
+// Reported: per-op and overall p50/p99 round-trip latency plus sustained
+// QPS, written to BENCH_serve.json (--json '' disables).
+//
+// Flags: --smoke (small instance for check.sh / sanitizer presets),
+// --seed S, --sessions N, --clients C, --rounds R, --sinks K,
+// --resident M (cache budget), --json PATH.
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "eco/edit_script.h"
+#include "geom/bbox.h"
+#include "serve/dispatcher.h"
+#include "serve/framing.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+using namespace lubt;
+
+namespace {
+
+constexpr const char* kSocketPath = "serve_load.sock";
+constexpr const char* kSpillDir = "serve_load_spill";
+
+struct Latencies {
+  std::vector<double> open, edit, query;
+
+  std::vector<double> All() const {
+    std::vector<double> all;
+    all.reserve(open.size() + edit.size() + query.size());
+    all.insert(all.end(), open.begin(), open.end());
+    all.insert(all.end(), edit.begin(), edit.end());
+    all.insert(all.end(), query.begin(), query.end());
+    return all;
+  }
+};
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+int ConnectUnix(const char* path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path, std::strlen(path) + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Round-trip one request; returns the parsed response (ok gate applied by
+// the caller) and records the latency in milliseconds. The decoder holds
+// the connection's residual read buffer and must persist across calls.
+Result<Json> RoundTrip(int fd, FrameDecoder* decoder, const Json& request,
+                       std::vector<double>* lat) {
+  Timer timer;
+  LUBT_RETURN_IF_ERROR(WriteFrameFd(fd, request.Dump()));
+  Result<std::string> frame = ReadFrameFd(fd, decoder);
+  if (!frame.ok()) return frame.status();
+  lat->push_back(timer.Seconds() * 1e3);
+  return Json::Parse(*frame);
+}
+
+// ok=true and (when present) a solver status of OK.
+bool ResponseOk(const Result<Json>& resp) {
+  if (!resp.ok() || !resp->IsObject()) return false;
+  const Json* ok = resp->Find("ok");
+  if (ok == nullptr || !ok->IsBool() || !ok->AsBool()) return false;
+  if (const Json* result = resp->Find("result"); result != nullptr) {
+    if (const Json* status = result->Find("status"); status != nullptr) {
+      return status->IsString() && status->AsString() == "OK";
+    }
+  }
+  return true;
+}
+
+struct ClientConfig {
+  int id = 0;
+  int first_session = 0;
+  int num_sessions = 0;
+  int sinks = 0;
+  int rounds = 0;
+  std::uint64_t seed = 0;
+};
+
+// One client thread: open every owned session, then drive edit/query
+// rounds across the slice. Returns false on the first failed response.
+bool RunClient(const ClientConfig& cfg, Latencies* lat,
+               std::atomic<long long>* requests) {
+  const int fd = ConnectUnix(kSocketPath);
+  if (fd < 0) {
+    std::fprintf(stderr, "client %d: connect failed\n", cfg.id);
+    return false;
+  }
+  FrameDecoder decoder;
+  const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+  Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(
+                                                 cfg.id + 1));
+  // Per-session sink positions, tracked so moves stay small and in-die.
+  std::vector<std::vector<Point>> points(
+      static_cast<std::size_t>(cfg.num_sessions));
+
+  bool ok = true;
+  double next_id = 1.0;
+  auto name = [&cfg](int s) {
+    return "bench-" + std::to_string(cfg.first_session + s);
+  };
+
+  for (int s = 0; s < cfg.num_sessions && ok; ++s) {
+    const SinkSet set =
+        RandomSinkSet(cfg.sinks, die,
+                      cfg.seed + static_cast<std::uint64_t>(
+                                     cfg.first_session + s),
+                      /*with_source=*/true);
+    points[static_cast<std::size_t>(s)] = set.sinks;
+    Json req = Json::MakeObject();
+    req.Set("id", Json::MakeNumber(next_id++));
+    req.Set("op", Json::MakeString("open_session"));
+    req.Set("session", Json::MakeString(name(s)));
+    Json sinks = Json::MakeArray();
+    for (const Point& p : set.sinks) {
+      Json pt = Json::MakeArray();
+      pt.Append(Json::MakeNumber(p.x));
+      pt.Append(Json::MakeNumber(p.y));
+      sinks.Append(std::move(pt));
+    }
+    req.Set("sinks", std::move(sinks));
+    if (set.source.has_value()) {
+      Json src = Json::MakeArray();
+      src.Append(Json::MakeNumber(set.source->x));
+      src.Append(Json::MakeNumber(set.source->y));
+      req.Set("source", std::move(src));
+    }
+    Json window = Json::MakeArray();
+    window.Append(Json::MakeNumber(0.9));
+    window.Append(Json::MakeNumber(1.25));
+    req.Set("window", std::move(window));
+    const Result<Json> resp = RoundTrip(fd, &decoder, req, &lat->open);
+    ++*requests;
+    if (!ResponseOk(resp)) {
+      std::fprintf(stderr, "client %d: open_session %s failed\n", cfg.id,
+                   name(s).c_str());
+      ok = false;
+    }
+  }
+
+  for (int round = 0; round < cfg.rounds && ok; ++round) {
+    for (int s = 0; s < cfg.num_sessions && ok; ++s) {
+      // Edit: a small in-die move plus a window tweak, in one script. The
+      // round-robin over the slice defeats LRU on purpose (see header).
+      std::vector<Point>& pts = points[static_cast<std::size_t>(s)];
+      const std::int32_t sink =
+          rng.UniformInt(0, static_cast<int>(pts.size()) - 1);
+      Point& p = pts[static_cast<std::size_t>(sink)];
+      p.x = std::min(die.Hi().x, std::max(die.Lo().x,
+                                          p.x + rng.Uniform(-15.0, 15.0)));
+      p.y = std::min(die.Hi().y, std::max(die.Lo().y,
+                                          p.y + rng.Uniform(-15.0, 15.0)));
+      std::vector<EcoEdit> edits;
+      EcoEdit move;
+      move.kind = EcoEditKind::kMoveSink;
+      move.sink = sink;
+      move.point = p;
+      edits.push_back(move);
+      EcoEdit window;
+      window.kind = EcoEditKind::kSetBounds;
+      window.sink = rng.UniformInt(0, static_cast<int>(pts.size()) - 1);
+      window.lo = rng.Uniform(0.85, 0.95);
+      window.hi = rng.Uniform(1.2, 1.3);
+      edits.push_back(window);
+
+      Json edit_req = Json::MakeObject();
+      edit_req.Set("id", Json::MakeNumber(next_id++));
+      edit_req.Set("op", Json::MakeString("eco_edit"));
+      edit_req.Set("session", Json::MakeString(name(s)));
+      edit_req.Set("script", Json::MakeString(FormatEditScript(edits)));
+      const Result<Json> edit_resp =
+          RoundTrip(fd, &decoder, edit_req, &lat->edit);
+      ++*requests;
+      if (!ResponseOk(edit_resp)) {
+        std::fprintf(stderr, "client %d: eco_edit %s round %d failed\n",
+                     cfg.id, name(s).c_str(), round);
+        ok = false;
+        break;
+      }
+
+      Json query_req = Json::MakeObject();
+      query_req.Set("id", Json::MakeNumber(next_id++));
+      query_req.Set("op", Json::MakeString("query"));
+      query_req.Set("session", Json::MakeString(name(s)));
+      const Result<Json> query_resp =
+          RoundTrip(fd, &decoder, query_req, &lat->query);
+      ++*requests;
+      if (!ResponseOk(query_resp)) {
+        std::fprintf(stderr, "client %d: query %s round %d failed\n", cfg.id,
+                     name(s).c_str(), round);
+        ok = false;
+      }
+    }
+  }
+  ::close(fd);
+  return ok;
+}
+
+void WriteJson(const std::string& path, const std::string& mode, int sessions,
+               int clients, int resident, long long requests, double qps,
+               const Latencies& lat, long long evictions,
+               long long restores) {
+  std::FILE* f = lubt::bench::OpenBenchJson(path, "serve_load", mode);
+  if (f == nullptr) return;
+  const std::vector<double> all = lat.All();
+  std::fprintf(
+      f,
+      "  \"sessions\": %d,\n  \"clients\": %d,\n  \"cache_resident\": %d,\n"
+      "  \"requests\": %lld,\n  \"qps\": %.2f,\n"
+      "  \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f,\n"
+      "  \"open_p50_ms\": %.3f,\n  \"open_p99_ms\": %.3f,\n"
+      "  \"edit_p50_ms\": %.3f,\n  \"edit_p99_ms\": %.3f,\n"
+      "  \"query_p50_ms\": %.3f,\n  \"query_p99_ms\": %.3f,\n"
+      "  \"evictions\": %lld,\n  \"restores\": %lld\n}\n",
+      sessions, clients, resident, requests, qps, Percentile(all, 0.5),
+      Percentile(all, 0.99), Percentile(lat.open, 0.5),
+      Percentile(lat.open, 0.99), Percentile(lat.edit, 0.5),
+      Percentile(lat.edit, 0.99), Percentile(lat.query, 0.5),
+      Percentile(lat.query, 0.99), evictions, restores);
+  std::fclose(f);
+  std::printf("(results also written to %s)\n", path.c_str());
+}
+
+long long StatLong(const Json& result, const char* key) {
+  const Json* v = result.Find(key);
+  if (v == nullptr || !v->IsNumber()) return -1;
+  return static_cast<long long>(v->AsNumber());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(argc, argv,
+                                 {"smoke", "seed", "sessions", "clients",
+                                  "rounds", "sinks", "resident", "json",
+                                  "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  if (parsed->Has("help")) {
+    std::printf(
+        "serve_load: concurrent latency/QPS bench against lubt_server's "
+        "stack\n"
+        "  --smoke        small instance for check.sh and sanitizers\n"
+        "  --seed S       instance seed (default 7)\n"
+        "  --sessions N   named sessions (default 64; smoke 8)\n"
+        "  --clients C    client threads (default 4; smoke 2)\n"
+        "  --rounds R     edit+query rounds per session (default 4; smoke 2)\n"
+        "  --sinks K      sinks per session (default 32; smoke 12)\n"
+        "  --resident M   cache entry budget, must be < sessions to force\n"
+        "                 evict/restore (default 24; smoke 3)\n"
+        "  --json PATH    output (default BENCH_serve.json; '' disables)\n");
+    return 0;
+  }
+  const bool smoke = parsed->Has("smoke");
+  const Result<int> seed = parsed->GetIntFlag("seed", 7, 0);
+  const Result<int> sessions =
+      parsed->GetIntFlag("sessions", smoke ? 8 : 64, 2);
+  const Result<int> clients = parsed->GetIntFlag("clients", smoke ? 2 : 4, 1);
+  const Result<int> rounds = parsed->GetIntFlag("rounds", smoke ? 2 : 4, 1);
+  const Result<int> sinks = parsed->GetIntFlag("sinks", smoke ? 12 : 32, 4);
+  const Result<int> resident =
+      parsed->GetIntFlag("resident", smoke ? 3 : 24, 1);
+  if (!seed.ok() || !sessions.ok() || !clients.ok() || !rounds.ok() ||
+      !sinks.ok() || !resident.ok()) {
+    std::fprintf(stderr, "bad numeric flag\n");
+    return 2;
+  }
+  if (*resident >= *sessions) {
+    std::fprintf(stderr,
+                 "serve_load: --resident %d must be < --sessions %d (the "
+                 "bench exists to measure evict/restore cycles)\n",
+                 *resident, *sessions);
+    return 2;
+  }
+  const std::string json =
+      parsed->GetString("json", smoke ? "" : "BENCH_serve.json");
+
+  DispatcherOptions options;
+  options.cache.max_resident = *resident;
+  options.cache.spill_dir = kSpillDir;
+  if (::mkdir(kSpillDir, 0700) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "serve_load: cannot create %s\n", kSpillDir);
+    return 2;
+  }
+  Dispatcher dispatcher(options);
+  ServerOptions server_options;
+  server_options.unix_path = kSocketPath;
+  Result<std::unique_ptr<Server>> server =
+      Server::Listen(server_options, &dispatcher);
+  if (!server.ok()) {
+    std::fprintf(stderr, "serve_load: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::thread server_thread([&server] { (*server)->Run(); });
+
+  // Partition sessions across clients as evenly as possible.
+  std::vector<ClientConfig> configs;
+  int assigned = 0;
+  for (int c = 0; c < *clients; ++c) {
+    ClientConfig cfg;
+    cfg.id = c;
+    cfg.first_session = assigned;
+    cfg.num_sessions = (*sessions - assigned) / (*clients - c);
+    cfg.sinks = *sinks;
+    cfg.rounds = *rounds;
+    cfg.seed = static_cast<std::uint64_t>(*seed);
+    assigned += cfg.num_sessions;
+    configs.push_back(cfg);
+  }
+
+  std::vector<Latencies> lats(configs.size());
+  std::vector<char> oks(configs.size(), 0);
+  std::atomic<long long> requests{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    threads.emplace_back([&, c] {
+      oks[c] = RunClient(configs[c], &lats[c], &requests) ? 1 : 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds = wall.Seconds();
+
+  bool ok = true;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    if (oks[c] == 0) ok = false;
+  }
+
+  // Control connection: collect stats (the evict/restore gate), then shut
+  // the server down cleanly.
+  long long evictions = -1, restores = -1;
+  {
+    const int fd = ConnectUnix(kSocketPath);
+    if (fd < 0) {
+      std::fprintf(stderr, "serve_load: control connect failed\n");
+      ok = false;
+    } else {
+      std::vector<double> control_lat;
+      FrameDecoder control_decoder;
+      Json stats_req = Json::MakeObject();
+      stats_req.Set("op", Json::MakeString("stats"));
+      const Result<Json> stats =
+          RoundTrip(fd, &control_decoder, stats_req, &control_lat);
+      if (!ResponseOk(stats)) {
+        std::fprintf(stderr, "serve_load: stats request failed\n");
+        ok = false;
+      } else {
+        const Json* result = stats->Find("result");
+        evictions = StatLong(*result, "evictions");
+        restores = StatLong(*result, "restores");
+      }
+      Json shutdown_req = Json::MakeObject();
+      shutdown_req.Set("op", Json::MakeString("shutdown"));
+      if (!ResponseOk(
+              RoundTrip(fd, &control_decoder, shutdown_req, &control_lat))) {
+        std::fprintf(stderr, "serve_load: shutdown request failed\n");
+        ok = false;
+      }
+      ::close(fd);
+    }
+  }
+  server_thread.join();
+
+  Latencies merged;
+  for (const Latencies& lat : lats) {
+    merged.open.insert(merged.open.end(), lat.open.begin(), lat.open.end());
+    merged.edit.insert(merged.edit.end(), lat.edit.begin(), lat.edit.end());
+    merged.query.insert(merged.query.end(), lat.query.begin(),
+                        lat.query.end());
+  }
+  const std::vector<double> all = merged.All();
+  const double qps =
+      wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds : 0.0;
+
+  TextTable table({"op", "count", "p50(ms)", "p99(ms)"});
+  table.AddRow({"open_session", std::to_string(merged.open.size()),
+                FormatDouble(Percentile(merged.open, 0.5), 3),
+                FormatDouble(Percentile(merged.open, 0.99), 3)});
+  table.AddRow({"eco_edit", std::to_string(merged.edit.size()),
+                FormatDouble(Percentile(merged.edit, 0.5), 3),
+                FormatDouble(Percentile(merged.edit, 0.99), 3)});
+  table.AddRow({"query", std::to_string(merged.query.size()),
+                FormatDouble(Percentile(merged.query, 0.5), 3),
+                FormatDouble(Percentile(merged.query, 0.99), 3)});
+  table.AddRow({"all", std::to_string(all.size()),
+                FormatDouble(Percentile(all, 0.5), 3),
+                FormatDouble(Percentile(all, 0.99), 3)});
+  std::printf("\n=== serve_load: %d sessions, %d clients, cache %d ===\n%s",
+              *sessions, static_cast<int>(configs.size()), *resident,
+              table.ToString().c_str());
+  std::printf("requests=%lld wall=%.2fs qps=%.1f evictions=%lld "
+              "restores=%lld\n",
+              static_cast<long long>(requests), wall_seconds, qps, evictions,
+              restores);
+  WriteJson(json, smoke ? "smoke" : "full", *sessions,
+            static_cast<int>(configs.size()), *resident, requests, qps,
+            merged, evictions, restores);
+
+  // The whole point of the bench: the numbers above must include real
+  // spill/restore traffic.
+  if (evictions <= 0 || restores <= 0) {
+    std::fprintf(stderr,
+                 "FAIL: cache budget %d < %d sessions yet evictions=%lld "
+                 "restores=%lld\n",
+                 *resident, *sessions, evictions, restores);
+    ok = false;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "serve_load: FAILED\n");
+    return 1;
+  }
+  std::printf("serve_load: OK\n");
+  return 0;
+}

@@ -148,30 +148,19 @@ bool EbfFormulation::StrongerViolation(const Violation& x, const Violation& y) {
   return x.b < y.b;
 }
 
-Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
-                                             SteinerRowPolicy policy) {
+Result<EbfFormulation> EbfFormulation::BuildBase(const EbfProblem& problem,
+                                                 double scale,
+                                                 std::size_t steiner_reserve) {
   LUBT_RETURN_IF_ERROR(ValidateEbfProblem(problem));
   const Topology& topo = *problem.topo;
-
-  const double radius = Radius(problem.sinks, problem.source);
-  const double scale = radius > 0.0 ? radius : 1.0;
 
   EbfFormulation f(problem, scale);
   LpModel& model = f.model_;
 
-  // Row counts are known (or tightly bounded) up front per policy: reserve
-  // once instead of growing through Theta(m^2) push_backs under kAll.
-  {
-    const std::size_t m = problem.sinks.size();
-    std::size_t rows = problem.zero_length_edges.size() + m;
-    if (policy == SteinerRowPolicy::kAll) {
-      rows += m * (m - 1) / 2;
-    } else if (policy == SteinerRowPolicy::kSeed) {
-      // At most one seed row per internal node.
-      rows += static_cast<std::size_t>(topo.NumNodes()) - m;
-    }
-    model.ReserveRows(rows);
-  }
+  // Row counts are known (or tightly bounded) up front: reserve once
+  // instead of growing through Theta(m^2) push_backs under kAll.
+  model.ReserveRows(problem.zero_length_edges.size() + problem.sinks.size() +
+                    steiner_reserve);
 
   // Objective: (weighted) total edge length.
   for (int col = 0; col < f.indexer_.NumEdges(); ++col) {
@@ -218,6 +207,33 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
     }
     model.AddRow(RowOverEdges(f.indexer_, edges, w.lo, w.hi));
   }
+  return f;
+}
+
+Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
+                                             SteinerRowPolicy policy) {
+  LUBT_RETURN_IF_ERROR(ValidateEbfProblem(problem));
+  const Topology& topo = *problem.topo;
+
+  const double radius = Radius(problem.sinks, problem.source);
+  const double scale = radius > 0.0 ? radius : 1.0;
+
+  std::size_t steiner_reserve = 0;
+  {
+    const std::size_t m = problem.sinks.size();
+    if (policy == SteinerRowPolicy::kAll) {
+      steiner_reserve = m * (m - 1) / 2;
+    } else if (policy == SteinerRowPolicy::kSeed) {
+      // At most one seed row per internal node.
+      steiner_reserve = static_cast<std::size_t>(topo.NumNodes()) - m;
+    } else {
+      steiner_reserve = m * (m - 1) / 2;  // kReduced upper bound
+    }
+  }
+  Result<EbfFormulation> base = BuildBase(problem, scale, steiner_reserve);
+  if (!base.ok()) return base;
+  EbfFormulation f = std::move(base).value();
+  LpModel& model = f.model_;
 
   // Steiner rows.
   const std::vector<NodeId>& post = f.post_order_;
@@ -314,6 +330,31 @@ Result<EbfFormulation> EbfFormulation::Build(const EbfProblem& problem,
                                   static_cast<std::int32_t>(j)});
       ++f.num_steiner_rows_;
     }
+  }
+  return f;
+}
+
+Result<EbfFormulation> EbfFormulation::BuildWithSteinerPairs(
+    const EbfProblem& problem, double scale,
+    std::span<const std::array<std::int32_t, 2>> pairs) {
+  if (!std::isfinite(scale) || scale <= 0.0) {
+    return Status::InvalidArgument("restore build: scale must be positive");
+  }
+  const std::int32_t m = static_cast<std::int32_t>(problem.sinks.size());
+  for (const std::array<std::int32_t, 2>& pr : pairs) {
+    if (pr[0] < 0 || pr[1] >= m || pr[0] >= pr[1]) {
+      return Status::InvalidArgument(
+          "restore build: malformed Steiner pair (" +
+          std::to_string(pr[0]) + ", " + std::to_string(pr[1]) + ")");
+    }
+  }
+  Result<EbfFormulation> base = BuildBase(problem, scale, pairs.size());
+  if (!base.ok()) return base;
+  EbfFormulation f = std::move(base).value();
+  for (const std::array<std::int32_t, 2>& pr : pairs) {
+    f.model_.AddRow(f.SteinerRowForSinks(pr[0], pr[1]));
+    f.steiner_pairs_.push_back(pr);
+    ++f.num_steiner_rows_;
   }
   return f;
 }

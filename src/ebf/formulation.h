@@ -104,6 +104,19 @@ class EbfFormulation {
   static Result<EbfFormulation> Build(const EbfProblem& problem,
                                       SteinerRowPolicy policy);
 
+  /// Checkpoint-restore build: reconstruct a formulation with a *forced*
+  /// scale (the live model's, which after RHS edits differs from what a
+  /// fresh Build would derive from the current radius) and an explicit
+  /// Steiner-row list — one row per sink pair in `pairs`, in order, emitted
+  /// through SteinerRowForSinks. Because every live Steiner row's RHS is
+  /// kept exact at the current coordinates (eco/eco_session.cpp refreshes
+  /// rows in place on every move), the rebuilt model is bitwise identical
+  /// to the model this state was captured from. Pairs must be normalized
+  /// (i < j) and in range; `scale` must be positive and finite.
+  static Result<EbfFormulation> BuildWithSteinerPairs(
+      const EbfProblem& problem, double scale,
+      std::span<const std::array<std::int32_t, 2>> pairs);
+
   LpModel& MutableModel() { return model_; }
   const LpModel& Model() const { return model_; }
   const EdgeIndexer& Indexer() const { return indexer_; }
@@ -176,6 +189,13 @@ class EbfFormulation {
 
  private:
   EbfFormulation(const EbfProblem& problem, double scale);
+
+  // Shared Build prefix: objective, zero-length rows, sink-node lookup and
+  // delay rows — everything before the policy-specific Steiner rows.
+  // `steiner_reserve` sizes the model's row reservation.
+  static Result<EbfFormulation> BuildBase(const EbfProblem& problem,
+                                          double scale,
+                                          std::size_t steiner_reserve);
 
   SparseRow MakeSteinerRow(NodeId a, NodeId b, double rhs_lp) const;
 

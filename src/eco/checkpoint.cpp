@@ -1,0 +1,124 @@
+// EcoSession checkpoint/restore (eco/checkpoint.h): capture is a plain
+// state copy; restore re-wires the instance exactly as Create does and then
+// reconstructs the LP model bitwise through BuildWithSteinerPairs instead
+// of re-solving. See the header for what is deliberately not serialized.
+
+#include "eco/checkpoint.h"
+
+#include <cmath>
+#include <utility>
+
+#include "check/invariants.h"
+
+namespace lubt {
+
+EcoCheckpoint EcoSession::Checkpoint() const {
+  EcoCheckpoint ck;
+  ck.set = set_;
+  ck.bounds = problem_.bounds;
+  ck.topo = topo_;
+  ck.initial_radius = initial_radius_;
+  ck.has_model = form_.has_value();
+  ck.scale = form_.has_value() ? form_->Scale() : 1.0;
+  ck.pool = pool_;
+  ck.lp_valid = lp_valid_;
+  ck.needs_rebuild = needs_rebuild_;
+  ck.lp_x = lp_x_;
+  ck.lp_dual = lp_dual_;
+  ck.edge_len = edge_len_;
+  ck.last = last_;
+  return ck;
+}
+
+Result<std::unique_ptr<EcoSession>> EcoSession::Restore(
+    EcoCheckpoint checkpoint, EcoOptions options) {
+  EcoCheckpoint& ck = checkpoint;
+  if (ck.bounds.size() != ck.set.sinks.size()) {
+    return Status::InvalidArgument(
+        "checkpoint restore: one DelayBounds required per sink");
+  }
+  // A live session always holds a formulation XOR is parked for rebuild
+  // (Create and every edit maintain exactly this pairing), and a parked
+  // session never claims a valid solution.
+  if (ck.has_model == ck.needs_rebuild) {
+    return Status::InvalidArgument(
+        "checkpoint restore: has_model must equal !needs_rebuild");
+  }
+  if (!ck.has_model && ck.lp_valid) {
+    return Status::InvalidArgument(
+        "checkpoint restore: lp_valid without a model");
+  }
+  if (!std::isfinite(ck.initial_radius) || ck.initial_radius <= 0.0) {
+    return Status::InvalidArgument(
+        "checkpoint restore: initial_radius must be positive");
+  }
+
+  std::unique_ptr<EcoSession> session(new EcoSession());
+  session->set_ = std::move(ck.set);
+  session->topo_ = std::move(ck.topo);
+  session->opt_ = options;
+  session->problem_.topo = &session->topo_;
+  session->problem_.sinks = session->set_.sinks;
+  session->problem_.source = session->set_.source;
+  session->problem_.bounds = std::move(ck.bounds);
+  LUBT_RETURN_IF_ERROR(ValidateEbfProblem(session->problem_));
+  session->initial_radius_ = ck.initial_radius;
+
+  const std::int32_t m =
+      static_cast<std::int32_t>(session->set_.sinks.size());
+  for (const std::array<std::int32_t, 2>& pr : ck.pool) {
+    if (pr[0] < 0 || pr[1] >= m || pr[0] >= pr[1]) {
+      return Status::InvalidArgument(
+          "checkpoint restore: Steiner pair out of range");
+    }
+  }
+  session->pool_ = std::move(ck.pool);
+  for (const std::array<std::int32_t, 2>& pr : session->pool_) {
+    session->pair_seen_.insert(PairKey(pr[0], pr[1]));
+  }
+
+  // A parked or just-repaired session legitimately carries edge lengths
+  // from the last feasible solve over an older topology (every consumer
+  // guards with `lp_valid_ && size == NumNodes`), so arity is only a hard
+  // contract while the solution is live.
+  if (ck.lp_valid &&
+      ck.edge_len.size() !=
+          static_cast<std::size_t>(session->topo_.NumNodes())) {
+    return Status::InvalidArgument(
+        "checkpoint restore: edge_len arity mismatch");
+  }
+  session->lp_valid_ = ck.lp_valid;
+  session->needs_rebuild_ = ck.needs_rebuild;
+  session->lp_x_ = std::move(ck.lp_x);
+  session->lp_dual_ = std::move(ck.lp_dual);
+  session->edge_len_ = std::move(ck.edge_len);
+  session->last_ = ck.last;
+
+  if (ck.has_model) {
+    if (session->AnyEmptyFoldedWindow()) {
+      return Status::InvalidArgument(
+          "checkpoint restore: model captured over an empty folded window");
+    }
+    Result<EbfFormulation> built = EbfFormulation::BuildWithSteinerPairs(
+        session->problem_, ck.scale, session->pool_);
+    if (!built.ok()) return built.status();
+    session->form_.emplace(std::move(built).value());
+    if (session->lp_valid_ &&
+        static_cast<int>(session->lp_x_.size()) !=
+            session->form_->Model().NumCols()) {
+      return Status::InvalidArgument(
+          "checkpoint restore: primal iterate arity mismatch");
+    }
+    session->ge_has_hi_.assign(static_cast<std::size_t>(m), 0);
+    for (std::int32_t s = 0; s < m; ++s) {
+      session->ge_has_hi_[static_cast<std::size_t>(s)] =
+          std::isfinite(session->form_->DelayWindowLp(s).hi) ? 1 : 0;
+    }
+  }
+  // ipm_ stays empty: the first post-restore solve re-derives the symbolic
+  // factorization, which is bitwise-equivalent to the analysis the live
+  // session carried (same pattern graph => same MinDegreeOrder).
+  return session;
+}
+
+}  // namespace lubt

@@ -37,9 +37,10 @@
 // (needs_rebuild_) — is read and written without locks on the assumption
 // that exactly one thread drives the session between external
 // synchronization points. BatchSolver honours this by giving each job (and
-// thus each session) to a single worker for its whole lifetime; a future
-// lubt_server sharing sessions across requests must wrap each session in an
-// annotated Mutex (check/mutex.h) rather than lock inside this class.
+// thus each session) to a single worker for its whole lifetime; lubt_server
+// honours it by routing every request for a session through that session's
+// Strand (runtime/strand.h), which runs at most one job at a time and
+// publishes state between consecutive jobs through the pool queue's mutex.
 
 #ifndef LUBT_ECO_ECO_SESSION_H_
 #define LUBT_ECO_ECO_SESSION_H_
@@ -59,6 +60,8 @@
 #include "lp/interior_point.h"
 
 namespace lubt {
+
+struct EcoCheckpoint;  // eco/checkpoint.h
 
 /// Which reuse tier served one edit, cheapest first.
 enum class EcoTier {
@@ -147,6 +150,23 @@ class EcoSession {
 
   /// The solved tree (topology + lengths, no embedding) for persistence.
   TreeSolution Solution() const;
+
+  /// Snapshot the complete session state (eco/checkpoint.h). The snapshot
+  /// is self-contained — copies, not views — so the session may keep
+  /// absorbing edits (or be destroyed) afterwards.
+  EcoCheckpoint Checkpoint() const;
+
+  /// Rebuild a session from a snapshot, bit for bit: the solved state is
+  /// adopted as captured and the LP model is reconstructed exactly (same
+  /// rows, same bounds, same scale). The interior-point symbolic analysis
+  /// is re-derived on the next solve rather than restored; results are
+  /// still bitwise identical to the never-checkpointed session's (only the
+  /// EcoSolveInfo::symbolic_reused flag of the first post-restore solve may
+  /// differ). `options` must match the captured session's solve options for
+  /// the bitwise contract to hold. Fails on malformed/corrupt snapshots
+  /// without partial effects.
+  static Result<std::unique_ptr<EcoSession>> Restore(EcoCheckpoint checkpoint,
+                                                     EcoOptions options = {});
 
  private:
   EcoSession() = default;

@@ -18,6 +18,8 @@
 //   include-guard        src/ headers carry canonical LUBT_*_H_ guards
 //   using-namespace      no `using namespace` in headers
 //   bare-mutex           std::mutex family outside check/mutex.h wrappers
+//   serve-raw-io         raw read/write/send/recv in src/serve/ outside the
+//                        framing layer (partial-I/O and SIGPIPE hazards)
 //
 // Suppression: `// lubt-lint: allow(rule)` — or `allow(rule-a, rule-b)` —
 // on the offending line or on the line directly above it. Suppressions name

@@ -416,6 +416,37 @@ void RuleBareMutex(const FileContext& ctx, std::vector<Finding>* out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// serve-raw-io: raw POSIX I/O on sockets is where the server's two classic
+// bugs live — short reads/writes silently truncating frames, and SIGPIPE
+// killing the process on a client that hung up. serve/framing.cpp owns the
+// retry loops and MSG_NOSIGNAL handling (each raw call there carries an
+// explicit waiver); everything else under src/serve/ goes through its
+// WriteFrameFd/ReadFrameFd/ReadSomeFd helpers.
+
+void RuleServeRawIo(const FileContext& ctx, std::vector<Finding>* out) {
+  if (ctx.rel.empty() || ctx.rel[0] != "serve") return;
+  static const std::set<std::string> kRawIo = {
+      "read",  "write",  "send",    "recv",    "pread", "pwrite",
+      "readv", "writev", "sendmsg", "recvmsg", "sendto", "recvfrom"};
+  const Tokens& tokens = ctx.stream->tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!IsIdent(tokens[i]) || kRawIo.count(tokens[i].text) == 0 ||
+        !IsText(tokens[i + 1], "(")) {
+      continue;
+    }
+    // Member calls (stream.read(...), this->write(...)) are not syscalls.
+    if (i > 0 && (IsText(tokens[i - 1], ".") || IsText(tokens[i - 1], "->"))) {
+      continue;
+    }
+    Add(out, ctx, "serve-raw-io", tokens[i].line,
+        "raw `" + tokens[i].text +
+            "()` in src/serve/; use the framing helpers "
+            "(WriteFrameFd/ReadFrameFd/ReadSomeFd), which own the "
+            "short-I/O retry loops and SIGPIPE suppression");
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& Rules() {
@@ -443,6 +474,9 @@ const std::vector<Rule>& Rules() {
       {"bare-mutex",
        "std::mutex family only via the annotated check/mutex.h wrappers",
        RuleBareMutex},
+      {"serve-raw-io",
+       "src/serve/ uses framing helpers, never raw read/write/send/recv",
+       RuleServeRawIo},
   };
   return kRules;
 }

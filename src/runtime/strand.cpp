@@ -1,0 +1,58 @@
+#include "runtime/strand.h"
+
+#include <utility>
+
+namespace lubt {
+
+void Strand::Post(std::function<void()> job) {
+  bool arm = false;
+  {
+    MutexLock lock(mu_);
+    queue_.push_back(std::move(job));
+    if (!running_) {
+      running_ = true;
+      arm = true;
+    }
+  }
+  // Submit outside the lock: the pool may run RunNext inline-fast on
+  // another worker, and RunNext re-enters mu_.
+  if (arm) pool_->Submit([this] { RunNext(); });
+}
+
+void Strand::Drain() {
+  MutexLock lock(mu_);
+  while (running_ || !queue_.empty()) idle_.Wait(mu_);
+}
+
+int Strand::PendingJobs() {
+  MutexLock lock(mu_);
+  return static_cast<int>(queue_.size()) + (running_ ? 1 : 0);
+}
+
+void Strand::RunNext() {
+  std::function<void()> job;
+  {
+    MutexLock lock(mu_);
+    // running_ is true and the queue non-empty: Post only arms when idle,
+    // and only RunNext clears running_.
+    job = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  job();
+  bool rearm = false;
+  {
+    MutexLock lock(mu_);
+    if (queue_.empty()) {
+      running_ = false;
+    } else {
+      rearm = true;  // keep running_ set: we remain the sole submitter
+    }
+  }
+  if (rearm) {
+    pool_->Submit([this] { RunNext(); });
+  } else {
+    idle_.NotifyAll();
+  }
+}
+
+}  // namespace lubt

@@ -1,0 +1,68 @@
+// Serial executor over a ThreadPool (a "strand", after the asio idiom).
+//
+// A Strand guarantees that the jobs posted to it run one at a time and in
+// FIFO order, while still executing on the shared pool's workers — no
+// dedicated thread per strand. This is exactly the contract thread-confined
+// state wants: lubt_server gives every EcoSession its own strand, so each
+// session sees a single logical thread (eco/eco_session.h's threading
+// contract) even though requests for different sessions run concurrently.
+//
+// Memory ordering: consecutive jobs on one strand are published to each
+// other through the strand's own mutex (the job handoff in RunNext), so a
+// job may freely read state the previous job wrote without further
+// synchronization, even when the two ran on different pool workers.
+//
+// Lifetime: a strand must outlive every job posted to it. The owner
+// guarantees this either by draining the pool before destroying the strand
+// (the server destroys its ThreadPool before the dispatcher's session
+// table) or by calling Drain() explicitly.
+
+#ifndef LUBT_RUNTIME_STRAND_H_
+#define LUBT_RUNTIME_STRAND_H_
+
+#include <deque>
+#include <functional>
+
+#include "check/mutex.h"
+#include "check/thread_annotations.h"
+#include "runtime/thread_pool.h"
+
+namespace lubt {
+
+/// FIFO serial executor multiplexed onto a ThreadPool.
+class Strand {
+ public:
+  /// The pool must outlive the strand's last job.
+  explicit Strand(ThreadPool* pool) : pool_(pool) {}
+
+  Strand(const Strand&) = delete;
+  Strand& operator=(const Strand&) = delete;
+
+  /// Enqueue one job. Jobs run in post order, never concurrently with each
+  /// other. Callable from any thread, including from a job on this strand
+  /// (the nested job runs after the current one returns, not inline).
+  void Post(std::function<void()> job) LUBT_EXCLUDES(mu_);
+
+  /// Block until every job posted so far has finished. Must not be called
+  /// from a job on this strand (it would wait for itself) — and on a
+  /// single-worker pool, not from any pool job at all (the drain needs a
+  /// free worker to make progress).
+  void Drain() LUBT_EXCLUDES(mu_);
+
+  /// Queued + running jobs (monitoring snapshot).
+  int PendingJobs() LUBT_EXCLUDES(mu_);
+
+ private:
+  // Pool job: run the front queue entry, then re-arm if more are queued.
+  void RunNext() LUBT_EXCLUDES(mu_);
+
+  ThreadPool* pool_;
+  Mutex mu_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ LUBT_GUARDED_BY(mu_);
+  bool running_ LUBT_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_RUNTIME_STRAND_H_

@@ -31,6 +31,11 @@ void ThreadPool::Submit(std::function<void()> job) {
   work_available_.NotifyOne();
 }
 
+int ThreadPool::PendingJobs() {
+  MutexLock lock(mu_);
+  return in_flight_;
+}
+
 void ThreadPool::Wait() {
   MutexLock lock(mu_);
   while (in_flight_ != 0) all_done_.Wait(mu_);

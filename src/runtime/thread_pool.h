@@ -49,6 +49,11 @@ class ThreadPool {
 
   int NumWorkers() const { return static_cast<int>(workers_.size()); }
 
+  /// Jobs submitted but not yet finished (queued + running). A monitoring
+  /// snapshot only — the value may be stale by the time the caller acts on
+  /// it (the server's admission control uses it as a soft watermark).
+  int PendingJobs() LUBT_EXCLUDES(mu_);
+
  private:
   void WorkerLoop() LUBT_EXCLUDES(mu_);
 

@@ -1,0 +1,499 @@
+#include "serve/checkpoint_codec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lubt {
+namespace {
+
+// %a prints the shortest exact hex literal; strtod parses it back to the
+// identical bit pattern (and handles "inf"/"-inf" for the kLpInf bounds).
+std::string HexDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+bool ParseHexDouble(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : in_(text) {}
+
+  /// Next non-empty line; false at end of input.
+  bool Next(std::string* line) {
+    while (std::getline(in_, *line)) {
+      ++line_no_;
+      if (!line->empty()) return true;
+    }
+    return false;
+  }
+
+  int line_no() const { return line_no_; }
+
+ private:
+  std::istringstream in_;
+  int line_no_ = 0;
+};
+
+struct Decoder {
+  LineReader reader;
+  std::string line;
+
+  explicit Decoder(const std::string& text) : reader(text) {}
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("checkpoint line " +
+                                   std::to_string(reader.line_no()) + ": " +
+                                   what);
+  }
+
+  /// Read the next line and require tag + exactly the rest parsed by `body`.
+  Status Expect(const std::string& tag, std::istringstream* rest) {
+    if (!reader.Next(&line)) return Fail("truncated: expected '" + tag + "'");
+    std::istringstream ls(line);
+    std::string got;
+    ls >> got;
+    if (got != tag) return Fail("expected '" + tag + "', got '" + got + "'");
+    std::string remainder;
+    std::getline(ls, remainder);
+    rest->str(remainder);
+    rest->clear();
+    return Status::Ok();
+  }
+
+  Status ReadHex(std::istringstream& ls, const char* what, double* out) {
+    std::string token;
+    if (!(ls >> token) || !ParseHexDouble(token, out)) {
+      return Fail(std::string("malformed float for ") + what);
+    }
+    return Status::Ok();
+  }
+
+  Status ReadDoubleBlock(const std::string& tag, std::vector<double>* out) {
+    std::istringstream head;
+    LUBT_RETURN_IF_ERROR(Expect(tag, &head));
+    long long count = -1;
+    if (!(head >> count) || count < 0 || count > (1LL << 28)) {
+      return Fail("bad count for '" + tag + "'");
+    }
+    out->clear();
+    out->reserve(static_cast<std::size_t>(count));
+    for (long long i = 0; i < count; ++i) {
+      std::istringstream ls;
+      LUBT_RETURN_IF_ERROR(Expect("v", &ls));
+      double v = 0.0;
+      LUBT_RETURN_IF_ERROR(ReadHex(ls, tag.c_str(), &v));
+      out->push_back(v);
+    }
+    return Status::Ok();
+  }
+};
+
+// Rebuild a Topology by replaying nodes in id order, with the same
+// pre-validation as io/tree_io.cpp so the builder's asserts can't fire on
+// corrupt input.
+Status ReplayTopology(const std::vector<std::array<std::int32_t, 3>>& raw,
+                      std::int32_t root, RootMode mode, Topology* out) {
+  const auto n = static_cast<std::int32_t>(raw.size());
+  if (n == 0) return Status::InvalidArgument("checkpoint: topology empty");
+  for (std::int32_t id = 0; id < n; ++id) {
+    const std::int32_t left = raw[static_cast<std::size_t>(id)][0];
+    const std::int32_t right = raw[static_cast<std::size_t>(id)][1];
+    const std::int32_t sink = raw[static_cast<std::size_t>(id)][2];
+    if (left == kInvalidNode && right == kInvalidNode) {
+      if (sink < 0) {
+        return Status::InvalidArgument("checkpoint: leaf node " +
+                                       std::to_string(id) + " without sink");
+      }
+      out->AddSinkNode(sink);
+    } else if (right == kInvalidNode) {
+      if (left < 0 || left >= id || out->Parent(left) != kInvalidNode) {
+        return Status::InvalidArgument(
+            "checkpoint: bad unary child of node " + std::to_string(id));
+      }
+      out->AddUnaryNode(left);
+    } else {
+      if (left < 0 || left >= id || right < 0 || right >= id ||
+          left == right || out->Parent(left) != kInvalidNode ||
+          out->Parent(right) != kInvalidNode) {
+        return Status::InvalidArgument(
+            "checkpoint: bad children of node " + std::to_string(id));
+      }
+      out->AddInternalNode(left, right);
+    }
+  }
+  if (root < 0 || root >= n || out->Parent(root) != kInvalidNode) {
+    return Status::InvalidArgument("checkpoint: bad root id");
+  }
+  if (mode == RootMode::kFixedSource) {
+    const TopoNode& r = out->Node(root);
+    if (r.left == kInvalidNode || r.right != kInvalidNode || r.sink >= 0) {
+      return Status::InvalidArgument(
+          "checkpoint: fixed-source root must be unary Steiner");
+    }
+  }
+  out->SetRoot(root, mode);
+  return Status::Ok();
+}
+
+void AppendDoubleBlock(const std::string& tag,
+                       const std::vector<double>& values, std::string* out) {
+  out->append(tag);
+  out->push_back(' ');
+  out->append(std::to_string(values.size()));
+  out->push_back('\n');
+  for (const double v : values) {
+    out->append("v ");
+    out->append(HexDouble(v));
+    out->push_back('\n');
+  }
+}
+
+// The two free-text fields (instance name, status message) are single-line
+// by construction everywhere in the library, but a hostile client can put
+// anything in a session name — fold line breaks so they cannot corrupt the
+// line-oriented format.
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string EncodeCheckpoint(const EcoCheckpoint& ck) {
+  std::string out;
+  out.reserve(256 + 96 * ck.set.sinks.size() +
+              48 * static_cast<std::size_t>(ck.topo.NumNodes()));
+  out.append("lubt-checkpoint v1\n");
+  out.append("name ").append(OneLine(ck.set.name)).push_back('\n');
+  if (ck.set.source.has_value()) {
+    out.append("source 1 ")
+        .append(HexDouble(ck.set.source->x))
+        .append(" ")
+        .append(HexDouble(ck.set.source->y))
+        .push_back('\n');
+  } else {
+    out.append("source 0\n");
+  }
+  out.append("radius ").append(HexDouble(ck.initial_radius)).push_back('\n');
+  out.append("sinks ").append(std::to_string(ck.set.sinks.size()));
+  out.push_back('\n');
+  for (const Point& p : ck.set.sinks) {
+    out.append("s ")
+        .append(HexDouble(p.x))
+        .append(" ")
+        .append(HexDouble(p.y))
+        .push_back('\n');
+  }
+  for (const DelayBounds& b : ck.bounds) {
+    out.append("b ")
+        .append(HexDouble(b.lo))
+        .append(" ")
+        .append(HexDouble(b.hi))
+        .push_back('\n');
+  }
+  out.append(ck.topo.Mode() == RootMode::kFixedSource ? "mode fixed\n"
+                                                      : "mode free\n");
+  out.append("nodes ").append(std::to_string(ck.topo.NumNodes()));
+  out.push_back('\n');
+  for (NodeId id = 0; id < ck.topo.NumNodes(); ++id) {
+    const TopoNode& node = ck.topo.Node(id);
+    out.append("t ")
+        .append(std::to_string(node.left))
+        .append(" ")
+        .append(std::to_string(node.right))
+        .append(" ")
+        .append(std::to_string(node.sink))
+        .push_back('\n');
+  }
+  out.append("root ").append(std::to_string(ck.topo.Root())).push_back('\n');
+  out.append("model ")
+      .append(ck.has_model ? "1 " : "0 ")
+      .append(HexDouble(ck.scale))
+      .push_back('\n');
+  out.append("pool ").append(std::to_string(ck.pool.size())).push_back('\n');
+  for (const std::array<std::int32_t, 2>& pr : ck.pool) {
+    out.append("p ")
+        .append(std::to_string(pr[0]))
+        .append(" ")
+        .append(std::to_string(pr[1]))
+        .push_back('\n');
+  }
+  out.append("state ")
+      .append(ck.lp_valid ? "1 " : "0 ")
+      .append(ck.needs_rebuild ? "1" : "0")
+      .push_back('\n');
+  AppendDoubleBlock("lpx", ck.lp_x, &out);
+  AppendDoubleBlock("lpdual", ck.lp_dual, &out);
+  AppendDoubleBlock("elen", ck.edge_len, &out);
+  const EcoSolveInfo& last = ck.last;
+  out.append("last ")
+      .append(std::to_string(static_cast<int>(last.status.code())))
+      .append(" ")
+      .append(std::to_string(static_cast<int>(last.tier)))
+      .append(" ")
+      .append(last.warm_started ? "1 " : "0 ")
+      .append(last.symbolic_reused ? "1 " : "0 ")
+      .append(std::to_string(last.lp_rows))
+      .append(" ")
+      .append(std::to_string(last.lp_iterations))
+      .append(" ")
+      .append(std::to_string(last.lazy_rounds))
+      .append(" ")
+      .append(std::to_string(last.rows_added))
+      .append(" ")
+      .append(std::to_string(last.rows_refreshed))
+      .append(" ")
+      .append(std::to_string(last.cold_retries))
+      .push_back('\n');
+  out.append("lastf ")
+      .append(HexDouble(last.cost))
+      .append(" ")
+      .append(HexDouble(last.objective))
+      .append(" ")
+      .append(HexDouble(last.stats.cost))
+      .append(" ")
+      .append(HexDouble(last.stats.min_delay))
+      .append(" ")
+      .append(HexDouble(last.stats.max_delay))
+      .append(" ")
+      .append(HexDouble(last.seconds))
+      .push_back('\n');
+  out.append("lastmsg ").append(OneLine(last.status.message()));
+  out.push_back('\n');
+  out.append("end\n");
+  return out;
+}
+
+Result<EcoCheckpoint> DecodeCheckpoint(const std::string& text) {
+  Decoder d(text);
+  EcoCheckpoint ck;
+  {
+    std::istringstream ls;
+    if (!d.reader.Next(&d.line) || d.line != "lubt-checkpoint v1") {
+      return Status::InvalidArgument(
+          "checkpoint: missing 'lubt-checkpoint v1' header");
+    }
+  }
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("name", &ls));
+    std::string rest;
+    std::getline(ls, rest);
+    if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+    ck.set.name = rest;
+  }
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("source", &ls));
+    int has = 0;
+    if (!(ls >> has) || has < 0 || has > 1) return d.Fail("bad source flag");
+    if (has == 1) {
+      Point p;
+      LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "source.x", &p.x));
+      LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "source.y", &p.y));
+      ck.set.source = p;
+    }
+  }
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("radius", &ls));
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "radius", &ck.initial_radius));
+  }
+  long long num_sinks = 0;
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("sinks", &ls));
+    if (!(ls >> num_sinks) || num_sinks < 0 || num_sinks > (1LL << 24)) {
+      return d.Fail("bad sink count");
+    }
+  }
+  for (long long i = 0; i < num_sinks; ++i) {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("s", &ls));
+    Point p;
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "sink.x", &p.x));
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "sink.y", &p.y));
+    ck.set.sinks.push_back(p);
+  }
+  for (long long i = 0; i < num_sinks; ++i) {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("b", &ls));
+    DelayBounds b;
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "bound.lo", &b.lo));
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "bound.hi", &b.hi));
+    ck.bounds.push_back(b);
+  }
+  RootMode mode = RootMode::kFreeSource;
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("mode", &ls));
+    std::string m;
+    ls >> m;
+    if (m == "fixed") {
+      mode = RootMode::kFixedSource;
+    } else if (m == "free") {
+      mode = RootMode::kFreeSource;
+    } else {
+      return d.Fail("unknown mode '" + m + "'");
+    }
+  }
+  long long num_nodes = 0;
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("nodes", &ls));
+    if (!(ls >> num_nodes) || num_nodes < 1 || num_nodes > (1LL << 26)) {
+      return d.Fail("bad node count");
+    }
+  }
+  std::vector<std::array<std::int32_t, 3>> raw;
+  raw.reserve(static_cast<std::size_t>(num_nodes));
+  for (long long i = 0; i < num_nodes; ++i) {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("t", &ls));
+    std::array<std::int32_t, 3> node{};
+    if (!(ls >> node[0] >> node[1] >> node[2])) {
+      return d.Fail("node requires left, right, sink");
+    }
+    raw.push_back(node);
+  }
+  std::int32_t root = -1;
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("root", &ls));
+    if (!(ls >> root)) return d.Fail("root requires an id");
+  }
+  LUBT_RETURN_IF_ERROR(ReplayTopology(raw, root, mode, &ck.topo));
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("model", &ls));
+    int has = 0;
+    if (!(ls >> has) || has < 0 || has > 1) return d.Fail("bad model flag");
+    ck.has_model = has == 1;
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "scale", &ck.scale));
+  }
+  long long pool = 0;
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("pool", &ls));
+    if (!(ls >> pool) || pool < 0 || pool > (1LL << 28)) {
+      return d.Fail("bad pool count");
+    }
+  }
+  for (long long i = 0; i < pool; ++i) {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("p", &ls));
+    std::array<std::int32_t, 2> pr{};
+    if (!(ls >> pr[0] >> pr[1])) return d.Fail("pair requires two indices");
+    ck.pool.push_back(pr);
+  }
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("state", &ls));
+    int valid = 0;
+    int rebuild = 0;
+    if (!(ls >> valid >> rebuild) || valid < 0 || valid > 1 || rebuild < 0 ||
+        rebuild > 1) {
+      return d.Fail("bad state flags");
+    }
+    ck.lp_valid = valid == 1;
+    ck.needs_rebuild = rebuild == 1;
+  }
+  LUBT_RETURN_IF_ERROR(d.ReadDoubleBlock("lpx", &ck.lp_x));
+  LUBT_RETURN_IF_ERROR(d.ReadDoubleBlock("lpdual", &ck.lp_dual));
+  LUBT_RETURN_IF_ERROR(d.ReadDoubleBlock("elen", &ck.edge_len));
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("last", &ls));
+    int code = 0;
+    int tier = 0;
+    int warm = 0;
+    int symb = 0;
+    if (!(ls >> code >> tier >> warm >> symb >> ck.last.lp_rows >>
+          ck.last.lp_iterations >> ck.last.lazy_rounds >>
+          ck.last.rows_added >> ck.last.rows_refreshed >>
+          ck.last.cold_retries)) {
+      return d.Fail("bad last-solve record");
+    }
+    if (code < 0 || code > static_cast<int>(StatusCode::kUnavailable)) {
+      return d.Fail("bad status code");
+    }
+    if (tier < 0 || tier > static_cast<int>(EcoTier::kColdRebuild)) {
+      return d.Fail("bad tier");
+    }
+    ck.last.status = Status(static_cast<StatusCode>(code), "");
+    ck.last.tier = static_cast<EcoTier>(tier);
+    ck.last.warm_started = warm == 1;
+    ck.last.symbolic_reused = symb == 1;
+  }
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("lastf", &ls));
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "last.cost", &ck.last.cost));
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "last.objective", &ck.last.objective));
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "last.stats.cost",
+                                   &ck.last.stats.cost));
+    LUBT_RETURN_IF_ERROR(
+        d.ReadHex(ls, "last.stats.min", &ck.last.stats.min_delay));
+    LUBT_RETURN_IF_ERROR(
+        d.ReadHex(ls, "last.stats.max", &ck.last.stats.max_delay));
+    LUBT_RETURN_IF_ERROR(d.ReadHex(ls, "last.seconds", &ck.last.seconds));
+  }
+  {
+    if (!d.reader.Next(&d.line)) return d.Fail("truncated: expected lastmsg");
+    if (d.line.rfind("lastmsg", 0) != 0) return d.Fail("expected 'lastmsg'");
+    std::string msg = d.line.substr(7);
+    if (!msg.empty() && msg.front() == ' ') msg.erase(0, 1);
+    ck.last.status = Status(ck.last.status.code(), msg);
+  }
+  {
+    std::istringstream ls;
+    LUBT_RETURN_IF_ERROR(d.Expect("end", &ls));
+  }
+  // Anything after the end marker is damage (e.g. two checkpoints
+  // concatenated by a partial overwrite) — refuse rather than guess.
+  if (d.reader.Next(&d.line)) return d.Fail("trailing data after 'end'");
+  return ck;
+}
+
+Status StoreCheckpoint(const EcoCheckpoint& checkpoint,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::NotFound("cannot write checkpoint: " + path);
+  out << EncodeCheckpoint(checkpoint);
+  out.close();
+  if (!out) return Status::Internal("short write on checkpoint: " + path);
+  return Status::Ok();
+}
+
+Result<EcoCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read checkpoint: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DecodeCheckpoint(buf.str());
+}
+
+std::size_t ApproxSessionBytes(const EcoCheckpoint& ck) {
+  const std::size_t m = ck.set.sinks.size();
+  const std::size_t n = static_cast<std::size_t>(ck.topo.NumNodes());
+  const std::size_t rows = m + ck.pool.size();
+  // Instance + topology + solved vectors, plus the reconstructed model
+  // (roughly: a delay row touches a root path, a Steiner row two paths) and
+  // factorization working set. Coefficients are deliberately generous.
+  return 4096 + 64 * m + 64 * n + 24 * ck.lp_x.size() +
+         24 * ck.lp_dual.size() + 24 * ck.edge_len.size() + 160 * rows;
+}
+
+}  // namespace lubt

@@ -1,0 +1,253 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "io/tree_io.h"
+#include "topo/nn_merge.h"
+
+namespace lubt {
+
+int Dispatcher::ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+Dispatcher::Dispatcher(DispatcherOptions options)
+    : opt_(std::move(options)),
+      // cache_ only stores the pool pointer at construction; it dereferences
+      // it no earlier than the first StrandFor(), by which time pool_ is
+      // fully constructed.
+      cache_(opt_.cache, &pool_),
+      pool_(ResolveJobs(opt_.jobs)) {}
+
+void Dispatcher::SetShutdownHook(std::function<void()> hook) {
+  MutexLock lock(mu_);
+  shutdown_hook_ = std::move(hook);
+}
+
+bool Dispatcher::ShutdownRequested() {
+  MutexLock lock(mu_);
+  return shutdown_;
+}
+
+void Dispatcher::Handle(std::string payload,
+                        std::function<void(std::string)> respond) {
+  Result<ServeRequest> parsed = ParseServeRequest(payload);
+  if (!parsed.ok()) {
+    MutexLock lock(mu_);
+    ++stats_.requests;
+    respond(ErrorResponse(std::nullopt, parsed.status()).Dump());
+    return;
+  }
+  ServeRequest req = std::move(*parsed);
+
+  {
+    MutexLock lock(mu_);
+    ++stats_.requests;
+    // Stats stays answerable during shutdown (it is how an operator watches
+    // the drain); everything else is refused.
+    if (shutdown_ && req.op != ServeOp::kStats) {
+      ++stats_.rejected;
+      respond(ErrorResponse(req.id,
+                            Status::Unavailable("server is shutting down"))
+                  .Dump());
+      return;
+    }
+  }
+
+  if (req.op == ServeOp::kStats) {
+    respond(ExecuteStats(req).Dump());
+    return;
+  }
+  if (req.op == ServeOp::kShutdown) {
+    std::function<void()> hook;
+    {
+      MutexLock lock(mu_);
+      shutdown_ = true;
+      hook = std::move(shutdown_hook_);
+      shutdown_hook_ = nullptr;
+    }
+    Json resp = OkResponse(req.id);
+    Json result = Json::MakeObject();
+    result.Set("shutting_down", Json::MakeBool(true));
+    resp.Set("result", std::move(result));
+    // The response reaches its sink BEFORE the hook stops the transport, so
+    // the requesting client always sees the acknowledgement.
+    respond(resp.Dump());
+    if (hook) hook();
+    return;
+  }
+
+  // Admission control: a soft watermark on queued work. Checked before the
+  // strand post so an overloaded server answers immediately instead of
+  // growing an unbounded queue.
+  if (opt_.max_pending > 0 && pool_.PendingJobs() >= opt_.max_pending) {
+    MutexLock lock(mu_);
+    ++stats_.rejected;
+    respond(ErrorResponse(req.id, Status::Unavailable(
+                                      "server overloaded: " +
+                                      std::to_string(opt_.max_pending) +
+                                      " requests already pending"))
+                .Dump());
+    return;
+  }
+
+  Strand* strand = cache_.StrandFor(req.session);
+  strand->Post(
+      [this, request = std::move(req), sink = std::move(respond)]() mutable {
+        sink(Execute(request).Dump());
+      });
+}
+
+std::string Dispatcher::HandleSync(const std::string& payload) {
+  Mutex done_mu;
+  CondVar done_cv;
+  std::string response;
+  bool done = false;
+  Handle(payload, [&done_mu, &done_cv, &response, &done](std::string out) {
+    MutexLock lock(done_mu);
+    response = std::move(out);
+    done = true;
+    done_cv.NotifyAll();
+  });
+  MutexLock lock(done_mu);
+  while (!done) done_cv.Wait(done_mu);
+  return response;
+}
+
+Json Dispatcher::Execute(const ServeRequest& req) {
+  switch (req.op) {
+    case ServeOp::kOpenSession:
+      return ExecuteOpenSession(req);
+    case ServeOp::kSolve:
+    case ServeOp::kEcoEdit:
+    case ServeOp::kQuery:
+    case ServeOp::kCloseSession:
+      return ExecuteSessionOp(req);
+    case ServeOp::kStats:
+    case ServeOp::kShutdown:
+      break;  // handled inline in Handle()
+  }
+  return ErrorResponse(req.id, Status::Internal("unroutable op"));
+}
+
+Json Dispatcher::ExecuteOpenSession(const ServeRequest& req) {
+  SinkSet set = req.set;
+  Topology topo = NnMergeTopology(set.sinks, set.source);
+  Result<std::unique_ptr<EcoSession>> created = EcoSession::Create(
+      std::move(set), req.bounds, std::move(topo), opt_.cache.eco);
+  if (!created.ok()) return ErrorResponse(req.id, created.status());
+
+  EcoSession* session = created->get();
+  cache_.Install(req.session, std::move(*created));
+  Json result = SolveInfoJson(session->Last(), opt_.deterministic);
+  result.Set("sinks", Json::MakeNumber(session->NumSinks()));
+  result.Set("radius", Json::MakeNumber(session->InitialRadius()));
+  cache_.Release(req.session);
+
+  Json resp = OkResponse(req.id);
+  resp.Set("result", std::move(result));
+  return resp;
+}
+
+Json Dispatcher::ExecuteSessionOp(const ServeRequest& req) {
+  if (req.op == ServeOp::kCloseSession) {
+    const Status closed = cache_.Close(req.session);
+    if (!closed.ok()) return ErrorResponse(req.id, closed);
+    Json resp = OkResponse(req.id);
+    Json result = Json::MakeObject();
+    result.Set("closed", Json::MakeBool(true));
+    resp.Set("result", std::move(result));
+    return resp;
+  }
+
+  Result<EcoSession*> acquired = cache_.Acquire(req.session);
+  if (!acquired.ok()) return ErrorResponse(req.id, acquired.status());
+  EcoSession* session = *acquired;
+
+  Json out;
+  switch (req.op) {
+    case ServeOp::kSolve: {
+      Json resp = OkResponse(req.id);
+      resp.Set("result", SolveInfoJson(session->Last(), opt_.deterministic));
+      out = std::move(resp);
+      break;
+    }
+    case ServeOp::kEcoEdit: {
+      std::vector<EcoEdit> scaled;
+      scaled.reserve(req.edits.size());
+      for (const EcoEdit& edit : req.edits) {
+        scaled.push_back(ScaleEditWindows(edit, session->InitialRadius()));
+      }
+      Result<std::vector<EcoSolveInfo>> infos = session->ApplyAll(scaled);
+      if (!infos.ok()) {
+        out = ErrorResponse(req.id, infos.status());
+        break;
+      }
+      Json result = SolveInfoJson(infos->back(), opt_.deterministic);
+      result.Set("edits_applied",
+                 Json::MakeNumber(static_cast<double>(infos->size())));
+      Json resp = OkResponse(req.id);
+      resp.Set("result", std::move(result));
+      out = std::move(resp);
+      break;
+    }
+    case ServeOp::kQuery: {
+      Json result = Json::MakeObject();
+      result.Set("sinks", Json::MakeNumber(session->NumSinks()));
+      result.Set("feasible", Json::MakeBool(session->Feasible()));
+      result.Set("cost", Json::MakeNumber(session->Last().cost));
+      result.Set("min_delay",
+                 Json::MakeNumber(session->Last().stats.min_delay));
+      result.Set("max_delay",
+                 Json::MakeNumber(session->Last().stats.max_delay));
+      result.Set("lp_rows", Json::MakeNumber(session->NumLpRows()));
+      if (req.want_tree && session->Feasible()) {
+        result.Set("tree",
+                   Json::MakeString(FormatTreeSolution(session->Solution())));
+      }
+      Json resp = OkResponse(req.id);
+      resp.Set("result", std::move(result));
+      out = std::move(resp);
+      break;
+    }
+    default:
+      out = ErrorResponse(req.id, Status::Internal("unroutable session op"));
+      break;
+  }
+  cache_.Release(req.session);
+  return out;
+}
+
+Json Dispatcher::ExecuteStats(const ServeRequest& req) {
+  const SessionCacheStats cache_stats = cache_.Stats();
+  DispatcherStats mine;
+  bool shutting_down;
+  {
+    MutexLock lock(mu_);
+    mine = stats_;
+    shutting_down = shutdown_;
+  }
+  Json result = Json::MakeObject();
+  result.Set("requests", Json::MakeNumber(static_cast<double>(mine.requests)));
+  result.Set("rejected", Json::MakeNumber(static_cast<double>(mine.rejected)));
+  result.Set("sessions_resident", Json::MakeNumber(cache_stats.resident));
+  result.Set("sessions_spilled", Json::MakeNumber(cache_stats.spilled));
+  result.Set("sessions_known", Json::MakeNumber(cache_stats.known));
+  result.Set("evictions",
+             Json::MakeNumber(static_cast<double>(cache_stats.evictions)));
+  result.Set("restores",
+             Json::MakeNumber(static_cast<double>(cache_stats.restores)));
+  result.Set("eviction_failures",
+             Json::MakeNumber(
+                 static_cast<double>(cache_stats.eviction_failures)));
+  result.Set("pending_jobs", Json::MakeNumber(pool_.PendingJobs()));
+  result.Set("shutting_down", Json::MakeBool(shutting_down));
+  Json resp = OkResponse(req.id);
+  resp.Set("result", std::move(result));
+  return resp;
+}
+
+}  // namespace lubt

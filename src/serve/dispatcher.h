@@ -1,0 +1,109 @@
+// Request dispatcher: protocol execution over the session cache.
+//
+// The dispatcher is the transport-independent core of lubt_server: it takes
+// one raw request payload, parses it (serve/protocol.h), routes session ops
+// onto the target session's strand, executes against the cached EcoSession
+// (serve/session_cache.h), and hands the serialized response to a caller-
+// supplied sink. The socket server (serve/server.h) and the --once loopback
+// mode (tools/lubt_server.cpp) are both thin shells around it, which is
+// what makes the golden request/response tests transport-free.
+//
+// Threading contract:
+//  * Handle() may be called from any thread; the response callback runs
+//    either inline (parse errors, admission rejects, stats/shutdown) or on
+//    a pool worker (session ops), exactly once either way. Callbacks must
+//    be thread-safe against each other — the server serializes per-
+//    connection writes with a per-connection mutex.
+//  * Per-session ordering: requests for one session name execute in
+//    Handle() call order (strand FIFO). Requests for different sessions
+//    run concurrently up to the pool width.
+//  * Admission control: beyond `max_pending` queued jobs — or after a
+//    shutdown request — new work is rejected immediately with UNAVAILABLE
+//    rather than queued without bound.
+//
+// Destruction drains the pool first (the ThreadPool member is declared
+// last), so in-flight jobs finish against a live cache; their responses go
+// to whatever sink they captured.
+
+#ifndef LUBT_SERVE_DISPATCHER_H_
+#define LUBT_SERVE_DISPATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "check/mutex.h"
+#include "check/thread_annotations.h"
+#include "runtime/thread_pool.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/session_cache.h"
+
+namespace lubt {
+
+struct DispatcherOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  int jobs = 0;
+  /// Reject new requests when this many jobs are already pending (0 = no
+  /// limit).
+  int max_pending = 256;
+  /// Zero wall-clock fields in responses (golden tests / --deterministic).
+  bool deterministic = false;
+  /// Session cache budgets + spill directory (spill_dir must exist).
+  SessionCacheOptions cache;
+};
+
+struct DispatcherStats {
+  std::uint64_t requests = 0;
+  std::uint64_t rejected = 0;  ///< admission-control UNAVAILABLE responses
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatcherOptions options);
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Process one request payload; `respond` receives the serialized
+  /// response exactly once (see the threading contract above).
+  void Handle(std::string payload,
+              std::function<void(std::string)> respond);
+
+  /// Synchronous convenience for loopback mode and tests: Handle + wait.
+  /// Must not be called from a pool worker (it would wait on itself).
+  std::string HandleSync(const std::string& payload);
+
+  /// True once a shutdown request has been accepted.
+  bool ShutdownRequested() LUBT_EXCLUDES(mu_);
+
+  /// Hook invoked (once) after a shutdown response has been handed to its
+  /// sink; the socket server uses it to stop the accept loop.
+  void SetShutdownHook(std::function<void()> hook) LUBT_EXCLUDES(mu_);
+
+ private:
+  Json Execute(const ServeRequest& request);
+  Json ExecuteOpenSession(const ServeRequest& request);
+  Json ExecuteSessionOp(const ServeRequest& request);
+  Json ExecuteStats(const ServeRequest& request);
+
+  const DispatcherOptions opt_;
+  Mutex mu_;
+  bool shutdown_ LUBT_GUARDED_BY(mu_) = false;
+  std::function<void()> shutdown_hook_ LUBT_GUARDED_BY(mu_);
+  DispatcherStats stats_ LUBT_GUARDED_BY(mu_);
+  // Order matters: the pool must be destroyed before the cache (jobs touch
+  // it) — members are destroyed in reverse declaration order, so the pool
+  // is declared after everything its jobs reference.
+  SessionCache cache_;
+  ThreadPool pool_;
+
+  // The cache needs the pool pointer at construction; this helper builds
+  // them in the right order.
+  static int ResolveJobs(int jobs);
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_SERVE_DISPATCHER_H_

@@ -1,0 +1,87 @@
+// Wire framing for lubt_server: 4-byte big-endian length prefix + payload.
+//
+// The stream grammar is trivial — frame := u32_be(length) payload[length] —
+// but the failure modes are not, and this module owns all of them:
+//
+//  * short reads/writes: kernels split socket I/O arbitrarily, so every
+//    transfer here loops until complete or failed, retrying EINTR. These
+//    helpers are the ONLY place in src/serve/ allowed to touch the raw
+//    read/write/send/recv syscalls — lubt_lint's `serve-raw-io` rule bans
+//    them everywhere else in the subsystem, so partial-I/O handling cannot
+//    be reintroduced ad hoc;
+//  * truncated prefixes / split frames: FrameDecoder is incremental and
+//    byte-count agnostic — feed it whatever arrived, take out whole frames;
+//  * oversized lengths: a length above the decoder's limit poisons the
+//    stream (kBad) instead of attempting the allocation, bounding what a
+//    malicious or corrupt peer can make the server buffer.
+//
+// tests/serve_test.cpp drives the decoder byte-at-a-time and with
+// truncated/oversized/garbage inputs.
+
+#ifndef LUBT_SERVE_FRAMING_H_
+#define LUBT_SERVE_FRAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace lubt {
+
+/// Frames above this many payload bytes are rejected (16 MiB — far above
+/// any legitimate protocol message, far below an allocation-of-interest).
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/// Append one framed message (prefix + payload) to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Incremental frame extractor over an arbitrarily-chunked byte stream.
+class FrameDecoder {
+ public:
+  enum class Event {
+    kFrame,     ///< one complete payload extracted
+    kNeedMore,  ///< no complete frame buffered yet
+    kBad,       ///< stream poisoned (oversized length); no recovery
+  };
+
+  /// Buffer more raw bytes from the stream.
+  void Feed(std::string_view bytes);
+
+  /// Try to extract the next complete frame into `payload`. After kBad the
+  /// decoder stays poisoned (Error() explains) and every call returns kBad.
+  Event Next(std::string* payload);
+
+  const Status& Error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (tests).
+  std::size_t BufferedBytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  Status error_;
+  bool poisoned_ = false;
+};
+
+/// Write all of `bytes` to `fd`, looping over short writes and EINTR.
+/// Sockets are written with send(MSG_NOSIGNAL) so a vanished peer yields a
+/// Status (EPIPE) instead of killing the process with SIGPIPE.
+Status WriteAllFd(int fd, std::string_view bytes);
+
+/// Read up to `max_bytes` from `fd` (at least 1 unless EOF), EINTR-safe.
+/// Empty string means clean EOF.
+Result<std::string> ReadSomeFd(int fd, std::size_t max_bytes);
+
+/// Frame + write one message.
+Status WriteFrameFd(int fd, std::string_view payload);
+
+/// Blocking read of one whole frame through `decoder`: loops ReadSomeFd
+/// until a frame completes. Returns NotFound on clean EOF at a frame
+/// boundary, InvalidArgument on EOF mid-frame or a poisoned stream.
+Result<std::string> ReadFrameFd(int fd, FrameDecoder* decoder);
+
+}  // namespace lubt
+
+#endif  // LUBT_SERVE_FRAMING_H_

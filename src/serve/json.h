@@ -1,0 +1,93 @@
+// Minimal JSON value for the lubt_server wire protocol (DESIGN.md §15).
+//
+// Self-contained — no external dependency — and deliberately small: the
+// protocol uses objects, arrays, strings, numbers, booleans and null, and
+// nothing else. Two properties matter more than generality:
+//
+//  * determinism: objects preserve insertion order (stored as an ordered
+//    key/value vector, not a hash map), and Dump() emits a canonical
+//    compact form — byte-identical output for equal construction sequences,
+//    which the golden request/response tests rely on;
+//  * robustness: Parse() is a strict recursive-descent parser with a depth
+//    limit, so adversarial input (garbage bytes, deeply nested arrays)
+//    yields an InvalidArgument instead of UB or unbounded recursion.
+//
+// Numbers are doubles. Dump() prints integral values in [-2^53, 2^53] as
+// integers and everything else with %.17g (round-trip precision). JSON has
+// no infinity literal; protocol fields that can be infinite (delay-window
+// highs) are transported as the string "inf" by the protocol layer, not
+// here.
+
+#ifndef LUBT_SERVE_JSON_H_
+#define LUBT_SERVE_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lubt {
+
+/// One JSON value (recursive).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json MakeNull() { return Json(); }
+  static Json MakeBool(bool b);
+  static Json MakeNumber(double v);
+  static Json MakeString(std::string s);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsArray() const { return type_ == Type::kArray; }
+  bool IsObject() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; the value must hold the matching type (LUBT_ASSERT).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+
+  /// Array access. Size() is 0 for non-arrays/objects.
+  std::size_t Size() const;
+  const Json& At(std::size_t i) const;
+  void Append(Json v);
+
+  /// Object access: Find returns nullptr when the key is absent; Set
+  /// overwrites an existing key in place (order preserved) or appends.
+  const Json* Find(std::string_view key) const;
+  void Set(std::string key, Json value);
+  const std::vector<std::pair<std::string, Json>>& Items() const {
+    return object_;
+  }
+
+  /// Canonical compact serialization (no whitespace, keys in stored order).
+  std::string Dump() const;
+
+  /// Strict parse of exactly one JSON value spanning the whole input
+  /// (trailing non-whitespace is an error). Depth-limited.
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_SERVE_JSON_H_

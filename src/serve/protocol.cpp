@@ -1,0 +1,242 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <utility>
+
+#include "cts/metrics.h"
+#include "lp/model.h"
+
+namespace lubt {
+namespace {
+
+Status FieldError(const char* op, const std::string& what) {
+  return Status::InvalidArgument(std::string(op) + ": " + what);
+}
+
+Result<std::string> GetStringField(const Json& obj, const char* op,
+                                   const char* key) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || !v->IsString()) {
+    return FieldError(op, std::string("'") + key + "' must be a string");
+  }
+  return v->AsString();
+}
+
+// A coordinate pair [x, y] of finite numbers.
+Result<Point> ParsePointField(const Json& v, const char* op,
+                              const char* key) {
+  if (!v.IsArray() || v.Size() != 2 || !v.At(0).IsNumber() ||
+      !v.At(1).IsNumber()) {
+    return FieldError(op, std::string("'") + key + "' must be [x, y]");
+  }
+  const Point p{v.At(0).AsNumber(), v.At(1).AsNumber()};
+  if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+    return FieldError(op, std::string("'") + key + "' must be finite");
+  }
+  return p;
+}
+
+// A window bound: a number, or the string "inf" for an unbounded high.
+Result<double> ParseBoundValue(const Json& v, const char* op,
+                               const char* key) {
+  if (v.IsNumber()) return v.AsNumber();
+  if (v.IsString() && v.AsString() == "inf") return kLpInf;
+  return FieldError(op, std::string("'") + key +
+                            "' entries must be numbers or \"inf\"");
+}
+
+Status ParseOpenSession(const Json& obj, ServeRequest* out) {
+  constexpr const char* kOp = "open_session";
+  const Json* sinks = obj.Find("sinks");
+  if (sinks == nullptr || !sinks->IsArray() || sinks->Size() == 0) {
+    return FieldError(kOp, "'sinks' must be a non-empty array of [x, y]");
+  }
+  out->set.name = out->session;
+  out->set.sinks.reserve(sinks->Size());
+  for (std::size_t i = 0; i < sinks->Size(); ++i) {
+    Result<Point> p = ParsePointField(sinks->At(i), kOp, "sinks");
+    if (!p.ok()) return p.status();
+    out->set.sinks.push_back(*p);
+  }
+  if (const Json* source = obj.Find("source"); source != nullptr) {
+    Result<Point> p = ParsePointField(*source, kOp, "source");
+    if (!p.ok()) return p.status();
+    out->set.source = *p;
+  }
+
+  const Json* bounds = obj.Find("bounds");
+  const Json* window = obj.Find("window");
+  if ((bounds != nullptr) == (window != nullptr)) {
+    return FieldError(kOp, "exactly one of 'bounds' and 'window' required");
+  }
+  if (bounds != nullptr) {
+    if (!bounds->IsArray() || bounds->Size() != out->set.sinks.size()) {
+      return FieldError(kOp, "'bounds' must list [lo, hi] per sink");
+    }
+    out->bounds.reserve(bounds->Size());
+    for (std::size_t i = 0; i < bounds->Size(); ++i) {
+      const Json& b = bounds->At(i);
+      if (!b.IsArray() || b.Size() != 2) {
+        return FieldError(kOp, "'bounds' must list [lo, hi] per sink");
+      }
+      Result<double> lo = ParseBoundValue(b.At(0), kOp, "bounds");
+      if (!lo.ok()) return lo.status();
+      Result<double> hi = ParseBoundValue(b.At(1), kOp, "bounds");
+      if (!hi.ok()) return hi.status();
+      out->bounds.push_back(DelayBounds{*lo, *hi});
+    }
+  } else {
+    if (!window->IsArray() || window->Size() != 2) {
+      return FieldError(kOp, "'window' must be [lo, hi] in radius units");
+    }
+    Result<double> lo = ParseBoundValue(window->At(0), kOp, "window");
+    if (!lo.ok()) return lo.status();
+    Result<double> hi = ParseBoundValue(window->At(1), kOp, "window");
+    if (!hi.ok()) return hi.status();
+    const double radius = Radius(out->set.sinks, out->set.source);
+    out->bounds.assign(out->set.sinks.size(),
+                       DelayBounds{*lo * radius, std::isfinite(*hi)
+                                                     ? *hi * radius
+                                                     : kLpInf});
+  }
+  return Status::Ok();
+}
+
+Status ParseEcoEdit(const Json& obj, ServeRequest* out) {
+  Result<std::string> script = GetStringField(obj, "eco_edit", "script");
+  if (!script.ok()) return script.status();
+  Result<std::vector<EcoEdit>> edits = ParseEditScript(*script);
+  if (!edits.ok()) return edits.status();
+  if (edits->empty()) {
+    return FieldError("eco_edit", "'script' contains no edits");
+  }
+  out->edits = std::move(*edits);
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* ServeOpName(ServeOp op) {
+  switch (op) {
+    case ServeOp::kOpenSession:
+      return "open_session";
+    case ServeOp::kSolve:
+      return "solve";
+    case ServeOp::kEcoEdit:
+      return "eco_edit";
+    case ServeOp::kQuery:
+      return "query";
+    case ServeOp::kCloseSession:
+      return "close_session";
+    case ServeOp::kStats:
+      return "stats";
+    case ServeOp::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+Result<ServeRequest> ParseServeRequest(const std::string& payload) {
+  Result<Json> parsed = Json::Parse(payload);
+  if (!parsed.ok()) return parsed.status();
+  const Json& obj = *parsed;
+  if (!obj.IsObject()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  ServeRequest req;
+  if (const Json* id = obj.Find("id"); id != nullptr) {
+    if (!id->IsNumber()) {
+      return Status::InvalidArgument("'id' must be a number");
+    }
+    req.id = id->AsNumber();
+  }
+
+  Result<std::string> op = GetStringField(obj, "request", "op");
+  if (!op.ok()) return op.status();
+  const std::string& name = *op;
+  if (name == "open_session") {
+    req.op = ServeOp::kOpenSession;
+  } else if (name == "solve") {
+    req.op = ServeOp::kSolve;
+  } else if (name == "eco_edit") {
+    req.op = ServeOp::kEcoEdit;
+  } else if (name == "query") {
+    req.op = ServeOp::kQuery;
+  } else if (name == "close_session") {
+    req.op = ServeOp::kCloseSession;
+  } else if (name == "stats") {
+    req.op = ServeOp::kStats;
+  } else if (name == "shutdown") {
+    req.op = ServeOp::kShutdown;
+  } else {
+    return Status::InvalidArgument("unknown op '" + name + "'");
+  }
+
+  if (req.op != ServeOp::kStats && req.op != ServeOp::kShutdown) {
+    Result<std::string> session = GetStringField(obj, name.c_str(), "session");
+    if (!session.ok()) return session.status();
+    if (session->empty()) {
+      return Status::InvalidArgument(name + ": 'session' must be non-empty");
+    }
+    req.session = *session;
+  }
+
+  switch (req.op) {
+    case ServeOp::kOpenSession:
+      LUBT_RETURN_IF_ERROR(ParseOpenSession(obj, &req));
+      break;
+    case ServeOp::kEcoEdit:
+      LUBT_RETURN_IF_ERROR(ParseEcoEdit(obj, &req));
+      break;
+    case ServeOp::kQuery:
+      if (const Json* tree = obj.Find("tree"); tree != nullptr) {
+        if (!tree->IsBool()) {
+          return Status::InvalidArgument("query: 'tree' must be a boolean");
+        }
+        req.want_tree = tree->AsBool();
+      }
+      break;
+    default:
+      break;
+  }
+  return req;
+}
+
+Json OkResponse(const std::optional<double>& id) {
+  Json out = Json::MakeObject();
+  if (id.has_value()) out.Set("id", Json::MakeNumber(*id));
+  out.Set("ok", Json::MakeBool(true));
+  out.Set("result", Json::MakeObject());
+  return out;
+}
+
+Json ErrorResponse(const std::optional<double>& id, const Status& error) {
+  Json out = Json::MakeObject();
+  if (id.has_value()) out.Set("id", Json::MakeNumber(*id));
+  out.Set("ok", Json::MakeBool(false));
+  Json err = Json::MakeObject();
+  err.Set("code", Json::MakeString(StatusCodeName(error.code())));
+  err.Set("message", Json::MakeString(error.message()));
+  out.Set("error", std::move(err));
+  return out;
+}
+
+Json SolveInfoJson(const EcoSolveInfo& info, bool deterministic) {
+  Json out = Json::MakeObject();
+  out.Set("status", Json::MakeString(StatusCodeName(info.status.code())));
+  out.Set("tier", Json::MakeString(EcoTierName(info.tier)));
+  out.Set("cost", Json::MakeNumber(info.cost));
+  out.Set("min_delay", Json::MakeNumber(info.stats.min_delay));
+  out.Set("max_delay", Json::MakeNumber(info.stats.max_delay));
+  out.Set("lp_rows", Json::MakeNumber(info.lp_rows));
+  out.Set("lp_iterations", Json::MakeNumber(info.lp_iterations));
+  out.Set("lazy_rounds", Json::MakeNumber(info.lazy_rounds));
+  out.Set("rows_added", Json::MakeNumber(info.rows_added));
+  out.Set("rows_refreshed", Json::MakeNumber(info.rows_refreshed));
+  out.Set("warm_started", Json::MakeBool(info.warm_started));
+  out.Set("seconds", Json::MakeNumber(deterministic ? 0.0 : info.seconds));
+  return out;
+}
+
+}  // namespace lubt

@@ -1,0 +1,95 @@
+// lubt_server wire protocol: typed requests/responses over serve/json.h
+// (DESIGN.md §15 documents the full message grammar).
+//
+// Every request is one JSON object in one frame:
+//
+//   {"op": <string>, "id": <number, optional, echoed>, ...}
+//
+// Ops and their fields:
+//   open_session   "session", "sinks": [[x,y],...], "source": [x,y]?,
+//                  and either "bounds": [[lo,hi],...] (layout units; hi may
+//                  be the string "inf") or "window": [lo,hi] (radius units,
+//                  applied to every sink). Builds an NN-merge topology and
+//                  cold-solves. Reopening an existing name replaces it.
+//   solve          "session" — report the current solve state.
+//   eco_edit       "session", "script": <edit-script text, eco/edit_script.h
+//                  format, windows in initial-radius units>. Applies every
+//                  edit in order; stops at the first malformed one.
+//   query          "session", "tree": bool? — instance summary, optionally
+//                  with the solved tree in io/tree_io.h text format.
+//   close_session  "session" — drop the session and its spill file.
+//   stats          server-wide counters.
+//   shutdown       stop accepting work; the server exits after this
+//                  response is written.
+//
+// Responses echo "id" and carry either "result" (an op-specific object) or
+// "error": {"code": <StatusCodeName>, "message": <string>}:
+//
+//   {"id": 7, "ok": true,  "result": {...}}
+//   {"id": 7, "ok": false, "error": {"code": "NOT_FOUND", "message": "..."}}
+//
+// Parsing is strict: unknown ops, missing fields and type mismatches are
+// InvalidArgument — the request never reaches a session half-validated.
+
+#ifndef LUBT_SERVE_PROTOCOL_H_
+#define LUBT_SERVE_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ebf/formulation.h"
+#include "eco/eco_session.h"
+#include "eco/edit_script.h"
+#include "io/sink_set.h"
+#include "serve/json.h"
+#include "util/status.h"
+
+namespace lubt {
+
+enum class ServeOp {
+  kOpenSession,
+  kSolve,
+  kEcoEdit,
+  kQuery,
+  kCloseSession,
+  kStats,
+  kShutdown,
+};
+
+const char* ServeOpName(ServeOp op);
+
+/// One parsed, fully validated request.
+struct ServeRequest {
+  ServeOp op = ServeOp::kStats;
+  std::optional<double> id;  ///< client correlation id, echoed verbatim
+  std::string session;       ///< empty only for stats/shutdown
+
+  // open_session payload: the instance (set.name == session) with delay
+  // windows already resolved to layout units.
+  SinkSet set;
+  std::vector<DelayBounds> bounds;
+
+  // eco_edit payload, window fields still in initial-radius units (the
+  // dispatcher scales them against the session's InitialRadius()).
+  std::vector<EcoEdit> edits;
+
+  // query payload.
+  bool want_tree = false;
+};
+
+/// Parse + validate one request frame.
+Result<ServeRequest> ParseServeRequest(const std::string& payload);
+
+/// Response skeletons. The ok form carries an empty "result" object for the
+/// caller to fill via MutableResult-style Set() calls on the returned Json.
+Json OkResponse(const std::optional<double>& id);
+Json ErrorResponse(const std::optional<double>& id, const Status& error);
+
+/// The solve-report object shared by open_session/solve/eco_edit responses.
+/// `deterministic` zeroes the wall-clock field so golden tests are stable.
+Json SolveInfoJson(const EcoSolveInfo& info, bool deterministic);
+
+}  // namespace lubt
+
+#endif  // LUBT_SERVE_PROTOCOL_H_

@@ -1,0 +1,187 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+#include "serve/framing.h"
+#include "serve/protocol.h"
+
+namespace lubt {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Listen(const ServerOptions& options,
+                                               Dispatcher* dispatcher) {
+  std::unique_ptr<Server> server(new Server());
+  server->dispatcher_ = dispatcher;
+
+  if (!options.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options.unix_path);
+    }
+    std::memcpy(addr.sun_path, options.unix_path.c_str(),
+                options.unix_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket(AF_UNIX)");
+    std::remove(options.unix_path.c_str());  // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const Status st = Errno("bind(" + options.unix_path + ")");
+      ::close(fd);
+      return st;
+    }
+    server->unix_path_ = options.unix_path;
+    server->listen_fd_ = fd;
+  } else if (options.tcp_port >= 0) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options.tcp_port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const Status st =
+          Errno("bind(127.0.0.1:" + std::to_string(options.tcp_port) + ")");
+      ::close(fd);
+      return st;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      server->port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+    server->listen_fd_ = fd;
+  } else {
+    return Status::InvalidArgument(
+        "server needs a unix path or a tcp port to listen on");
+  }
+
+  if (::listen(server->listen_fd_, 64) < 0) {
+    return Errno("listen");
+  }
+  dispatcher->SetShutdownHook([raw = server.get()] { raw->Shutdown(); });
+  return server;
+}
+
+Server::~Server() {
+  Shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!unix_path_.empty()) std::remove(unix_path_.c_str());
+  // Run() joins the connection threads; if Run() was never entered there
+  // are none (accept happens only inside Run).
+}
+
+void Server::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  // Half-close rather than close: the fd number stays reserved (no reuse
+  // race with a concurrent accept), while accept()/read() unblock.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::Run() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or fatally broken): stop accepting
+    }
+    {
+      MutexLock lock(mu_);
+      if (shutdown_) {
+        ::close(fd);
+        break;
+      }
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      conns_.push_back(conn);
+      threads_.emplace_back([this, conn] { ConnLoop(conn); });
+    }
+  }
+
+  // Unblock every connection read, then join. New conns cannot appear —
+  // the accept loop above is the only creator and it has exited.
+  std::vector<std::thread> to_join;
+  {
+    MutexLock lock(mu_);
+    for (const std::shared_ptr<Conn>& conn : conns_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    to_join.swap(threads_);
+  }
+  for (std::thread& t : to_join) t.join();
+  {
+    MutexLock lock(mu_);
+    for (const std::shared_ptr<Conn>& conn : conns_) {
+      // Late response callbacks (pool jobs still draining) test fd under
+      // write_mu; closing under the same mutex means they either write to
+      // the half-closed socket (harmless EPIPE) or see -1 — never a reused
+      // fd number.
+      MutexLock write_lock(conn->write_mu);
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+    conns_.clear();
+  }
+}
+
+void Server::ConnLoop(const std::shared_ptr<Conn>& conn) {
+  FrameDecoder decoder;
+  for (;;) {
+    std::string payload;
+    const FrameDecoder::Event event = decoder.Next(&payload);
+    if (event == FrameDecoder::Event::kFrame) {
+      // The callback may run on a pool worker after this loop moved on (or
+      // even after it exited); the shared_ptr keeps the Conn alive and the
+      // write mutex keeps frames whole.
+      dispatcher_->Handle(
+          std::move(payload), [conn](std::string response) {
+            MutexLock lock(conn->write_mu);
+            if (conn->fd >= 0) {
+              // Failures (EPIPE after half-close) are deliberate no-ops.
+              const Status ignored = WriteFrameFd(conn->fd, response);
+              (void)ignored;
+            }
+          });
+      continue;
+    }
+    if (event == FrameDecoder::Event::kBad) {
+      // Best-effort diagnostic, then drop the connection: framing has no
+      // resync point.
+      const std::string error =
+          ErrorResponse(std::nullopt, decoder.Error()).Dump();
+      MutexLock lock(conn->write_mu);
+      if (conn->fd >= 0) {
+        const Status ignored = WriteFrameFd(conn->fd, error);
+        (void)ignored;
+      }
+      return;
+    }
+    Result<std::string> chunk = ReadSomeFd(conn->fd, 64 << 10);
+    if (!chunk.ok() || chunk->empty()) return;  // error or EOF
+    decoder.Feed(*chunk);
+  }
+}
+
+}  // namespace lubt

@@ -1,0 +1,95 @@
+// Socket front-end for lubt_server: accept loop + per-connection framing.
+//
+// The server owns the transport and nothing else: it listens on a Unix
+// socket or a loopback TCP port, reads length-prefixed frames off each
+// connection (serve/framing.h), and forwards every payload to the
+// Dispatcher, whose response callback writes the reply frame back under a
+// per-connection write mutex (responses for one connection may be produced
+// concurrently by different sessions' strands; the mutex keeps frames from
+// interleaving mid-write).
+//
+// Connection handling is thread-per-connection with blocking I/O — the
+// simplest model that lets the kernel do the waiting, and the expected
+// client count (EDA tools driving ECO loops) is small. Poisoned framing
+// (oversized length) gets a best-effort error frame, then the connection
+// closes; the stream has no recovery point.
+//
+// Shutdown sequencing (the subtle part):
+//  1. a shutdown request is answered by the dispatcher FIRST, then the
+//     dispatcher's hook calls Server::Shutdown();
+//  2. Shutdown() half-closes the listen socket, unblocking accept();
+//  3. Run() then half-closes every connection, unblocking their reads, and
+//     joins the connection threads;
+//  4. responses still in flight on pool workers write to half-closed
+//     sockets and get EPIPE back as a Status — ignored, never a signal.
+
+#ifndef LUBT_SERVE_SERVER_H_
+#define LUBT_SERVE_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/mutex.h"
+#include "check/thread_annotations.h"
+#include "serve/dispatcher.h"
+#include "util/status.h"
+
+namespace lubt {
+
+struct ServerOptions {
+  /// Unix-domain socket path; takes precedence when non-empty. An existing
+  /// socket file at the path is replaced.
+  std::string unix_path;
+  /// Loopback TCP port; 0 picks an ephemeral port (see Port()). Used only
+  /// when unix_path is empty; -1 disables.
+  int tcp_port = -1;
+};
+
+class Server {
+ public:
+  /// Bind + listen. The dispatcher must outlive the server; its shutdown
+  /// hook is installed here.
+  static Result<std::unique_ptr<Server>> Listen(const ServerOptions& options,
+                                                Dispatcher* dispatcher);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept loop; returns after Shutdown() once every connection thread is
+  /// joined.
+  void Run();
+
+  /// Stop accepting and unblock Run(). Thread-safe, idempotent.
+  void Shutdown();
+
+  /// The bound TCP port (meaningful after Listen with tcp_port >= 0).
+  int Port() const { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    Mutex write_mu;  // serializes response frames on this connection
+  };
+
+  Server() = default;
+
+  void ConnLoop(const std::shared_ptr<Conn>& conn);
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::string unix_path_;  // unlinked on destruction
+  Dispatcher* dispatcher_ = nullptr;
+
+  Mutex mu_;
+  bool shutdown_ LUBT_GUARDED_BY(mu_) = false;
+  std::vector<std::shared_ptr<Conn>> conns_ LUBT_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ LUBT_GUARDED_BY(mu_);
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_SERVE_SERVER_H_

@@ -1,0 +1,126 @@
+// Named EcoSession cache with LRU spill-to-disk (lubt_server's state).
+//
+// The server keeps many logical sessions but bounds what stays resident:
+// an entry budget (max live EcoSessions) and a byte budget (approximate
+// resident footprint). When a budget is exceeded the least-recently-used
+// idle session is checkpointed (serve/checkpoint_codec.h) into the spill
+// directory and destroyed; the next request that touches it transparently
+// restores it — bitwise, per EcoSession::Restore's contract, so a client
+// cannot tell eviction ever happened (tests/serve_test.cpp gates on it).
+//
+// Concurrency model: the cache itself is thread-safe (one internal Mutex),
+// but sessions are not — each entry owns a Strand (runtime/strand.h) and
+// the dispatcher routes every request for a session through that strand, so
+// per-session work is serialized while distinct sessions run concurrently.
+// The busy flag pins an entry against eviction for exactly the span of the
+// strand job that acquired it; only idle sessions are evictable, so a
+// session is never checkpointed mid-solve.
+//
+// Closed sessions leave a strand tombstone behind: requests already queued
+// on the strand when close_session ran still execute (and answer NOT_FOUND)
+// against a live Strand object, and reopening the name reuses it.
+
+#ifndef LUBT_SERVE_SESSION_CACHE_H_
+#define LUBT_SERVE_SESSION_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "check/mutex.h"
+#include "check/thread_annotations.h"
+#include "eco/eco_session.h"
+#include "runtime/strand.h"
+#include "runtime/thread_pool.h"
+
+namespace lubt {
+
+struct SessionCacheOptions {
+  /// Max live EcoSessions; the bench runs with this far below the session
+  /// count to force real evict/restore cycles.
+  int max_resident = 16;
+  /// Approximate resident-byte budget across all live sessions.
+  std::size_t max_resident_bytes = 512u << 20;
+  /// Directory for spill files (one `<name>.ckpt` per evicted session).
+  /// Must exist and be writable.
+  std::string spill_dir;
+  /// Solve options every session is created AND restored with — they must
+  /// match for the bitwise restore contract (eco/checkpoint.h).
+  EcoOptions eco;
+};
+
+struct SessionCacheStats {
+  std::uint64_t evictions = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t eviction_failures = 0;  ///< spill write failed; session kept
+  int resident = 0;   ///< live EcoSessions
+  int spilled = 0;    ///< sessions currently on disk
+  int known = 0;      ///< entries incl. closed tombstones
+};
+
+/// Thread-safe registry of named sessions; see the header comment for the
+/// strand/pinning discipline.
+class SessionCache {
+ public:
+  explicit SessionCache(SessionCacheOptions options, ThreadPool* pool)
+      : opt_(std::move(options)), pool_(pool) {}
+
+  SessionCache(const SessionCache&) = delete;
+  SessionCache& operator=(const SessionCache&) = delete;
+
+  /// The strand serializing all work for `name`; creates the entry on first
+  /// touch. The returned strand lives until the cache is destroyed.
+  Strand* StrandFor(const std::string& name) LUBT_EXCLUDES(mu_);
+
+  /// Install a freshly created session under `name`, replacing any previous
+  /// live/spilled/closed state. Pins it busy; pair with Release(). Must run
+  /// on the entry's strand.
+  void Install(const std::string& name, std::unique_ptr<EcoSession> session)
+      LUBT_EXCLUDES(mu_);
+
+  /// Pin the named session resident — restoring it from its spill file if
+  /// it was evicted — and return it. NotFound for never-opened or closed
+  /// names; Internal for a corrupt spill file. Pair every success with
+  /// Release(). Must run on the entry's strand (which is what makes the
+  /// returned pointer safe to use lock-free until Release).
+  Result<EcoSession*> Acquire(const std::string& name) LUBT_EXCLUDES(mu_);
+
+  /// Unpin, stamp the LRU clock, and enforce the budgets (which may evict
+  /// this or other idle sessions). Must follow a successful Install/Acquire
+  /// on the same strand.
+  void Release(const std::string& name) LUBT_EXCLUDES(mu_);
+
+  /// Destroy the session and its spill file; leaves a reusable strand
+  /// tombstone. NotFound when there is nothing to close. Must run on the
+  /// entry's strand with the session NOT acquired.
+  Status Close(const std::string& name) LUBT_EXCLUDES(mu_);
+
+  SessionCacheStats Stats() LUBT_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    std::unique_ptr<Strand> strand;       // never null once created
+    std::unique_ptr<EcoSession> session;  // null when spilled or closed
+    bool spilled = false;                 // spill file holds the state
+    bool busy = false;                    // pinned by an in-flight request
+    std::uint64_t touch = 0;              // logical LRU clock stamp
+    std::size_t bytes = 0;                // footprint estimate while live
+  };
+
+  std::string SpillPath(const std::string& name) const;
+  void EnforceBudgetLocked() LUBT_REQUIRES(mu_);
+
+  const SessionCacheOptions opt_;
+  ThreadPool* pool_;
+  Mutex mu_;
+  std::map<std::string, Entry> entries_ LUBT_GUARDED_BY(mu_);
+  std::uint64_t clock_ LUBT_GUARDED_BY(mu_) = 0;
+  std::size_t resident_bytes_ LUBT_GUARDED_BY(mu_) = 0;
+  int resident_ LUBT_GUARDED_BY(mu_) = 0;
+  SessionCacheStats stats_ LUBT_GUARDED_BY(mu_);
+};
+
+}  // namespace lubt
+
+#endif  // LUBT_SERVE_SESSION_CACHE_H_

@@ -26,6 +26,7 @@ enum class StatusCode {
   kNumericalFailure,  ///< Solver failed to converge / lost precision.
   kNotFound,          ///< Missing file or entity.
   kInternal,          ///< Invariant violation that was caught gracefully.
+  kUnavailable,       ///< Transient: server overloaded or shutting down.
 };
 
 /// Human-readable name of a status code ("OK", "INFEASIBLE", ...).
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

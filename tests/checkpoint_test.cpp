@@ -1,0 +1,393 @@
+// EcoSession checkpoint/restore: the restored-session ≡ never-evicted
+// contract, bit for bit.
+//
+// The headline oracle runs two sessions through an identical randomized
+// edit stream; one of them is checkpointed, pushed through the text codec,
+// and restored from scratch after EVERY edit. All solved state — costs,
+// delays, edge lengths, the serialized tree — must stay bitwise identical
+// between the twins for the session cache's transparent eviction to be
+// sound (a client must not be able to tell whether its session was ever
+// spilled). The corrupt-input matrix pins the other half of the contract:
+// a damaged spill file is an error Status, never an abort or a partially
+// constructed session.
+
+#include "eco/checkpoint.h"
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cts/metrics.h"
+#include "eco/eco_session.h"
+#include "geom/bbox.h"
+#include "io/benchmarks.h"
+#include "io/tree_io.h"
+#include "serve/checkpoint_codec.h"
+#include "topo/nn_merge.h"
+#include "util/rng.h"
+
+namespace lubt {
+namespace {
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// Bitwise double equality — tolerances would mask exactly the drift this
+// suite exists to rule out.
+::testing::AssertionResult SameBits(double a, double b) {
+  if (Bits(a) == Bits(b)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " (bits " << Bits(a) << " vs " << Bits(b)
+         << ")";
+}
+
+std::unique_ptr<EcoSession> MakeSession(int sinks, std::uint64_t seed,
+                                        double lo_f = 0.9,
+                                        double hi_f = 1.25) {
+  const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+  SinkSet set = RandomSinkSet(sinks, die, seed, /*with_source=*/true);
+  const double radius = Radius(set.sinks, set.source);
+  Topology topo = NnMergeTopology(set.sinks, set.source);
+  std::vector<DelayBounds> bounds(set.sinks.size(),
+                                  DelayBounds{lo_f * radius, hi_f * radius});
+  auto created =
+      EcoSession::Create(std::move(set), std::move(bounds), std::move(topo));
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return created.ok() ? std::move(*created) : nullptr;
+}
+
+// A deterministic mixed edit stream in the eco oracle's regime: moves and
+// window edits, plus one add and one remove, plus an infeasibility dip
+// (a window no wire length can satisfy) followed by recovery — so the
+// parked needs_rebuild state goes through the codec mid-stream too.
+std::vector<EcoEdit> OracleStream(const EcoSession& session,
+                                  std::uint64_t seed, int edits) {
+  const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+  const double radius = session.InitialRadius();
+  Rng rng(seed * 0xc0ffee123ULL + 5);
+  std::vector<EcoEdit> stream;
+  for (int k = 0; k < edits; ++k) {
+    EcoEdit edit;
+    switch (k % 6) {
+      case 0:
+      case 3: {
+        edit.kind = EcoEditKind::kMoveSink;
+        edit.sink = rng.UniformInt(0, session.NumSinks() - 1);
+        edit.point = {rng.Uniform(die.Lo().x, die.Hi().x),
+                      rng.Uniform(die.Lo().y, die.Hi().y)};
+        break;
+      }
+      case 1: {
+        edit.kind = EcoEditKind::kSetBounds;
+        edit.sink = rng.UniformInt(0, session.NumSinks() - 1);
+        edit.lo = rng.Uniform(0.85, 0.95) * radius;
+        edit.hi = rng.Uniform(1.2, 1.35) * radius;
+        break;
+      }
+      case 2: {
+        // Infeasible dip: a window far below any source-sink distance
+        // parks the session (needs_rebuild); the next window edit in the
+        // stream recovers it through the cold-rebuild tier.
+        edit.kind = EcoEditKind::kSetBounds;
+        edit.sink = rng.UniformInt(0, session.NumSinks() - 1);
+        edit.lo = 0.01 * radius;
+        edit.hi = 0.02 * radius;
+        break;
+      }
+      case 4: {
+        edit.kind = EcoEditKind::kAddSink;
+        edit.point = {rng.Uniform(die.Lo().x, die.Hi().x),
+                      rng.Uniform(die.Lo().y, die.Hi().y)};
+        edit.lo = 0.9 * radius;
+        edit.hi = 1.35 * radius;
+        break;
+      }
+      default: {
+        edit.kind = EcoEditKind::kRemoveSink;
+        edit.sink = rng.UniformInt(0, session.NumSinks() - 1);
+        break;
+      }
+    }
+    stream.push_back(edit);
+  }
+  return stream;
+}
+
+void ExpectTwinState(const EcoSession& a, const EcoSession& b) {
+  ASSERT_EQ(a.NumSinks(), b.NumSinks());
+  EXPECT_EQ(a.Feasible(), b.Feasible());
+  EXPECT_EQ(a.Last().status.code(), b.Last().status.code());
+  EXPECT_EQ(a.Last().tier, b.Last().tier);
+  EXPECT_TRUE(SameBits(a.Last().cost, b.Last().cost));
+  EXPECT_TRUE(SameBits(a.Last().stats.min_delay, b.Last().stats.min_delay));
+  EXPECT_TRUE(SameBits(a.Last().stats.max_delay, b.Last().stats.max_delay));
+  EXPECT_EQ(a.Last().lp_rows, b.Last().lp_rows);
+  EXPECT_EQ(a.Last().lp_iterations, b.Last().lp_iterations);
+  EXPECT_EQ(a.NumLpRows(), b.NumLpRows());
+  ASSERT_EQ(a.EdgeLengths().size(), b.EdgeLengths().size());
+  for (std::size_t i = 0; i < a.EdgeLengths().size(); ++i) {
+    EXPECT_TRUE(SameBits(a.EdgeLengths()[i], b.EdgeLengths()[i]))
+        << "edge " << i;
+  }
+  if (a.Feasible() && b.Feasible()) {
+    EXPECT_EQ(FormatTreeSolution(a.Solution()),
+              FormatTreeSolution(b.Solution()));
+  }
+}
+
+// Checkpoint -> encode -> decode -> Restore, replacing the session.
+std::unique_ptr<EcoSession> CycleThroughCodec(const EcoSession& session) {
+  const std::string text = EncodeCheckpoint(session.Checkpoint());
+  Result<EcoCheckpoint> decoded = DecodeCheckpoint(text);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  if (!decoded.ok()) return nullptr;
+  auto restored = EcoSession::Restore(std::move(*decoded));
+  EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+  return restored.ok() ? std::move(*restored) : nullptr;
+}
+
+// ---------------------------------------------------------------------- //
+// The bitwise twin oracle
+
+TEST(CheckpointOracle, RestoredTwinStaysBitwiseIdentical) {
+  for (const std::uint64_t seed : {3u, 11u, 29u}) {
+    auto live = MakeSession(18, seed);
+    auto cycled = MakeSession(18, seed);
+    ASSERT_NE(live, nullptr);
+    ASSERT_NE(cycled, nullptr);
+    ExpectTwinState(*live, *cycled);
+
+    const std::vector<EcoEdit> stream = OracleStream(*live, seed, 12);
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+      // Evict + restore the twin BEFORE the edit: the edit then exercises
+      // the restored formulation, warm-start vectors, and Steiner pool.
+      cycled = CycleThroughCodec(*cycled);
+      ASSERT_NE(cycled, nullptr) << "seed " << seed << " edit " << k;
+
+      const auto a = live->Apply(stream[k]);
+      const auto b = cycled->Apply(stream[k]);
+      ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed << " edit " << k;
+      if (!a.ok()) continue;  // malformed edit rejected by both: same state
+      SCOPED_TRACE("seed " + std::to_string(seed) + " edit " +
+                   std::to_string(k) + " kind " +
+                   EcoEditKindName(stream[k].kind));
+      ExpectTwinState(*live, *cycled);
+    }
+  }
+}
+
+TEST(CheckpointOracle, ParkedSessionRoundTrips) {
+  auto session = MakeSession(10, 17);
+  ASSERT_NE(session, nullptr);
+  EcoEdit park;
+  park.kind = EcoEditKind::kSetBounds;
+  park.sink = 0;
+  park.lo = 0.01 * session->InitialRadius();
+  park.hi = 0.02 * session->InitialRadius();
+  const auto parked = session->Apply(park);
+  ASSERT_TRUE(parked.ok());
+  EXPECT_FALSE(parked->ok());  // infeasible, reported not errored
+  EXPECT_FALSE(session->Feasible());
+
+  const EcoCheckpoint ck = session->Checkpoint();
+  EXPECT_FALSE(ck.has_model);
+  EXPECT_TRUE(ck.needs_rebuild);
+  EXPECT_FALSE(ck.lp_valid);
+
+  auto restored = CycleThroughCodec(*session);
+  ASSERT_NE(restored, nullptr);
+  ExpectTwinState(*session, *restored);
+
+  // Both twins must recover identically through the cold-rebuild tier.
+  EcoEdit heal = park;
+  heal.lo = 0.9 * session->InitialRadius();
+  heal.hi = 1.3 * session->InitialRadius();
+  const auto a = session->Apply(heal);
+  const auto b = restored->Apply(heal);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->ok());
+  ExpectTwinState(*session, *restored);
+}
+
+// ---------------------------------------------------------------------- //
+// Codec round trip
+
+TEST(CheckpointCodec, RoundTripIsFieldExact) {
+  auto session = MakeSession(14, 41);
+  ASSERT_NE(session, nullptr);
+  // A couple of edits so the pool and duals are non-trivial.
+  for (const EcoEdit& edit : OracleStream(*session, 41, 4)) {
+    ASSERT_TRUE(session->Apply(edit).ok());
+  }
+  const EcoCheckpoint ck = session->Checkpoint();
+  const std::string text = EncodeCheckpoint(ck);
+  Result<EcoCheckpoint> rt = DecodeCheckpoint(text);
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+
+  EXPECT_EQ(rt->set.name, ck.set.name);
+  ASSERT_EQ(rt->set.sinks.size(), ck.set.sinks.size());
+  for (std::size_t i = 0; i < ck.set.sinks.size(); ++i) {
+    EXPECT_TRUE(SameBits(rt->set.sinks[i].x, ck.set.sinks[i].x));
+    EXPECT_TRUE(SameBits(rt->set.sinks[i].y, ck.set.sinks[i].y));
+  }
+  ASSERT_EQ(rt->set.source.has_value(), ck.set.source.has_value());
+  ASSERT_EQ(rt->bounds.size(), ck.bounds.size());
+  for (std::size_t i = 0; i < ck.bounds.size(); ++i) {
+    EXPECT_TRUE(SameBits(rt->bounds[i].lo, ck.bounds[i].lo));
+    EXPECT_TRUE(SameBits(rt->bounds[i].hi, ck.bounds[i].hi));
+  }
+  EXPECT_EQ(rt->topo.NumNodes(), ck.topo.NumNodes());
+  EXPECT_EQ(rt->topo.Root(), ck.topo.Root());
+  EXPECT_TRUE(SameBits(rt->initial_radius, ck.initial_radius));
+  EXPECT_EQ(rt->has_model, ck.has_model);
+  EXPECT_TRUE(SameBits(rt->scale, ck.scale));
+  EXPECT_EQ(rt->pool, ck.pool);
+  EXPECT_EQ(rt->lp_valid, ck.lp_valid);
+  EXPECT_EQ(rt->needs_rebuild, ck.needs_rebuild);
+  ASSERT_EQ(rt->lp_x.size(), ck.lp_x.size());
+  for (std::size_t i = 0; i < ck.lp_x.size(); ++i) {
+    EXPECT_TRUE(SameBits(rt->lp_x[i], ck.lp_x[i]));
+  }
+  ASSERT_EQ(rt->lp_dual.size(), ck.lp_dual.size());
+  for (std::size_t i = 0; i < ck.lp_dual.size(); ++i) {
+    EXPECT_TRUE(SameBits(rt->lp_dual[i], ck.lp_dual[i]));
+  }
+  ASSERT_EQ(rt->edge_len.size(), ck.edge_len.size());
+  for (std::size_t i = 0; i < ck.edge_len.size(); ++i) {
+    EXPECT_TRUE(SameBits(rt->edge_len[i], ck.edge_len[i]));
+  }
+  EXPECT_EQ(rt->last.status.code(), ck.last.status.code());
+  EXPECT_EQ(rt->last.tier, ck.last.tier);
+  EXPECT_TRUE(SameBits(rt->last.cost, ck.last.cost));
+  EXPECT_TRUE(SameBits(rt->last.stats.min_delay, ck.last.stats.min_delay));
+  EXPECT_TRUE(SameBits(rt->last.stats.max_delay, ck.last.stats.max_delay));
+  EXPECT_EQ(rt->last.lp_rows, ck.last.lp_rows);
+  EXPECT_EQ(rt->last.lp_iterations, ck.last.lp_iterations);
+  EXPECT_EQ(rt->last.warm_started, ck.last.warm_started);
+}
+
+TEST(CheckpointCodec, InfUpperBoundsSurvive) {
+  auto session = MakeSession(8, 5, 0.9, 1.3);
+  ASSERT_NE(session, nullptr);
+  EcoEdit unbound;
+  unbound.kind = EcoEditKind::kSetBounds;
+  unbound.sink = 2;
+  unbound.lo = 0.9 * session->InitialRadius();
+  unbound.hi = kLpInf;
+  ASSERT_TRUE(session->Apply(unbound).ok());
+  const EcoCheckpoint ck = session->Checkpoint();
+  Result<EcoCheckpoint> rt = DecodeCheckpoint(EncodeCheckpoint(ck));
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_EQ(rt->bounds[2].hi, kLpInf);
+  auto restored = EcoSession::Restore(std::move(*rt));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectTwinState(*session, **restored);
+}
+
+TEST(CheckpointCodec, ApproxBytesGrowsWithInstance) {
+  auto small = MakeSession(8, 2);
+  auto large = MakeSession(40, 2);
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(large, nullptr);
+  EXPECT_LT(ApproxSessionBytes(small->Checkpoint()),
+            ApproxSessionBytes(large->Checkpoint()));
+}
+
+// ---------------------------------------------------------------------- //
+// Corrupt-input matrix: every damaged spill yields an error, never a crash
+// or a half-built session.
+
+std::string ReplaceFirst(std::string text, const std::string& needle,
+                         const std::string& with) {
+  const std::size_t at = text.find(needle);
+  EXPECT_NE(at, std::string::npos) << needle;
+  if (at != std::string::npos) text.replace(at, needle.size(), with);
+  return text;
+}
+
+TEST(CheckpointCorrupt, DecoderRejectsStructuralDamage) {
+  auto session = MakeSession(9, 23);
+  ASSERT_NE(session, nullptr);
+  const std::string good = EncodeCheckpoint(session->Checkpoint());
+  ASSERT_TRUE(DecodeCheckpoint(good).ok());
+
+  const std::vector<std::pair<std::string, std::string>> damaged = {
+      {"empty input", ""},
+      {"bad magic", ReplaceFirst(good, "lubt-checkpoint v1", "lubt-tree v1")},
+      {"truncated", good.substr(0, good.size() / 2)},
+      {"missing end", ReplaceFirst(good, "end", "")},
+      {"garbage tag", ReplaceFirst(good, "radius", "radiant")},
+      {"negative count", ReplaceFirst(good, "sinks 9", "sinks -4")},
+      {"absurd count", ReplaceFirst(good, "sinks 9", "sinks 99999999")},
+      {"bad hex double", ReplaceFirst(good, "v 0x", "v zz")},
+      {"garbage trailer", good + "surprise\n"},
+  };
+  for (const auto& [label, text] : damaged) {
+    const Result<EcoCheckpoint> decoded = DecodeCheckpoint(text);
+    EXPECT_FALSE(decoded.ok()) << label;
+  }
+}
+
+TEST(CheckpointCorrupt, RestoreRejectsSemanticDamage) {
+  auto session = MakeSession(9, 23);
+  ASSERT_NE(session, nullptr);
+
+  {
+    EcoCheckpoint ck = session->Checkpoint();
+    ck.bounds.pop_back();  // bounds arity != sinks
+    EXPECT_FALSE(EcoSession::Restore(std::move(ck)).ok());
+  }
+  {
+    EcoCheckpoint ck = session->Checkpoint();
+    ck.needs_rebuild = true;  // contradicts a live model
+    EXPECT_FALSE(EcoSession::Restore(std::move(ck)).ok());
+  }
+  {
+    EcoCheckpoint ck = session->Checkpoint();
+    ck.initial_radius = -2.0;
+    EXPECT_FALSE(EcoSession::Restore(std::move(ck)).ok());
+  }
+  {
+    EcoCheckpoint ck = session->Checkpoint();
+    ck.pool.push_back({0, 999});  // pair out of sink range
+    EXPECT_FALSE(EcoSession::Restore(std::move(ck)).ok());
+  }
+  {
+    EcoCheckpoint ck = session->Checkpoint();
+    if (!ck.lp_x.empty()) {
+      ck.lp_x.pop_back();  // primal arity != model columns
+      EXPECT_FALSE(EcoSession::Restore(std::move(ck)).ok());
+    }
+  }
+  {
+    EcoCheckpoint ck = session->Checkpoint();
+    ck.edge_len.push_back(1.0);  // edge arity != node count
+    EXPECT_FALSE(EcoSession::Restore(std::move(ck)).ok());
+  }
+  {
+    // Topology whose leaf count disagrees with the sink set.
+    EcoCheckpoint ck = session->Checkpoint();
+    ck.set.sinks.pop_back();
+    ck.bounds.pop_back();
+    EXPECT_FALSE(EcoSession::Restore(std::move(ck)).ok());
+  }
+}
+
+TEST(CheckpointCorrupt, StoreLoadRoundTripAndMissingFile) {
+  auto session = MakeSession(7, 31);
+  ASSERT_NE(session, nullptr);
+  const EcoCheckpoint ck = session->Checkpoint();
+  const std::string path = "checkpoint_test_spill.ckpt";
+  ASSERT_TRUE(StoreCheckpoint(ck, path).ok());
+  Result<EcoCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(EncodeCheckpoint(*loaded), EncodeCheckpoint(ck));
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadCheckpoint(path).ok());
+}
+
+}  // namespace
+}  // namespace lubt

@@ -34,9 +34,9 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
 // ---------------------------------------------------------------------- //
 // Registry
 
-TEST(LintRegistry, EightRulesWithUniqueKebabNames) {
+TEST(LintRegistry, NineRulesWithUniqueKebabNames) {
   const std::vector<Rule>& rules = Rules();
-  EXPECT_EQ(rules.size(), 8u);
+  EXPECT_EQ(rules.size(), 9u);
   std::vector<std::string> names;
   for (const Rule& rule : rules) {
     ASSERT_NE(rule.name, nullptr);
@@ -358,6 +358,47 @@ TEST(BareMutex, CheckDirectoryExemptAndNonStdClean) {
 
   const auto own = Lint("src/runtime/x.cpp", "lubt::Mutex mu;\n");
   EXPECT_EQ(CountRule(own, "bare-mutex"), 0);
+}
+
+// ---------------------------------------------------------------------- //
+// serve-raw-io
+
+TEST(ServeRawIo, FlagsRawSyscallsUnderServe) {
+  const auto findings =
+      Lint("src/serve/server.cpp",
+           "void F(int fd) {\n"
+           "  char buf[16];\n"
+           "  read(fd, buf, sizeof(buf));\n"
+           "  ::send(fd, buf, sizeof(buf), 0);\n"
+           "  write(fd, buf, sizeof(buf));\n"
+           "}\n");
+  EXPECT_EQ(CountRule(findings, "serve-raw-io"), 3);
+}
+
+TEST(ServeRawIo, OtherDirectoriesAndMemberCallsClean) {
+  // The rule is scoped to src/serve/ — raw I/O elsewhere is someone else's
+  // contract (bench clients talk to sockets directly, by design).
+  const auto elsewhere =
+      Lint("bench/serve_load.cpp", "void F(int fd) { read(fd, 0, 0); }\n");
+  EXPECT_EQ(CountRule(elsewhere, "serve-raw-io"), 0);
+
+  // Member function spellings are not syscalls.
+  const auto member =
+      Lint("src/serve/x.cpp",
+           "void F(std::istream& in) { in.read(buf, 4); s->write(buf, 4); }\n");
+  EXPECT_EQ(CountRule(member, "serve-raw-io"), 0);
+}
+
+TEST(ServeRawIo, FramingWaiverPattern) {
+  // The idiom framing.cpp uses: an explicit allow on the line above each
+  // raw call. The rule must honour it (that file owns the retry loops).
+  const auto findings =
+      Lint("src/serve/framing.cpp",
+           "void F(int fd) {\n"
+           "  // lubt-lint: allow(serve-raw-io)\n"
+           "  ::send(fd, \"x\", 1, 0);\n"
+           "}\n");
+  EXPECT_EQ(CountRule(findings, "serve-raw-io"), 0);
 }
 
 // ---------------------------------------------------------------------- //

@@ -69,7 +69,7 @@ for preset in "${presets[@]}"; do
   # tool drivers — everything that actually multithreads.
   ctest_args=()
   if [[ "$preset" == "tsan" ]]; then
-    ctest_args=(-R "runtime|Batch|Determinism|self_check|lubt_batch|Eco")
+    ctest_args=(-R "runtime|Batch|Determinism|self_check|lubt_batch|Eco|Serve")
   fi
   if ! ctest --preset "$preset" "${ctest_args[@]}" \
        > "/tmp/lubt-check-$preset-test.log" 2>&1; then
@@ -118,8 +118,12 @@ for preset in "${presets[@]}"; do
     fi
   fi
 
+  # serve_load --smoke drives a real unix-socket server with concurrent
+  # clients and a cache budget below the session count, gating on every
+  # response succeeding AND on the stats showing actual evict/restore
+  # cycles — the server stack's end-to-end smoke.
   if [[ "$preset" == "default" || "$preset" == "asan" || "$preset" == "ubsan" ]]; then
-    for smoke in lp_scaling separation_scaling eco_scaling; do
+    for smoke in lp_scaling separation_scaling eco_scaling serve_load; do
       echo "==== [$preset] $smoke --smoke ===="
       if ! "./build-$preset/bench/$smoke" --smoke \
            > "/tmp/lubt-check-$preset-$smoke-smoke.log" 2>&1; then

@@ -1,0 +1,161 @@
+// lubt_server: long-lived LUBT solver service (DESIGN.md §15).
+//
+// Serves the serve/protocol.h JSON protocol over length-prefixed frames on
+// a Unix or loopback TCP socket, keeping named EcoSessions alive across
+// requests so an ECO loop pays the cold solve once and every subsequent
+// edit hits the incremental engine. Sessions beyond the cache budget are
+// transparently checkpointed to the spill directory and restored bitwise
+// on next touch.
+//
+//   lubt_server --socket /tmp/lubt.sock --spill-dir /tmp/lubt-spill
+//   lubt_server --port 0 --spill-dir /tmp/lubt-spill     (prints the port)
+//
+// Loopback mode (no sockets): --once reads one JSON request per line from
+// --input (or stdin), answers on stdout in order, and exits at EOF or
+// after a shutdown request — the golden-test and scripting entry point:
+//
+//   lubt_server --once --deterministic --spill-dir /tmp/s
+//       --input examples/serve_demo.jsonl
+//
+// --deterministic zeroes wall-clock response fields so byte-identical runs
+// produce byte-identical transcripts.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+
+#include "serve/dispatcher.h"
+#include "serve/server.h"
+#include "util/args.h"
+
+using namespace lubt;
+
+namespace {
+
+int Usage() {
+  std::printf(
+      "lubt_server: persistent LUBT/ECO solver service\n"
+      "  --socket PATH      listen on a unix-domain socket\n"
+      "  --port N           listen on 127.0.0.1:N (0 = ephemeral, printed)\n"
+      "  --once             serve line-delimited requests from --input or\n"
+      "                     stdin, then exit (no sockets)\n"
+      "  --input FILE       request source for --once (default stdin)\n"
+      "  --spill-dir PATH   checkpoint directory for evicted sessions\n"
+      "                     (default lubt_server_spill; created if absent)\n"
+      "  --max-resident N   session cache entry budget (default 16)\n"
+      "  --max-bytes MB     session cache memory budget (default 512)\n"
+      "  --max-pending N    reject when N requests are queued (default 256)\n"
+      "  --jobs N           worker threads (default: hardware threads)\n"
+      "  --deterministic    zero wall-clock fields in responses\n");
+  return 0;
+}
+
+// The spill directory must exist before the first eviction; creating it at
+// startup turns a mid-run surprise into an immediate startup error.
+bool EnsureDir(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0) return S_ISDIR(st.st_mode);
+  return ::mkdir(path.c_str(), 0700) == 0;
+}
+
+int RunOnce(Dispatcher& dispatcher, std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blank and '#'-comment lines so demo transcripts can annotate
+    // themselves (JSON itself has no comments).
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::printf("%s\n", dispatcher.HandleSync(line).c_str());
+    std::fflush(stdout);
+    if (dispatcher.ShutdownRequested()) break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(
+      argc, argv,
+      {"socket", "port", "once", "input", "spill-dir", "max-resident",
+       "max-bytes", "max-pending", "jobs", "deterministic", "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  if (parsed->Has("help")) return Usage();
+
+  const Result<int> max_resident = parsed->GetIntFlag("max-resident", 16, 1);
+  const Result<int> max_bytes_mb = parsed->GetIntFlag("max-bytes", 512, 1);
+  const Result<int> max_pending = parsed->GetIntFlag("max-pending", 256, 0);
+  const Result<int> port = parsed->GetIntFlag("port", -1, -1, 65535);
+  const Result<int> jobs = parsed->GetJobsFlag(0);
+  if (!max_resident.ok() || !max_bytes_mb.ok() || !max_pending.ok() ||
+      !port.ok() || !jobs.ok()) {
+    const Status& bad = !max_resident.ok()   ? max_resident.status()
+                        : !max_bytes_mb.ok() ? max_bytes_mb.status()
+                        : !max_pending.ok()  ? max_pending.status()
+                        : !port.ok()         ? port.status()
+                                             : jobs.status();
+    std::fprintf(stderr, "%s\n", bad.ToString().c_str());
+    return 2;
+  }
+
+  DispatcherOptions options;
+  options.jobs = *jobs;
+  options.max_pending = *max_pending;
+  options.deterministic = parsed->GetBool("deterministic", false);
+  options.cache.max_resident = *max_resident;
+  options.cache.max_resident_bytes =
+      static_cast<std::size_t>(*max_bytes_mb) << 20;
+  options.cache.spill_dir =
+      parsed->GetString("spill-dir", "lubt_server_spill");
+  if (!EnsureDir(options.cache.spill_dir)) {
+    std::fprintf(stderr, "lubt_server: cannot create spill dir '%s'\n",
+                 options.cache.spill_dir.c_str());
+    return 2;
+  }
+  Dispatcher dispatcher(options);
+
+  if (parsed->GetBool("once", false)) {
+    const std::string input = parsed->GetString("input", "");
+    if (input.empty()) return RunOnce(dispatcher, std::cin);
+    std::ifstream file(input);
+    if (!file) {
+      std::fprintf(stderr, "lubt_server: cannot read --input '%s'\n",
+                   input.c_str());
+      return 2;
+    }
+    return RunOnce(dispatcher, file);
+  }
+
+  ServerOptions server_options;
+  server_options.unix_path = parsed->GetString("socket", "");
+  server_options.tcp_port = *port;
+  if (server_options.unix_path.empty() && server_options.tcp_port < 0) {
+    std::fprintf(stderr,
+                 "lubt_server: need --socket, --port, or --once "
+                 "(--help for usage)\n");
+    return 2;
+  }
+  Result<std::unique_ptr<Server>> server =
+      Server::Listen(server_options, &dispatcher);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  if (!server_options.unix_path.empty()) {
+    std::printf("lubt_server: listening on %s\n",
+                server_options.unix_path.c_str());
+  } else {
+    std::printf("lubt_server: listening on 127.0.0.1:%d\n",
+                (*server)->Port());
+  }
+  std::fflush(stdout);
+  (*server)->Run();
+  std::printf("lubt_server: shut down\n");
+  return 0;
+}
