@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cts/bounded_skew_dme.h"
@@ -171,11 +172,15 @@ inline std::vector<RowResult> ComputeRows(
 }
 
 /// Open a BENCH_*.json file and emit the uniform header every scaling bench
-/// shares — {"bench": NAME, "mode": MODE, ...} — so downstream tooling can
-/// parse lp_scaling / separation_scaling / eco_scaling output without
-/// per-bench sniffing. MODE is "full" or "smoke". Returns nullptr (with a
-/// diagnostic) when the path is empty or unwritable; the caller writes the
-/// remaining keys, closes the object, and fclose()s.
+/// shares — {"bench": NAME, "mode": MODE, "hw_threads": N, "build": B, ...}
+/// — so downstream tooling can parse lp_scaling / separation_scaling /
+/// eco_scaling output without per-bench sniffing. MODE is "full" or
+/// "smoke"; hw_threads and the build flavor make timings comparable across
+/// machines and presets (a 1-core container cannot honour multi-thread
+/// speedup gates, and a sanitizer build's numbers are not timings at all).
+/// Returns nullptr (with a diagnostic) when the path is empty or
+/// unwritable; the caller writes the remaining keys, closes the object,
+/// and fclose()s.
 inline std::FILE* OpenBenchJson(const std::string& path,
                                 const std::string& bench,
                                 const std::string& mode) {
@@ -185,8 +190,14 @@ inline std::FILE* OpenBenchJson(const std::string& path,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return nullptr;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n",
-               bench.c_str(), mode.c_str());
+#ifndef LUBT_BENCH_BUILD
+#define LUBT_BENCH_BUILD "unknown"
+#endif
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n"
+               "  \"hw_threads\": %u,\n  \"build\": \"%s\",\n",
+               bench.c_str(), mode.c_str(),
+               std::thread::hardware_concurrency(), LUBT_BENCH_BUILD);
   return f;
 }
 

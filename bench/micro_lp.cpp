@@ -3,9 +3,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "cts/metrics.h"
+#include "ebf/formulation.h"
 #include "ebf/solver.h"
 #include "io/benchmarks.h"
+#include "lp/sparse_chol.h"
 #include "topo/nn_merge.h"
 
 namespace lubt {
@@ -73,6 +77,38 @@ void BM_Separation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Separation)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// Numeric refactorization kernel in isolation (assembly + Cholesky on the
+// cached symbolic analysis), supernodal vs simplicial on the same EBF
+// normal-equations pattern. This is the per-Newton-iteration inner loop the
+// 16k-sink envelope hinges on.
+void BM_SparseFactor(benchmark::State& state) {
+  const int sinks = static_cast<int>(state.range(0));
+  const IpmFactorMode mode = state.range(1) == 0 ? IpmFactorMode::kSupernodal
+                                                 : IpmFactorMode::kSimplicial;
+  const SinkSet set =
+      RandomSinkSet(sinks, BBox({0, 0}, {1000, 1000}), 19, true);
+  const Topology topo = NnMergeTopology(set.sinks, set.source);
+  std::vector<DelayBounds> storage;
+  const EbfProblem prob = MakeProblem(set, topo, storage);
+  auto built = EbfFormulation::Build(prob, SteinerRowPolicy::kSeed);
+  LUBT_ASSERT(built.ok());
+  const CompiledLpModel& a = built->Model().Compiled();
+  SparseNormalFactor factor;
+  factor.Analyze(a);
+  factor.SetMode(mode, 1);
+  const std::vector<double> row_weight(
+      static_cast<std::size_t>(a.num_rows), 1.0);
+  const std::vector<double> diag(static_cast<std::size_t>(a.num_cols), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factor.Factor(a, row_weight, diag));
+  }
+  state.counters["fill_nnz"] = static_cast<double>(factor.FillNnz());
+  state.counters["supernodes"] = static_cast<double>(factor.NumSupernodes());
+}
+BENCHMARK(BM_SparseFactor)
+    ->ArgsProduct({{512, 2048, 8192}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

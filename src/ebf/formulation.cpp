@@ -14,6 +14,8 @@ namespace lubt {
 
 const char* SeparationModeName(SeparationMode mode) {
   switch (mode) {
+    case SeparationMode::kOctantSoa:
+      return "octant-soa";
     case SeparationMode::kOctant:
       return "octant";
     case SeparationMode::kBruteForce:
@@ -187,6 +189,19 @@ Result<EbfFormulation> EbfFormulation::BuildBase(const EbfProblem& problem,
     if (topo.IsSinkNode(v)) {
       f.sink_nodes_[static_cast<std::size_t>(topo.SinkIndex(v))] = v;
     }
+  }
+
+  // Flat post-order topology arrays for the SoA oracle (the topology never
+  // changes under a formulation, so one prefetch serves every round).
+  f.flat_left_.resize(f.post_order_.size());
+  f.flat_right_.resize(f.post_order_.size());
+  f.flat_sink_.resize(f.post_order_.size());
+  for (std::size_t i = 0; i < f.post_order_.size(); ++i) {
+    const NodeId v = f.post_order_[i];
+    const TopoNode& node = topo.Node(v);
+    f.flat_left_[i] = node.left;
+    f.flat_right_[i] = node.right;
+    f.flat_sink_[i] = topo.IsSinkNode(v) ? topo.SinkIndex(v) : -1;
   }
 
   // Delay rows, one ranged row per sink (folding, regularization, and the
@@ -429,14 +444,14 @@ void EbfFormulation::BruteForceViolations(std::span<const double> root_dist,
   }
 }
 
-void EbfFormulation::EnumerateBucket(NodeId bucket,
-                                     std::span<const double> root_dist,
-                                     double tol,
-                                     std::span<const std::uint8_t> dirty,
-                                     std::vector<Violation>* out) const {
+template <typename CrossFn>
+void EbfFormulation::EnumerateBucketImpl(NodeId bucket,
+                                         std::span<const double> root_dist,
+                                         double tol,
+                                         std::span<const std::uint8_t> dirty,
+                                         const CrossFn& cross,
+                                         std::vector<Violation>* out) const {
   const Topology& topo = *problem_->topo;
-  const std::vector<OctantMax>& agg = octant_scratch_;
-  const std::vector<OctantMax>& dagg = octant_dirty_scratch_;
   const bool dirty_only = !dirty.empty();
   const double two_rd = 2.0 * root_dist[static_cast<std::size_t>(bucket)];
   const TopoNode& top = topo.Node(bucket);
@@ -445,7 +460,7 @@ void EbfFormulation::EnumerateBucket(NodeId bucket,
   // of subtrees descends only while some contained sink pair can still beat
   // the tolerance, so pruned branches cost O(1) and each reported pair costs
   // O(depth). The bound is exact at singleton/singleton level; the final
-  // test nevertheless re-runs the brute-force arithmetic so both modes emit
+  // test nevertheless re-runs the brute-force arithmetic so all modes emit
   // bitwise-identical violations. In dirty mode the bound only covers pairs
   // with a dirty endpoint, so clean-x-clean branches prune immediately.
   std::vector<std::pair<NodeId, NodeId>> stack;
@@ -453,15 +468,7 @@ void EbfFormulation::EnumerateBucket(NodeId bucket,
   while (!stack.empty()) {
     const auto [a, b] = stack.back();
     stack.pop_back();
-    const double bound =
-        (dirty_only
-             ? OctantMax::CrossBoundDirty(agg[static_cast<std::size_t>(a)],
-                                          dagg[static_cast<std::size_t>(a)],
-                                          agg[static_cast<std::size_t>(b)],
-                                          dagg[static_cast<std::size_t>(b)])
-             : OctantMax::CrossBound(agg[static_cast<std::size_t>(a)],
-                                     agg[static_cast<std::size_t>(b)])) +
-        two_rd;
+    const double bound = cross(a, b) + two_rd;
     if (!(bound > tol - kScreenSlack)) continue;
     const TopoNode& na = topo.Node(a);
     const TopoNode& nb = topo.Node(b);
@@ -560,8 +567,109 @@ void EbfFormulation::OctantViolations(std::span<const double> root_dist,
   if (outs.size() < buckets.size()) outs.resize(buckets.size());
   ParallelFor(static_cast<int>(buckets.size()), jobs, [&](int i) {
     outs[static_cast<std::size_t>(i)].clear();
-    EnumerateBucket(buckets[static_cast<std::size_t>(i)], root_dist, tol,
-                    dirty, &outs[static_cast<std::size_t>(i)]);
+    std::vector<Violation>* out = &outs[static_cast<std::size_t>(i)];
+    const NodeId bucket = buckets[static_cast<std::size_t>(i)];
+    if (dirty_only) {
+      EnumerateBucketImpl(
+          bucket, root_dist, tol, dirty,
+          [&](NodeId a, NodeId b) {
+            return OctantMax::CrossBoundDirty(
+                agg[static_cast<std::size_t>(a)],
+                dagg[static_cast<std::size_t>(a)],
+                agg[static_cast<std::size_t>(b)],
+                dagg[static_cast<std::size_t>(b)]);
+          },
+          out);
+    } else {
+      EnumerateBucketImpl(
+          bucket, root_dist, tol, dirty,
+          [&](NodeId a, NodeId b) {
+            return OctantMax::CrossBound(agg[static_cast<std::size_t>(a)],
+                                         agg[static_cast<std::size_t>(b)]);
+          },
+          out);
+    }
+  });
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    found->insert(found->end(), outs[i].begin(), outs[i].end());
+  }
+}
+
+void EbfFormulation::OctantViolationsSoa(std::span<const double> root_dist,
+                                         double tol, int jobs,
+                                         std::span<const std::uint8_t> dirty,
+                                         std::vector<Violation>* found) const {
+  const std::size_t n = static_cast<std::size_t>(problem_->topo->NumNodes());
+  const bool dirty_only = !dirty.empty();
+
+  // Same sweep as OctantViolations, but the aggregates live in lane-major
+  // OctantSoa stores and the topology is streamed from the flat post-order
+  // arrays. Every Include/Merge/CrossBound is the identical max chain over
+  // the identical values, so the bucket list, the descent, and the emitted
+  // violations are bitwise equal to the AoS oracle's.
+  OctantSoa& agg = octant_soa_scratch_;
+  OctantSoa& dagg = octant_soa_dirty_scratch_;
+  agg.Assign(n);
+  if (dirty_only) dagg.Assign(n);
+  for (std::size_t i = 0; i < post_order_.size(); ++i) {
+    const std::size_t v = static_cast<std::size_t>(post_order_[i]);
+    const std::int32_t s = flat_sink_[i];
+    if (s >= 0) {
+      const Point& p = problem_->sinks[static_cast<std::size_t>(s)];
+      agg.Include(v, Point{p.x / scale_, p.y / scale_}, -root_dist[v]);
+      if (dirty_only && dirty[static_cast<std::size_t>(s)] != 0) {
+        dagg.CopyFrom(v, agg, v);
+      }
+      continue;
+    }
+    for (const NodeId child : {flat_left_[i], flat_right_[i]}) {
+      if (child == kInvalidNode) continue;
+      agg.Merge(v, static_cast<std::size_t>(child));
+      if (dirty_only) dagg.Merge(v, static_cast<std::size_t>(child));
+    }
+  }
+
+  // O(n) screen over the flat arrays; push order matches the AoS oracle
+  // (post order), so the bucket lists are identical.
+  std::vector<NodeId>& buckets = bucket_scratch_;
+  buckets.clear();
+  for (std::size_t i = 0; i < post_order_.size(); ++i) {
+    const NodeId left = flat_left_[i];
+    const NodeId right = flat_right_[i];
+    if (left == kInvalidNode || right == kInvalidNode) continue;
+    const std::size_t l = static_cast<std::size_t>(left);
+    const std::size_t r = static_cast<std::size_t>(right);
+    const double bound =
+        (dirty_only ? OctantSoa::CrossBoundDirty(agg, dagg, l, r)
+                    : OctantSoa::CrossBound(agg, l, agg, r)) +
+        2.0 * root_dist[static_cast<std::size_t>(post_order_[i])];
+    if (bound > tol - kScreenSlack) buckets.push_back(post_order_[i]);
+  }
+
+  std::vector<std::vector<Violation>>& outs = bucket_out_scratch_;
+  if (outs.size() < buckets.size()) outs.resize(buckets.size());
+  ParallelFor(static_cast<int>(buckets.size()), jobs, [&](int i) {
+    outs[static_cast<std::size_t>(i)].clear();
+    std::vector<Violation>* out = &outs[static_cast<std::size_t>(i)];
+    const NodeId bucket = buckets[static_cast<std::size_t>(i)];
+    if (dirty_only) {
+      EnumerateBucketImpl(
+          bucket, root_dist, tol, dirty,
+          [&](NodeId a, NodeId b) {
+            return OctantSoa::CrossBoundDirty(agg, dagg,
+                                              static_cast<std::size_t>(a),
+                                              static_cast<std::size_t>(b));
+          },
+          out);
+    } else {
+      EnumerateBucketImpl(
+          bucket, root_dist, tol, dirty,
+          [&](NodeId a, NodeId b) {
+            return OctantSoa::CrossBound(agg, static_cast<std::size_t>(a),
+                                         agg, static_cast<std::size_t>(b));
+          },
+          out);
+    }
   });
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     found->insert(found->end(), outs[i].begin(), outs[i].end());
@@ -587,8 +695,10 @@ std::vector<SparseRow> EbfFormulation::SeparateImpl(
   found.clear();
   if (sep.mode == SeparationMode::kBruteForce) {
     BruteForceViolations(root_dist, tol, dirty, &found);
-  } else {
+  } else if (sep.mode == SeparationMode::kOctant) {
     OctantViolations(root_dist, tol, sep.jobs, dirty, &found);
+  } else {
+    OctantViolationsSoa(root_dist, tol, sep.jobs, dirty, &found);
   }
 
   // Keep the strongest max_rows violations: selection in O(V), then order

@@ -78,11 +78,12 @@ enum class SteinerRowPolicy {
   kSeed,     ///< one farthest cross pair per internal node (for lazy solving)
 };
 
-/// How FindViolatedSteinerRows searches for violated pairs. Both modes
+/// How FindViolatedSteinerRows searches for violated pairs. All modes
 /// return the exact same rows in the exact same order (the bench and the
 /// randomized tests gate on bitwise agreement).
 enum class SeparationMode {
-  kOctant,      ///< LCA-bucketed octant screen + branch-and-bound (default)
+  kOctantSoa,   ///< octant screen over lane-major aggregates (default)
+  kOctant,      ///< LCA-bucketed octant screen + branch-and-bound (AoS)
   kBruteForce,  ///< all-pairs scan; O(m^2) cross-check reference
 };
 
@@ -90,9 +91,9 @@ const char* SeparationModeName(SeparationMode mode);
 
 /// Knobs for one separation call.
 struct SeparationOptions {
-  SeparationMode mode = SeparationMode::kOctant;
-  /// Worker threads for bucket enumeration (kOctant only). Results are
-  /// bitwise identical at any worker count.
+  SeparationMode mode = SeparationMode::kOctantSoa;
+  /// Worker threads for bucket enumeration (octant modes only). Results
+  /// are bitwise identical at any worker count.
   int jobs = 1;
 };
 
@@ -208,19 +209,29 @@ class EbfFormulation {
 
   static bool StrongerViolation(const Violation& x, const Violation& y);
 
-  // The two separation search strategies; both append the identical
+  // The separation search strategies; all append the identical
   // violated-pair set (node-id-normalized, unordered) to `found`. An empty
   // `dirty` span means every pair is in scope; otherwise only pairs with a
-  // flagged endpoint are searched.
+  // flagged endpoint are searched. kOctant and kOctantSoa share the exact
+  // same screen/descent arithmetic through EnumerateBucketImpl; they differ
+  // only in the memory layout the aggregates are read from.
   void BruteForceViolations(std::span<const double> root_dist, double tol,
                             std::span<const std::uint8_t> dirty,
                             std::vector<Violation>* found) const;
   void OctantViolations(std::span<const double> root_dist, double tol,
                         int jobs, std::span<const std::uint8_t> dirty,
                         std::vector<Violation>* found) const;
-  void EnumerateBucket(NodeId bucket, std::span<const double> root_dist,
-                       double tol, std::span<const std::uint8_t> dirty,
-                       std::vector<Violation>* out) const;
+  void OctantViolationsSoa(std::span<const double> root_dist, double tol,
+                           int jobs, std::span<const std::uint8_t> dirty,
+                           std::vector<Violation>* found) const;
+  // Branch-and-bound descent under one LCA bucket; `cross` maps a subtree
+  // node pair to the octant cross bound (without the 2*rootdist(bucket)
+  // term). Instantiated once per aggregate layout in formulation.cpp.
+  template <typename CrossFn>
+  void EnumerateBucketImpl(NodeId bucket, std::span<const double> root_dist,
+                           double tol, std::span<const std::uint8_t> dirty,
+                           const CrossFn& cross,
+                           std::vector<Violation>* out) const;
   std::vector<SparseRow> SeparateImpl(
       std::span<const double> x, double tol, int max_rows,
       const SeparationOptions& sep, std::span<const std::uint8_t> dirty,
@@ -234,6 +245,14 @@ class EbfFormulation {
   int num_steiner_rows_ = 0;
   std::vector<NodeId> sink_nodes_;  // by sink index
   std::vector<NodeId> post_order_;  // cached topo.PostOrder()
+  // Flat topology arrays aligned with post_order_ (SoA oracle): children
+  // node ids (kInvalidNode when absent) and sink index (-1 for internal
+  // nodes), prefetched once at Build — a formulation's topology is fixed,
+  // so the aggregate sweep and bucket screen stream these contiguously
+  // instead of chasing TopoNode structs.
+  std::vector<NodeId> flat_left_;
+  std::vector<NodeId> flat_right_;
+  std::vector<std::int32_t> flat_sink_;
   // Defining sink pair of each initial Steiner row, in model row order.
   std::vector<std::array<std::int32_t, 2>> steiner_pairs_;
 
@@ -247,6 +266,8 @@ class EbfFormulation {
   mutable std::vector<Violation> violation_scratch_;
   mutable std::vector<OctantMax> octant_scratch_;       // per node id
   mutable std::vector<OctantMax> octant_dirty_scratch_;  // dirty sinks only
+  mutable OctantSoa octant_soa_scratch_;        // lane-major, per node id
+  mutable OctantSoa octant_soa_dirty_scratch_;  // dirty sinks only
   mutable std::vector<NodeId> bucket_scratch_;          // screened LCAs
   mutable std::vector<std::vector<Violation>> bucket_out_scratch_;
   mutable std::vector<NodeId> path_edges_scratch_;      // row building

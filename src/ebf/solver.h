@@ -30,10 +30,11 @@ struct EbfSolveOptions {
   int max_rows_per_round = 4000;
   /// Separation tolerance in radius-normalized units.
   double separation_tol = 1e-7;
-  /// How the lazy strategy finds violated Steiner rows. kOctant is the
-  /// output-sensitive oracle; kBruteForce keeps the all-pairs scan as a
-  /// cross-check path (identical rows, identical order).
-  SeparationMode separation = SeparationMode::kOctant;
+  /// How the lazy strategy finds violated Steiner rows. kOctantSoa is the
+  /// output-sensitive oracle over lane-major aggregates; kOctant (AoS) and
+  /// kBruteForce are kept as cross-check paths (identical rows, identical
+  /// order).
+  SeparationMode separation = SeparationMode::kOctantSoa;
   /// Worker threads for the octant oracle's bucket enumeration (results are
   /// worker-count invariant; 1 = inline).
   int separation_jobs = 1;

@@ -18,7 +18,9 @@
 #define LUBT_GEOM_OCTANT_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
+#include <vector>
 
 #include "geom/point.h"
 
@@ -87,6 +89,82 @@ struct OctantMax {
                                 const OctantMax& b_dirty) {
     return std::max(CrossBound(a_dirty, b_all), CrossBound(a_all, b_dirty));
   }
+};
+
+/// Key-major (structure-of-arrays) store of OctantMax aggregates: lane k
+/// holds, contiguously, the octant-k maximum of every slot. In diagonal
+/// coordinates the four lanes are the subtree maxima of +u, -v, +v, -u
+/// (each plus the per-point offset), so bulk operations — the Assign reset,
+/// the bottom-up Merge sweep, the bucket screen — become branch-free
+/// min/max reductions over flat double arrays instead of strided walks over
+/// an array of 4-wide structs.
+///
+/// Every operation performs the *identical* std::max chain over the
+/// *identical* Key(k, p) + offset values as the OctantMax it mirrors, so
+/// each bound is bitwise equal to the AoS aggregate's. The SoA separation
+/// backend (SeparationMode::kOctantSoa) rides on that equality: same bounds
+/// => same pruning decisions => byte-identical violated-row output.
+class OctantSoa {
+ public:
+  /// Reset to n empty slots (four contiguous -inf fills).
+  void Assign(std::size_t n) {
+    for (auto& lane : lane_) {
+      lane.assign(n, -std::numeric_limits<double>::infinity());
+    }
+  }
+
+  std::size_t size() const { return lane_[0].size(); }
+
+  /// OctantMax::Include on slot i.
+  void Include(std::size_t i, const Point& p, double offset) {
+    for (int k = 0; k < OctantMax::kOctants; ++k) {
+      double& m = lane_[static_cast<std::size_t>(k)][i];
+      m = std::max(m, OctantMax::Key(k, p) + offset);
+    }
+  }
+
+  /// OctantMax::Merge of slot src into slot dst (lane-wise max).
+  void Merge(std::size_t dst, std::size_t src) {
+    for (auto& lane : lane_) lane[dst] = std::max(lane[dst], lane[src]);
+  }
+
+  /// Copy slot src of `o` into slot dst (seeds the dirty aggregate).
+  void CopyFrom(std::size_t dst, const OctantSoa& o, std::size_t src) {
+    for (int k = 0; k < OctantMax::kOctants; ++k) {
+      lane_[static_cast<std::size_t>(k)][dst] =
+          o.lane_[static_cast<std::size_t>(k)][src];
+    }
+  }
+
+  bool Empty(std::size_t i) const {
+    return lane_[0][i] == -std::numeric_limits<double>::infinity();
+  }
+
+  /// OctantMax::CrossBound with side A drawn from slot a of `a_store` and
+  /// side B from slot b of `b_store` — the same k-ascending max chain over
+  /// the same sums, hence the bitwise-identical bound.
+  static double CrossBound(const OctantSoa& a_store, std::size_t a,
+                           const OctantSoa& b_store, std::size_t b) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (int k = 0; k < OctantMax::kOctants; ++k) {
+      best = std::max(
+          best, a_store.lane_[static_cast<std::size_t>(k)][a] +
+                    b_store.lane_[static_cast<std::size_t>(
+                        OctantMax::Opposite(k))][b]);
+    }
+    return best;
+  }
+
+  /// OctantMax::CrossBoundDirty over two parallel stores (`all` = every
+  /// point, `dirty` = the flagged subset, same slot indexing).
+  static double CrossBoundDirty(const OctantSoa& all, const OctantSoa& dirty,
+                                std::size_t a, std::size_t b) {
+    return std::max(CrossBound(dirty, a, all, b),
+                    CrossBound(all, a, dirty, b));
+  }
+
+ private:
+  std::vector<double> lane_[OctantMax::kOctants];
 };
 
 }  // namespace lubt

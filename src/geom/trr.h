@@ -18,6 +18,7 @@
 #ifndef LUBT_GEOM_TRR_H_
 #define LUBT_GEOM_TRR_H_
 
+#include <algorithm>
 #include <ostream>
 #include <span>
 #include <vector>
@@ -100,6 +101,24 @@ Trr IntersectAll(std::span<const Trr> regions);
 
 /// Minimum L1 distance between two non-empty TRRs (0 when they intersect).
 double TrrDist(const Trr& a, const Trr& b);
+
+/// TrrDist over raw diagonal-interval bounds: a = [au_lo, au_hi] x
+/// [av_lo, av_hi], b likewise, both non-empty. This is the kernel form for
+/// SoA callers that keep TRR bounds in parallel arrays (the kGridSoa cells
+/// of topo/nn_merge.cpp scan four contiguous double lanes with it, which is
+/// what lets the compiler vectorize the candidate loop). The body is
+/// TrrDist's interval arithmetic expanded verbatim — per-axis gap, per-axis
+/// clamp to zero, then the max — so the result is bitwise identical to
+/// TrrDist on the equivalent Trr values.
+inline double TrrDistRaw(double au_lo, double au_hi, double av_lo,
+                         double av_hi, double bu_lo, double bu_hi,
+                         double bv_lo, double bv_hi) {
+  const double gu = std::max(bu_lo - au_hi, au_lo - bu_hi);
+  const double gv = std::max(bv_lo - av_hi, av_lo - bv_hi);
+  const double du = gu > 0.0 ? gu : 0.0;
+  const double dv = gv > 0.0 ? gv : 0.0;
+  return std::max(du, dv);
+}
 
 /// Check Lemma 10.1's hypothesis: do all pairs intersect (with tolerance)?
 bool PairwiseIntersecting(std::span<const Trr> regions, double tol = 0.0);

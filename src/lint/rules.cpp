@@ -447,6 +447,69 @@ void RuleServeRawIo(const FileContext& ctx, std::vector<Finding>* out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// hot-loop-alloc: the steady-state kernels — the numeric refactor path in
+// src/lp/ (FactorAttempt*/ProcessSupernode/Ereach/Solve*) and the geometry
+// distance/aggregate primitives in src/geom/ — run once per Newton step or
+// per candidate pair, and their whole point is that every buffer was
+// preallocated during symbolic analysis / setup. Any `new` or allocating
+// container member call inside one of the listed functions' definitions is
+// a latent per-iteration malloc; a provably cold allocation (first-call
+// lazy init) must carry an explicit `lubt-lint: allow(hot-loop-alloc)`
+// waiver so a grep audits every exception.
+
+void RuleHotLoopAlloc(const FileContext& ctx, std::vector<Finding>* out) {
+  if (ctx.rel.empty() || (ctx.rel[0] != "lp" && ctx.rel[0] != "geom")) return;
+  static const std::set<std::string> kHotFunctions = {
+      "FactorAttempt", "FactorAttemptSupernodal", "ProcessSupernode",
+      "Ereach",        "SolveSimplicial",         "SolveSupernodal",
+      "TrrDist",       "TrrDistRaw",              "IntervalGap",
+      "Include",       "Merge",                   "CopyFrom",
+      "CrossBound",    "CrossBoundDirty"};
+  static const std::set<std::string> kAllocCalls = {
+      "push_back", "emplace_back", "emplace", "resize",
+      "reserve",   "assign",       "insert",  "append"};
+  const Tokens& tokens = ctx.stream->tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!IsIdent(tokens[i]) || kHotFunctions.count(tokens[i].text) == 0 ||
+        !IsText(tokens[i + 1], "(")) {
+      continue;
+    }
+    // Member-call uses (agg.Merge(...)) are not definitions.
+    if (i > 0 && (IsText(tokens[i - 1], ".") || IsText(tokens[i - 1], "->"))) {
+      continue;
+    }
+    const std::size_t close = MatchParen(tokens, i + 1);
+    std::size_t open = close + 1;
+    while (open < tokens.size() &&
+           (IsText(tokens[open], "const") || IsText(tokens[open], "noexcept"))) {
+      ++open;
+    }
+    if (open >= tokens.size() || !IsText(tokens[open], "{")) {
+      continue;  // declaration or call, not a definition
+    }
+    const std::size_t end = MatchBrace(tokens, open);
+    for (std::size_t j = open + 1; j < end; ++j) {
+      if (!IsIdent(tokens[j])) continue;
+      if (tokens[j].text == "new") {
+        Add(out, ctx, "hot-loop-alloc", tokens[j].line,
+            "`new` inside steady-state kernel `" + tokens[i].text +
+                "`; preallocate during Analyze()/setup and reuse scratch");
+        continue;
+      }
+      if (kAllocCalls.count(tokens[j].text) != 0 && j > 0 &&
+          (IsText(tokens[j - 1], ".") || IsText(tokens[j - 1], "->")) &&
+          j + 1 < tokens.size() && IsText(tokens[j + 1], "(")) {
+        Add(out, ctx, "hot-loop-alloc", tokens[j].line,
+            "`." + tokens[j].text + "()` inside steady-state kernel `" +
+                tokens[i].text +
+                "` may allocate per call; preallocate during "
+                "Analyze()/setup (or waive if provably cold)");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& Rules() {
@@ -477,6 +540,9 @@ const std::vector<Rule>& Rules() {
       {"serve-raw-io",
        "src/serve/ uses framing helpers, never raw read/write/send/recv",
        RuleServeRawIo},
+      {"hot-loop-alloc",
+       "src/lp/ + src/geom/ steady-state kernels never touch the heap",
+       RuleHotLoopAlloc},
   };
   return kRules;
 }

@@ -578,6 +578,7 @@ LpSolution SolveWithInteriorPoint(const LpModel& model,
   if (consider_sparse) {
     factor = options.ipm_context != nullptr ? &options.ipm_context->normal
                                             : &local_factor;
+    factor->SetMode(options.factor_mode, options.factor_jobs);
     if (factor->TryExtend(a)) {
       symbolic_reused = true;
       if (options.ipm_context != nullptr) {

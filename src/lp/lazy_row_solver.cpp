@@ -4,6 +4,7 @@
 
 #include "lp/interior_point.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace lubt {
 
@@ -30,6 +31,7 @@ LpSolution SolveWithLazyRows(LpModel& model, const RowOracle& oracle,
     ++local.rounds;
     round_options.warm_start =
         thread_rounds && !warm.x.empty() ? &warm : nullptr;
+    Timer lp_timer;
     solution = SolveLp(model, round_options);
     local.lp_iterations += solution.iterations;
     if (!solution.ok() && round_options.warm_start != nullptr) {
@@ -44,11 +46,14 @@ LpSolution SolveWithLazyRows(LpModel& model, const RowOracle& oracle,
     } else if (solution.warm_started) {
       ++local.warm_rounds;
     }
+    local.lp_seconds += lp_timer.Seconds();
     if (solution.symbolic_reused) ++local.symbolic_reuses;
     local.regularizations += solution.regularizations;
     if (!solution.ok()) break;
 
+    Timer sep_timer;
     std::vector<SparseRow> violated = oracle(solution.x);
+    local.separation_seconds += sep_timer.Seconds();
     LUBT_LOG_DEBUG << "lazy round " << round << ": obj=" << solution.objective
                    << " violated=" << violated.size();
     if (violated.empty()) break;

@@ -33,6 +33,13 @@ struct LazySolveStats {
   int warm_rounds = 0;      ///< rounds started from the previous iterate
   int symbolic_reuses = 0;  ///< rounds that reused the symbolic analysis
   int regularizations = 0;  ///< Cholesky regularization retries, all rounds
+  /// Per-phase wall-time breakdown: seconds spent inside the LP engine vs
+  /// inside the separation oracle, summed over all rounds. The two phases
+  /// account for essentially the whole solve (row appends are O(nnz) copies),
+  /// so bench/lp_scaling reports them side by side to show where each
+  /// instance size spends its time.
+  double lp_seconds = 0.0;
+  double separation_seconds = 0.0;
 };
 
 /// Solve min c'x s.t. all rows of `model` plus all rows the oracle can emit.

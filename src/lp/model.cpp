@@ -168,6 +168,16 @@ const char* LpEngineName(LpEngine engine) {
   return "unknown";
 }
 
+const char* IpmFactorModeName(IpmFactorMode mode) {
+  switch (mode) {
+    case IpmFactorMode::kSupernodal:
+      return "supernodal";
+    case IpmFactorMode::kSimplicial:
+      return "simplicial";
+  }
+  return "unknown";
+}
+
 LpSolution SolveLp(const LpModel& model, const LpSolverOptions& options) {
   Timer timer;
   LpSolution solution;

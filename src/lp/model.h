@@ -152,6 +152,16 @@ enum class IpmNormalEq {
   kSparse,  ///< always the sparse symbolic/numeric Cholesky
 };
 
+/// Which numeric kernel the sparse normal-equations Cholesky runs. Both
+/// kernels share one symbolic analysis and produce the same factor to
+/// floating-point roundoff; the simplicial path stays as the scalar oracle.
+enum class IpmFactorMode {
+  kSupernodal,  ///< blocked panels + subtree-parallel schedule (default)
+  kSimplicial,  ///< single-threaded column-at-a-time reference kernel
+};
+
+const char* IpmFactorModeName(IpmFactorMode mode);
+
 /// Optional starting point for the interior-point engine. The engine shifts
 /// it to a strictly interior point, so any non-negative primal guess is
 /// legal; near-optimal guesses (the previous lazy round's iterate) cut the
@@ -178,6 +188,11 @@ struct LpSolverOptions {
   /// kAuto stays dense when nnz(tril(A'A)) exceeds this fraction of a full
   /// lower triangle (sparse bookkeeping loses to BLAS-free dense loops).
   double sparse_density_threshold = 0.25;
+  /// Sparse path: numeric factorization kernel (see IpmFactorMode).
+  IpmFactorMode factor_mode = IpmFactorMode::kSupernodal;
+  /// Supernodal kernel: worker threads for independent elimination-tree
+  /// subtrees. Results are bitwise identical at any worker count.
+  int factor_jobs = 1;
   /// Interior point: optional warm start (see LpWarmStart).
   const LpWarmStart* warm_start = nullptr;
   /// Interior point: reusable cache holding the symbolic factorization.

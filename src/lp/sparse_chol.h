@@ -23,6 +23,19 @@
 // no new pattern entries (Steiner paths overlap heavily); TryExtend detects
 // that case and keeps the symbolic analysis, which is what makes the
 // symbolic work amortize across lazy rounds.
+//
+// Two numeric kernels share the one symbolic analysis (IpmFactorMode):
+//
+//  - kSimplicial: the original column-at-a-time left-looking kernel, kept
+//    as the scalar oracle;
+//  - kSupernodal (default): columns with chained elimination-tree structure
+//    are amalgamated into supernodes and factored as dense column-major
+//    panels. Descendant contributions are pulled through a static per-target
+//    update schedule whose source/row slices are contiguous panel ranges, so
+//    the rank-k inner loops vectorize; independent elimination-tree subtrees
+//    are packed into deterministic chunks and run on ParallelFor. Because
+//    each target applies its updates in the fixed schedule order, the result
+//    is bitwise identical at any worker count (DESIGN.md section 16).
 
 #ifndef LUBT_LP_SPARSE_CHOL_H_
 #define LUBT_LP_SPARSE_CHOL_H_
@@ -69,6 +82,13 @@ class SparseNormalFactor {
   bool Factor(const CompiledLpModel& a, std::span<const double> row_weight,
               std::span<const double> diag);
 
+  /// Select the numeric kernel and (for the supernodal kernel) the worker
+  /// count. Does not invalidate the symbolic analysis; both kernels run on
+  /// the same cached structures, so a mode switch between Factor calls is
+  /// free. `jobs` is clamped to at least 1.
+  void SetMode(IpmFactorMode mode, int jobs);
+  IpmFactorMode mode() const { return mode_; }
+
   /// Diagonal-regularization retries spent by the last Factor call.
   int attempts() const { return attempts_; }
 
@@ -87,6 +107,14 @@ class SparseNormalFactor {
   std::int64_t FillNnz() const {
     return analyzed() && !l_ptr_.empty() ? l_ptr_.back() : 0;
   }
+  /// Supernode count of the cached partition (0 before Analyze).
+  int NumSupernodes() const {
+    return sn_start_.empty() ? 0 : static_cast<int>(sn_start_.size()) - 1;
+  }
+  /// Stored panel entries (supernodal layout), padding included.
+  std::int64_t PanelNnz() const {
+    return sn_panel_ptr_.empty() ? 0 : sn_panel_ptr_.back();
+  }
 
  private:
   // Append scatter positions for rows [first_row, a.num_rows). Returns false
@@ -94,10 +122,26 @@ class SparseNormalFactor {
   bool AppendScatter(const CompiledLpModel& a, int first_row);
   // Position of (r, c) with r <= c in the permuted upper CSC pattern, or -1.
   std::int64_t FindEntry(std::int32_t r, std::int32_t c) const;
+  // Upper-triangular pattern of P M P' for the current perm_/inv_perm_.
+  void BuildPattern(const CompiledLpModel& a);
+  void ComputeEtree();
+  // Deterministic postorder of etree_ (children ascending).
+  std::vector<std::int32_t> EtreePostOrder() const;
   void BuildSymbolic();
   bool FactorAttempt(double reg);
   // Pattern of row k of L into stack_[return .. n); uses stamp_ marks.
   int Ereach(int k);
+
+  // Supernodal machinery (all structures built once per Analyze and cached;
+  // see the header comment and DESIGN.md section 16).
+  void BuildSupernodes(const std::vector<std::int64_t>& count);
+  void BuildSchedule();
+  bool FactorAttemptSupernodal(double reg);
+  // Pull scheduled updates into supernode s's panel and factor it. relmap
+  // and cbuf are per-chunk scratch (relmap size n_, cbuf max panel rows).
+  bool ProcessSupernode(int s, std::int32_t* relmap, double* cbuf);
+  void SolveSimplicial(std::span<double> b) const;
+  void SolveSupernodal(std::span<double> b) const;
 
   int n_ = 0;
   int analyzed_rows_ = 0;
@@ -130,6 +174,54 @@ class SparseNormalFactor {
   std::vector<std::int64_t> cursor_;
   std::vector<double> work_;
   mutable std::vector<double> solve_buf_;
+
+  // --- supernodal structures (fixed per symbolic analysis) ---
+  // Partition: supernode s covers columns [sn_start_[s], sn_start_[s+1]).
+  std::vector<std::int32_t> sn_start_;
+  std::vector<std::int32_t> sn_of_col_;
+  // Panel row index R_s: member columns, then the below rows shared by the
+  // whole supernode (ascending). sn_rows_[sn_rows_ptr_[s] .. ptr[s+1]).
+  std::vector<std::int64_t> sn_rows_ptr_;
+  std::vector<std::int32_t> sn_rows_;
+  // Dense |R_s| x width column-major panels, concatenated in sn_val_.
+  std::vector<std::int64_t> sn_panel_ptr_;
+  std::vector<double> sn_val_;
+  // Assembly: sn_val_[asm_dst[i]] = up_val_[asm_src[i]] seeds the panels.
+  std::vector<std::int64_t> sn_asm_src_;
+  std::vector<std::int64_t> sn_asm_dst_;
+  // Static per-target update schedule: target t pulls, in order, entries
+  // e in [sn_upd_ptr_[t], sn_upd_ptr_[t+1]): a rank-width update from
+  // source sn_upd_src_[e] whose pivot rows are the contiguous panel-row
+  // slice [sn_upd_begin_[e], sn_upd_begin_[e] + sn_upd_len_[e]) of the
+  // source (and whose update rows are the suffix from the same start).
+  std::vector<std::int64_t> sn_upd_ptr_;
+  std::vector<std::int32_t> sn_upd_src_;
+  std::vector<std::int32_t> sn_upd_begin_;
+  std::vector<std::int32_t> sn_upd_len_;
+  // 1 when the update rows map to consecutive target panel rows, which
+  // turns the scatter into a straight vector subtract (dense top-of-tree
+  // supernodes hit this constantly). sn_upd_base_ is the target panel row
+  // of the first update row, so contiguous updates never touch the relmap
+  // (which is then only filled for targets with scattered updates).
+  std::vector<char> sn_upd_contig_;
+  std::vector<std::int32_t> sn_upd_base_;
+  // Deterministic subtree chunks (independent; run under ParallelFor) and
+  // the sequential trunk processed after the chunk barrier.
+  std::vector<std::int64_t> sn_chunk_ptr_;
+  std::vector<std::int32_t> sn_chunk_;
+  std::vector<std::int32_t> sn_trunk_;
+  // Per-chunk scratch, preallocated at analysis time so the numeric factor
+  // never allocates (slot sn_chunk_ptr_.size()-1 serves the trunk).
+  struct ChunkScratch {
+    std::vector<std::int32_t> relmap;
+    std::vector<double> cbuf;
+  };
+  std::vector<ChunkScratch> chunk_scratch_;
+  mutable std::vector<double> solve_tmp_;  // max |R_s| gather buffer
+
+  IpmFactorMode mode_ = IpmFactorMode::kSupernodal;
+  int jobs_ = 1;
+  bool factored_supernodal_ = false;  // which kernel produced the last factor
 
   int attempts_ = 0;
 };

@@ -47,16 +47,14 @@ void RefreshNnScan(std::vector<Cluster>& clusters, int c) {
   }
 }
 
-// Uniform grid over diagonal coordinates holding exactly the active
-// clusters. Nearest queries expand Chebyshev cell rings around the query's
-// cell; a ring at index r >= 1 can only hold clusters whose region is at
-// L1 distance > (r-1)*cell - half(self) - max_half from the query region
-// (cell indexing is monotone in each axis even under clamping, and
-// TrrDist(a, b) >= Linf(centers) - half(a) - half(b)), so expansion stops
-// as soon as that lower bound strictly exceeds the best candidate. Ties at
-// equal distance fall to the smallest cluster index, bitwise matching the
-// scan backend.
-class ClusterGrid {
+// Shared ring geometry of the two grid backends: cell indexing over
+// diagonal coordinates plus the Chebyshev ring walk. A ring at index
+// r >= 1 can only hold clusters whose region is at L1 distance
+// > (r-1)*cell - half(self) - max_half from the query region (cell
+// indexing is monotone in each axis even under clamping, and
+// TrrDist(a, b) >= Linf(centers) - half(a) - half(b)), so ring expansion
+// stops as soon as that lower bound strictly exceeds the best candidate.
+class GridGeometry {
  public:
   void Init(std::span<const Point> sinks) {
     double ulo = kInf, uhi = -kInf, vlo = kInf, vhi = -kInf;
@@ -75,19 +73,99 @@ class ClusterGrid {
     cell_ = span > 0.0 ? span / g_ : 1.0;
     u0_ = ulo;
     v0_ = vlo;
-    cells_.assign(static_cast<std::size_t>(g_) * g_, {});
+  }
+
+  int NumCells() const { return g_ * g_; }
+  int CellOf(double cu, double cv) const {
+    return Axis(cu, u0_) * g_ + Axis(cv, v0_);
+  }
+  // Monotone over everything ever inserted — a conservative bound keeps
+  // the ring lower bound valid without per-removal recomputation.
+  void NoteHalf(double half) { max_half_ = std::max(max_half_, half); }
+
+  int MaxRing(int iu, int iv) const {
+    return std::max(std::max(iu, g_ - 1 - iu), std::max(iv, g_ - 1 - iv));
+  }
+
+  // Conservative lower bound on the distance from the query region to any
+  // region whose center lies in a ring-r cell. The 1e-9 slack absorbs the
+  // (relative ~1e-16) rounding of the cell-index computation; it only makes
+  // the search visit at most one extra ring.
+  double RingLowerBound(int r, double self_half) const {
+    const double lb = (r - 1) * cell_ - self_half - max_half_;
+    return lb - 1e-9 * (1.0 + std::abs(lb));
+  }
+
+  // Visit the cell indices of ring r around (iu, iv), clipped to the grid,
+  // in a fixed order shared by every backend.
+  template <typename Fn>
+  void VisitRing(int iu, int iv, int r, Fn&& fn) const {
+    if (r == 0) {
+      fn(static_cast<std::size_t>(iu) * g_ + iv);
+      return;
+    }
+    const int xlo = std::max(0, iu - r);
+    const int xhi = std::min(g_ - 1, iu + r);
+    if (iv - r >= 0) {
+      for (int x = xlo; x <= xhi; ++x) {
+        fn(static_cast<std::size_t>(x) * g_ + (iv - r));
+      }
+    }
+    if (iv + r <= g_ - 1) {
+      for (int x = xlo; x <= xhi; ++x) {
+        fn(static_cast<std::size_t>(x) * g_ + (iv + r));
+      }
+    }
+    const int ylo = std::max(0, iv - r + 1);
+    const int yhi = std::min(g_ - 1, iv + r - 1);
+    for (int y = ylo; y <= yhi; ++y) {
+      if (iu - r >= 0) fn(static_cast<std::size_t>(iu - r) * g_ + y);
+      if (iu + r <= g_ - 1) {
+        fn(static_cast<std::size_t>(iu + r) * g_ + y);
+      }
+    }
+  }
+
+  int g() const { return g_; }
+
+ private:
+  int Axis(double coord, double origin) const {
+    const double t = std::floor((coord - origin) / cell_);
+    if (t <= 0.0) return 0;
+    if (t >= static_cast<double>(g_ - 1)) return g_ - 1;
+    return static_cast<int>(t);
+  }
+
+  int g_ = 1;
+  double cell_ = 1.0;
+  double u0_ = 0.0;
+  double v0_ = 0.0;
+  double max_half_ = 0.0;
+};
+
+// Grid bookkeeping shared by Insert of both backends: cache the region's
+// diagonal center and half-extent on the cluster and assign its cell.
+void PlaceInCell(GridGeometry& geo, Cluster& cl) {
+  cl.cu = cl.region.U().Center();
+  cl.cv = cl.region.V().Center();
+  cl.half = 0.5 * std::max(cl.region.U().Length(), cl.region.V().Length());
+  geo.NoteHalf(cl.half);
+  cl.cell = geo.CellOf(cl.cu, cl.cv);
+}
+
+// Uniform grid over diagonal coordinates holding exactly the active
+// clusters, one int bucket per cell. Ties at equal distance fall to the
+// smallest cluster index, bitwise matching the scan backend.
+class ClusterGrid {
+ public:
+  void Init(std::span<const Point> sinks) {
+    geo_.Init(sinks);
+    cells_.assign(static_cast<std::size_t>(geo_.NumCells()), {});
   }
 
   void Insert(std::vector<Cluster>& clusters, int idx) {
     Cluster& cl = clusters[static_cast<std::size_t>(idx)];
-    cl.cu = cl.region.U().Center();
-    cl.cv = cl.region.V().Center();
-    cl.half =
-        0.5 * std::max(cl.region.U().Length(), cl.region.V().Length());
-    // Monotone over everything ever inserted — a conservative bound keeps
-    // the ring lower bound valid without per-removal recomputation.
-    max_half_ = std::max(max_half_, cl.half);
-    cl.cell = Axis(cl.cu, u0_) * g_ + Axis(cl.cv, v0_);
+    PlaceInCell(geo_, cl);
     cells_[static_cast<std::size_t>(cl.cell)].push_back(idx);
   }
 
@@ -109,16 +187,16 @@ class ClusterGrid {
     Cluster& self = clusters[static_cast<std::size_t>(c)];
     self.nn = -1;
     self.nn_dist = kInf;
-    const int iu = self.cell / g_;
-    const int iv = self.cell % g_;
-    const int rmax = MaxRing(iu, iv);
+    const int iu = self.cell / geo_.g();
+    const int iv = self.cell % geo_.g();
+    const int rmax = geo_.MaxRing(iu, iv);
     for (int r = 0; r <= rmax; ++r) {
       if (self.nn >= 0 &&
-          RingLowerBound(r, self.half) > self.nn_dist) {
+          geo_.RingLowerBound(r, self.half) > self.nn_dist) {
         break;
       }
-      VisitRing(iu, iv, r, [&](const std::vector<int>& bucket) {
-        for (const int j : bucket) {
+      geo_.VisitRing(iu, iv, r, [&](std::size_t cell) {
+        for (const int j : cells_[cell]) {
           if (j == c) continue;
           const double d = TrrDist(
               self.region, clusters[static_cast<std::size_t>(j)].region);
@@ -138,13 +216,13 @@ class ClusterGrid {
   void OfferNewcomer(std::vector<Cluster>& clusters, int nid,
                      double dmax) const {
     const Cluster& next = clusters[static_cast<std::size_t>(nid)];
-    const int iu = next.cell / g_;
-    const int iv = next.cell % g_;
-    const int rmax = MaxRing(iu, iv);
+    const int iu = next.cell / geo_.g();
+    const int iv = next.cell % geo_.g();
+    const int rmax = geo_.MaxRing(iu, iv);
     for (int r = 0; r <= rmax; ++r) {
-      if (RingLowerBound(r, next.half) > dmax) break;
-      VisitRing(iu, iv, r, [&](const std::vector<int>& bucket) {
-        for (const int j : bucket) {
+      if (geo_.RingLowerBound(r, next.half) > dmax) break;
+      geo_.VisitRing(iu, iv, r, [&](std::size_t cell) {
+        for (const int j : cells_[cell]) {
           if (j == nid) continue;
           Cluster& cl = clusters[static_cast<std::size_t>(j)];
           const double d = TrrDist(cl.region, next.region);
@@ -158,74 +236,167 @@ class ClusterGrid {
   }
 
  private:
-  int Axis(double coord, double origin) const {
-    const double t = std::floor((coord - origin) / cell_);
-    if (t <= 0.0) return 0;
-    if (t >= static_cast<double>(g_ - 1)) return g_ - 1;
-    return static_cast<int>(t);
-  }
-
-  int MaxRing(int iu, int iv) const {
-    return std::max(std::max(iu, g_ - 1 - iu), std::max(iv, g_ - 1 - iv));
-  }
-
-  // Conservative lower bound on the distance from the query region to any
-  // region whose center lies in a ring-r cell. The 1e-9 slack absorbs the
-  // (relative ~1e-16) rounding of the cell-index computation; it only makes
-  // the search visit at most one extra ring.
-  double RingLowerBound(int r, double self_half) const {
-    const double lb = (r - 1) * cell_ - self_half - max_half_;
-    return lb - 1e-9 * (1.0 + std::abs(lb));
-  }
-
-  template <typename Fn>
-  void VisitRing(int iu, int iv, int r, Fn&& fn) const {
-    if (r == 0) {
-      fn(cells_[static_cast<std::size_t>(iu) * g_ + iv]);
-      return;
-    }
-    const int xlo = std::max(0, iu - r);
-    const int xhi = std::min(g_ - 1, iu + r);
-    if (iv - r >= 0) {
-      for (int x = xlo; x <= xhi; ++x) {
-        fn(cells_[static_cast<std::size_t>(x) * g_ + (iv - r)]);
-      }
-    }
-    if (iv + r <= g_ - 1) {
-      for (int x = xlo; x <= xhi; ++x) {
-        fn(cells_[static_cast<std::size_t>(x) * g_ + (iv + r)]);
-      }
-    }
-    const int ylo = std::max(0, iv - r + 1);
-    const int yhi = std::min(g_ - 1, iv + r - 1);
-    for (int y = ylo; y <= yhi; ++y) {
-      if (iu - r >= 0) fn(cells_[static_cast<std::size_t>(iu - r) * g_ + y]);
-      if (iu + r <= g_ - 1) {
-        fn(cells_[static_cast<std::size_t>(iu + r) * g_ + y]);
-      }
-    }
-  }
-
-  int g_ = 1;
-  double cell_ = 1.0;
-  double u0_ = 0.0;
-  double v0_ = 0.0;
-  double max_half_ = 0.0;
+  GridGeometry geo_;
   std::vector<std::vector<int>> cells_;
 };
 
+// Lane-major variant of ClusterGrid: each cell stores the resident
+// clusters' diagonal region bounds in five parallel arrays, so the
+// candidate scan is a branch-free TrrDistRaw reduction over contiguous
+// doubles (the AoS grid chases a pointer into Cluster::region per
+// candidate). Region bounds are copied at insert time and regions are
+// immutable while resident, so the lanes always equal the AoS values and
+// both grids visit identical candidates with identical distances — the
+// produced topology is bitwise the same.
+class ClusterGridSoa {
+ public:
+  void Init(std::span<const Point> sinks) {
+    geo_.Init(sinks);
+    cells_.assign(static_cast<std::size_t>(geo_.NumCells()), {});
+  }
+
+  void Insert(std::vector<Cluster>& clusters, int idx) {
+    Cluster& cl = clusters[static_cast<std::size_t>(idx)];
+    PlaceInCell(geo_, cl);
+    Cell& cell = cells_[static_cast<std::size_t>(cl.cell)];
+    cell.idx.push_back(idx);
+    cell.u_lo.push_back(cl.region.U().lo);
+    cell.u_hi.push_back(cl.region.U().hi);
+    cell.v_lo.push_back(cl.region.V().lo);
+    cell.v_hi.push_back(cl.region.V().hi);
+  }
+
+  void Remove(std::vector<Cluster>& clusters, int idx) {
+    Cluster& cl = clusters[static_cast<std::size_t>(idx)];
+    Cell& cell = cells_[static_cast<std::size_t>(cl.cell)];
+    for (std::size_t k = 0; k < cell.idx.size(); ++k) {
+      if (cell.idx[k] == idx) {
+        cell.SwapRemove(k);
+        break;
+      }
+    }
+    cl.cell = -1;
+  }
+
+  // Grid-backed equivalent of RefreshNnScan; see ClusterGrid::Refresh.
+  void Refresh(std::vector<Cluster>& clusters, int c) const {
+    Cluster& self = clusters[static_cast<std::size_t>(c)];
+    self.nn = -1;
+    self.nn_dist = kInf;
+    const double su_lo = self.region.U().lo;
+    const double su_hi = self.region.U().hi;
+    const double sv_lo = self.region.V().lo;
+    const double sv_hi = self.region.V().hi;
+    const int iu = self.cell / geo_.g();
+    const int iv = self.cell % geo_.g();
+    const int rmax = geo_.MaxRing(iu, iv);
+    for (int r = 0; r <= rmax; ++r) {
+      if (self.nn >= 0 &&
+          geo_.RingLowerBound(r, self.half) > self.nn_dist) {
+        break;
+      }
+      geo_.VisitRing(iu, iv, r, [&](std::size_t ci) {
+        const Cell& cell = cells_[ci];
+        for (std::size_t k = 0; k < cell.idx.size(); ++k) {
+          const int j = cell.idx[k];
+          if (j == c) continue;
+          const double d =
+              TrrDistRaw(su_lo, su_hi, sv_lo, sv_hi, cell.u_lo[k],
+                         cell.u_hi[k], cell.v_lo[k], cell.v_hi[k]);
+          if (d < self.nn_dist || (d == self.nn_dist && j < self.nn)) {
+            self.nn_dist = d;
+            self.nn = j;
+          }
+        }
+      });
+    }
+  }
+
+  // See ClusterGrid::OfferNewcomer.
+  void OfferNewcomer(std::vector<Cluster>& clusters, int nid,
+                     double dmax) const {
+    const Cluster& next = clusters[static_cast<std::size_t>(nid)];
+    const double nu_lo = next.region.U().lo;
+    const double nu_hi = next.region.U().hi;
+    const double nv_lo = next.region.V().lo;
+    const double nv_hi = next.region.V().hi;
+    const int iu = next.cell / geo_.g();
+    const int iv = next.cell % geo_.g();
+    const int rmax = geo_.MaxRing(iu, iv);
+    for (int r = 0; r <= rmax; ++r) {
+      if (geo_.RingLowerBound(r, next.half) > dmax) break;
+      geo_.VisitRing(iu, iv, r, [&](std::size_t ci) {
+        const Cell& cell = cells_[ci];
+        for (std::size_t k = 0; k < cell.idx.size(); ++k) {
+          const int j = cell.idx[k];
+          if (j == nid) continue;
+          // TrrDist is symmetric term-by-term under the per-axis gap max,
+          // so lane-first argument order matches the AoS TrrDist(cl, next).
+          const double d =
+              TrrDistRaw(cell.u_lo[k], cell.u_hi[k], cell.v_lo[k],
+                         cell.v_hi[k], nu_lo, nu_hi, nv_lo, nv_hi);
+          Cluster& cl = clusters[static_cast<std::size_t>(j)];
+          if (d < cl.nn_dist) {
+            cl.nn_dist = d;
+            cl.nn = nid;
+          }
+        }
+      });
+    }
+  }
+
+ private:
+  struct Cell {
+    std::vector<int> idx;
+    std::vector<double> u_lo, u_hi, v_lo, v_hi;
+
+    void SwapRemove(std::size_t k) {
+      idx[k] = idx.back();
+      idx.pop_back();
+      u_lo[k] = u_lo.back();
+      u_lo.pop_back();
+      u_hi[k] = u_hi.back();
+      u_hi.pop_back();
+      v_lo[k] = v_lo.back();
+      v_lo.pop_back();
+      v_hi[k] = v_hi.back();
+      v_hi.pop_back();
+    }
+  };
+
+  GridGeometry geo_;
+  std::vector<Cell> cells_;
+};
+
 }  // namespace
+
+const char* NnMergeAccelName(NnMergeAccel accel) {
+  switch (accel) {
+    case NnMergeAccel::kGridSoa:
+      return "grid-soa";
+    case NnMergeAccel::kGrid:
+      return "grid";
+    case NnMergeAccel::kScan:
+      return "scan";
+  }
+  return "unknown";
+}
 
 Topology NnMergeTopology(std::span<const Point> sinks,
                          const std::optional<Point>& source,
                          NnMergeAccel accel) {
   LUBT_ASSERT(!sinks.empty());
-  const bool use_grid = accel == NnMergeAccel::kGrid;
+  const bool use_soa = accel == NnMergeAccel::kGridSoa;
+  const bool use_grid = use_soa || accel == NnMergeAccel::kGrid;
   Topology topo;
 
   ClusterGrid grid;
-  if (use_grid) grid.Init(sinks);
-
+  ClusterGridSoa grid_soa;
+  if (use_soa) {
+    grid_soa.Init(sinks);
+  } else if (use_grid) {
+    grid.Init(sinks);
+  }
   std::vector<Cluster> clusters;
   clusters.reserve(2 * sinks.size());
   for (std::size_t s = 0; s < sinks.size(); ++s) {
@@ -235,12 +406,18 @@ Topology NnMergeTopology(std::span<const Point> sinks,
     c.active = true;
     clusters.push_back(c);
     if (use_grid) {
-      grid.Insert(clusters, static_cast<int>(clusters.size()) - 1);
+      if (use_soa) {
+        grid_soa.Insert(clusters, static_cast<int>(clusters.size()) - 1);
+      } else {
+        grid.Insert(clusters, static_cast<int>(clusters.size()) - 1);
+      }
     }
   }
 
   const auto refresh = [&](int c) {
-    if (use_grid) {
+    if (use_soa) {
+      grid_soa.Refresh(clusters, c);
+    } else if (use_grid) {
       grid.Refresh(clusters, c);
     } else {
       RefreshNnScan(clusters, c);
@@ -291,15 +468,21 @@ Topology NnMergeTopology(std::span<const Point> sinks,
     clusters[static_cast<std::size_t>(b)].active = false;
     clusters.push_back(next);
     const int nid = static_cast<int>(clusters.size()) - 1;
-    if (use_grid) {
+    if (use_soa) {
+      grid_soa.Remove(clusters, a);
+      grid_soa.Remove(clusters, b);
+      grid_soa.Insert(clusters, nid);
+    } else if (use_grid) {
       grid.Remove(clusters, a);
       grid.Remove(clusters, b);
       grid.Insert(clusters, nid);
     }
     refresh(nid);
     // Let existing clusters see the newcomer (one-sided update; the grid
-    // backend prunes rings past dmax, the scan backend visits everyone).
-    if (use_grid) {
+    // backends prune rings past dmax, the scan backend visits everyone).
+    if (use_soa) {
+      grid_soa.OfferNewcomer(clusters, nid, dmax);
+    } else if (use_grid) {
       grid.OfferNewcomer(clusters, nid, dmax);
     } else {
       for (int c = 0; c < nid; ++c) {

@@ -8,12 +8,16 @@
 // as in DME: merging two regions at L1 distance d yields the intersection of
 // the regions inflated by d/2 each.
 //
-// Two search backends produce the *identical* topology (node ids, children
-// order, everything): the historical all-pairs rescan, and a uniform grid
-// over diagonal coordinates that answers nearest-region queries by expanding
-// cell rings, pruning a ring as soon as its distance lower bound exceeds the
-// best candidate. kGrid is the default; kScan is kept as the brute-force
-// cross-check reference (tests/topo_test.cpp gates on exact agreement).
+// Three search backends produce the *identical* topology (node ids,
+// children order, everything): the historical all-pairs rescan, a uniform
+// grid over diagonal coordinates that answers nearest-region queries by
+// expanding cell rings (pruning a ring as soon as its distance lower bound
+// exceeds the best candidate), and a structure-of-arrays variant of that
+// grid whose cells store the cluster regions' diagonal bounds in parallel
+// double lanes, so the per-cell candidate scan is a branch-free TrrDistRaw
+// reduction over contiguous arrays. kGridSoa is the default; kGrid and
+// kScan are kept as cross-check references (tests/topo_test.cpp gates on
+// exact agreement).
 
 #ifndef LUBT_TOPO_NN_MERGE_H_
 #define LUBT_TOPO_NN_MERGE_H_
@@ -26,16 +30,19 @@
 
 namespace lubt {
 
-/// Which nearest-neighbour search backs the merge loop. Both produce the
-/// same tree; kScan is the O(n^2)-rescan reference.
-enum class NnMergeAccel { kGrid, kScan };
+/// Which nearest-neighbour search backs the merge loop. All produce the
+/// same tree; kScan is the O(n^2)-rescan reference, kGrid the original
+/// struct-per-cluster grid, kGridSoa the lane-major grid.
+enum class NnMergeAccel { kGridSoa, kGrid, kScan };
+
+const char* NnMergeAccelName(NnMergeAccel accel);
 
 /// Build a nearest-neighbour-merge topology over `sinks`.
 /// With a `source`, the tree gets a fixed-source unary root; otherwise the
 /// top merge node is a free-source root. Requires at least one sink.
 Topology NnMergeTopology(std::span<const Point> sinks,
                          const std::optional<Point>& source,
-                         NnMergeAccel accel = NnMergeAccel::kGrid);
+                         NnMergeAccel accel = NnMergeAccel::kGridSoa);
 
 /// Leaf node of `topo` whose sink lies nearest to `p` in L1, ties broken by
 /// the smaller sink index; kInvalidNode when there is no eligible sink.

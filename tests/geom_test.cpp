@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "geom/bbox.h"
 #include "geom/interval.h"
+#include "geom/octant.h"
 #include "geom/point.h"
 #include "geom/segment.h"
 #include "geom/trr.h"
@@ -242,6 +245,147 @@ TEST(BBoxTest, EmptyAndInflate) {
   const BBox big = box.Inflated(2.0);
   EXPECT_EQ(big.Lo(), (Point{-1, -1}));
   EXPECT_EQ(big.Hi(), (Point{3, 3}));
+}
+
+// ---- SoA kernel forms ------------------------------------------------------
+//
+// TrrDistRaw and OctantSoa are the lane-layout forms consumed by the SoA
+// NN-merge grid and the SoA separation oracle. Their contract is bitwise
+// equality with the object forms (TrrDist / OctantMax) — not approximate
+// agreement — because the oracle comparisons in the bench gates use ==.
+
+double RawDist(const Trr& a, const Trr& b) {
+  return TrrDistRaw(a.U().lo, a.U().hi, a.V().lo, a.V().hi, b.U().lo,
+                    b.U().hi, b.V().lo, b.V().hi);
+}
+
+TEST(TrrDistRawTest, MatchesTrrDistOnRandomSquares) {
+  Rng rng(101);
+  for (int it = 0; it < 2000; ++it) {
+    const Trr a = Trr::Square({rng.Uniform(-50, 50), rng.Uniform(-50, 50)},
+                              rng.Uniform(0.0, 10.0));
+    const Trr b = Trr::Square({rng.Uniform(-50, 50), rng.Uniform(-50, 50)},
+                              rng.Uniform(0.0, 10.0));
+    EXPECT_EQ(TrrDist(a, b), RawDist(a, b));  // bitwise, both orders
+    EXPECT_EQ(TrrDist(b, a), RawDist(b, a));
+  }
+}
+
+TEST(TrrDistRawTest, DegenerateRegions) {
+  // Zero-radius squares are points: the raw form must reproduce the exact
+  // Manhattan distance, including the 0.0 of coincident points.
+  Rng rng(103);
+  for (int it = 0; it < 500; ++it) {
+    const Point p{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    const Point q{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    const Trr a = Trr::FromPoint(p);
+    const Trr b = Trr::FromPoint(q);
+    EXPECT_EQ(TrrDist(a, b), RawDist(a, b));
+    EXPECT_EQ(RawDist(a, a), 0.0);
+  }
+
+  // Segment-shaped TRRs (one diagonal interval collapsed) and collinear
+  // placements along one diagonal axis.
+  const Trr seg1{Interval{0.0, 4.0}, Interval{1.0, 1.0}};
+  const Trr seg2{Interval{6.0, 9.0}, Interval{1.0, 1.0}};  // collinear gap 2
+  const Trr seg3{Interval{2.0, 3.0}, Interval{1.0, 1.0}};  // contained
+  EXPECT_EQ(TrrDist(seg1, seg2), RawDist(seg1, seg2));
+  EXPECT_EQ(RawDist(seg1, seg2), 2.0);
+  EXPECT_EQ(TrrDist(seg1, seg3), RawDist(seg1, seg3));
+  EXPECT_EQ(RawDist(seg1, seg3), 0.0);
+
+  // Touching and overlapping squares: distance exactly 0.0 either way.
+  const Trr s1 = Trr::Square({0.0, 0.0}, 2.0);
+  const Trr s2 = Trr::Square({4.0, 0.0}, 2.0);
+  EXPECT_EQ(TrrDist(s1, s2), RawDist(s1, s2));
+  EXPECT_EQ(RawDist(s1, s2), 0.0);
+  const Trr s3 = Trr::Square({1.0, 1.0}, 3.0);
+  EXPECT_EQ(RawDist(s1, s3), 0.0);
+}
+
+TEST(OctantSoaTest, MirrorsAosAggregatesBitwise) {
+  // Drive an AoS array and an SoA store through the same random op stream
+  // (Include / Merge / CopyFrom) and require every lane, cross bound, and
+  // Empty flag to stay bitwise identical.
+  Rng rng(107);
+  constexpr std::size_t kSlots = 48;
+  std::vector<OctantMax> aos(kSlots);
+  OctantSoa soa;
+  soa.Assign(kSlots);
+  ASSERT_EQ(soa.size(), kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) EXPECT_TRUE(soa.Empty(i));
+
+  for (int op = 0; op < 600; ++op) {
+    const std::size_t i = static_cast<std::size_t>(rng.UniformInt(kSlots));
+    const std::size_t j = static_cast<std::size_t>(rng.UniformInt(kSlots));
+    const double pick = rng.Uniform(0.0, 1.0);
+    if (pick < 0.6) {
+      const Point p{rng.Uniform(-30, 30), rng.Uniform(-30, 30)};
+      const double offset = rng.Uniform(-5, 5);
+      aos[i].Include(p, offset);
+      soa.Include(i, p, offset);
+    } else {
+      aos[i].Merge(aos[j]);
+      soa.Merge(i, j);
+    }
+  }
+
+  OctantSoa copy;
+  copy.Assign(kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    copy.CopyFrom(i, soa, kSlots - 1 - i);
+    EXPECT_EQ(soa.Empty(i), aos[i].Empty());
+  }
+  for (std::size_t a = 0; a < kSlots; ++a) {
+    for (std::size_t b = 0; b < kSlots; ++b) {
+      const double want = OctantMax::CrossBound(aos[a], aos[b]);
+      EXPECT_EQ(want, OctantSoa::CrossBound(soa, a, soa, b));
+      EXPECT_EQ(want,
+                OctantSoa::CrossBound(soa, a, copy, kSlots - 1 - b));
+    }
+  }
+}
+
+TEST(OctantSoaTest, CrossBoundDirtyMatchesAosScreen) {
+  // Parallel "all"/"dirty" stores, dirty a strict subset: the SoA dirty
+  // screen must equal the AoS four-aggregate form pair for pair.
+  Rng rng(109);
+  constexpr std::size_t kSlots = 24;
+  std::vector<OctantMax> all_aos(kSlots);
+  std::vector<OctantMax> dirty_aos(kSlots);
+  OctantSoa all;
+  OctantSoa dirty;
+  all.Assign(kSlots);
+  dirty.Assign(kSlots);
+
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    const int pts = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int t = 0; t < pts; ++t) {
+      const Point p{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+      const double offset = rng.Uniform(-3, 3);
+      all_aos[i].Include(p, offset);
+      all.Include(i, p, offset);
+      if (rng.Uniform(0.0, 1.0) < 0.4) {
+        dirty_aos[i].Include(p, offset);
+        dirty.Include(i, p, offset);
+      }
+    }
+  }
+
+  for (std::size_t a = 0; a < kSlots; ++a) {
+    for (std::size_t b = 0; b < kSlots; ++b) {
+      EXPECT_EQ(OctantMax::CrossBoundDirty(all_aos[a], dirty_aos[a],
+                                           all_aos[b], dirty_aos[b]),
+                OctantSoa::CrossBoundDirty(all, dirty, a, b));
+    }
+  }
+
+  // Empty dirty side: the screen collapses to -inf exactly like the AoS
+  // form (no pair has a dirty endpoint).
+  OctantSoa clean;
+  clean.Assign(kSlots);
+  EXPECT_EQ(OctantSoa::CrossBoundDirty(all, clean, 0, 1),
+            -std::numeric_limits<double>::infinity());
 }
 
 }  // namespace

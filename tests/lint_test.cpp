@@ -34,9 +34,9 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
 // ---------------------------------------------------------------------- //
 // Registry
 
-TEST(LintRegistry, NineRulesWithUniqueKebabNames) {
+TEST(LintRegistry, TenRulesWithUniqueKebabNames) {
   const std::vector<Rule>& rules = Rules();
-  EXPECT_EQ(rules.size(), 9u);
+  EXPECT_EQ(rules.size(), 10u);
   std::vector<std::string> names;
   for (const Rule& rule : rules) {
     ASSERT_NE(rule.name, nullptr);
@@ -399,6 +399,68 @@ TEST(ServeRawIo, FramingWaiverPattern) {
            "  ::send(fd, \"x\", 1, 0);\n"
            "}\n");
   EXPECT_EQ(CountRule(findings, "serve-raw-io"), 0);
+}
+
+// ---------------------------------------------------------------------- //
+// hot-loop-alloc
+
+TEST(HotLoopAlloc, FlagsAllocationInSteadyStateKernel) {
+  const auto findings =
+      Lint("src/lp/sparse_chol.cpp",
+           "bool SparseNormalFactor::FactorAttempt(double reg) {\n"
+           "  scratch_.push_back(reg);\n"
+           "  double* p = new double[8];\n"
+           "  return p != nullptr;\n"
+           "}\n");
+  EXPECT_EQ(CountRule(findings, "hot-loop-alloc"), 2);
+}
+
+TEST(HotLoopAlloc, ConstMethodBodyUnderGeomFlagged) {
+  const auto findings =
+      Lint("src/geom/octant.h",
+           "#ifndef LUBT_GEOM_OCTANT_H_\n"
+           "#define LUBT_GEOM_OCTANT_H_\n"
+           "struct S {\n"
+           "  void Merge(const S& o) const { buf_.resize(4); }\n"
+           "};\n"
+           "#endif  // LUBT_GEOM_OCTANT_H_\n");
+  EXPECT_EQ(CountRule(findings, "hot-loop-alloc"), 1);
+}
+
+TEST(HotLoopAlloc, CallSitesColdFunctionsAndOtherDirsClean) {
+  // Calls to hot-named members are uses, not definitions.
+  const auto calls =
+      Lint("src/lp/interior_point.cpp",
+           "void F(SparseNormalFactor& f, OctantMax& agg, OctantMax& o) {\n"
+           "  f.Ereach(3);\n"
+           "  agg.Merge(o);\n"
+           "}\n");
+  EXPECT_EQ(CountRule(calls, "hot-loop-alloc"), 0);
+
+  // Setup / analysis functions may allocate freely.
+  const auto cold =
+      Lint("src/lp/sparse_chol.cpp",
+           "void SparseNormalFactor::Analyze(const CompiledLpModel& a) {\n"
+           "  up_val_.assign(8, 0.0);\n"
+           "}\n");
+  EXPECT_EQ(CountRule(cold, "hot-loop-alloc"), 0);
+
+  // Scope: only src/lp/ and src/geom/ carry the no-alloc contract.
+  const auto elsewhere =
+      Lint("src/topo/nn_merge.cpp",
+           "void Cell::Merge(const Cell& o) { idx.push_back(1); }\n");
+  EXPECT_EQ(CountRule(elsewhere, "hot-loop-alloc"), 0);
+}
+
+TEST(HotLoopAlloc, SuppressionWaives) {
+  const auto findings =
+      Lint("src/lp/sparse_chol.cpp",
+           "bool SparseNormalFactor::FactorAttempt(double reg) {\n"
+           "  // lubt-lint: allow(hot-loop-alloc)\n"
+           "  scratch_.push_back(reg);\n"
+           "  return true;\n"
+           "}\n");
+  EXPECT_EQ(CountRule(findings, "hot-loop-alloc"), 0);
 }
 
 // ---------------------------------------------------------------------- //

@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "lp/interior_point.h"
 #include "lp/lazy_row_solver.h"
 #include "lp/model.h"
 #include "lp/presolve.h"
+#include "lp/sparse_chol.h"
 #include "util/rng.h"
 
 namespace lubt {
@@ -438,6 +441,193 @@ TEST(SymbolicReuseTest, AppendedRowsInsidePatternReuseTheAnalysis) {
   ASSERT_TRUE(third.ok()) << third.status;
   EXPECT_FALSE(third.symbolic_reused);
   EXPECT_EQ(ctx.analyses, 2);
+}
+
+// ---- Supernodal numeric kernel ---------------------------------------------
+//
+// Both numeric kernels (IpmFactorMode) run on one shared symbolic analysis.
+// These tests pin the contract the interior-point engine relies on: the
+// supernodal kernel solves the same normal equations as the simplicial
+// oracle on random instances, stays equivalent across repeated
+// refactorizations with changed scalings (the warm Newton loop) and across
+// pattern-preserving row appends, and is bitwise deterministic in the
+// worker count.
+
+void RandomScalings(Rng& rng, const CompiledLpModel& a, std::vector<double>* w,
+                    std::vector<double>* d) {
+  w->resize(static_cast<std::size_t>(a.num_rows));
+  for (double& v : *w) v = rng.Uniform(0.1, 2.0);
+  d->resize(static_cast<std::size_t>(a.num_cols));
+  for (double& v : *d) v = rng.Uniform(1e-4, 1.0);
+}
+
+std::vector<double> FactorAndSolve(SparseNormalFactor& f,
+                                   const CompiledLpModel& a,
+                                   const std::vector<double>& w,
+                                   const std::vector<double>& d) {
+  EXPECT_TRUE(f.Factor(a, w, d));
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0 + static_cast<double>(i % 3);
+  }
+  f.Solve(x);
+  return x;
+}
+
+void ExpectClose(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-8 * (1.0 + std::abs(a[i]))) << "component " << i;
+  }
+}
+
+class SupernodalFactorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SupernodalFactorTest, MatchesSimplicialOnRandomInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 11);
+  const int n = 48 + static_cast<int>(rng.UniformInt(160));
+  LpModel m = RandomBandedModel(rng, n, 3 * n);
+  const CompiledLpModel& a = m.Compiled();
+
+  SparseNormalFactor simp;
+  simp.Analyze(a);
+  simp.SetMode(IpmFactorMode::kSimplicial, 1);
+  SparseNormalFactor sup;
+  sup.Analyze(a);
+  sup.SetMode(IpmFactorMode::kSupernodal, 1);
+  ASSERT_GT(sup.NumSupernodes(), 0);
+  ASSERT_GE(sup.PanelNnz(), sup.FillNnz());
+
+  std::vector<double> w;
+  std::vector<double> d;
+  RandomScalings(rng, a, &w, &d);
+  ExpectClose(FactorAndSolve(simp, a, w, d), FactorAndSolve(sup, a, w, d));
+}
+
+TEST_P(SupernodalFactorTest, WorkerCountIsBitwiseIrrelevant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 5);
+  const int n = 64 + static_cast<int>(rng.UniformInt(128));
+  LpModel m = RandomBandedModel(rng, n, 3 * n);
+  const CompiledLpModel& a = m.Compiled();
+
+  SparseNormalFactor serial;
+  serial.Analyze(a);
+  serial.SetMode(IpmFactorMode::kSupernodal, 1);
+  SparseNormalFactor threaded;
+  threaded.Analyze(a);
+  threaded.SetMode(IpmFactorMode::kSupernodal, 4);
+
+  std::vector<double> w;
+  std::vector<double> d;
+  RandomScalings(rng, a, &w, &d);
+  const std::vector<double> x1 = FactorAndSolve(serial, a, w, d);
+  const std::vector<double> x4 = FactorAndSolve(threaded, a, w, d);
+  ASSERT_EQ(x1.size(), x4.size());
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_EQ(x1[i], x4[i]) << "component " << i;  // bitwise, not approximate
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupernodalFactorTest, ::testing::Range(1, 9));
+
+TEST(SupernodalFactorTest, RepeatedRefactorsOnOneAnalysisStayEquivalent) {
+  // The Newton loop refactors with new scalings on a fixed analysis; a mode
+  // switch between Factor calls must also be safe (both kernels share the
+  // cached symbolic structures).
+  Rng rng(57);
+  LpModel m = RandomBandedModel(rng, 100, 300);
+  const CompiledLpModel& a = m.Compiled();
+
+  SparseNormalFactor simp;
+  simp.Analyze(a);
+  simp.SetMode(IpmFactorMode::kSimplicial, 1);
+  SparseNormalFactor sup;
+  sup.Analyze(a);
+  sup.SetMode(IpmFactorMode::kSupernodal, 2);
+  SparseNormalFactor flip;  // alternates kernels across rounds
+  flip.Analyze(a);
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<double> w;
+    std::vector<double> d;
+    RandomScalings(rng, a, &w, &d);
+    const std::vector<double> ref = FactorAndSolve(simp, a, w, d);
+    ExpectClose(ref, FactorAndSolve(sup, a, w, d));
+    flip.SetMode(round % 2 == 0 ? IpmFactorMode::kSupernodal
+                                : IpmFactorMode::kSimplicial,
+                 1 + round % 3);
+    ExpectClose(ref, FactorAndSolve(flip, a, w, d));
+  }
+}
+
+TEST(SupernodalFactorTest, PatternPreservingAppendKeepsModesEquivalent) {
+  // TryExtend keeps the analysis (and the supernodal schedule) across row
+  // appends that stay inside the pattern; both kernels must agree on the
+  // grown model too.
+  Rng rng(63);
+  LpModel m = RandomBandedModel(rng, 80, 240);
+  SparseNormalFactor simp;
+  simp.Analyze(m.Compiled());
+  simp.SetMode(IpmFactorMode::kSimplicial, 1);
+  SparseNormalFactor sup;
+  sup.Analyze(m.Compiled());
+  sup.SetMode(IpmFactorMode::kSupernodal, 2);
+
+  SparseRow dup = m.Row(3);  // same support => same pattern
+  dup.lo *= 0.5;
+  m.AddRow(std::move(dup));
+  const CompiledLpModel& a1 = m.Compiled();
+  ASSERT_TRUE(simp.TryExtend(a1));
+  ASSERT_TRUE(sup.TryExtend(a1));
+
+  std::vector<double> w;
+  std::vector<double> d;
+  RandomScalings(rng, a1, &w, &d);
+  ExpectClose(FactorAndSolve(simp, a1, w, d), FactorAndSolve(sup, a1, w, d));
+
+  // A row pairing the extreme columns falls outside the banded pattern:
+  // both kernels must refuse the extension (forcing a re-analysis) rather
+  // than factor with a stale schedule.
+  std::vector<std::int32_t> idx{0, 79};
+  std::vector<double> val{1.0, 1.0};
+  m.AddRow(idx, val, 0.1, kLpInf);
+  const CompiledLpModel& a2 = m.Compiled();
+  EXPECT_FALSE(simp.TryExtend(a2));
+  EXPECT_FALSE(sup.TryExtend(a2));
+  SparseNormalFactor fresh;
+  fresh.Analyze(a2);
+  fresh.SetMode(IpmFactorMode::kSupernodal, 1);
+  SparseNormalFactor fresh_simp;
+  fresh_simp.Analyze(a2);
+  fresh_simp.SetMode(IpmFactorMode::kSimplicial, 1);
+  RandomScalings(rng, a2, &w, &d);
+  ExpectClose(FactorAndSolve(fresh_simp, a2, w, d),
+              FactorAndSolve(fresh, a2, w, d));
+}
+
+TEST(SupernodalFactorTest, EngineObjectiveMatchesAcrossModes) {
+  // End to end through the interior-point engine: overriding the factor
+  // mode must not move the optimum, and the dense small-model fallback
+  // (kAuto) must ignore the mode entirely.
+  Rng rng(91);
+  LpModel m = RandomBandedModel(rng, 120, 360);
+  LpSolverOptions simp = IpmWith(IpmNormalEq::kSparse);
+  simp.factor_mode = IpmFactorMode::kSimplicial;
+  LpSolverOptions sup = IpmWith(IpmNormalEq::kSparse);
+  sup.factor_mode = IpmFactorMode::kSupernodal;
+  sup.factor_jobs = 2;
+  const LpSolution a = SolveLp(m, simp);
+  const LpSolution b = SolveLp(m, sup);
+  ASSERT_TRUE(a.ok()) << a.status;
+  ASSERT_TRUE(b.ok()) << b.status;
+  EXPECT_NEAR(a.objective, b.objective, 1e-6 * (1.0 + std::abs(a.objective)));
+
+  LpSolverOptions tiny = IpmWith(IpmNormalEq::kAuto);
+  tiny.factor_mode = IpmFactorMode::kSupernodal;
+  const LpSolution small = SolveLp(TinyModel(), tiny);
+  ASSERT_TRUE(small.ok()) << small.status;
+  EXPECT_FALSE(small.sparse_normal);
+  EXPECT_NEAR(small.objective, 2.0, 1e-6);
 }
 
 TEST(LazyRowTest, WarmLazyRoundsMatchColdOnInteriorPoint) {

@@ -73,14 +73,19 @@ void ExpectSameRows(const std::vector<SparseRow>& a,
   }
 }
 
-// Query both modes on the same iterate and demand bitwise-equal sequences.
+// Query all three modes on the same iterate and demand bitwise-equal
+// sequences (the SoA oracle rides the same screening order as the AoS one;
+// see geom/octant.h).
 void CrossCheck(const EbfFormulation& f, std::span<const double> x,
                 double tol, int max_rows) {
   const SeparationOptions octant{SeparationMode::kOctant, 1};
+  const SeparationOptions soa{SeparationMode::kOctantSoa, 1};
   const SeparationOptions brute{SeparationMode::kBruteForce, 1};
   const auto fast = f.FindViolatedSteinerRows(x, tol, max_rows, octant);
   const auto ref = f.FindViolatedSteinerRows(x, tol, max_rows, brute);
   ExpectSameRows(fast, ref);
+  const auto lanes = f.FindViolatedSteinerRows(x, tol, max_rows, soa);
+  ExpectSameRows(lanes, ref);
 }
 
 class OracleAgreementTest
@@ -151,11 +156,14 @@ TEST(OracleAgreementTest, WorkerCountDoesNotChangeResults) {
   Rng rng(7);
   for (int rep = 0; rep < 3; ++rep) {
     const std::vector<double> x = RandomPoint(built->Model().NumCols(), rng);
-    const auto serial = built->FindViolatedSteinerRows(
-        x, 1e-7, 1 << 20, {SeparationMode::kOctant, 1});
-    const auto parallel = built->FindViolatedSteinerRows(
-        x, 1e-7, 1 << 20, {SeparationMode::kOctant, 4});
-    ExpectSameRows(serial, parallel);
+    for (const SeparationMode mode :
+         {SeparationMode::kOctant, SeparationMode::kOctantSoa}) {
+      const auto serial =
+          built->FindViolatedSteinerRows(x, 1e-7, 1 << 20, {mode, 1});
+      const auto parallel =
+          built->FindViolatedSteinerRows(x, 1e-7, 1 << 20, {mode, 4});
+      ExpectSameRows(serial, parallel);
+    }
   }
 }
 
@@ -209,6 +217,9 @@ TEST(NnMergeAccelTest, GridMatchesScanNodeForNode) {
         const Topology scan =
             NnMergeTopology(set.sinks, set.source, NnMergeAccel::kScan);
         ExpectSameTopology(grid, scan);
+        const Topology soa =
+            NnMergeTopology(set.sinks, set.source, NnMergeAccel::kGridSoa);
+        ExpectSameTopology(soa, scan);
       }
     }
   }
@@ -228,6 +239,8 @@ TEST(NnMergeAccelTest, GridHandlesDegenerateGeometry) {
       const Topology grid = NnMergeTopology(sinks, src, NnMergeAccel::kGrid);
       const Topology scan = NnMergeTopology(sinks, src, NnMergeAccel::kScan);
       ExpectSameTopology(grid, scan);
+      const Topology soa = NnMergeTopology(sinks, src, NnMergeAccel::kGridSoa);
+      ExpectSameTopology(soa, scan);
     }
   }
 }

@@ -116,6 +116,45 @@ for preset in "${presets[@]}"; do
       failed+=("$preset (lubt_lint)")
       continue
     fi
+
+    # 16k-sink envelope gates (default preset only: sanitizer builds are
+    # not timings). lp_scaling --kernel refactors the 4096/16384-sink
+    # normal equations supernodal vs simplicial and enforces the
+    # hardware-aware speedup floor plus Solve() equivalence;
+    # separation_scaling --big runs the sampled 16k protocol (SoA vs AoS vs
+    # round-0 brute force, grid-soa vs grid topology) with bitwise row
+    # agreement and its own speedup floors. BIG_SINKS overrides the
+    # separation size (e.g. 4096 for a quick local loop).
+    echo "==== [$preset] lp_scaling --kernel (16k factor gate) ===="
+    if ! "./build-$preset/bench/lp_scaling" --kernel \
+         > "/tmp/lubt-check-$preset-lp-kernel.log" 2>&1; then
+      tail -20 "/tmp/lubt-check-$preset-lp-kernel.log"
+      failed+=("$preset (lp_scaling --kernel)")
+      continue
+    fi
+    tail -4 "/tmp/lubt-check-$preset-lp-kernel.log" | sed "s/^/[$preset] /"
+    echo "==== [$preset] separation_scaling --big ${BIG_SINKS:-16384} (16k SoA gate) ===="
+    if ! "./build-$preset/bench/separation_scaling" --big "${BIG_SINKS:-16384}" \
+         > "/tmp/lubt-check-$preset-sep-big.log" 2>&1; then
+      tail -20 "/tmp/lubt-check-$preset-sep-big.log"
+      failed+=("$preset (separation_scaling --big)")
+      continue
+    fi
+    tail -2 "/tmp/lubt-check-$preset-sep-big.log" | sed "s/^/[$preset] /"
+
+    # Committed bench artifacts must exist and be non-empty: the scaling
+    # curves quoted in EXPERIMENTS.md are regenerated by running the full
+    # benches from the repo root, and a missing JSON means a curve was
+    # silently dropped from a refresh.
+    echo "==== [$preset] bench artifacts present ===="
+    for artifact in BENCH_lp.json BENCH_sep.json BENCH_eco.json BENCH_serve.json; do
+      if [[ ! -s "$artifact" ]]; then
+        echo "missing bench artifact: $artifact (run the full bench to regenerate)"
+        failed+=("$preset ($artifact missing)")
+        continue 2
+      fi
+    done
+    echo "[$preset] all bench artifacts present"
   fi
 
   # serve_load --smoke drives a real unix-socket server with concurrent

@@ -65,7 +65,8 @@ struct CaseConfig {
   bool clustered = false;
   bool with_source = false;
   bool mst_topology = false;
-  bool scan_topology = false;  // NN-merge backend when !mst_topology
+  /// NN-merge backend when !mst_topology (grid-soa / grid / scan draw).
+  NnMergeAccel nn_accel = NnMergeAccel::kGridSoa;
   BoundsRegime regime = BoundsRegime::kAchievedWindow;
   EbfSolveOptions options;
   /// When > 0, follow the cold solve with this many random ECO edits, each
@@ -78,9 +79,13 @@ std::string Describe(const CaseConfig& c) {
                     std::to_string(c.num_sinks);
   out += c.clustered ? " clustered" : " uniform";
   out += c.with_source ? " fixed-source" : " free-source";
-  out += c.mst_topology ? " mst" : (c.scan_topology ? " nn-scan" : " nn-grid");
+  out += c.mst_topology ? " mst"
+                        : std::string(" nn-") + NnMergeAccelName(c.nn_accel);
   out += std::string(" ") + RegimeName(c.regime);
   out += std::string(" ") + LpEngineName(c.options.lp.engine);
+  if (c.options.lp.engine == LpEngine::kInteriorPoint) {
+    out += std::string("/") + IpmFactorModeName(c.options.lp.factor_mode);
+  }
   out += std::string(" ") + EbfStrategyName(c.options.strategy);
   if (c.options.strategy == EbfStrategy::kLazy) {
     out += std::string(" sep=") + SeparationModeName(c.options.separation);
@@ -121,12 +126,23 @@ CaseConfig DrawCase(std::uint64_t seed, int min_sinks, int max_sinks) {
     c.options.strategy = EbfStrategy::kLazy;
   }
   c.options.use_zero_skew_fast_path = rng.Bernoulli(0.7);
-  // Mostly the octant oracle (the default), with a brute-force slice so the
-  // sanitizers keep covering the reference path too. Same split for the
-  // NN-merge backend.
-  c.options.separation = rng.Bernoulli(0.2) ? SeparationMode::kBruteForce
-                                            : SeparationMode::kOctant;
-  c.scan_topology = rng.Bernoulli(0.25);
+  // Mostly the SoA octant oracle (the default), with AoS-octant and
+  // brute-force slices so the sanitizers keep covering the reference
+  // paths too. Same three-way split for the NN-merge backend, and a
+  // supernodal-vs-simplicial (x factor-jobs) draw for the interior-point
+  // Cholesky — all of these are bitwise-equivalence contracts, so any
+  // divergence shows up as a validator or cross-check failure downstream.
+  const double sep_draw = rng.Uniform();
+  c.options.separation = sep_draw < 0.15   ? SeparationMode::kBruteForce
+                         : sep_draw < 0.40 ? SeparationMode::kOctant
+                                           : SeparationMode::kOctantSoa;
+  const double accel_draw = rng.Uniform();
+  c.nn_accel = accel_draw < 0.15   ? NnMergeAccel::kScan
+               : accel_draw < 0.40 ? NnMergeAccel::kGrid
+                                   : NnMergeAccel::kGridSoa;
+  c.options.lp.factor_mode = rng.Bernoulli(0.3) ? IpmFactorMode::kSimplicial
+                                                : IpmFactorMode::kSupernodal;
+  c.options.lp.factor_jobs = rng.Bernoulli(0.3) ? 2 : 1;
   return c;
 }
 
@@ -242,9 +258,7 @@ std::string RunCase(const CaseConfig& c, bool quiet) {
   const Topology topo =
       c.mst_topology
           ? MstBinaryTopology(set.sinks, set.source)
-          : NnMergeTopology(set.sinks, set.source,
-                            c.scan_topology ? NnMergeAccel::kScan
-                                            : NnMergeAccel::kGrid);
+          : NnMergeTopology(set.sinks, set.source, c.nn_accel);
   const Status topo_ok =
       ValidateTopology(topo, static_cast<int>(set.sinks.size()));
   if (!topo_ok.ok()) return "ValidateTopology: " + topo_ok.ToString();
