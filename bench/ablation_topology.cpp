@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common.h"
+#include "search/topo_optimizer.h"
 #include "topo/bipartition.h"
 #include "topo/mst.h"
 #include "topo/nn_merge.h"
@@ -25,6 +26,8 @@ using namespace lubt::bench;
 struct TopoCosts {
   double heuristic = -1.0;
   double lubt = -1.0;
+  double min_delay = 0.0;  ///< the achieved window handed to the LP
+  double max_delay = 0.0;
 };
 
 TopoCosts CostsOn(const Topology& topo, const SinkSet& set, double bound) {
@@ -32,6 +35,8 @@ TopoCosts CostsOn(const Topology& topo, const SinkSet& set, double bound) {
   auto assigned = BoundedSkewOnTopology(topo, set.sinks, set.source, bound);
   if (!assigned.ok()) return out;
   out.heuristic = assigned->cost;
+  out.min_delay = assigned->min_delay;
+  out.max_delay = assigned->max_delay;
   EbfProblem prob;
   prob.topo = &topo;
   prob.sinks = set.sinks;
@@ -43,6 +48,30 @@ TopoCosts CostsOn(const Topology& topo, const SinkSet& set, double bound) {
   return out;
 }
 
+// The new fourth column: annealed topology search (search/topo_optimizer.h)
+// from the refined tree at the *same* delay window the "LUBT after" column
+// solved — isolating what the bound-aware SA adds beyond the local
+// subtree-swap refiner.
+double OptimizedCost(const Topology& topo, const SinkSet& set,
+                     const TopoCosts& after) {
+  if (after.lubt < 0.0) return -1.0;
+  std::vector<DelayBounds> bounds(
+      set.sinks.size(), DelayBounds{after.min_delay, after.max_delay});
+  TopoSearchOptions sopt;
+  sopt.max_rounds = 30;
+  sopt.jobs = 1;
+  auto searched = TopoOptimizer::Optimize(set, std::move(bounds),
+                                          Topology(topo), sopt);
+  if (!searched.ok()) {
+    // An ultra-tight window the lazy ECO engine cannot certify feasible is
+    // reported, not gated — the column shows "-" for this cell.
+    std::fprintf(stderr, "note: topology search skipped (%s)\n",
+                 searched.status().ToString().c_str());
+    return -1.0;
+  }
+  return searched->best_cost;
+}
+
 }  // namespace
 
 int main() {
@@ -52,7 +81,8 @@ int main() {
               scale);
 
   TextTable table({"bench", "skew bound", "generator", "heur before",
-                   "heur after", "LUBT before", "LUBT after", "moves"});
+                   "heur after", "LUBT before", "LUBT after", "optimized",
+                   "moves"});
   bool all_ok = true;
   for (const BenchmarkId id : {BenchmarkId::kPrim1, BenchmarkId::kR1}) {
     const double cap = std::min(scale, 120.0 / BenchmarkSinkCount(id));
@@ -88,10 +118,20 @@ int main() {
           std::fprintf(stderr, "refinement regressed its objective!\n");
           all_ok = false;
         }
+        const double optimized = OptimizedCost(refined->topo, set, after);
+        // The annealer checkpoints best-so-far from the refined tree, so
+        // its column may never regress past "LUBT after" (1e-4 headroom for
+        // the EcoSession-vs-SolveEbf solve path difference).
+        if (optimized >= 0.0 && after.lubt >= 0.0 &&
+            optimized > after.lubt * (1.0 + 1e-4)) {
+          std::fprintf(stderr, "topology search regressed past LUBT after!\n");
+          all_ok = false;
+        }
         table.AddRow({set.name, FormatDouble(bound_f, 2), gen.name,
                       FormatCost(before.heuristic),
                       FormatCost(after.heuristic), FormatCost(before.lubt),
                       FormatCost(after.lubt),
+                      optimized >= 0.0 ? FormatCost(optimized) : "-",
                       std::to_string(refined->moves_applied)});
       }
       table.AddSeparator();
@@ -103,6 +143,9 @@ int main() {
       "columns); the best raw generator depends on the bound (balanced at\n"
       "tight skew, MST-like at loose skew). The LUBT-after column can\n"
       "occasionally regress because the refined topology changes the\n"
-      "achieved delay window the LP is asked to meet.\n");
+      "achieved delay window the LP is asked to meet. The optimized column\n"
+      "(annealed topology search from the refined tree, same window) is\n"
+      "never worse than LUBT-after and shows what global search adds on\n"
+      "top of local refinement.\n");
   return all_ok ? 0 : 1;
 }

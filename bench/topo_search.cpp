@@ -1,0 +1,224 @@
+// Topology search headline: dual-guided SA (search/topo_optimizer.h) vs
+// the NN-merge construction it starts from, at identical delay bounds.
+//
+// For each sink count one random instance is built, cold-solved on its
+// NN-merge topology inside an EcoSession (that LUBT cost is the baseline
+// column), then annealed with a per-size round budget. The searched cost is
+// re-verified against ColdReferenceSolve on the session's final state, so
+// the bench doubles as an evaluate ≡ commit ≡ cold equivalence gate at
+// sizes the unit tests cannot afford.
+//
+// Modes:
+//   (default)      sizes 64..1024, written to BENCH_topo.json — the
+//                  improvement curve quoted in EXPERIMENTS.md. Headline
+//                  gate: the geometric-mean cost ratio nn/sa across the
+//                  sizes must be >= 1.03 (SA beats the NN-merge wirelength
+//                  by at least 3% at equal delay bounds). LUBT_BENCH_SCALE
+//                  is deliberately ignored (engine benchmark, not a paper
+//                  table).
+//   --smoke        two small fixed instances with tiny budgets; agreement
+//                  and never-worse gates only — fast enough for
+//                  tools/check.sh and the sanitizer presets.
+//
+// Flags: --smoke, --seed S (default 11), --json PATH (default
+// BENCH_topo.json; '' disables).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "eco/eco_session.h"
+#include "geom/bbox.h"
+#include "search/topo_optimizer.h"
+#include "topo/nn_merge.h"
+#include "util/args.h"
+
+using namespace lubt;
+
+namespace {
+
+struct SizeBudget {
+  int sinks = 0;
+  int rounds = 0;
+};
+
+struct SizeResult {
+  int sinks = 0;
+  int rounds = 0;
+  double nn_cost = 0.0;
+  double sa_cost = 0.0;
+  int accepted = 0;
+  int evaluated = 0;
+  int uphill = 0;
+  double seconds = 0.0;
+  bool costs_agree = true;
+
+  double Ratio() const { return sa_cost > 0.0 ? nn_cost / sa_cost : 0.0; }
+  double ImprovementPct() const { return 100.0 * (1.0 - sa_cost / nn_cost); }
+};
+
+bool RunSize(const SizeBudget& budget, std::uint64_t seed, SizeResult* out) {
+  const BBox die({0.0, 0.0}, {1000.0, 1000.0});
+  const SinkSet set =
+      RandomSinkSet(budget.sinks, die, seed, /*with_source=*/true);
+  const double radius = Radius(set.sinks, set.source);
+  Topology topo = NnMergeTopology(set.sinks, set.source);
+
+  out->sinks = budget.sinks;
+  out->rounds = budget.rounds;
+  // One loose shared window: both columns solve the *same* bounded-delay
+  // instance, so the whole gap is the topology, not the constraints.
+  std::vector<DelayBounds> bounds(set.sinks.size(),
+                                  DelayBounds{0.3 * radius, 1.3 * radius});
+  auto created =
+      EcoSession::Create(set, std::move(bounds), std::move(topo), {});
+  if (!created.ok() || !(*created)->Last().ok()) {
+    std::fprintf(stderr, "FAIL %d sinks: initial solve: %s\n", budget.sinks,
+                 (created.ok() ? (*created)->Last().status : created.status())
+                     .ToString()
+                     .c_str());
+    return false;
+  }
+  EcoSession& session = **created;
+  out->nn_cost = session.Last().cost;
+
+  TopoSearchOptions sopt;
+  sopt.seed = seed;
+  sopt.max_rounds = budget.rounds;
+  sopt.plateau_rounds = budget.rounds;  // spend the whole budget searching
+  sopt.initial_temp = 0.0005;
+  sopt.jobs = 1;
+  auto searched = TopoOptimizer::Optimize(session, sopt);
+  if (!searched.ok()) {
+    std::fprintf(stderr, "FAIL %d sinks: topo search: %s\n", budget.sinks,
+                 searched.status().ToString().c_str());
+    return false;
+  }
+  out->sa_cost = searched->best_cost;
+  out->accepted = searched->stats.accepted;
+  out->evaluated = searched->stats.evaluated;
+  out->uphill = searched->stats.uphill_accepted;
+  out->seconds = searched->stats.seconds;
+
+  // Never-worse: the optimizer checkpoints best-so-far, so even a fruitless
+  // budget must return the starting cost.
+  if (out->sa_cost > out->nn_cost * (1.0 + 1e-9)) {
+    std::fprintf(stderr, "FAIL %d sinks: searched cost %.12g > initial %.12g\n",
+                 budget.sinks, out->sa_cost, out->nn_cost);
+    out->costs_agree = false;
+    return false;
+  }
+
+  // Equivalence gate: the session is left solved on the best topology; a
+  // cold from-scratch solve of that exact state must reproduce the cost.
+  const EbfSolveResult cold = ColdReferenceSolve(session);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "FAIL %d sinks: cold reference: %s\n", budget.sinks,
+                 cold.status.ToString().c_str());
+    return false;
+  }
+  if (std::abs(out->sa_cost - cold.cost) >
+      1e-5 * (1.0 + std::abs(cold.cost))) {
+    std::fprintf(stderr, "FAIL %d sinks: searched cost %.12g vs cold %.12g\n",
+                 budget.sinks, out->sa_cost, cold.cost);
+    out->costs_agree = false;
+    return false;
+  }
+  return true;
+}
+
+void WriteJson(const std::string& path, const std::string& mode,
+               const std::vector<SizeResult>& all) {
+  std::FILE* f = lubt::bench::OpenBenchJson(path, "topo_search", mode);
+  if (f == nullptr) return;
+  std::fprintf(f, "  \"sizes\": [\n");
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    const SizeResult& r = all[s];
+    std::fprintf(
+        f,
+        "    {\"sinks\": %d, \"rounds\": %d, \"nn_cost\": %.6f, "
+        "\"sa_cost\": %.6f,\n"
+        "     \"improvement_pct\": %.3f, \"accepted\": %d, "
+        "\"evaluated\": %d, \"uphill_accepted\": %d,\n"
+        "     \"seconds\": %.3f, \"costs_agree\": %s}%s\n",
+        r.sinks, r.rounds, r.nn_cost, r.sa_cost, r.ImprovementPct(),
+        r.accepted, r.evaluated, r.uphill, r.seconds,
+        r.costs_agree ? "true" : "false", s + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(results also written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ArgParser::Parse(argc, argv, {"smoke", "seed", "json", "help"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  if (parsed->Has("help")) {
+    std::printf(
+        "topo_search: SA topology search vs the NN-merge construction\n"
+        "  --smoke      small fixed instances, agreement gates only\n"
+        "  --seed S     instance + annealer seed (default 11)\n"
+        "  --json PATH  output file (default BENCH_topo.json; '' disables)\n");
+    return 0;
+  }
+  const bool smoke = parsed->Has("smoke");
+  const Result<int> seed = parsed->GetIntFlag("seed", 11, 0);
+  if (!seed.ok()) {
+    std::fprintf(stderr, "bad --seed\n");
+    return 2;
+  }
+  const std::string json =
+      parsed->GetString("json", smoke ? "" : "BENCH_topo.json");
+
+  // Budgets shrink as evaluations grow dearer: one warm structural
+  // re-solve is milliseconds at 64 sinks and north of a second at 1024.
+  const std::vector<SizeBudget> budgets =
+      smoke ? std::vector<SizeBudget>{{24, 12}, {48, 12}}
+            : std::vector<SizeBudget>{{64, 150}, {256, 60}, {1024, 50}};
+
+  std::vector<SizeResult> all;
+  bool ok = true;
+  TextTable table({"sinks", "rounds", "nn cost", "sa cost", "improve",
+                   "accepted", "evals", "uphill", "sa(s)"});
+  for (const SizeBudget& budget : budgets) {
+    SizeResult sr;
+    if (!RunSize(budget, static_cast<std::uint64_t>(*seed), &sr)) ok = false;
+    table.AddRow({std::to_string(sr.sinks), std::to_string(sr.rounds),
+                  FormatCost(sr.nn_cost), FormatCost(sr.sa_cost),
+                  FormatDouble(sr.ImprovementPct(), 2) + "%",
+                  std::to_string(sr.accepted), std::to_string(sr.evaluated),
+                  std::to_string(sr.uphill), FormatDouble(sr.seconds, 1)});
+    all.push_back(sr);
+  }
+
+  std::printf("\n=== Topology search vs NN-merge ===\n%s",
+              table.ToString().c_str());
+  WriteJson(json, smoke ? "smoke" : "full", all);
+
+  if (!smoke && ok) {
+    // Headline + hard gate: geometric-mean cost ratio across the curve.
+    double log_sum = 0.0;
+    for (const SizeResult& r : all) log_sum += std::log(r.Ratio());
+    const double geomean = std::exp(log_sum / static_cast<double>(all.size()));
+    std::printf("geomean nn/sa cost ratio: %.4f (gate >= 1.03)\n", geomean);
+    if (geomean < 1.03) {
+      std::fprintf(stderr,
+                   "FAIL: geomean improvement %.2f%% below the 3%% gate\n",
+                   100.0 * (geomean - 1.0));
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "topo_search: FAILED\n");
+    return 1;
+  }
+  std::printf("topo_search: OK\n");
+  return 0;
+}

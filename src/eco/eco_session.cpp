@@ -7,6 +7,7 @@
 #include "check/invariants.h"
 #include "cts/metrics.h"
 #include "topo/nn_merge.h"
+#include "topo/validate.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -88,6 +89,195 @@ TreeSolution EcoSession::Solution() const {
   tree.topo = topo_;
   tree.edge_len.assign(edge_len_.begin(), edge_len_.end());
   return tree;
+}
+
+EcoDualReport EcoSession::DualReport() const {
+  EcoDualReport rep;
+  const std::size_t m = set_.sinks.size();
+  rep.sinks.resize(m);
+  if (!form_.has_value() || !lp_valid_) return rep;
+
+  const auto full = ExtractDualReport(form_->Model(), lp_x_, lp_dual_);
+  rep.valid = full.valid;
+  for (std::size_t s = 0; s < m; ++s) {
+    const RowDuals& d = full.rows[static_cast<std::size_t>(
+        DelayRow(static_cast<std::int32_t>(s)))];
+    rep.sinks[s].lo_dual = d.lo_dual;
+    rep.sinks[s].hi_dual = d.hi_dual;
+    rep.sinks[s].binding = d.binding_lo || d.binding_hi;
+  }
+  rep.steiner.resize(pool_.size());
+  for (std::size_t k = 0; k < pool_.size(); ++k) {
+    const RowDuals& d = full.rows[static_cast<std::size_t>(SteinerRow(k))];
+    rep.steiner[k].pair = pool_[k];
+    rep.steiner[k].dual = d.lo_dual;
+    rep.steiner[k].binding = d.binding_lo;
+  }
+  return rep;
+}
+
+EcoTopoEval EcoSession::EvaluateCandidateTopology(
+    const Topology& candidate, const std::vector<double>* warm_edge_len) const {
+  EcoTopoEval out;
+  const Status valid = ValidateTopology(candidate, NumSinks());
+  if (!valid.ok()) {
+    out.status = valid;
+    return out;
+  }
+  if (candidate.Mode() != topo_.Mode()) {
+    out.status = Status::InvalidArgument("candidate root mode mismatch");
+    return out;
+  }
+  if (AnyEmptyFoldedWindow()) {
+    out.status = Status::Infeasible(
+        "a sink's delay window is emptied by its source distance");
+    return out;
+  }
+
+  // Evaluation-local instance: same sinks/source/windows, candidate tree.
+  EbfProblem prob = problem_;
+  prob.topo = &candidate;
+  Result<EbfFormulation> built =
+      EbfFormulation::Build(prob, SteinerRowPolicy::kSeed);
+  if (!built.ok()) {
+    out.status = built.status();
+    return out;
+  }
+  EbfFormulation form = std::move(built).value();
+
+  // The Steiner pool is a set of *sink pairs* — knowledge about the
+  // instance's geometry, not about any particular tree — so every pair the
+  // session has ever separated seeds the candidate's model too, saving the
+  // lazy loop from rediscovering them.
+  std::unordered_set<std::int64_t> seen;
+  for (const std::array<std::int32_t, 2>& pr : form.SteinerRowPairs()) {
+    seen.insert(PairKey(pr[0], pr[1]));
+  }
+  LpModel& model = form.MutableModel();
+  const std::int32_t m = static_cast<std::int32_t>(set_.sinks.size());
+  model.ReserveRows(model.Rows().size() + pool_.size());
+  for (const std::array<std::int32_t, 2>& pr : pool_) {
+    if (pr[0] < 0 || pr[1] >= m || pr[0] == pr[1]) continue;
+    if (seen.count(PairKey(pr[0], pr[1])) != 0) continue;
+    const double rhs = form.SteinerRhsLp(pr[0], pr[1]);
+    if (!(rhs > 0.0)) continue;
+    model.AddRow(form.SteinerRowForSinks(pr[0], pr[1]));
+    seen.insert(PairKey(pr[0], pr[1]));
+  }
+
+  // Warm primal: the caller's per-candidate-node layout lengths (the move
+  // kernel projects the session's solved lengths through its renaming).
+  LpWarmStart warm;
+  if (warm_edge_len != nullptr) {
+    warm.x.assign(static_cast<std::size_t>(model.NumCols()), 0.0);
+    for (int col = 0; col < model.NumCols(); ++col) {
+      const NodeId v = form.Indexer().NodeOf(col);
+      if (static_cast<std::size_t>(v) < warm_edge_len->size()) {
+        warm.x[static_cast<std::size_t>(col)] =
+            std::max(0.0, (*warm_edge_len)[static_cast<std::size_t>(v)]) /
+            form.Scale();
+      }
+    }
+  }
+
+  // Evaluation-local lazy loop: RunLazyLoop's structure with every mutable
+  // owned here. Separation and factorization run single-threaded — both are
+  // documented worker-count invariant, and evaluations themselves fan out
+  // across the optimizer's workers, so inner parallelism would only
+  // oversubscribe.
+  IpmContext ipm;
+  LpSolverOptions lp_opt = opt_.solve.lp;
+  lp_opt.engine = LpEngine::kInteriorPoint;
+  lp_opt.ipm_context = &ipm;
+  lp_opt.factor_jobs = 1;
+  const double tol = opt_.solve.separation_tol;
+  const int max_rows = opt_.solve.max_rows_per_round;
+  const SeparationOptions sep{opt_.solve.separation, 1};
+  std::vector<std::array<std::int32_t, 2>> pairs;
+
+  LpSolution sol;
+  for (int round = 0; round < opt_.solve.max_lazy_rounds; ++round) {
+    lp_opt.warm_start = warm.x.empty() ? nullptr : &warm;
+    sol = SolveLp(model, lp_opt);
+    ++out.lazy_rounds;
+    out.lp_iterations += sol.iterations;
+    if (!sol.ok() && lp_opt.warm_start != nullptr) {
+      warm.x.clear();
+      warm.ge_dual.clear();
+      lp_opt.warm_start = nullptr;
+      sol = SolveLp(model, lp_opt);
+      ++out.lazy_rounds;
+      out.lp_iterations += sol.iterations;
+    }
+    if (!sol.ok()) break;
+
+    std::vector<SparseRow> rows =
+        form.FindViolatedSteinerRows(sol.x, tol, max_rows, sep, &pairs);
+    std::size_t appended = 0;
+    model.ReserveRows(model.Rows().size() + rows.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (!seen.insert(PairKey(pairs[k][0], pairs[k][1])).second) continue;
+      model.AddRow(std::move(rows[k]));
+      ++appended;
+    }
+    if (appended == 0) {
+      out.status = Status::Ok();
+      out.edge_len = form.EdgeLengths(sol.x);
+      out.stats = ComputeTreeStats(candidate, out.edge_len);
+      out.cost = out.stats.cost;
+      out.lp_rows = model.NumRows();
+#if LUBT_DCHECK_IS_ON
+      const Status post = ValidateEdgeLengths(prob, out.edge_len);
+      if (!post.ok()) out.status = post;
+#endif
+      return out;
+    }
+    if (lp_opt.warm_start_lazy_rounds &&
+        appended * 4 <= static_cast<std::size_t>(model.NumRows())) {
+      warm.x = sol.x;
+      warm.ge_dual = sol.ge_dual;
+    } else {
+      warm.x.clear();
+      warm.ge_dual.clear();
+    }
+  }
+  out.lp_rows = model.NumRows();
+  out.status = sol.ok() ? Status::NumericalFailure(
+                              "candidate evaluation did not converge")
+                        : sol.status;
+  return out;
+}
+
+Result<EcoSolveInfo> EcoSession::ApplyTopologyReplace(
+    Topology candidate, const std::vector<double>* warm_edge_len) {
+  const Status valid = ValidateTopology(candidate, NumSinks());
+  if (!valid.ok()) return valid;
+  if (candidate.Mode() != topo_.Mode()) {
+    return Status::InvalidArgument("replace: root mode mismatch");
+  }
+
+  Timer timer;
+  EcoSolveInfo info;
+  info.tier = EcoTier::kStructural;
+  topo_ = std::move(candidate);
+  problem_.topo = &topo_;  // unchanged address, kept explicit
+  if (AnyEmptyFoldedWindow()) {
+    info.status = Status::Infeasible(
+        "a sink's delay window is emptied by its source distance");
+    needs_rebuild_ = true;
+    form_.reset();
+    lp_valid_ = false;
+  } else {
+    info.status = RebuildAndSolve(warm_edge_len, &info);
+  }
+  info.lp_rows = NumLpRows();
+  info.seconds = timer.Seconds();
+  last_ = info;
+  LUBT_LOG_DEBUG << "eco topo-replace: tier=" << EcoTierName(info.tier)
+                 << " status=" << StatusCodeName(info.status.code())
+                 << " rounds=" << info.lazy_rounds
+                 << " rows+=" << info.rows_added;
+  return info;
 }
 
 bool EcoSession::AnyEmptyFoldedWindow() const {

@@ -57,6 +57,7 @@
 #include "eco/edit_script.h"
 #include "io/sink_set.h"
 #include "io/tree_io.h"
+#include "lp/dual_report.h"
 #include "lp/interior_point.h"
 
 namespace lubt {
@@ -73,6 +74,44 @@ enum class EcoTier {
 };
 
 const char* EcoTierName(EcoTier tier);
+
+/// The session's last solved point viewed through its duals, in instance
+/// terms (lp/dual_report.h unscales the compiled ge-row duals): one entry
+/// per sink delay window and one per live Steiner pool row. `valid` is
+/// false when the session holds no solution for the current instance or the
+/// stored duals no longer describe the model (e.g. right after a bound flip
+/// that changed the compiled pattern); consumers must then fall back to
+/// unguided behaviour.
+struct EcoDualReport {
+  struct SinkDual {
+    double lo_dual = 0.0;  ///< d cost / d (delay lower bound), >= 0
+    double hi_dual = 0.0;  ///< d cost / d (delay upper bound), <= 0
+    bool binding = false;  ///< either side of the window is active
+  };
+  struct SteinerDual {
+    std::array<std::int32_t, 2> pair{};  ///< defining sinks, min first
+    double dual = 0.0;                   ///< d cost / d (pair distance), >= 0
+    bool binding = false;
+  };
+  std::vector<SinkDual> sinks;      ///< by sink index
+  std::vector<SteinerDual> steiner;  ///< by Steiner pool index
+  bool valid = false;
+};
+
+/// Outcome of one speculative candidate-topology evaluation
+/// (EcoSession::EvaluateCandidateTopology). Holds everything a caller needs
+/// to either rank the candidate or commit it warm.
+struct EcoTopoEval {
+  Status status;                 ///< Ok, or Infeasible/solver failure
+  double cost = 0.0;             ///< total wirelength, layout units
+  TreeStats stats;               ///< delays of the candidate's solved tree
+  std::vector<double> edge_len;  ///< layout units, by candidate node id
+  int lp_rows = 0;
+  int lp_iterations = 0;
+  int lazy_rounds = 0;
+
+  bool ok() const { return status.ok(); }
+};
 
 /// Outcome of one edit (or of session creation).
 struct EcoSolveInfo {
@@ -150,6 +189,42 @@ class EcoSession {
 
   /// The solved tree (topology + lengths, no embedding) for persistence.
   TreeSolution Solution() const;
+
+  /// Dual view of the last solved point (see EcoDualReport). Cheap: one
+  /// pass over the model rows, no solve.
+  EcoDualReport DualReport() const;
+
+  /// Speculatively solve the current instance (same sinks, same windows) on
+  /// a *candidate* topology without mutating the session — the evaluation
+  /// tier of the topology search (search/topo_optimizer.h). Builds an
+  /// evaluation-local formulation, re-materializes the session's accumulated
+  /// Steiner pool against the candidate (the pool is a set of sink pairs,
+  /// which is topology-independent knowledge), warm-starts from
+  /// `warm_edge_len` when given (layout units, indexed by *candidate* node
+  /// id — the move kernel maps the session's solved lengths through its
+  /// node renaming), and runs the lazy loop to optimality. The candidate
+  /// must be a valid topology over this session's sinks in this session's
+  /// root mode.
+  ///
+  /// Thread-safety: const and safe to call concurrently from multiple
+  /// workers on one session — it reads only settled solved state and owns
+  /// every mutable it touches. The exception to the class's thread-confined
+  /// contract is deliberate and narrow: no Apply*/Restore may run
+  /// concurrently with evaluations (the topology search interleaves a
+  /// parallel evaluation phase with a sequential commit phase).
+  EcoTopoEval EvaluateCandidateTopology(
+      const Topology& candidate,
+      const std::vector<double>* warm_edge_len = nullptr) const;
+
+  /// Commit a replacement topology over the unchanged sink set and windows:
+  /// validates, adopts, and re-solves through the structural-repair tier
+  /// (formulation rebuild with the Steiner pool carried over, warm-started
+  /// from `warm_edge_len` — normally the edge lengths of the winning
+  /// EvaluateCandidateTopology call). Fails without mutating the session on
+  /// an invalid candidate (wrong sink count, wrong root mode, malformed
+  /// tree).
+  Result<EcoSolveInfo> ApplyTopologyReplace(
+      Topology candidate, const std::vector<double>* warm_edge_len = nullptr);
 
   /// Snapshot the complete session state (eco/checkpoint.h). The snapshot
   /// is self-contained — copies, not views — so the session may keep

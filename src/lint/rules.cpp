@@ -449,9 +449,11 @@ void RuleServeRawIo(const FileContext& ctx, std::vector<Finding>* out) {
 
 // ---------------------------------------------------------------------------
 // hot-loop-alloc: the steady-state kernels — the numeric refactor path in
-// src/lp/ (FactorAttempt*/ProcessSupernode/Ereach/Solve*) and the geometry
-// distance/aggregate primitives in src/geom/ — run once per Newton step or
-// per candidate pair, and their whole point is that every buffer was
+// src/lp/ (FactorAttempt*/ProcessSupernode/Ereach/Solve*), the geometry
+// distance/aggregate primitives in src/geom/, and the topology-search
+// rewire kernel in src/search/ (RewireMove, called per proposal inside the
+// annealer's round loop) — run once per Newton step, candidate pair, or
+// proposal, and their whole point is that every buffer was
 // preallocated during symbolic analysis / setup. Any `new` or allocating
 // container member call inside one of the listed functions' definitions is
 // a latent per-iteration malloc; a provably cold allocation (first-call
@@ -459,13 +461,16 @@ void RuleServeRawIo(const FileContext& ctx, std::vector<Finding>* out) {
 // waiver so a grep audits every exception.
 
 void RuleHotLoopAlloc(const FileContext& ctx, std::vector<Finding>* out) {
-  if (ctx.rel.empty() || (ctx.rel[0] != "lp" && ctx.rel[0] != "geom")) return;
+  if (ctx.rel.empty() || (ctx.rel[0] != "lp" && ctx.rel[0] != "geom" &&
+                          ctx.rel[0] != "search")) {
+    return;
+  }
   static const std::set<std::string> kHotFunctions = {
       "FactorAttempt", "FactorAttemptSupernodal", "ProcessSupernode",
       "Ereach",        "SolveSimplicial",         "SolveSupernodal",
       "TrrDist",       "TrrDistRaw",              "IntervalGap",
       "Include",       "Merge",                   "CopyFrom",
-      "CrossBound",    "CrossBoundDirty"};
+      "CrossBound",    "CrossBoundDirty",         "RewireMove"};
   static const std::set<std::string> kAllocCalls = {
       "push_back", "emplace_back", "emplace", "resize",
       "reserve",   "assign",       "insert",  "append"};
@@ -541,7 +546,8 @@ const std::vector<Rule>& Rules() {
        "src/serve/ uses framing helpers, never raw read/write/send/recv",
        RuleServeRawIo},
       {"hot-loop-alloc",
-       "src/lp/ + src/geom/ steady-state kernels never touch the heap",
+       "src/lp/ + src/geom/ + src/search/ steady-state kernels never touch "
+       "the heap",
        RuleHotLoopAlloc},
   };
   return kRules;

@@ -1,0 +1,55 @@
+#include "lp/dual_report.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace lubt {
+
+DualReport ExtractDualReport(const LpModel& model, std::span<const double> x,
+                             std::span<const double> ge_dual,
+                             double binding_tol) {
+  DualReport report;
+  const std::size_t m = static_cast<std::size_t>(model.NumRows());
+  report.rows.resize(m);
+
+  // Count compiled ge rows to decide whether the dual vector describes this
+  // model (a stale or simplex-produced vector must not be misread).
+  std::size_t ge_rows = 0;
+  for (const SparseRow& row : model.Rows()) {
+    if (std::isfinite(row.lo)) ++ge_rows;
+    if (std::isfinite(row.hi)) ++ge_rows;
+  }
+  const bool have_duals = !ge_dual.empty() && ge_dual.size() == ge_rows;
+  report.valid = have_duals;
+
+  std::size_t k = 0;  // cursor over compiled ge rows
+  for (std::size_t r = 0; r < m; ++r) {
+    const SparseRow& row = model.Row(static_cast<int>(r));
+    RowDuals& out = report.rows[r];
+    out.activity = row.Activity(x);
+
+    // The compiled row is (s*a)'x >= s*b with s = 1/||a||_2 (model.cpp
+    // push_scaled); its dual mu measures d obj / d (s*b), so the
+    // model-space derivative d obj / d b is mu * s. The -hi fold flips the
+    // constraint sign, so raising hi *relaxes*: d obj / d hi = -mu * s.
+    double norm2 = 0.0;
+    for (const double v : row.value) norm2 += v * v;
+    const double s = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 1.0;
+
+    if (std::isfinite(row.lo)) {
+      if (have_duals) out.lo_dual = ge_dual[k] * s;
+      out.binding_lo =
+          out.activity - row.lo <= binding_tol * std::max(1.0, std::abs(row.lo));
+      ++k;
+    }
+    if (std::isfinite(row.hi)) {
+      if (have_duals) out.hi_dual = -ge_dual[k] * s;
+      out.binding_hi =
+          row.hi - out.activity <= binding_tol * std::max(1.0, std::abs(row.hi));
+      ++k;
+    }
+  }
+  return report;
+}
+
+}  // namespace lubt

@@ -1,0 +1,73 @@
+// Model-row dual extraction from a solved LP.
+//
+// The engines exchange duals in the *compiled* ge-row space
+// (CompiledLpModel: every model row `lo <= a'x <= hi` folds into an
+// equilibrated `>=` row per finite bound, +lo first then -hi, walking model
+// rows in order; each folded row is scaled to unit L2 norm). Those values
+// are what warm starts want, but they are useless to a consumer asking the
+// economic question "what does tightening *this model row's* bound cost?" —
+// the answer is the compiled dual times the row's equilibration scale, with
+// the sign folded back out of the -hi encoding.
+//
+// ExtractDualReport undoes both transformations and returns one RowDuals
+// per model row:
+//
+//   lo_dual = d objective / d lo   (>= 0 at an optimum of a min problem:
+//                                   raising a lower bound can only cost)
+//   hi_dual = d objective / d hi   (<= 0: raising an upper bound relaxes)
+//
+// together with the row activity a'x and binding flags. The report is the
+// substrate of the topology search's dual-guided move proposals
+// (search/topo_optimizer.h): a binding delay or Steiner row with a large
+// |dual| names the sinks whose constraints shape the optimum, so moves are
+// proposed where the LP says the money is. tests/dual_report_test.cpp
+// validates the derivatives against finite-difference re-solves.
+
+#ifndef LUBT_LP_DUAL_REPORT_H_
+#define LUBT_LP_DUAL_REPORT_H_
+
+#include <span>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace lubt {
+
+/// Unscaled duals and activity of one model row.
+struct RowDuals {
+  double activity = 0.0;  ///< a'x at the reported point
+  double lo_dual = 0.0;   ///< d obj / d lo; 0 when lo is -inf
+  double hi_dual = 0.0;   ///< d obj / d hi; 0 when hi is +inf
+  bool binding_lo = false;
+  bool binding_hi = false;
+};
+
+/// Per-model-row dual view of one solved point.
+struct DualReport {
+  std::vector<RowDuals> rows;  ///< one entry per model row, in row order
+  bool valid = false;  ///< duals populated (ge_dual matched the model shape)
+
+  /// Non-negative importance weight of row r: how hard its bounds push on
+  /// the optimum (lo_dual - hi_dual; both terms are individually >= 0 at an
+  /// optimum up to solver tolerance).
+  double Weight(int r) const {
+    const RowDuals& d = rows[static_cast<std::size_t>(r)];
+    return d.lo_dual - d.hi_dual;
+  }
+};
+
+/// Build the report for `model` at primal point `x` with compiled-space
+/// duals `ge_dual` (LpSolution::ge_dual). Activities and binding flags are
+/// always filled from `x`; the dual fields are populated — and `valid` set —
+/// only when `ge_dual` has exactly one entry per compiled ge row, which is
+/// what every interior-point solve of the model returns (simplex solves
+/// return no duals, yielding a valid=false report). `binding_tol` is the
+/// absolute activity-to-bound distance under which a bound counts as
+/// binding, relative-scaled by max(1, |bound|).
+DualReport ExtractDualReport(const LpModel& model, std::span<const double> x,
+                             std::span<const double> ge_dual,
+                             double binding_tol = 1e-6);
+
+}  // namespace lubt
+
+#endif  // LUBT_LP_DUAL_REPORT_H_

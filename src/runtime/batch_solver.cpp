@@ -7,6 +7,7 @@
 #include "eco/eco_session.h"
 #include "embed/verifier.h"
 #include "runtime/thread_pool.h"
+#include "search/topo_optimizer.h"
 #include "topo/bipartition.h"
 #include "topo/mst.h"
 #include "topo/nn_merge.h"
@@ -222,6 +223,46 @@ BatchJobResult SolveOneJob(const BatchJob& job) {
                     session->EdgeLengths().end());
     stats = session->Last().stats;
     lp_rows = session->NumLpRows();
+  }
+
+  // Optional per-job topology search from the solved state. Single-worker
+  // by construction: the job already owns exactly one batch worker, and the
+  // annealer's jobs=1 == jobs=N contract makes that choice cost-free for
+  // determinism.
+  if (job.opt_rounds > 0) {
+    stage.Restart();
+    TopoSearchOptions sopt;
+    sopt.max_rounds = job.opt_rounds;
+    sopt.seed = job.opt_seed;
+    sopt.jobs = 1;
+    sopt.eco.solve = job.options;
+    Result<TopoSearchResult> searched =
+        session ? TopoOptimizer::Optimize(*session, sopt)
+                : TopoOptimizer::Optimize(job.set, bounds_vec,
+                                          std::move(topo), sopt);
+    out.seconds.solve += stage.Seconds();
+    if (!searched.ok()) {
+      const JobOutcome outcome =
+          searched.status().code() == StatusCode::kInfeasible
+              ? JobOutcome::kInfeasible
+              : JobOutcome::kError;
+      const StageSeconds seconds = out.seconds;
+      out = Fail(outcome, searched.status());
+      out.seconds = seconds;
+      out.seconds.total = total.Seconds();
+      return out;
+    }
+    topo = std::move(searched->best_topo);
+    edge_len = std::move(searched->best_edge_len);
+    stats = searched->best_stats;
+    if (past_deadline()) {
+      const StageSeconds seconds = out.seconds;
+      out = Fail(JobOutcome::kTimedOut,
+                 Status::Internal("deadline exceeded after topology search"));
+      out.seconds = seconds;
+      out.seconds.total = total.Seconds();
+      return out;
+    }
   }
 
   // Edits may have changed the sinks, windows, and topology: embed against

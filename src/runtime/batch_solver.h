@@ -59,6 +59,13 @@ struct BatchJob {
   /// radius units of the initial instance). The reported tree is the state
   /// after the last edit; the deadline is also checked between edits.
   std::vector<EcoEdit> eco_edits;
+  /// When positive, anneal over topologies for up to this many rounds after
+  /// the solve (search/topo_optimizer.h, seeded by opt_seed) and report the
+  /// best tree found. Runs single-worker inside the job, preserving the
+  /// batch determinism contract. On an eco job the search starts from the
+  /// post-edit state.
+  int opt_rounds = 0;
+  std::uint64_t opt_seed = 1;
   EbfSolveOptions options;
   PlacementRule rule = PlacementRule::kClosestToParent;
   /// 0 = unlimited. Checked cooperatively at stage boundaries.

@@ -1,0 +1,103 @@
+// Exact small-instance comparators for the topology search, after
+// Maßberg's given-topology dynamic program (PAPERS.md, arXiv:1412.5010):
+// bottom-up aggregation of exact per-subtree information instead of an LP.
+//
+// Both comparators live on a reformulation of the paper's edge-space LP in
+// *root-distance* space. Substitute D_v = (path length root -> v), so
+// e_v = D_v - D_parent(v) and e >= 0 becomes monotonicity D_v >= D_parent.
+// Two facts collapse the Theta(m^2) Steiner constraints:
+//
+//  1. dist(i,j) = max over sign vectors sigma in {+-1}^2 of
+//     sigma.p_i - sigma.p_j  (the L1 distance as a max of 4 linear forms);
+//  2. the Steiner row of pair (i,j) binds at the pair's LCA w:
+//     d_i + d_j - 2 D_w >= dist(i,j).
+//
+// So at every binary node w, all cross pairs reduce to 4 octant
+// constraints:  G_sigma(L) + G_{-sigma}(R) >= 2 D_w,  where
+// G_sigma(S) = min over leaves i in S of (d_i - sigma.p_i) is an
+// aggregate computable bottom-up in O(1) per node per lane. With leaf
+// delays d fixed, the objective sum of edges telescopes to
+//
+//     cost(d) = sum_leaf d_i - sum_{internal non-root} D_v,
+//
+// decreasing in every internal D_v; the feasible region is a lattice whose
+// componentwise-maximal point is D*_v = min(cap_v, min over children D*),
+// cap_v = (1/2) min_sigma [G_sigma(L) + G_{-sigma}(R)], computed in one
+// bottom-up sweep. LeafDelayDp therefore evaluates the *exact* optimal cost
+// of a topology for given leaf delays in O(n) — no LP anywhere.
+//
+// ExactTopologyScore combines two engines that share no code with the
+// production solver path (lazy rows + octant separation + warm IPM):
+// the full-row Theta(m^2) formulation under the dense two-phase simplex,
+// certified by LeafDelayDp at the solution's leaf delays (the DP re-derives
+// the cost from the leaf delays alone; any mis-scored internal structure
+// shows up as a certification gap). ExactBestTopology exhaustively
+// enumerates all (2m-3)!! rooted binary leaf-labeled topologies and scores
+// each — the ground-truth oracle the SA's accepted moves are validated
+// against on small instances.
+
+#ifndef LUBT_SEARCH_EXACT_DP_H_
+#define LUBT_SEARCH_EXACT_DP_H_
+
+#include <optional>
+#include <span>
+
+#include "ebf/formulation.h"
+#include "geom/point.h"
+#include "topo/topology.h"
+
+namespace lubt {
+
+/// Instance-size ceiling for the per-topology oracle integrations (the SA
+/// cross-check and the tests): full-row simplex scoring is Theta(m^2) rows.
+inline constexpr int kExactOracleMaxSinks = 12;
+
+/// Instance-size ceiling for exhaustive topology enumeration: (2m-3)!!
+/// trees (m=8 is already 135135).
+inline constexpr int kExactEnumMaxSinks = 8;
+
+/// Exact optimal cost of `topo` for *fixed* leaf delays (layout units).
+struct LeafDelayDpResult {
+  bool feasible = false;  ///< delays admit a monotone, octant-feasible tree
+  double cost = 0.0;      ///< minimal total wirelength at these delays
+};
+/// `leaf_delay` is indexed by sink index; `tol` is the absolute feasibility
+/// slack (layout units) for the window and monotonicity checks.
+LeafDelayDpResult LeafDelayDp(const Topology& topo,
+                              std::span<const Point> sinks,
+                              const std::optional<Point>& source,
+                              std::span<const DelayBounds> bounds,
+                              std::span<const double> leaf_delay,
+                              double tol = 1e-9);
+
+/// Exact cost of one topology (full-row simplex + DP certification).
+struct ExactScore {
+  Status status;             ///< Ok / Infeasible / size guard violation
+  double cost = 0.0;         ///< exact minimal wirelength
+  bool dp_certified = false; ///< LeafDelayDp reproduced the LP cost
+
+  bool ok() const { return status.ok(); }
+};
+ExactScore ExactTopologyScore(const Topology& topo,
+                              std::span<const Point> sinks,
+                              const std::optional<Point>& source,
+                              std::span<const DelayBounds> bounds);
+
+/// Exact best topology by exhaustive enumeration (root mode derived from
+/// the source: present = fixed, absent = free).
+struct ExactBest {
+  Status status;
+  double cost = 0.0;
+  Topology topo;              ///< a best-scoring topology (first in order)
+  long long enumerated = 0;   ///< topologies scored
+  long long feasible = 0;     ///< topologies with a feasible embedding
+
+  bool ok() const { return status.ok(); }
+};
+ExactBest ExactBestTopology(std::span<const Point> sinks,
+                            const std::optional<Point>& source,
+                            std::span<const DelayBounds> bounds);
+
+}  // namespace lubt
+
+#endif  // LUBT_SEARCH_EXACT_DP_H_

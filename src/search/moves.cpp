@@ -1,0 +1,211 @@
+#include "search/moves.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace lubt {
+
+const char* MoveKindName(MoveKind kind) {
+  switch (kind) {
+    case MoveKind::kReattach:
+      return "reattach";
+    case MoveKind::kSwap:
+      return "swap";
+    case MoveKind::kSplitCollapse:
+      return "split-collapse";
+  }
+  return "unknown";
+}
+
+void MoveScratch::Prepare(int num_nodes) {
+  const std::size_t n = static_cast<std::size_t>(num_nodes);
+  parent.assign(n, kInvalidNode);
+  left.assign(n, kInvalidNode);
+  right.assign(n, kInvalidNode);
+  sink.assign(n, -1);
+  map.assign(n, kInvalidNode);
+  stack.assign(2 * n, 0);
+  root = kInvalidNode;
+}
+
+bool RewireMove(const Topology& base, const TopoMove& move,
+                MoveScratch* scratch) {
+  const NodeId n = base.NumNodes();
+  if (static_cast<std::size_t>(n) > scratch->parent.size()) return false;
+  NodeId* parent = scratch->parent.data();
+  NodeId* left = scratch->left.data();
+  NodeId* right = scratch->right.data();
+  std::int32_t* sink = scratch->sink.data();
+  for (NodeId v = 0; v < n; ++v) {
+    const TopoNode& node = base.Node(v);
+    parent[v] = node.parent;
+    left[v] = node.left;
+    right[v] = node.right;
+    sink[v] = node.sink;
+  }
+  NodeId root = base.Root();
+
+  const NodeId a = move.a;
+  const NodeId b = move.b;
+  if (a < 0 || a >= n || b < 0 || b >= n || a == b) return false;
+
+  switch (move.kind) {
+    case MoveKind::kReattach: {
+      if (a == root) return false;
+      const NodeId p = parent[a];
+      if (p == root) return false;  // splicing the root out is not a move
+      // b below a (or b == a) would detach the target with the subtree.
+      for (NodeId v = b; v != kInvalidNode; v = parent[v]) {
+        if (v == a) return false;
+      }
+      if (b == p) return false;  // p is about to disappear
+      const NodeId s = left[p] == a ? right[p] : left[p];
+      if (b == s) return false;  // re-attaching beside the sibling: no-op
+      if (b == root && base.Mode() == RootMode::kFixedSource) {
+        return false;  // nothing may sit above the source root
+      }
+      // Splice p out: the sibling takes p's slot under the grandparent.
+      const NodeId g = parent[p];
+      parent[s] = g;
+      if (left[g] == p) {
+        left[g] = s;
+      } else {
+        right[g] = s;
+      }
+      // Reuse p's slot as the fresh internal node on the edge above b.
+      const NodeId pb = parent[b];
+      parent[p] = pb;
+      if (pb == kInvalidNode) {
+        root = p;
+      } else if (left[pb] == b) {
+        left[pb] = p;
+      } else {
+        right[pb] = p;
+      }
+      left[p] = b;
+      right[p] = a;
+      parent[b] = p;
+      parent[a] = p;
+      break;
+    }
+    case MoveKind::kSwap: {
+      if (a == root || b == root) return false;
+      for (NodeId v = parent[a]; v != kInvalidNode; v = parent[v]) {
+        if (v == b) return false;  // a nested under b
+      }
+      for (NodeId v = parent[b]; v != kInvalidNode; v = parent[v]) {
+        if (v == a) return false;  // b nested under a
+      }
+      const NodeId pa = parent[a];
+      const NodeId pb = parent[b];
+      if (pa == pb) return false;  // sibling swap: no-op
+      if (left[pa] == a) {
+        left[pa] = b;
+      } else {
+        right[pa] = b;
+      }
+      if (left[pb] == b) {
+        left[pb] = a;
+      } else {
+        right[pb] = a;
+      }
+      parent[a] = pb;
+      parent[b] = pa;
+      break;
+    }
+    case MoveKind::kSplitCollapse: {
+      if (a == root) return false;
+      if (sink[a] >= 0 || left[a] == kInvalidNode || right[a] == kInvalidNode) {
+        return false;  // only a binary Steiner point collapses
+      }
+      if (b != left[a] && b != right[a]) return false;
+      const NodeId v = parent[a];
+      if (right[v] == kInvalidNode) {
+        return false;  // parent is the fixed-source unary root
+      }
+      const NodeId s = left[v] == a ? right[v] : left[v];
+      const NodeId other = b == left[a] ? right[a] : left[a];
+      // ((b, other), s) at v  ->  ((b, s), other): `other` rises to v's
+      // level and the sibling drops in next to the kept grandchild.
+      left[a] = b;
+      right[a] = s;
+      parent[s] = a;
+      if (left[v] == a) {
+        right[v] = other;
+      } else {
+        left[v] = other;
+      }
+      parent[other] = v;
+      break;
+    }
+  }
+  scratch->root = root;
+  return true;
+}
+
+Topology MaterializeCandidate(const Topology& base, MoveScratch* scratch,
+                              const std::vector<double>* base_values,
+                              std::vector<double>* mapped_values) {
+  const NodeId n = base.NumNodes();
+  Topology out;
+  if (mapped_values != nullptr) {
+    mapped_values->assign(static_cast<std::size_t>(n), 0.0);
+  }
+
+  // Iterative left-first post-order from the rewired root; a node is pushed
+  // once as ~v to mark "children done, emit now". Node ids in `out` ascend
+  // children-before-parents, the canonical arena order.
+  NodeId* stack = scratch->stack.data();
+  NodeId* map = scratch->map.data();
+  std::size_t top = 0;
+  stack[top++] = scratch->root;
+  while (top > 0) {
+    const NodeId v = stack[--top];
+    if (v < 0) {
+      const NodeId u = ~v;
+      const NodeId nu =
+          scratch->right[static_cast<std::size_t>(u)] != kInvalidNode
+              ? out.AddInternalNode(
+                    map[scratch->left[static_cast<std::size_t>(u)]],
+                    map[scratch->right[static_cast<std::size_t>(u)]])
+              : out.AddUnaryNode(
+                    map[scratch->left[static_cast<std::size_t>(u)]]);
+      map[u] = nu;
+      continue;
+    }
+    const std::int32_t s = scratch->sink[static_cast<std::size_t>(v)];
+    const NodeId l = scratch->left[static_cast<std::size_t>(v)];
+    const NodeId r = scratch->right[static_cast<std::size_t>(v)];
+    if (l == kInvalidNode && r == kInvalidNode) {
+      LUBT_ASSERT(s >= 0);
+      map[v] = out.AddSinkNode(s);
+      continue;
+    }
+    stack[top++] = ~v;  // emit after the children
+    if (r != kInvalidNode) stack[top++] = r;
+    if (l != kInvalidNode) stack[top++] = l;
+  }
+  out.SetRoot(map[scratch->root], base.Mode());
+
+  if (base_values != nullptr && mapped_values != nullptr) {
+    const std::size_t limit =
+        std::min(base_values->size(), static_cast<std::size_t>(n));
+    for (std::size_t v = 0; v < limit; ++v) {
+      (*mapped_values)[static_cast<std::size_t>(map[v])] = (*base_values)[v];
+    }
+  }
+  return out;
+}
+
+bool ApplyMove(const Topology& base, const TopoMove& move,
+               MoveScratch* scratch, Topology* out,
+               const std::vector<double>* base_values,
+               std::vector<double>* mapped_values) {
+  if (!RewireMove(base, move, scratch)) return false;
+  *out = MaterializeCandidate(base, scratch, base_values, mapped_values);
+  return true;
+}
+
+}  // namespace lubt

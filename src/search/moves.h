@@ -1,0 +1,111 @@
+// Typed topology moves for the simulated-annealing search.
+//
+// A move is a local surgery on a rooted binary routing-tree topology that
+// keeps every invariant ValidateTopology checks: sinks stay leaves, internal
+// non-root nodes stay degree-3, the root keeps its mode. Three kinds:
+//
+//  * kReattach       — detach the subtree rooted at `a` (splicing its
+//                      parent out of the tree) and re-attach it on the edge
+//                      above `b` through a fresh internal node. The search's
+//                      workhorse: it can carry a sink, or a whole cluster,
+//                      across the tree in one step.
+//  * kSwap           — exchange the positions of two disjoint subtrees `a`
+//                      and `b` (the paper-era refinement move, topo/refine).
+//  * kSplitCollapse  — the paper's Figure-2 local re-association: collapse
+//                      the Steiner point `a` into its parent (conceptually a
+//                      degree-4 node over {children of a} u {sibling of a})
+//                      and re-split with the other pairing, keeping
+//                      grandchild `b` below. Equivalent to a rotation; it
+//                      reaches the re-associations kReattach cannot express
+//                      when `a`'s parent is the root.
+//
+// The surgery runs in two phases with very different cost profiles:
+//
+//  1. RewireMove — the hot move-evaluation kernel. Copies the base
+//     adjacency into preallocated scratch and applies the rewiring with
+//     pure array writes; rejects degenerate or invariant-breaking moves.
+//     Runs once per SA proposal, so it is allocation-free by contract
+//     (lubt_lint hot-loop-alloc covers it; PrepareMoveScratch owns the
+//     allocations).
+//  2. MaterializeCandidate — the cold half. Emits a canonical Topology
+//     (children-precede-parents node ids, the invariant EcoSession's
+//     structural repair relies on) from the rewired scratch and maps
+//     per-node values (warm edge lengths) through the renaming.
+//
+// In-place surgery (Topology::SwapSubtrees) is deliberately not used: it
+// breaks the children-precede-parents id invariant, and candidates must be
+// canonical before EcoSession::EvaluateCandidateTopology sees them.
+
+#ifndef LUBT_SEARCH_MOVES_H_
+#define LUBT_SEARCH_MOVES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace lubt {
+
+enum class MoveKind {
+  kReattach,       ///< subtree re-attach onto another edge
+  kSwap,           ///< disjoint subtree exchange
+  kSplitCollapse,  ///< Steiner-point collapse + alternate re-split
+};
+
+const char* MoveKindName(MoveKind kind);
+
+/// One proposed move, in base-topology node ids.
+struct TopoMove {
+  MoveKind kind = MoveKind::kReattach;
+  NodeId a = kInvalidNode;  ///< subtree root (reattach/swap), Steiner (split)
+  NodeId b = kInvalidNode;  ///< target edge (reattach), subtree (swap),
+                            ///< kept grandchild (split/collapse)
+};
+
+/// Preallocated working set of the rewire kernel plus the candidate-emit
+/// buffers. One instance per worker; Prepare() is the only allocator.
+struct MoveScratch {
+  std::vector<NodeId> parent;
+  std::vector<NodeId> left;
+  std::vector<NodeId> right;
+  std::vector<std::int32_t> sink;
+  NodeId root = kInvalidNode;
+  // MaterializeCandidate's DFS stack and old-id -> new-id map.
+  std::vector<NodeId> stack;
+  std::vector<NodeId> map;
+
+  /// Size every buffer for topologies of up to `num_nodes` nodes.
+  void Prepare(int num_nodes);
+};
+
+/// Apply `move` to `base`'s adjacency inside `scratch` (which must be
+/// Prepared for at least base.NumNodes() nodes). Returns false — leaving
+/// only scratch modified — when the move is invalid on this topology:
+/// out-of-range ids, a no-op (re-attaching next to the current position,
+/// swapping siblings), or a surgery that would break an invariant (moving
+/// the root, nested swap subtrees, collapsing through the fixed-source
+/// unary root). Allocation-free.
+bool RewireMove(const Topology& base, const TopoMove& move,
+                MoveScratch* scratch);
+
+/// Emit the rewired scratch as a canonical Topology: nodes are re-numbered
+/// by a deterministic left-first post-order DFS from the new root, so
+/// children precede parents and equal rewirings yield bitwise-equal arenas.
+/// When `base_values` is given (per base node id — e.g. the session's
+/// solved edge lengths), `mapped_values` receives them re-indexed by
+/// candidate node id (the spliced-out / freshly-created internal node takes
+/// the value its slot carried in `base_values`, a serviceable warm guess).
+Topology MaterializeCandidate(const Topology& base, MoveScratch* scratch,
+                              const std::vector<double>* base_values = nullptr,
+                              std::vector<double>* mapped_values = nullptr);
+
+/// Convenience: RewireMove + MaterializeCandidate. Returns false on an
+/// invalid move without touching `out`.
+bool ApplyMove(const Topology& base, const TopoMove& move,
+               MoveScratch* scratch, Topology* out,
+               const std::vector<double>* base_values = nullptr,
+               std::vector<double>* mapped_values = nullptr);
+
+}  // namespace lubt
+
+#endif  // LUBT_SEARCH_MOVES_H_

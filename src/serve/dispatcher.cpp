@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "io/tree_io.h"
+#include "search/topo_optimizer.h"
 #include "topo/nn_merge.h"
 
 namespace lubt {
@@ -124,6 +125,7 @@ Json Dispatcher::Execute(const ServeRequest& req) {
     case ServeOp::kSolve:
     case ServeOp::kEcoEdit:
     case ServeOp::kQuery:
+    case ServeOp::kOptimize:
     case ServeOp::kCloseSession:
       return ExecuteSessionOp(req);
     case ServeOp::kStats:
@@ -189,6 +191,43 @@ Json Dispatcher::ExecuteSessionOp(const ServeRequest& req) {
       Json result = SolveInfoJson(infos->back(), opt_.deterministic);
       result.Set("edits_applied",
                  Json::MakeNumber(static_cast<double>(infos->size())));
+      Json resp = OkResponse(req.id);
+      resp.Set("result", std::move(result));
+      out = std::move(resp);
+      break;
+    }
+    case ServeOp::kOptimize: {
+      TopoSearchOptions sopt;
+      sopt.max_rounds = req.opt_rounds;
+      sopt.seed = req.opt_seed;
+      sopt.jobs = 1;  // the session's strand owns this thread; stay on it
+      sopt.eco = opt_.cache.eco;
+      Result<TopoSearchResult> searched =
+          TopoOptimizer::Optimize(*session, sopt);
+      if (!searched.ok()) {
+        out = ErrorResponse(req.id, searched.status());
+        break;
+      }
+      Json result = Json::MakeObject();
+      result.Set("initial_cost", Json::MakeNumber(searched->initial_cost));
+      result.Set("cost", Json::MakeNumber(searched->best_cost));
+      result.Set("improvement", Json::MakeNumber(searched->Improvement()));
+      result.Set("rounds",
+                 Json::MakeNumber(searched->stats.rounds));
+      result.Set("evaluated",
+                 Json::MakeNumber(searched->stats.evaluated));
+      result.Set("accepted",
+                 Json::MakeNumber(searched->stats.accepted));
+      result.Set("uphill_accepted",
+                 Json::MakeNumber(searched->stats.uphill_accepted));
+      result.Set("min_delay",
+                 Json::MakeNumber(searched->best_stats.min_delay));
+      result.Set("max_delay",
+                 Json::MakeNumber(searched->best_stats.max_delay));
+      result.Set("seconds",
+                 Json::MakeNumber(opt_.deterministic
+                                      ? 0.0
+                                      : searched->stats.seconds));
       Json resp = OkResponse(req.id);
       resp.Set("result", std::move(result));
       out = std::move(resp);

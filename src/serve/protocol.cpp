@@ -114,6 +114,25 @@ Status ParseEcoEdit(const Json& obj, ServeRequest* out) {
   return Status::Ok();
 }
 
+Status ParseOptimize(const Json& obj, ServeRequest* out) {
+  const Json* rounds = obj.Find("rounds");
+  if (rounds == nullptr || !rounds->IsNumber()) {
+    return FieldError("optimize", "'rounds' must be a positive number");
+  }
+  const double r = rounds->AsNumber();
+  if (!(r >= 1.0) || r > 1e6) {
+    return FieldError("optimize", "'rounds' must be in [1, 1e6]");
+  }
+  out->opt_rounds = static_cast<int>(r);
+  if (const Json* seed = obj.Find("seed"); seed != nullptr) {
+    if (!seed->IsNumber() || seed->AsNumber() < 0.0) {
+      return FieldError("optimize", "'seed' must be a non-negative number");
+    }
+    out->opt_seed = static_cast<std::uint64_t>(seed->AsNumber());
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 const char* ServeOpName(ServeOp op) {
@@ -126,6 +145,8 @@ const char* ServeOpName(ServeOp op) {
       return "eco_edit";
     case ServeOp::kQuery:
       return "query";
+    case ServeOp::kOptimize:
+      return "optimize";
     case ServeOp::kCloseSession:
       return "close_session";
     case ServeOp::kStats:
@@ -163,6 +184,8 @@ Result<ServeRequest> ParseServeRequest(const std::string& payload) {
     req.op = ServeOp::kEcoEdit;
   } else if (name == "query") {
     req.op = ServeOp::kQuery;
+  } else if (name == "optimize") {
+    req.op = ServeOp::kOptimize;
   } else if (name == "close_session") {
     req.op = ServeOp::kCloseSession;
   } else if (name == "stats") {
@@ -188,6 +211,9 @@ Result<ServeRequest> ParseServeRequest(const std::string& payload) {
       break;
     case ServeOp::kEcoEdit:
       LUBT_RETURN_IF_ERROR(ParseEcoEdit(obj, &req));
+      break;
+    case ServeOp::kOptimize:
+      LUBT_RETURN_IF_ERROR(ParseOptimize(obj, &req));
       break;
     case ServeOp::kQuery:
       if (const Json* tree = obj.Find("tree"); tree != nullptr) {

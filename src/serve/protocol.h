@@ -17,6 +17,10 @@
 //                  edit in order; stops at the first malformed one.
 //   query          "session", "tree": bool? — instance summary, optionally
 //                  with the solved tree in io/tree_io.h text format.
+//   optimize       "session", "rounds": number, "seed": number? — anneal
+//                  over topologies (search/topo_optimizer.h) for up to
+//                  "rounds" SA rounds from the session's solved state and
+//                  commit the best tree found.
 //   close_session  "session" — drop the session and its spill file.
 //   stats          server-wide counters.
 //   shutdown       stop accepting work; the server exits after this
@@ -52,6 +56,7 @@ enum class ServeOp {
   kSolve,
   kEcoEdit,
   kQuery,
+  kOptimize,
   kCloseSession,
   kStats,
   kShutdown,
@@ -76,6 +81,10 @@ struct ServeRequest {
 
   // query payload.
   bool want_tree = false;
+
+  // optimize payload.
+  int opt_rounds = 0;
+  std::uint64_t opt_seed = 1;
 };
 
 /// Parse + validate one request frame.

@@ -445,11 +445,25 @@ TEST(HotLoopAlloc, CallSitesColdFunctionsAndOtherDirsClean) {
            "}\n");
   EXPECT_EQ(CountRule(cold, "hot-loop-alloc"), 0);
 
-  // Scope: only src/lp/ and src/geom/ carry the no-alloc contract.
+  // Scope: only src/lp/, src/geom/ and src/search/ carry the no-alloc
+  // contract.
   const auto elsewhere =
       Lint("src/topo/nn_merge.cpp",
            "void Cell::Merge(const Cell& o) { idx.push_back(1); }\n");
   EXPECT_EQ(CountRule(elsewhere, "hot-loop-alloc"), 0);
+}
+
+TEST(HotLoopAlloc, SearchRewireKernelFlagged) {
+  // The annealer's per-proposal rewire kernel carries the same contract as
+  // the lp/geom kernels: MoveScratch::Prepare is the only allocator.
+  const auto findings =
+      Lint("src/search/moves.cpp",
+           "bool RewireMove(const Topology& base, const TopoMove& move,\n"
+           "                MoveScratch* scratch) {\n"
+           "  scratch->parent.push_back(kInvalidNode);\n"
+           "  return true;\n"
+           "}\n");
+  EXPECT_EQ(CountRule(findings, "hot-loop-alloc"), 1);
 }
 
 TEST(HotLoopAlloc, SuppressionWaives) {

@@ -69,7 +69,7 @@ for preset in "${presets[@]}"; do
   # tool drivers — everything that actually multithreads.
   ctest_args=()
   if [[ "$preset" == "tsan" ]]; then
-    ctest_args=(-R "runtime|Batch|Determinism|self_check|lubt_batch|Eco|Serve")
+    ctest_args=(-R "runtime|Batch|Determinism|self_check|lubt_batch|Eco|Serve|Search")
   fi
   if ! ctest --preset "$preset" "${ctest_args[@]}" \
        > "/tmp/lubt-check-$preset-test.log" 2>&1; then
@@ -147,7 +147,7 @@ for preset in "${presets[@]}"; do
     # benches from the repo root, and a missing JSON means a curve was
     # silently dropped from a refresh.
     echo "==== [$preset] bench artifacts present ===="
-    for artifact in BENCH_lp.json BENCH_sep.json BENCH_eco.json BENCH_serve.json; do
+    for artifact in BENCH_lp.json BENCH_sep.json BENCH_eco.json BENCH_serve.json BENCH_topo.json; do
       if [[ ! -s "$artifact" ]]; then
         echo "missing bench artifact: $artifact (run the full bench to regenerate)"
         failed+=("$preset ($artifact missing)")
@@ -162,7 +162,7 @@ for preset in "${presets[@]}"; do
   # response succeeding AND on the stats showing actual evict/restore
   # cycles — the server stack's end-to-end smoke.
   if [[ "$preset" == "default" || "$preset" == "asan" || "$preset" == "ubsan" ]]; then
-    for smoke in lp_scaling separation_scaling eco_scaling serve_load; do
+    for smoke in lp_scaling separation_scaling eco_scaling serve_load topo_search; do
       echo "==== [$preset] $smoke --smoke ===="
       if ! "./build-$preset/bench/$smoke" --smoke \
            > "/tmp/lubt-check-$preset-$smoke-smoke.log" 2>&1; then

@@ -22,6 +22,10 @@
 //                                    incrementally after the initial solve;
 //                                    relative PATH resolves against the
 //                                    manifest's directory
+//   opt=N opt-seed=S                 anneal over topologies for up to N
+//                                    rounds after the solve (seeded SA,
+//                                    search/topo_optimizer.h) and keep the
+//                                    best tree
 //   timeout=SECONDS                  cooperative per-job deadline
 //   name=NET7 expect=ok|infeasible   optional label / outcome assertion
 //
@@ -163,6 +167,13 @@ Result<ManifestJob> ParseManifestLine(const std::string& line, int line_no,
         return Status::InvalidArgument(where + edits.status().ToString());
       }
       job.eco_edits = std::move(*edits);
+    } else if (key == "opt") {
+      job.opt_rounds = std::atoi(value.c_str());
+      if (job.opt_rounds < 0) {
+        return Status::InvalidArgument(where + "opt must be >= 0");
+      }
+    } else if (key == "opt-seed") {
+      job.opt_seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (key == "timeout") {
       job.timeout_seconds = std::atof(value.c_str());
     } else if (key == "expect") {

@@ -31,6 +31,7 @@
 #include "io/sink_set.h"
 #include "io/svg_export.h"
 #include "io/tree_io.h"
+#include "search/topo_optimizer.h"
 #include "topo/bipartition.h"
 #include "topo/mst.h"
 #include "topo/nn_merge.h"
@@ -63,6 +64,12 @@ options:
                        PATH through an incremental session (move/add/remove/
                        bounds/shift; windows in radius units) and report the
                        edited tree
+  --optimize-topo N    after solving, anneal over topologies for up to N
+                       rounds (search/topo_optimizer) and keep the best tree
+  --opt-seed N         annealer RNG seed (default 1)
+  --opt-jobs N         speculative evaluation workers (default 1, 0 = auto)
+  --opt-chain N        moves chained per candidate (default 0 = auto scale)
+  --opt-temp F         initial temperature, fraction of cost (default 0.02)
   --seed N             seed for --random (default 1)
   --svg PATH           write the embedded layout as SVG
   --dot PATH           write the topology as Graphviz DOT
@@ -81,8 +88,10 @@ int main(int argc, char** argv) {
   auto parsed = ArgParser::Parse(
       argc, argv,
       {"input", "random", "benchmark", "scale", "lower", "upper", "skew",
-       "topology", "engine", "strategy", "refine", "eco", "seed", "svg",
-       "dot", "save", "quiet", "help"});
+       "topology", "engine", "strategy", "refine", "eco", "optimize-topo",
+       "opt-seed", "opt-jobs", "opt-chain", "opt-temp", "seed", "svg", "dot",
+       "save", "quiet",
+       "help"});
   if (!parsed.ok()) return Fail(parsed.status().message());
   const ArgParser& args = *parsed;
   if (args.Has("help")) {
@@ -244,6 +253,41 @@ int main(int argc, char** argv) {
                 solved.stats.max_delay / radius, solved.lp_rows,
                 solved.seconds);
     edge_len = std::move(solved.edge_len);
+  }
+
+  // --- Optional topology search. ---
+  const Result<int> opt_rounds = args.GetIntFlag("optimize-topo", 0, 0);
+  if (!opt_rounds.ok()) return Fail(opt_rounds.status().message());
+  if (*opt_rounds > 0) {
+    const Result<int> opt_seed = args.GetIntFlag("opt-seed", 1, 0);
+    if (!opt_seed.ok()) return Fail(opt_seed.status().message());
+    const Result<int> opt_jobs = args.GetIntFlag("opt-jobs", 1, 0);
+    if (!opt_jobs.ok()) return Fail(opt_jobs.status().message());
+    const Result<int> opt_chain = args.GetIntFlag("opt-chain", 0, 0);
+    if (!opt_chain.ok()) return Fail(opt_chain.status().message());
+    TopoSearchOptions sopt;
+    sopt.max_rounds = *opt_rounds;
+    sopt.seed = static_cast<std::uint64_t>(*opt_seed);
+    sopt.jobs = *opt_jobs;
+    sopt.moves_per_candidate = *opt_chain;
+    sopt.initial_temp = args.GetDouble("opt-temp", sopt.initial_temp);
+    sopt.eco.solve = opt;
+    auto searched =
+        TopoOptimizer::Optimize(set, problem.bounds, std::move(topo), sopt);
+    if (!searched.ok()) {
+      std::fprintf(stderr, "topo-search failed: %s\n",
+                   searched.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "topo-search: cost %.2f -> %.2f (%.2f%%), %d rounds, %d accepted "
+        "(%d uphill), %.3fs\n",
+        searched->initial_cost, searched->best_cost,
+        100.0 * searched->Improvement(), searched->stats.rounds,
+        searched->stats.accepted, searched->stats.uphill_accepted,
+        searched->stats.seconds);
+    topo = std::move(searched->best_topo);
+    edge_len = std::move(searched->best_edge_len);
   }
 
   // --- Embed + verify. ---
